@@ -1,0 +1,333 @@
+package bitcoinng
+
+import (
+	"fmt"
+	"time"
+
+	"bitcoinng/internal/bitcoin"
+	"bitcoinng/internal/chain"
+	"bitcoinng/internal/core"
+	"bitcoinng/internal/crypto"
+	"bitcoinng/internal/ghost"
+	"bitcoinng/internal/metrics"
+	"bitcoinng/internal/mining"
+	"bitcoinng/internal/node"
+	"bitcoinng/internal/sim"
+	"bitcoinng/internal/simnet"
+	"bitcoinng/internal/types"
+	"bitcoinng/internal/wallet"
+)
+
+// ClusterConfig describes an interactive in-process network.
+type ClusterConfig struct {
+	// Protocol selects the client implementation; default BitcoinNG.
+	Protocol Protocol
+	// Nodes is the network size (≥ 2).
+	Nodes int
+	// Seed makes the cluster deterministic.
+	Seed int64
+	// Params are the consensus parameters; zero value takes DefaultParams.
+	Params Params
+	// FundPerNode pre-funds every node's wallet with this amount from
+	// genesis (spendable immediately).
+	FundPerNode Amount
+	// AutoMine attaches simulated miners with power following the paper's
+	// exponential rank distribution; without it, call Node(i).MineBlock /
+	// MineKeyBlock manually.
+	AutoMine bool
+}
+
+// Cluster is an interactive emulated network. All methods must be called
+// from one goroutine; time only advances inside Run/RunUntil.
+type Cluster struct {
+	cfg       ClusterConfig
+	loop      *sim.Loop
+	net       *simnet.Network
+	collector *metrics.Collector
+	nodes     []*ClusterNode
+	genesis   *types.PowBlock
+}
+
+// ClusterNode is one node handle.
+type ClusterNode struct {
+	id     int
+	base   *node.Base
+	ng     *core.Node    // nil unless BitcoinNG
+	btc    *bitcoin.Node // nil for BitcoinNG
+	miner  *mining.Miner
+	wallet *wallet.Wallet
+}
+
+// NewCluster builds the network, funds wallets, and (with AutoMine) arms
+// miners. Nothing runs until Run is called.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	if cfg.Nodes < 2 {
+		return nil, fmt.Errorf("bitcoinng: cluster needs at least 2 nodes")
+	}
+	if cfg.Protocol == "" {
+		cfg.Protocol = BitcoinNG
+	}
+	if cfg.Params == (Params{}) {
+		cfg.Params = DefaultParams()
+		cfg.Params.RetargetWindow = 0
+	}
+	loop := sim.NewLoop(0)
+	network := simnet.New(loop, simnet.DefaultConfig(cfg.Nodes, cfg.Seed))
+
+	// Node keys and pre-funded genesis.
+	keys := make([]*crypto.PrivateKey, cfg.Nodes)
+	var payouts []types.TxOutput
+	for i := range keys {
+		k, err := crypto.GenerateKey(sim.NewRand(cfg.Seed, uint64(0x30000+i)))
+		if err != nil {
+			return nil, err
+		}
+		keys[i] = k
+		if cfg.FundPerNode > 0 {
+			payouts = append(payouts, types.TxOutput{Value: cfg.FundPerNode, To: k.Public().Addr()})
+		}
+	}
+	genesis := types.GenesisBlock(types.GenesisSpec{
+		Target:  crypto.EasiestTarget,
+		Payouts: payouts,
+	})
+	collector := metrics.NewCollector(genesis, 0)
+
+	c := &Cluster{
+		cfg:       cfg,
+		loop:      loop,
+		net:       network,
+		collector: collector,
+		genesis:   genesis,
+	}
+	shares := mining.ExponentialShares(cfg.Nodes, mining.DefaultExponent)
+	totalRate := 1.0 / cfg.Params.TargetBlockInterval.Seconds()
+
+	for i := 0; i < cfg.Nodes; i++ {
+		env := simnet.NewNodeEnv(loop, network, i, cfg.Seed)
+		cn := &ClusterNode{id: i, wallet: wallet.New(keys[i])}
+		var onFind func()
+		switch cfg.Protocol {
+		case BitcoinNG:
+			n, err := core.New(env, core.Config{
+				Params:          cfg.Params,
+				Key:             keys[i],
+				Genesis:         genesis,
+				Recorder:        collector,
+				SimulatedMining: true,
+			})
+			if err != nil {
+				return nil, err
+			}
+			cn.ng, cn.base = n, n.Base
+			onFind = func() { n.MineKeyBlock() }
+			env.Deliver(n.HandleMessage)
+		case Bitcoin, GHOST:
+			bcfg := bitcoin.Config{
+				Params:          cfg.Params,
+				Key:             keys[i],
+				Genesis:         genesis,
+				Recorder:        collector,
+				SimulatedMining: true,
+			}
+			var n *bitcoin.Node
+			var err error
+			if cfg.Protocol == GHOST {
+				n, err = ghost.New(env, bcfg)
+			} else {
+				n, err = bitcoin.New(env, bcfg)
+			}
+			if err != nil {
+				return nil, err
+			}
+			cn.btc, cn.base = n, n.Base
+			onFind = func() { n.MineBlock() }
+			env.Deliver(n.HandleMessage)
+		default:
+			return nil, fmt.Errorf("bitcoinng: unknown protocol %q", cfg.Protocol)
+		}
+		cn.miner = mining.NewMiner(loop, sim.NewRand(cfg.Seed, uint64(0x40000+i)), onFind)
+		if cfg.AutoMine {
+			cn.miner.SetRate(shares[i] * totalRate)
+			cn.miner.Start()
+		}
+		c.nodes = append(c.nodes, cn)
+	}
+	return c, nil
+}
+
+// Run advances virtual time by d, processing everything scheduled within it.
+func (c *Cluster) Run(d time.Duration) { c.loop.RunFor(d) }
+
+// Partition cuts the network into the given groups of node indices; nodes
+// not listed join group 0. Messages across groups are lost until Heal.
+func (c *Cluster) Partition(groups ...[]int) {
+	assignment := make([]int, len(c.nodes))
+	for g, members := range groups {
+		for _, id := range members {
+			assignment[id] = g + 1
+		}
+	}
+	c.net.SetPartition(assignment)
+}
+
+// Heal removes the partition; chains reconcile as the next blocks announce.
+func (c *Cluster) Heal() { c.net.SetPartition(nil) }
+
+// Now returns the current virtual time.
+func (c *Cluster) Now() time.Duration { return time.Duration(c.loop.Now()) }
+
+// Size returns the number of nodes.
+func (c *Cluster) Size() int { return len(c.nodes) }
+
+// Node returns the i'th node handle.
+func (c *Cluster) Node(i int) *ClusterNode { return c.nodes[i] }
+
+// Report computes the §6 metrics for everything observed so far.
+func (c *Cluster) Report() *Report {
+	return c.collector.Analyze(metrics.DefaultAnalyzeOptions(c.loop.Now()))
+}
+
+// Converged reports whether every node's tip lies on one chain: under
+// Bitcoin-NG a leader always has microblocks in flight, so agreement means
+// every tip is an ancestor of (or equal to) the farthest tip, not that all
+// tips are identical.
+func (c *Cluster) Converged() bool {
+	// Find the highest tip and verify the others sit on its chain.
+	best := c.nodes[0]
+	for _, n := range c.nodes[1:] {
+		if n.base.State.Tip().Height > best.base.State.Tip().Height {
+			best = n
+		}
+	}
+	bestState := best.base.State
+	for _, n := range c.nodes {
+		tipNode, ok := bestState.Store().Get(n.base.State.Tip().Hash())
+		if !ok || !bestState.MainChainContains(tipNode) {
+			return false
+		}
+	}
+	return true
+}
+
+// ID returns the node's index.
+func (n *ClusterNode) ID() int { return n.id }
+
+// Wallet returns the node's wallet.
+func (n *ClusterNode) Wallet() *wallet.Wallet { return n.wallet }
+
+// Address returns the node's reward/wallet address.
+func (n *ClusterNode) Address() Address { return n.wallet.Address() }
+
+// Chain returns the node's chain state (read-only use).
+func (n *ClusterNode) Chain() *chain.State { return n.base.State }
+
+// Height returns the node's main-chain height (all blocks).
+func (n *ClusterNode) Height() uint64 { return n.base.State.Height() }
+
+// KeyHeight returns the node's PoW/key-block height.
+func (n *ClusterNode) KeyHeight() uint64 { return n.base.State.KeyHeight() }
+
+// TipID returns the node's main-chain tip hash.
+func (n *ClusterNode) TipID() Hash { return n.base.State.Tip().Hash() }
+
+// Balance returns addr's spendable balance in this node's view.
+func (n *ClusterNode) Balance(addr Address) Amount {
+	return n.base.State.UTXO().BalanceOf(addr)
+}
+
+// Pay builds, signs, and submits a payment from this node's wallet to the
+// node's local pool (experiment clusters do not relay transactions; every
+// node that should serialize it must receive it via SubmitTx).
+func (n *ClusterNode) Pay(to Address, amount, fee Amount) (*Transaction, error) {
+	tx, err := n.wallet.Pay(n.base.State, to, amount, fee)
+	if err != nil {
+		return nil, err
+	}
+	if err := n.base.SubmitTx(tx); err != nil {
+		return nil, err
+	}
+	return tx, nil
+}
+
+// SubmitTx adds an externally built transaction to this node's pool.
+func (n *ClusterNode) SubmitTx(tx *Transaction) error { return n.base.SubmitTx(tx) }
+
+// IsLeader reports whether this node currently leads (Bitcoin-NG only).
+func (n *ClusterNode) IsLeader() bool {
+	return n.ng != nil && n.ng.IsLeader()
+}
+
+// MineBlock forces one block find now: a key block under Bitcoin-NG, a
+// regular block otherwise.
+func (n *ClusterNode) MineBlock() {
+	if n.ng != nil {
+		n.ng.MineKeyBlock()
+		return
+	}
+	n.btc.MineBlock()
+}
+
+// SetMiningRate adjusts the node's simulated mining power (blocks/sec) and
+// starts the miner; zero pauses it — the churn experiments use this (§5.2).
+func (n *ClusterNode) SetMiningRate(blocksPerSec float64) {
+	n.miner.SetRate(blocksPerSec)
+	n.miner.Start()
+}
+
+// MicroblocksMined returns the node's microblock production count
+// (Bitcoin-NG only; zero otherwise).
+func (n *ClusterNode) MicroblocksMined() uint64 {
+	if n.ng == nil {
+		return 0
+	}
+	return n.ng.MicroblocksMined()
+}
+
+// FraudsDetected returns how many leader equivocations this Bitcoin-NG node
+// has witnessed and holds poison evidence for (§4.5).
+func (n *ClusterNode) FraudsDetected() int {
+	if n.ng == nil {
+		return 0
+	}
+	return len(n.ng.KnownFrauds())
+}
+
+// EquivocateLeader makes the given Bitcoin-NG node — which must currently
+// lead — sign two conflicting microblocks on its tip, each carrying one of
+// the transactions, and publish them to different peers: the split-brain
+// double-spend of §4.5. It returns the two microblock hashes. Honest nodes
+// that see both detect the fraud and poison the leader once they lead.
+func (c *Cluster) EquivocateLeader(leaderID int, txA, txB *Transaction) (Hash, Hash, error) {
+	ln := c.nodes[leaderID]
+	if ln.ng == nil || !ln.ng.IsLeader() {
+		return Hash{}, Hash{}, fmt.Errorf("bitcoinng: node %d is not the current leader", leaderID)
+	}
+	tip := ln.base.State.Tip()
+	now := c.loop.Now()
+	minGap := int64(c.cfg.Params.MinMicroblockInterval)
+	build := func(tx *Transaction, extraNanos int64) *types.MicroBlock {
+		var txs []*types.Transaction
+		if tx != nil {
+			txs = []*types.Transaction{tx}
+		}
+		mb := &types.MicroBlock{
+			Header: types.MicroBlockHeader{
+				Prev:      tip.Hash(),
+				TxRoot:    crypto.MerkleRoot(types.TxIDs(txs)),
+				TimeNanos: now + minGap + extraNanos,
+			},
+			Txs: txs,
+		}
+		mb.Header.Sign(ln.wallet.Key())
+		return mb
+	}
+	mbA := build(txA, 0)
+	mbB := build(txB, 1) // distinct timestamp, distinct hash
+	// Publish the first normally; slip the second directly to a different
+	// node, as a targeted attacker would.
+	ln.base.ProcessBlock(mbA, -1)
+	victim := c.nodes[(leaderID+1)%len(c.nodes)]
+	victim.base.ProcessFn(mbB, leaderID)
+	return mbA.Hash(), mbB.Hash(), nil
+}

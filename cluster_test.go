@@ -1,0 +1,172 @@
+package bitcoinng
+
+import (
+	"testing"
+	"time"
+)
+
+func TestClusterNGLifecycle(t *testing.T) {
+	params := DefaultParams()
+	params.RetargetWindow = 0
+	params.TargetBlockInterval = 30 * time.Second
+	params.MicroblockInterval = 5 * time.Second
+	c, err := NewCluster(ClusterConfig{
+		Protocol:    BitcoinNG,
+		Nodes:       10,
+		Seed:        1,
+		Params:      params,
+		FundPerNode: 1_000_000,
+		AutoMine:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Run(5 * time.Minute)
+
+	if c.Node(0).KeyHeight() == 0 {
+		t.Fatal("no key blocks mined")
+	}
+	if c.Node(0).Height() <= c.Node(0).KeyHeight() {
+		t.Error("no microblocks on chain")
+	}
+	// Exactly one leader at a time (on a converged cluster).
+	leaders := 0
+	for i := 0; i < c.Size(); i++ {
+		if c.Node(i).IsLeader() {
+			leaders++
+		}
+	}
+	if leaders > 1 {
+		t.Errorf("%d simultaneous leaders", leaders)
+	}
+	r := c.Report()
+	if r.MiningPowerUtilization < 0.8 {
+		t.Errorf("MPU = %.3f", r.MiningPowerUtilization)
+	}
+}
+
+func TestClusterPaymentConfirms(t *testing.T) {
+	params := DefaultParams()
+	params.RetargetWindow = 0
+	params.TargetBlockInterval = 20 * time.Second
+	params.MicroblockInterval = 2 * time.Second
+	c, err := NewCluster(ClusterConfig{
+		Protocol:    BitcoinNG,
+		Nodes:       6,
+		Seed:        2,
+		Params:      params,
+		FundPerNode: 10_000,
+		AutoMine:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payer := c.Node(0)
+	// Pay a fresh address that earns no mining rewards, so the balance
+	// delta is exactly the payment.
+	dest := Address{0xde, 0xad}
+
+	// Clusters don't relay transactions (paper methodology), so hand the
+	// payment to every node's pool like the pre-loaded workload would be.
+	tx, err := payer.Pay(dest, 2_500, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < c.Size(); i++ {
+		if err := c.Node(i).SubmitTx(tx); err != nil {
+			t.Fatalf("node %d rejected tx: %v", i, err)
+		}
+	}
+	c.Run(3 * time.Minute)
+
+	for i := 0; i < c.Size(); i++ {
+		if got := c.Node(i).Balance(dest); got != 2_500 {
+			t.Errorf("node %d sees dest balance %d, want 2500", i, got)
+		}
+	}
+	// The payer paid amount + fee; mining rewards are still immature, and
+	// the wallet's maturity-aware balance excludes them.
+	if got := payer.Wallet().Balance(payer.Chain()); got != 10_000-2_600 {
+		t.Errorf("payer balance = %d", got)
+	}
+}
+
+func TestClusterBitcoinAndGhost(t *testing.T) {
+	for _, p := range []Protocol{Bitcoin, GHOST} {
+		params := DefaultParams()
+		params.RetargetWindow = 0
+		params.TargetBlockInterval = 20 * time.Second
+		c, err := NewCluster(ClusterConfig{
+			Protocol:    p,
+			Nodes:       8,
+			Seed:        3,
+			Params:      params,
+			FundPerNode: 1000,
+			AutoMine:    true,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		c.Run(4 * time.Minute)
+		if c.Node(0).Height() == 0 {
+			t.Errorf("%s: no blocks", p)
+		}
+		if c.Node(0).IsLeader() {
+			t.Errorf("%s: leadership outside bitcoin-ng", p)
+		}
+	}
+}
+
+func TestClusterChurn(t *testing.T) {
+	// §5.2: a sudden mining power drop stalls key blocks but microblocks
+	// keep serializing under the incumbent leader.
+	params := DefaultParams()
+	params.RetargetWindow = 0
+	params.TargetBlockInterval = 20 * time.Second
+	params.MicroblockInterval = 2 * time.Second
+	c, err := NewCluster(ClusterConfig{
+		Protocol:    BitcoinNG,
+		Nodes:       6,
+		Seed:        4,
+		Params:      params,
+		FundPerNode: 1000,
+		AutoMine:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Run(2 * time.Minute)
+	heightBefore := c.Node(0).Height()
+	keysBefore := c.Node(0).KeyHeight()
+	if keysBefore == 0 {
+		t.Fatal("no key blocks before churn")
+	}
+	// 95% of mining power vanishes.
+	for i := 0; i < c.Size(); i++ {
+		c.Node(i).SetMiningRate(0.0001)
+	}
+	c.Run(2 * time.Minute)
+	if c.Node(0).Height() <= heightBefore {
+		t.Error("transaction serialization stopped during mining power drop")
+	}
+}
+
+func TestClusterDeterminism(t *testing.T) {
+	mk := func() Hash {
+		c, err := NewCluster(ClusterConfig{
+			Protocol:    BitcoinNG,
+			Nodes:       5,
+			Seed:        9,
+			FundPerNode: 1000,
+			AutoMine:    true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Run(5 * time.Minute)
+		return c.Node(0).TipID()
+	}
+	if mk() != mk() {
+		t.Error("same seed produced different cluster histories")
+	}
+}

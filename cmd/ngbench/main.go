@@ -1,0 +1,149 @@
+// Command ngbench regenerates the paper's evaluation figures: Figure 6
+// (mining-power distribution), Figure 7 (propagation vs block size), Figure
+// 8a (frequency sweep), Figure 8b (size sweep), the §5.1 incentive table,
+// and the DESIGN.md ablations.
+//
+// Examples:
+//
+//	ngbench -figure 8a                      # laptop scale
+//	ngbench -figure 8b -nodes 1000 -blocks 100   # paper scale (slow)
+//	ngbench -figure all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"bitcoinng/internal/experiment"
+	"bitcoinng/internal/incentive"
+	"bitcoinng/internal/mining"
+	"bitcoinng/internal/sim"
+	"bitcoinng/internal/stats"
+)
+
+func main() {
+	var (
+		figure = flag.String("figure", "all", "which figure: 6 | 7 | 8a | 8b | incentive | ablation | all")
+		nodes  = flag.Int("nodes", 0, "override network size (default: laptop scale 120)")
+		blocks = flag.Int("blocks", 0, "override payload blocks per run (default 40)")
+		seed   = flag.Int64("seed", 1, "experiment seed")
+	)
+	flag.Parse()
+
+	scale := experiment.DefaultScale()
+	scale.Seed = *seed
+	if *nodes > 0 {
+		scale.Nodes = *nodes
+	}
+	if *blocks > 0 {
+		scale.Blocks = *blocks
+	}
+
+	run := func(name string, fn func() error) {
+		if *figure != "all" && *figure != name {
+			return
+		}
+		start := time.Now()
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "ngbench %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s done in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	run("6", func() error { return figure6(*seed) })
+	run("7", func() error {
+		points, fit, err := experiment.Figure7(scale, nil)
+		if err != nil {
+			return err
+		}
+		experiment.FprintFig7(os.Stdout, points, fit)
+		return nil
+	})
+	run("8a", func() error {
+		points, err := experiment.Figure8a(scale, nil)
+		if err != nil {
+			return err
+		}
+		experiment.FprintFig8(os.Stdout,
+			"Figure 8a — frequency sweep at constant payload throughput", "freq[1/s]", points)
+		return nil
+	})
+	run("8b", func() error {
+		points, err := experiment.Figure8b(scale, nil)
+		if err != nil {
+			return err
+		}
+		experiment.FprintFig8(os.Stdout,
+			"Figure 8b — size sweep at high frequency", "size[B]", points)
+		return nil
+	})
+	run("incentive", func() error { return incentiveTable() })
+	run("ablation", func() error { return ablations(scale) })
+}
+
+// figure6 prints the mining-power distribution by rank with its
+// exponential re-fit (§7 "Mining Power").
+func figure6(seed int64) error {
+	rng := sim.NewRand(seed, 6)
+	weeks := mining.SampleWeeks(rng, 52, 100, mining.DefaultExponent, 0.4)
+	pct := mining.RankPercentiles(weeks, 20, []float64{0.25, 0.50, 0.75})
+
+	fmt.Println("Figure 6 — weekly mining power by rank (top 20 pools)")
+	fmt.Printf("%5s %9s %9s %9s\n", "rank", "p25", "p50", "p75")
+	var ranks, logMedians []float64
+	for k := 0; k < 20; k++ {
+		fmt.Printf("%5d %9.4f %9.4f %9.4f\n", k+1, pct[0][k], pct[1][k], pct[2][k])
+		ranks = append(ranks, float64(k+1))
+		logMedians = append(logMedians, math.Log(pct[1][k]))
+	}
+	fit := stats.LinearFit(ranks, logMedians)
+	fmt.Printf("exponential fit over medians: exponent=%.4f (paper: -0.27), R²=%.4f (paper: 0.99)\n",
+		fit.Slope, fit.R2)
+	return nil
+}
+
+// incentiveTable prints the §5.1 r_leader bounds.
+func incentiveTable() error {
+	fmt.Println("§5.1 — incentive-compatible r_leader window by attacker size α")
+	fmt.Printf("%8s %10s %10s %8s %10s\n", "alpha", "lower", "upper", "window", "r=40% ok")
+	for _, row := range incentive.Table([]float64{0.05, 0.10, 0.15, 0.20, 0.25, 0.30, 1.0 / 3.0}) {
+		fmt.Printf("%8.4f %10.4f %10.4f %8v %10v\n",
+			row.Alpha, row.Lower, row.Upper, row.WindowOpen, row.R40Valid)
+	}
+	rng := sim.NewRand(1, 51)
+	attack := incentive.InclusionAttackEV(rng, incentive.DefaultAlpha, 0.40, 1_000_000)
+	fmt.Printf("monte carlo (α=1/4, r=40%%): inclusion attack EV %.4f < honest %.4f ✓\n",
+		attack, incentive.HonestInclusionEV(0.40))
+
+	fmt.Println("\nSelfish-mining thresholds (Eyal & Sirer [21]; microblocks carry no weight, §5.1)")
+	fmt.Printf("%8s %12s %28s\n", "gamma", "threshold", "with weighted microblocks")
+	for _, g := range []float64{0, 0.25, 0.5, 1} {
+		fmt.Printf("%8.2f %12.4f %28.4f\n",
+			g, incentive.SelfishThresholdClosedForm(g),
+			incentive.WeightedMicroblockAdvantage(g, 0.05, 10))
+	}
+	return nil
+}
+
+// ablations prints the DESIGN.md §5 design-choice comparisons.
+func ablations(scale experiment.Scale) error {
+	random, firstSeen, err := experiment.TieBreakAblation(scale)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Ablation — fork-choice tie-breaking (Bitcoin at 10s blocks)")
+	experiment.FprintReport(os.Stdout, "random", random)
+	experiment.FprintReport(os.Stdout, "first-seen", firstSeen)
+
+	points, err := experiment.KeyBlockIntervalAblation(scale, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nAblation — Bitcoin-NG key block interval (10s microblocks)")
+	experiment.FprintFig8(os.Stdout, "", "keyint[s]", points)
+	return nil
+}

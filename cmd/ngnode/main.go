@@ -1,0 +1,212 @@
+// Command ngnode runs a live Bitcoin-NG node over TCP: real proof-of-work
+// key-block mining at a configurable difficulty, microblock production while
+// leading, and inv/getdata block relay with peers.
+//
+// Start a two-node network on one machine:
+//
+//	ngnode -id 1 -listen 127.0.0.1:9401 -mine
+//	ngnode -id 2 -listen 127.0.0.1:9402 -connect 127.0.0.1:9401 -mine
+//
+// Nodes must share the genesis parameters (-genesis-time) to peer.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"bitcoinng/internal/blockstore"
+	"bitcoinng/internal/chain"
+	"bitcoinng/internal/core"
+	"bitcoinng/internal/crypto"
+	"bitcoinng/internal/node"
+	"bitcoinng/internal/p2p"
+	"bitcoinng/internal/sim"
+	"bitcoinng/internal/types"
+)
+
+func main() {
+	var (
+		id          = flag.Int("id", 1, "unique node id on this network")
+		listen      = flag.String("listen", "127.0.0.1:9401", "listen address")
+		connect     = flag.String("connect", "", "comma-separated peer addresses to dial")
+		mine        = flag.Bool("mine", false, "mine key blocks (real proof of work)")
+		genesisTime = flag.Int64("genesis-time", 0, "genesis timestamp (all nodes must agree)")
+		micro       = flag.Duration("micro-interval", 2*time.Second, "microblock interval while leading")
+		status      = flag.Duration("status", 5*time.Second, "status print interval")
+		exponent    = flag.Uint("difficulty-exp", 0x20, "compact target exponent byte (lower = harder)")
+		datadir     = flag.String("datadir", "", "directory for block persistence (empty: in-memory only)")
+	)
+	flag.Parse()
+	log.SetPrefix(fmt.Sprintf("ngnode[%d] ", *id))
+	log.SetFlags(log.Ltime | log.Lmicroseconds)
+
+	// Trivially easy default difficulty so laptops find blocks in seconds;
+	// the target is consensus-checked, so all nodes must agree.
+	target := crypto.CompactTarget(uint32(*exponent)<<24 | 0x7fffff)
+	genesis := types.GenesisBlock(types.GenesisSpec{
+		TimeNanos: *genesisTime,
+		Target:    target,
+	})
+
+	params := types.DefaultParams()
+	params.RetargetWindow = 0 // fixed difficulty for demo networks
+	params.MicroblockInterval = *micro
+	params.MinMicroblockInterval = 10 * time.Millisecond
+
+	key, err := crypto.GenerateKey(sim.NewRand(time.Now().UnixNano(), uint64(*id)))
+	if err != nil {
+		log.Fatalf("key generation: %v", err)
+	}
+
+	rt := p2p.New(p2p.Config{NodeID: *id, GenesisHash: genesis.Hash(), Seed: int64(*id)})
+	defer rt.Close()
+
+	n, err := core.New(rt, core.Config{
+		Params:  params,
+		Key:     key,
+		Genesis: genesis,
+	})
+	if err != nil {
+		log.Fatalf("node: %v", err)
+	}
+	rt.SetHandler(func(from int, msg node.Message) { n.HandleMessage(from, msg) })
+
+	// Optional persistence: replay stored blocks into the chain, then keep
+	// appending everything the chain accepts.
+	var store *blockstore.Store
+	if *datadir != "" {
+		if err := os.MkdirAll(*datadir, 0o755); err != nil {
+			log.Fatalf("datadir: %v", err)
+		}
+		store, err = blockstore.Open(filepath.Join(*datadir, "blocks.dat"))
+		if err != nil {
+			log.Fatalf("blockstore: %v", err)
+		}
+		defer store.Close()
+		replayed, err := blockstore.ReplayInto(store, func(b types.Block) error {
+			res, err := n.State.AddBlock(b, b.Time())
+			if err != nil {
+				return err
+			}
+			if res.Status == chain.StatusOrphan || res.Status == chain.StatusInvalid {
+				return fmt.Errorf("not connectable")
+			}
+			return nil
+		})
+		if err != nil {
+			log.Fatalf("replay: %v", err)
+		}
+		log.Printf("replayed %d blocks from %s (height %d)", replayed, store.Path(), n.State.Height())
+		prevProcess := n.Base.ProcessFn
+		n.Base.ProcessFn = func(b types.Block, from int) *chain.AddResult {
+			res := prevProcess(b, from)
+			for _, added := range res.Added {
+				if err := store.Append(added.Block); err != nil {
+					log.Printf("blockstore append: %v", err)
+				}
+			}
+			return res
+		}
+	}
+
+	addr, err := rt.Listen(*listen)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	log.Printf("listening on %s, address %s, genesis %s", addr, key.Public().Addr(), genesis.Hash().Short())
+
+	for _, peerAddr := range strings.Split(*connect, ",") {
+		peerAddr = strings.TrimSpace(peerAddr)
+		if peerAddr == "" {
+			continue
+		}
+		if err := rt.Connect(peerAddr); err != nil {
+			log.Printf("connect %s: %v", peerAddr, err)
+		} else {
+			log.Printf("connected to %s", peerAddr)
+		}
+	}
+
+	stop := make(chan struct{})
+	if *mine {
+		go mineLoop(rt, n, stop)
+	}
+
+	ticker := time.NewTicker(*status)
+	defer ticker.Stop()
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	for {
+		select {
+		case <-ticker.C:
+			rt.Do(func() {
+				tip := n.State.Tip()
+				log.Printf("height=%d keyheight=%d tip=%s leader=%v peers=%d micro=%d",
+					tip.Height, tip.KeyHeight, tip.Hash().Short(), n.IsLeader(),
+					len(rt.Peers()), n.MicroblocksMined())
+			})
+		case <-sigs:
+			close(stop)
+			log.Printf("shutting down")
+			return
+		}
+	}
+}
+
+// mineLoop grinds real proofs of work on the current tip, refreshing the
+// template whenever the chain moves.
+func mineLoop(rt *p2p.Runtime, n *core.Node, stop chan struct{}) {
+	var tipGen atomic.Uint64 // bumped on every template refresh
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		var blk *types.KeyBlock
+		var tipHash crypto.Hash
+		rt.Do(func() {
+			blk = n.AssembleKeyBlock()
+			tipHash = n.State.Tip().Hash()
+		})
+		gen := tipGen.Add(1)
+		found := false
+		for nonce := uint64(0); ; nonce++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			blk.Header.Nonce = nonce
+			if crypto.CheckProofOfWork(blk.Header.Hash(), blk.Header.Target) {
+				found = true
+				break
+			}
+			// Refresh the template periodically in case the tip moved.
+			if nonce%50_000 == 0 && nonce > 0 {
+				var cur crypto.Hash
+				rt.Do(func() { cur = n.State.Tip().Hash() })
+				if cur != tipHash || tipGen.Load() != gen {
+					break
+				}
+			}
+		}
+		if !found {
+			continue
+		}
+		rt.Do(func() {
+			if n.State.Tip().Hash() == tipHash {
+				res := n.SubmitOwnBlock(blk)
+				log.Printf("mined key block %s (status %v)", blk.Hash().Short(), res.Status)
+			}
+		})
+	}
+}

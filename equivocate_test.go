@@ -1,0 +1,85 @@
+package bitcoinng
+
+import (
+	"testing"
+	"time"
+)
+
+// TestEquivocateLeaderLifecycle drives the §4.5 attack through the public
+// API (the examples/doublespend scenario as a regression test): a leader
+// forks its microblock chain, honest nodes gather evidence, the next leader
+// places the poison, and the cheater's revenue is revoked network-wide.
+func TestEquivocateLeaderLifecycle(t *testing.T) {
+	params := DefaultParams()
+	params.RetargetWindow = 0
+	params.TargetBlockInterval = 30 * time.Second
+	params.MicroblockInterval = 3 * time.Second
+
+	c, err := NewCluster(ClusterConfig{
+		Protocol:    BitcoinNG,
+		Nodes:       8,
+		Seed:        7,
+		Params:      params,
+		FundPerNode: 100_000,
+		AutoMine:    false,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	attacker, honest := c.Node(0), c.Node(1)
+
+	// Equivocating without leading is rejected.
+	if _, _, err := c.EquivocateLeader(0, nil, nil); err == nil {
+		t.Fatal("equivocation accepted from a non-leader")
+	}
+
+	attacker.MineBlock()
+	c.Run(5 * time.Second)
+	if !attacker.IsLeader() {
+		t.Fatal("attacker does not lead")
+	}
+	w := attacker.Wallet()
+	txA, err := w.Pay(attacker.Chain(), Address{0xaa}, 90_000, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	txB, err := w.Pay(attacker.Chain(), Address{0xbb}, 90_000, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hashA, hashB, err := c.EquivocateLeader(0, txA, txB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hashA == hashB {
+		t.Fatal("equivocation produced identical microblocks")
+	}
+	c.Run(10 * time.Second)
+
+	detected := 0
+	for i := 1; i < c.Size(); i++ {
+		if c.Node(i).FraudsDetected() > 0 {
+			detected++
+		}
+	}
+	if detected == 0 {
+		t.Fatal("no honest node detected the fork")
+	}
+
+	before := honest.Balance(attacker.Address())
+	honest.MineBlock()
+	c.Run(30 * time.Second)
+	after := honest.Balance(attacker.Address())
+	if after >= before {
+		t.Errorf("attacker balance %d -> %d; poison did not revoke revenue", before, after)
+	}
+	// Exactly one merchant got paid.
+	a, b := honest.Balance(Address{0xaa}), honest.Balance(Address{0xbb})
+	if (a == 0) == (b == 0) {
+		t.Errorf("double spend outcome wrong: merchantA=%d merchantB=%d", a, b)
+	}
+	// The poisoner collected a reward above its key block subsidy.
+	if got := honest.Balance(honest.Address()); got <= Amount(params.Subsidy) {
+		t.Errorf("poisoner balance %d, want above subsidy %d", got, params.Subsidy)
+	}
+}

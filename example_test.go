@@ -1,0 +1,62 @@
+package bitcoinng_test
+
+import (
+	"fmt"
+	"time"
+
+	"bitcoinng"
+)
+
+// ExampleNewCluster runs a small Bitcoin-NG network for five virtual
+// minutes and reads back the §6 security metrics. Clusters are
+// deterministic from their seed, so this output is exact.
+func ExampleNewCluster() {
+	params := bitcoinng.DefaultParams()
+	params.RetargetWindow = 0
+	params.TargetBlockInterval = 30 * time.Second
+	params.MicroblockInterval = 5 * time.Second
+
+	cluster, err := bitcoinng.NewCluster(bitcoinng.ClusterConfig{
+		Protocol:    bitcoinng.BitcoinNG,
+		Nodes:       10,
+		Seed:        1,
+		Params:      params,
+		FundPerNode: 1_000_000,
+		AutoMine:    true,
+	})
+	if err != nil {
+		panic(err)
+	}
+	cluster.Run(5 * time.Minute)
+
+	r := cluster.Report()
+	fmt.Printf("key blocks: %d\n", r.PowBlocks)
+	fmt.Printf("mining power utilization: %.2f\n", r.MiningPowerUtilization)
+	fmt.Printf("fairness: %.2f\n", r.Fairness)
+	fmt.Printf("converged: %v\n", cluster.Converged())
+	// Output:
+	// key blocks: 15
+	// mining power utilization: 1.00
+	// fairness: 1.00
+	// converged: true
+}
+
+// ExampleRunExperiment executes one measured run — the unit the paper's
+// figure sweeps are made of — on the emulated network.
+func ExampleRunExperiment() {
+	cfg := bitcoinng.DefaultExperiment(bitcoinng.BitcoinNG, 30, 7)
+	cfg.TargetBlocks = 20
+	cfg.Params.MaxBlockSize = 20_000
+	cfg.Params.TargetBlockInterval = 60 * time.Second
+	cfg.Params.MicroblockInterval = 5 * time.Second
+
+	res, err := bitcoinng.RunExperiment(cfg)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("microblocks serialized transactions: %v\n", res.Report.TxFrequency > 0)
+	fmt.Printf("mining power utilization: %.2f\n", res.Report.MiningPowerUtilization)
+	// Output:
+	// microblocks serialized transactions: true
+	// mining power utilization: 1.00
+}

@@ -1,0 +1,62 @@
+// Comparison: the paper's headline experiment in miniature — Bitcoin and
+// Bitcoin-NG on identical emulated networks at increasing block frequency,
+// §6 metrics side by side (§8.1). Watch Bitcoin's mining power utilization
+// and fairness collapse while Bitcoin-NG holds both near optimal.
+//
+//	go run ./examples/comparison
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"bitcoinng"
+)
+
+func main() {
+	fmt.Println("Bitcoin vs Bitcoin-NG: frequency sweep at constant payload throughput")
+	fmt.Println("(80 nodes, 30 payload blocks per run — shapes match the paper's Figure 8a)")
+	fmt.Println()
+	fmt.Printf("%10s %-11s %13s %9s %7s %7s\n",
+		"freq", "protocol", "consensus[s]", "fairness", "mpu", "tx/s")
+
+	for _, freq := range []float64{0.05, 0.2, 1.0} {
+		interval := time.Duration(float64(time.Second) / freq)
+		size := int(bitcoinng.DefaultParams().MaxBlockSize) // placeholder, set below
+		size = int(1_000_000.0 / 600.0 / freq)              // constant payload rate
+
+		btc := bitcoinng.DefaultExperiment(bitcoinng.Bitcoin, 80, 1)
+		btc.TargetBlocks = 30
+		btc.Params.MaxBlockSize = size
+		btc.Params.TargetBlockInterval = interval
+		bres, err := bitcoinng.RunExperiment(btc)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		ng := bitcoinng.DefaultExperiment(bitcoinng.BitcoinNG, 80, 1)
+		ng.TargetBlocks = 30
+		ng.Params.MaxBlockSize = size
+		ng.Params.TargetBlockInterval = 100 * time.Second // key blocks
+		ng.Params.MicroblockInterval = interval
+		nres, err := bitcoinng.RunExperiment(ng)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		for _, row := range []struct {
+			name string
+			r    *bitcoinng.Report
+		}{{"bitcoin", bres.Report}, {"bitcoin-ng", nres.Report}} {
+			fmt.Printf("%9.2f/s %-11s %13.2f %9.3f %7.3f %7.2f\n",
+				freq, row.name,
+				row.r.ConsensusDelay.Seconds(), row.r.Fairness,
+				row.r.MiningPowerUtilization, row.r.TxFrequency)
+		}
+	}
+
+	fmt.Println()
+	fmt.Println("Bitcoin's block frequency is bounded by fork loss; Bitcoin-NG confines")
+	fmt.Println("contention to rare key blocks and serializes in weightless microblocks.")
+}

@@ -1,0 +1,92 @@
+// Doublespend: the §4.5 attack and its punishment. A malicious Bitcoin-NG
+// leader signs two conflicting microblocks — paying two different merchants
+// with the same coins — and publishes them to different parts of the
+// network. Honest nodes detect the equivocation, and once one of them wins
+// leadership it places a poison transaction: the cheater's key-block revenue
+// is revoked and the poisoner collects 5%.
+//
+//	go run ./examples/doublespend
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"bitcoinng"
+)
+
+func main() {
+	params := bitcoinng.DefaultParams()
+	params.RetargetWindow = 0
+	params.TargetBlockInterval = 30 * time.Second
+	params.MicroblockInterval = 3 * time.Second
+
+	cluster, err := bitcoinng.NewCluster(bitcoinng.ClusterConfig{
+		Protocol:    bitcoinng.BitcoinNG,
+		Nodes:       8,
+		Seed:        7,
+		Params:      params,
+		FundPerNode: 100_000,
+		AutoMine:    false, // we script who mines when
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	attacker := cluster.Node(0)
+	honest := cluster.Node(1)
+
+	// The attacker wins the first key block and leads.
+	attacker.MineBlock()
+	cluster.Run(5 * time.Second)
+	fmt.Printf("attacker (node 0) leads: %v\n", attacker.IsLeader())
+
+	// Build two payments spending the SAME coins to different merchants.
+	merchantA := bitcoinng.Address{0xaa}
+	merchantB := bitcoinng.Address{0xbb}
+	w := attacker.Wallet()
+	txA, err := w.Pay(attacker.Chain(), merchantA, 90_000, 100)
+	if err != nil {
+		log.Fatal(err)
+	}
+	txB, err := w.Pay(attacker.Chain(), merchantB, 90_000, 100)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Split-brain: one microblock per merchant, sent to different peers.
+	hashA, hashB, err := cluster.EquivocateLeader(0, txA, txB)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("leader signed conflicting microblocks %s and %s\n",
+		hashA.Short(), hashB.Short())
+
+	cluster.Run(10 * time.Second)
+	fmt.Printf("honest nodes with fraud evidence: ")
+	count := 0
+	for i := 1; i < cluster.Size(); i++ {
+		if cluster.Node(i).FraudsDetected() > 0 {
+			count++
+		}
+	}
+	fmt.Printf("%d of %d\n", count, cluster.Size()-1)
+
+	attackerBalanceBefore := honest.Balance(attacker.Address())
+
+	// An honest node wins the next key block and, as the new leader,
+	// places the poison in its first microblock.
+	honest.MineBlock()
+	cluster.Run(30 * time.Second)
+
+	attackerBalanceAfter := honest.Balance(attacker.Address())
+	fmt.Println()
+	fmt.Printf("attacker balance before poison: %d\n", attackerBalanceBefore)
+	fmt.Printf("attacker balance after poison:  %d (key-block revenue revoked)\n", attackerBalanceAfter)
+	fmt.Printf("poisoner reward collected:      %d (5%% of the revoked revenue)\n",
+		honest.Balance(honest.Address())-params.Subsidy) // minus its own key block subsidy
+	fmt.Println()
+	fmt.Println("only one of the two payments survives on the main chain:")
+	fmt.Printf("  merchant A received: %d\n", honest.Balance(merchantA))
+	fmt.Printf("  merchant B received: %d\n", honest.Balance(merchantB))
+}

@@ -1,0 +1,165 @@
+package bitcoin
+
+import (
+	"fmt"
+
+	"bitcoinng/internal/chain"
+	"bitcoinng/internal/crypto"
+	"bitcoinng/internal/mining"
+	"bitcoinng/internal/node"
+	"bitcoinng/internal/types"
+)
+
+// coinbaseReserve is the block-size headroom kept for the header and
+// coinbase when filling a block from the mempool (header ≈ 90 B, one-output
+// coinbase ≈ 60 B).
+const coinbaseReserve = 160
+
+// Config configures a Bitcoin node.
+type Config struct {
+	// Params are the consensus parameters (block size cap, subsidy,
+	// maturity, retarget schedule, tie-break rule).
+	Params types.Params
+	// Key receives this node's coinbase rewards.
+	Key *crypto.PrivateKey
+	// Genesis is the shared genesis block.
+	Genesis *types.PowBlock
+	// Recorder receives metric events; nil discards them.
+	Recorder node.Recorder
+	// SimulatedMining marks blocks as scheduler-generated and accepts such
+	// blocks from peers (the experiments' regtest mode). Live nodes leave
+	// it false and grind real nonces.
+	SimulatedMining bool
+	// ForkChoice overrides the fork-choice rule; nil selects the heaviest
+	// chain. internal/ghost substitutes the heaviest-subtree rule (§9).
+	ForkChoice chain.ForkChoice
+}
+
+// Node is a Bitcoin protocol node.
+type Node struct {
+	*node.Base
+	cfg   Config
+	miner *mining.Miner
+}
+
+// New builds a Bitcoin node on env. Call Miner().SetRate and Start (or drive
+// MineBlock directly) to produce blocks.
+func New(env node.Env, cfg Config) (*Node, error) {
+	if cfg.Key == nil {
+		return nil, fmt.Errorf("bitcoin: config needs a key")
+	}
+	choice := cfg.ForkChoice
+	if choice == nil {
+		choice = &chain.HeaviestChain{RandomTieBreak: cfg.Params.RandomTieBreak, Rand: env.Rand()}
+	}
+	st, err := chain.New(cfg.Genesis, cfg.Params, Rules{AllowSimulatedPoW: cfg.SimulatedMining}, choice)
+	if err != nil {
+		return nil, err
+	}
+	n := &Node{
+		Base: node.NewBase(env, st, cfg.Recorder),
+		cfg:  cfg,
+	}
+	return n, nil
+}
+
+// AttachMiner wires a simulated-mining scheduler that assembles and submits
+// a block each time it fires. The experiment harness sets the rate from the
+// node's share of mining power.
+func (n *Node) AttachMiner(m *mining.Miner) {
+	n.miner = m
+}
+
+// Miner returns the node's mining scheduler; nil until AttachMiner.
+func (n *Node) Miner() *mining.Miner { return n.miner }
+
+// MineBlock assembles a block on the current tip and submits it, returning
+// the block. It is the scheduler's onFind callback and is also called
+// directly by tests.
+func (n *Node) MineBlock() *types.PowBlock {
+	b := n.AssembleBlock()
+	n.SubmitOwnBlock(b)
+	return b
+}
+
+// AssembleBlock builds (without submitting) the next block: mempool
+// transactions up to the size cap, a coinbase claiming subsidy plus fees,
+// and the scheduled difficulty target.
+func (n *Node) AssembleBlock() *types.PowBlock {
+	tip := n.State.Tip()
+	params := n.cfg.Params
+	candidates := n.Pool.Select(params.MaxBlockSize - coinbaseReserve)
+	txs, fees := FilterSpendable(n.State, candidates, tip.KeyHeight+1)
+
+	coinbase := &types.Transaction{
+		Kind:    types.TxCoinbase,
+		Outputs: []types.TxOutput{{Value: params.Subsidy + fees, To: n.cfg.Key.Public().Addr()}},
+		Height:  tip.KeyHeight + 1,
+	}
+	all := append([]*types.Transaction{coinbase}, txs...)
+
+	target := chain.NextTarget(tip, params)
+	b := &types.PowBlock{
+		Header: types.PowHeader{
+			Prev:       tip.Hash(),
+			MerkleRoot: crypto.MerkleRoot(types.TxIDs(all)),
+			TimeNanos:  n.Env.Now(),
+			Target:     target,
+		},
+		Txs:          all,
+		SimulatedPoW: n.cfg.SimulatedMining,
+	}
+	return b
+}
+
+// FilterSpendable drops candidate transactions a block built at the given
+// key height could not connect: inputs missing from the UTXO set, revoked,
+// owned by someone else, immature coinbases, or value overflows. It tracks
+// intra-block spends so chained candidates survive, and returns total fees.
+// Bitcoin-NG microblock assembly (internal/core) reuses it.
+func FilterSpendable(st *chain.State, candidates []*types.Transaction, atKeyHeight uint64) ([]*types.Transaction, types.Amount) {
+	var (
+		out      []*types.Transaction
+		fees     types.Amount
+		produced = make(map[types.OutPoint]types.Amount)
+		consumed = make(map[types.OutPoint]bool)
+	)
+	maturity := uint64(st.Params().CoinbaseMaturity)
+	for _, tx := range candidates {
+		var in types.Amount
+		ok := true
+		for i := range tx.Inputs {
+			op := tx.Inputs[i].Prev
+			if consumed[op] {
+				ok = false
+				break
+			}
+			if v, hit := produced[op]; hit {
+				in += v
+				continue
+			}
+			e, hit := st.UTXO().Lookup(op)
+			if !hit || e.Revoked || e.To != tx.InputAddr(i) {
+				ok = false
+				break
+			}
+			if e.Coinbase && atKeyHeight-e.Height < maturity {
+				ok = false
+				break
+			}
+			in += e.Value
+		}
+		if !ok || tx.OutputSum() > in {
+			continue
+		}
+		for i := range tx.Inputs {
+			consumed[tx.Inputs[i].Prev] = true
+		}
+		for i := range tx.Outputs {
+			produced[types.OutPoint{TxID: tx.ID(), Index: uint32(i)}] = tx.Outputs[i].Value
+		}
+		out = append(out, tx)
+		fees += in - tx.OutputSum()
+	}
+	return out, fees
+}

@@ -1,0 +1,102 @@
+// Package bitcoin implements the baseline Bitcoin protocol the paper
+// compares against (§3): proof-of-work blocks on a heaviest-chain rule,
+// block-filling from the mempool, and coinbase economics. The node runs
+// unchanged on the simulator and on real TCP, with mining supplied either by
+// the exponential scheduler (§7 "Simulated Mining") or by a real hash loop.
+package bitcoin
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"bitcoinng/internal/chain"
+	"bitcoinng/internal/crypto"
+	"bitcoinng/internal/types"
+)
+
+// MaxFutureSkew is how far a block timestamp may lead the local clock
+// (Bitcoin uses two hours).
+const MaxFutureSkew = 2 * time.Hour
+
+// MedianTimeWindow is the median-time-past window (Bitcoin uses 11).
+const MedianTimeWindow = 11
+
+// Rule violations.
+var (
+	ErrWrongBlockKind  = errors.New("bitcoin: only pow blocks are valid")
+	ErrTimeTooNew      = errors.New("bitcoin: block timestamp too far in the future")
+	ErrTimeTooOld      = errors.New("bitcoin: block timestamp before median time past")
+	ErrWrongTarget     = errors.New("bitcoin: block target does not match schedule")
+	ErrSimulatedPoW    = errors.New("bitcoin: simulated proof of work not allowed live")
+	ErrBadCoinbaseAmt  = errors.New("bitcoin: coinbase exceeds subsidy plus fees")
+	ErrBadCoinbaseHt   = errors.New("bitcoin: coinbase height mismatch")
+	ErrPoisonInBitcoin = errors.New("bitcoin: poison transactions are not part of this protocol")
+)
+
+// Rules implements chain.Protocol for Bitcoin.
+type Rules struct {
+	// AllowSimulatedPoW accepts scheduler-generated blocks (regtest mode);
+	// live deployments leave it false and require real proofs of work.
+	AllowSimulatedPoW bool
+}
+
+// CheckBlock implements chain.Protocol.
+func (r Rules) CheckBlock(st *chain.State, parent *chain.Node, b types.Block, now int64) error {
+	pb, ok := b.(*types.PowBlock)
+	if !ok {
+		return fmt.Errorf("%w: got %v", ErrWrongBlockKind, b.Kind())
+	}
+	if pb.SimulatedPoW && !r.AllowSimulatedPoW {
+		return ErrSimulatedPoW
+	}
+	if err := pb.CheckWellFormed(); err != nil {
+		return err
+	}
+	for i, tx := range pb.Txs {
+		if tx.Kind == types.TxPoison {
+			return fmt.Errorf("%w: tx %d", ErrPoisonInBitcoin, i)
+		}
+	}
+	if pb.Header.TimeNanos > now+int64(MaxFutureSkew) {
+		return ErrTimeTooNew
+	}
+	if !pb.SimulatedPoW {
+		if pb.Header.TimeNanos <= chain.MedianTimePast(parent, MedianTimeWindow) {
+			return ErrTimeTooOld
+		}
+		if want := chain.NextTarget(parent, st.Params()); pb.Header.Target != want {
+			return fmt.Errorf("%w: got %#x want %#x", ErrWrongTarget, uint32(pb.Header.Target), uint32(want))
+		}
+	}
+	return nil
+}
+
+// ConnectCheck implements chain.Protocol: the coinbase may claim at most the
+// subsidy plus this block's fees and must commit to its height.
+func (r Rules) ConnectCheck(st *chain.State, n *chain.Node, fees []types.Amount) error {
+	var total types.Amount
+	for _, f := range fees {
+		total += f
+	}
+	coinbase := n.Block.Transactions()[0]
+	if coinbase.Height != n.KeyHeight {
+		return fmt.Errorf("%w: got %d want %d", ErrBadCoinbaseHt, coinbase.Height, n.KeyHeight)
+	}
+	if max := st.Params().Subsidy + total; coinbase.OutputSum() > max {
+		return fmt.Errorf("%w: %d > %d", ErrBadCoinbaseAmt, coinbase.OutputSum(), max)
+	}
+	return nil
+}
+
+// PoisonTargets implements chain.Protocol: Bitcoin has no poison
+// transactions; CheckBlock already rejected them, so any sighting here is a
+// programming error surfaced as a validation failure.
+func (r Rules) PoisonTargets(st *chain.State, parent *chain.Node, b types.Block) (map[crypto.Hash]crypto.Hash, error) {
+	for _, tx := range b.Transactions() {
+		if tx.Kind == types.TxPoison {
+			return nil, ErrPoisonInBitcoin
+		}
+	}
+	return nil, nil
+}

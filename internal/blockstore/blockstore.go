@@ -1,0 +1,263 @@
+// Package blockstore persists blocks to an append-only file so a live node
+// (cmd/ngnode) can restart without losing its chain. The format is a
+// sequence of length-prefixed, checksummed records; the in-memory index is
+// rebuilt by a single scan on open, and a torn final record (crash during
+// append) is detected and truncated away.
+//
+// Layout per record:
+//
+//	magic  uint32  // record marker, catches misaligned scans
+//	kind   uint8   // types.BlockKind
+//	length uint32  // payload bytes
+//	crc32  uint32  // IEEE checksum of the payload
+//	payload [length]byte  // wire-encoded block
+package blockstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"bitcoinng/internal/crypto"
+	"bitcoinng/internal/types"
+	"bitcoinng/internal/wire"
+)
+
+const (
+	recordMagic  uint32 = 0x4e474253 // "SBGN" little-endian
+	headerSize          = 4 + 1 + 4 + 4
+	maxBlockSize        = wire.MaxMessageSize
+)
+
+// Store errors.
+var (
+	ErrCorrupt  = errors.New("blockstore: corrupt record")
+	ErrNotFound = errors.New("blockstore: block not found")
+	ErrClosed   = errors.New("blockstore: closed")
+)
+
+// Store is an append-only block file with an in-memory offset index. It is
+// not safe for concurrent use; the owning node serializes access.
+type Store struct {
+	f      *os.File
+	path   string
+	size   int64
+	index  map[crypto.Hash]recordRef
+	order  []crypto.Hash // append order, for replay
+	closed bool
+}
+
+type recordRef struct {
+	offset int64
+	kind   types.BlockKind
+	length uint32
+}
+
+// Open opens (or creates) the store at path, scanning existing records to
+// rebuild the index. A trailing partial record — a crash mid-append — is
+// truncated away.
+func Open(path string) (*Store, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("blockstore: open %s: %w", path, err)
+	}
+	s := &Store{
+		f:     f,
+		path:  path,
+		index: make(map[crypto.Hash]recordRef),
+	}
+	if err := s.scan(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// scan rebuilds the index and truncates torn tails.
+func (s *Store) scan() error {
+	info, err := s.f.Stat()
+	if err != nil {
+		return err
+	}
+	total := info.Size()
+	var off int64
+	hdr := make([]byte, headerSize)
+	for off+headerSize <= total {
+		if _, err := s.f.ReadAt(hdr, off); err != nil {
+			return err
+		}
+		if binary.LittleEndian.Uint32(hdr[0:4]) != recordMagic {
+			return fmt.Errorf("%w: bad magic at offset %d", ErrCorrupt, off)
+		}
+		kind := types.BlockKind(hdr[4])
+		length := binary.LittleEndian.Uint32(hdr[5:9])
+		wantCRC := binary.LittleEndian.Uint32(hdr[9:13])
+		if length > maxBlockSize {
+			return fmt.Errorf("%w: record length %d at offset %d", ErrCorrupt, length, off)
+		}
+		if off+headerSize+int64(length) > total {
+			break // torn tail: truncate below
+		}
+		payload := make([]byte, length)
+		if _, err := s.f.ReadAt(payload, off+headerSize); err != nil {
+			return err
+		}
+		if crc32.ChecksumIEEE(payload) != wantCRC {
+			return fmt.Errorf("%w: checksum mismatch at offset %d", ErrCorrupt, off)
+		}
+		b, err := decodeBlock(kind, payload)
+		if err != nil {
+			return fmt.Errorf("%w: undecodable block at offset %d: %v", ErrCorrupt, off, err)
+		}
+		h := b.Hash()
+		if _, dup := s.index[h]; !dup {
+			s.index[h] = recordRef{offset: off, kind: kind, length: length}
+			s.order = append(s.order, h)
+		}
+		off += headerSize + int64(length)
+	}
+	if off < total {
+		if err := s.f.Truncate(off); err != nil {
+			return fmt.Errorf("blockstore: truncating torn tail: %w", err)
+		}
+	}
+	s.size = off
+	return nil
+}
+
+func decodeBlock(kind types.BlockKind, payload []byte) (types.Block, error) {
+	switch kind {
+	case types.KindPow:
+		b := new(types.PowBlock)
+		return b, wire.Decode(payload, b)
+	case types.KindKey:
+		b := new(types.KeyBlock)
+		return b, wire.Decode(payload, b)
+	case types.KindMicro:
+		b := new(types.MicroBlock)
+		return b, wire.Decode(payload, b)
+	default:
+		return nil, fmt.Errorf("unknown block kind %d", kind)
+	}
+}
+
+// Len returns the number of stored blocks.
+func (s *Store) Len() int { return len(s.index) }
+
+// Contains reports whether the block is stored.
+func (s *Store) Contains(h crypto.Hash) bool {
+	_, ok := s.index[h]
+	return ok
+}
+
+// Append persists a block. Appending an already-stored block is a no-op, so
+// callers can feed every accepted block without tracking.
+func (s *Store) Append(b types.Block) error {
+	if s.closed {
+		return ErrClosed
+	}
+	h := b.Hash()
+	if _, dup := s.index[h]; dup {
+		return nil
+	}
+	payload := wire.Encode(b)
+	hdr := make([]byte, headerSize)
+	binary.LittleEndian.PutUint32(hdr[0:4], recordMagic)
+	hdr[4] = byte(b.Kind())
+	binary.LittleEndian.PutUint32(hdr[5:9], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[9:13], crc32.ChecksumIEEE(payload))
+	if _, err := s.f.WriteAt(hdr, s.size); err != nil {
+		return fmt.Errorf("blockstore: append header: %w", err)
+	}
+	if _, err := s.f.WriteAt(payload, s.size+headerSize); err != nil {
+		return fmt.Errorf("blockstore: append payload: %w", err)
+	}
+	s.index[h] = recordRef{offset: s.size, kind: b.Kind(), length: uint32(len(payload))}
+	s.order = append(s.order, h)
+	s.size += headerSize + int64(len(payload))
+	return nil
+}
+
+// Get loads a block by hash.
+func (s *Store) Get(h crypto.Hash) (types.Block, error) {
+	if s.closed {
+		return nil, ErrClosed
+	}
+	ref, ok := s.index[h]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, h.Short())
+	}
+	payload := make([]byte, ref.length)
+	if _, err := s.f.ReadAt(payload, ref.offset+headerSize); err != nil {
+		return nil, fmt.Errorf("blockstore: read %s: %w", h.Short(), err)
+	}
+	return decodeBlock(ref.kind, payload)
+}
+
+// Replay streams every stored block in append order — parents before
+// children for blocks a node accepted, which is exactly what chain
+// reconstruction needs. Iteration stops at the first callback error.
+func (s *Store) Replay(fn func(types.Block) error) error {
+	if s.closed {
+		return ErrClosed
+	}
+	for _, h := range s.order {
+		b, err := s.Get(h)
+		if err != nil {
+			return err
+		}
+		if err := fn(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Sync flushes appended records to stable storage.
+func (s *Store) Sync() error {
+	if s.closed {
+		return ErrClosed
+	}
+	return s.f.Sync()
+}
+
+// Close syncs and closes the file.
+func (s *Store) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if err := s.f.Sync(); err != nil {
+		s.f.Close()
+		return err
+	}
+	return s.f.Close()
+}
+
+// Path returns the backing file path.
+func (s *Store) Path() string { return s.path }
+
+// ReplayInto feeds every stored block into a chain state in append order,
+// ignoring duplicates and stale orphans (a pruned parent may have been
+// truncated). It returns how many blocks connected into the tree. io.EOF
+// from the callback aborts cleanly for partial replays.
+func ReplayInto(s *Store, add func(types.Block) error) (int, error) {
+	n := 0
+	err := s.Replay(func(b types.Block) error {
+		if err := add(b); err != nil {
+			if errors.Is(err, io.EOF) {
+				return err
+			}
+			return nil // invalid/stale records are skipped, not fatal
+		}
+		n++
+		return nil
+	})
+	if errors.Is(err, io.EOF) {
+		err = nil
+	}
+	return n, err
+}

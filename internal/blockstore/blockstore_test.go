@@ -1,0 +1,255 @@
+package blockstore
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"bitcoinng/internal/crypto"
+	"bitcoinng/internal/sim"
+	"bitcoinng/internal/types"
+)
+
+func tempStore(t *testing.T) *Store {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "blocks.dat")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func makeChain(t *testing.T, n int) []types.Block {
+	t.Helper()
+	key, err := crypto.GenerateKey(sim.NewRand(1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks := make([]types.Block, 0, n)
+	prev := crypto.ZeroHash
+	for i := 0; i < n; i++ {
+		if i%3 == 2 {
+			// Mix in microblocks.
+			mb := &types.MicroBlock{
+				Header: types.MicroBlockHeader{
+					Prev:      prev,
+					TxRoot:    crypto.MerkleRoot(nil),
+					TimeNanos: int64(i),
+				},
+			}
+			mb.Header.Sign(key)
+			blocks = append(blocks, mb)
+			prev = mb.Hash()
+			continue
+		}
+		txs := []*types.Transaction{{
+			Kind:    types.TxCoinbase,
+			Outputs: []types.TxOutput{{Value: 1, To: key.Public().Addr()}},
+			Height:  uint64(i + 1),
+		}}
+		kb := &types.KeyBlock{
+			Header: types.KeyBlockHeader{
+				Prev:       prev,
+				MerkleRoot: crypto.MerkleRoot(types.TxIDs(txs)),
+				TimeNanos:  int64(i),
+				Target:     crypto.EasiestTarget,
+				LeaderKey:  key.Public(),
+			},
+			Txs:          txs,
+			SimulatedPoW: true,
+		}
+		blocks = append(blocks, kb)
+		prev = kb.Hash()
+	}
+	return blocks
+}
+
+func TestAppendGetRoundTrip(t *testing.T) {
+	s := tempStore(t)
+	blocks := makeChain(t, 9)
+	for _, b := range blocks {
+		if err := s.Append(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Len() != 9 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	for _, b := range blocks {
+		got, err := s.Get(b.Hash())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Hash() != b.Hash() || got.Kind() != b.Kind() {
+			t.Errorf("round trip mismatch for %s", b.Hash().Short())
+		}
+	}
+	if _, err := s.Get(crypto.HashBytes([]byte("nope"))); !errors.Is(err, ErrNotFound) {
+		t.Errorf("missing block err = %v", err)
+	}
+}
+
+func TestAppendIdempotent(t *testing.T) {
+	s := tempStore(t)
+	blocks := makeChain(t, 3)
+	for i := 0; i < 3; i++ {
+		for _, b := range blocks {
+			if err := s.Append(b); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if s.Len() != 3 {
+		t.Errorf("len = %d after duplicate appends", s.Len())
+	}
+}
+
+func TestReopenRebuildsIndex(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "blocks.dat")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks := makeChain(t, 12)
+	for _, b := range blocks {
+		if err := s.Append(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Len() != 12 {
+		t.Fatalf("reopened len = %d", s2.Len())
+	}
+	// Replay preserves append order.
+	var replayed []crypto.Hash
+	if err := s2.Replay(func(b types.Block) error {
+		replayed = append(replayed, b.Hash())
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range blocks {
+		if replayed[i] != b.Hash() {
+			t.Fatalf("replay order broken at %d", i)
+		}
+	}
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "blocks.dat")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blocks := makeChain(t, 5)
+	for _, b := range blocks {
+		if err := s.Append(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+
+	// Simulate a crash mid-append: chop bytes off the last record.
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, info.Size()-7); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatalf("open after torn tail: %v", err)
+	}
+	defer s2.Close()
+	if s2.Len() != 4 {
+		t.Fatalf("len after torn tail = %d, want 4", s2.Len())
+	}
+	// The store accepts new appends after recovery.
+	if err := s2.Append(blocks[4]); err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 5 {
+		t.Errorf("len after re-append = %d", s2.Len())
+	}
+}
+
+func TestCorruptPayloadDetected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "blocks.dat")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range makeChain(t, 2) {
+		if err := s.Append(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+
+	// Flip a payload byte in the first record.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[headerSize+3] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("corrupt open err = %v", err)
+	}
+}
+
+func TestClosedStoreErrors(t *testing.T) {
+	s := tempStore(t)
+	blocks := makeChain(t, 1)
+	if err := s.Append(blocks[0]); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if err := s.Append(blocks[0]); !errors.Is(err, ErrClosed) {
+		t.Errorf("append after close err = %v", err)
+	}
+	if _, err := s.Get(blocks[0].Hash()); !errors.Is(err, ErrClosed) {
+		t.Errorf("get after close err = %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("double close err = %v", err)
+	}
+}
+
+func TestReplayIntoSkipsInvalid(t *testing.T) {
+	s := tempStore(t)
+	blocks := makeChain(t, 6)
+	for _, b := range blocks {
+		if err := s.Append(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// An adder that rejects microblocks: they are skipped, not fatal.
+	n, err := ReplayInto(s, func(b types.Block) error {
+		if b.Kind() == types.KindMicro {
+			return errors.New("no microblocks today")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 { // 6 blocks, 2 are microblocks (i=2, i=5)
+		t.Errorf("connected %d, want 4", n)
+	}
+}

@@ -1,0 +1,77 @@
+package chain
+
+import (
+	"sort"
+
+	"bitcoinng/internal/crypto"
+	"bitcoinng/internal/types"
+)
+
+// BlockTarget returns the difficulty target a PoW-bearing block commits to;
+// microblocks return the zero target (they carry no proof of work).
+func BlockTarget(b types.Block) crypto.CompactTarget {
+	switch blk := b.(type) {
+	case *types.PowBlock:
+		return blk.Header.Target
+	case *types.KeyBlock:
+		return blk.Header.Target
+	default:
+		return 0
+	}
+}
+
+// blockSimulated reports whether the block's proof of work is simulated
+// (scheduler-driven regtest mode, §7 "Simulated Mining").
+func blockSimulated(b types.Block) bool {
+	switch blk := b.(type) {
+	case *types.PowBlock:
+		return blk.SimulatedPoW
+	case *types.KeyBlock:
+		return blk.SimulatedPoW
+	default:
+		return false
+	}
+}
+
+// MedianTimePast returns the median timestamp of the last `window` PoW/key
+// blocks ending at n's key ancestor — Bitcoin's lower bound for new block
+// timestamps (window 11 in the operational client).
+func MedianTimePast(n *Node, window int) int64 {
+	times := make([]int64, 0, window)
+	k := n.KeyAncestor
+	for k != nil && len(times) < window {
+		times = append(times, k.Block.Time())
+		if k.Parent == nil {
+			break
+		}
+		k = k.Parent.KeyAncestor
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	return times[len(times)/2]
+}
+
+// NextTarget returns the required difficulty target for a PoW/key block
+// extending parent, applying the retargeting schedule: every RetargetWindow
+// key blocks the target scales by observed/expected window duration, clamped
+// 4x as in Bitcoin (§5.2 discusses the consequences of this mechanism under
+// mining power variation).
+func NextTarget(parent *Node, params types.Params) crypto.CompactTarget {
+	last := parent.KeyAncestor
+	lastTarget := BlockTarget(last.Block)
+	w := params.RetargetWindow
+	if w <= 1 {
+		return lastTarget
+	}
+	nextHeight := parent.KeyHeight + 1
+	if nextHeight%uint64(w) != 0 {
+		return lastTarget
+	}
+	// Walk back w-1 key blocks to the window start.
+	first := last
+	for i := 0; i < w-1 && first.Parent != nil; i++ {
+		first = first.Parent.KeyAncestor
+	}
+	actual := float64(last.Block.Time() - first.Block.Time())
+	expected := float64(int64(w-1) * int64(params.TargetBlockInterval))
+	return crypto.Retarget(lastTarget, actual, expected)
+}

@@ -1,0 +1,91 @@
+package chain
+
+import "math/rand"
+
+// ForkChoice selects the preferred tip after a block is added to the tree.
+type ForkChoice interface {
+	// Best returns the tip to adopt given the current tip and the newly
+	// inserted node. Implementations must be deterministic given their
+	// random source.
+	Best(s *Store, current, added *Node) *Node
+}
+
+// HeaviestChain is the Bitcoin/Bitcoin-NG rule (§3, §4.1): adopt the chain
+// representing the most aggregate work, breaking ties either uniformly at
+// random (the paper's recommendation, after [21]) or by keeping the
+// first-seen branch (the operational client's behaviour).
+type HeaviestChain struct {
+	// RandomTieBreak selects the tie rule.
+	RandomTieBreak bool
+	// Rand supplies tie-break coin flips; required when RandomTieBreak.
+	Rand *rand.Rand
+}
+
+// Best implements ForkChoice.
+func (h *HeaviestChain) Best(s *Store, current, added *Node) *Node {
+	switch added.Weight.Cmp(current.Weight) {
+	case 1:
+		return added
+	case -1:
+		return current
+	}
+	// Equal weight. A descendant of the current tip extends it without
+	// adding work — Bitcoin-NG microblocks — and is always adopted.
+	if current.IsAncestorOf(added) {
+		return added
+	}
+	if added.IsAncestorOf(current) {
+		return current
+	}
+	// A genuine equal-weight fork.
+	if h.RandomTieBreak && h.Rand.Intn(2) == 0 {
+		return added
+	}
+	return current
+}
+
+// GHOST is the heaviest-subtree rule of Sompolinsky et al. evaluated in §9:
+// from genesis, repeatedly descend into the child whose subtree carries the
+// most work, until reaching a leaf. Work not on the main chain still counts
+// at the branch point.
+type GHOST struct {
+	// RandomTieBreak breaks equal-subtree ties randomly; otherwise the
+	// earliest-received child wins.
+	RandomTieBreak bool
+	Rand           *rand.Rand
+}
+
+// Best implements ForkChoice. The added node is unused: GHOST recomputes the
+// greedy descent from the root, since a block anywhere in the tree can flip
+// a branch decision.
+func (g *GHOST) Best(s *Store, current, added *Node) *Node {
+	n := s.Genesis()
+	for {
+		var best *Node
+		for _, c := range n.children {
+			if c.Invalid {
+				continue
+			}
+			if best == nil {
+				best = c
+				continue
+			}
+			switch c.SubtreeWeight.Cmp(best.SubtreeWeight) {
+			case 1:
+				best = c
+			case 0:
+				if g.RandomTieBreak {
+					if g.Rand.Intn(2) == 0 {
+						best = c
+					}
+				} else if c.ReceivedAt < best.ReceivedAt {
+					best = c
+				}
+			}
+		}
+		if best == nil {
+			return n
+		}
+		n = best
+	}
+}

@@ -1,0 +1,403 @@
+package chain
+
+import (
+	"errors"
+	"fmt"
+
+	"bitcoinng/internal/crypto"
+	"bitcoinng/internal/types"
+	"bitcoinng/internal/utxo"
+)
+
+// Protocol supplies the protocol-specific validation the generic chain
+// machinery calls out to. internal/bitcoin and internal/core implement it.
+type Protocol interface {
+	// CheckBlock fully validates a block before it enters the tree, given
+	// its resolved parent: intrinsic well-formedness (including microblock
+	// signatures, which need the epoch's leader key from the parent
+	// chain), timestamp rules, and the difficulty schedule. now is the
+	// local clock in Unix nanoseconds.
+	CheckBlock(st *State, parent *Node, b types.Block, now int64) error
+
+	// ConnectCheck validates block economics after its transactions were
+	// applied to the UTXO set: coinbase amounts against subsidy and fees
+	// (fees[i] is the fee collected from transaction i). Returning an
+	// error rolls the application back and marks the block invalid.
+	ConnectCheck(st *State, n *Node, fees []types.Amount) error
+
+	// PoisonTargets verifies the fraud proofs of any poison transactions
+	// in b and resolves each poison transaction ID to the culprit's
+	// coinbase transaction ID. Protocols without poison transactions
+	// return (nil, nil) for poison-free blocks and an error otherwise.
+	PoisonTargets(st *State, parent *Node, b types.Block) (map[crypto.Hash]crypto.Hash, error)
+}
+
+// Status classifies the outcome of AddBlock.
+type Status int
+
+// AddBlock outcomes.
+const (
+	StatusInvalid   Status = iota // rejected by validation
+	StatusDuplicate               // already known
+	StatusOrphan                  // parent unknown; stashed for later
+	StatusSideChain               // stored off the main chain
+	StatusMainChain               // extended or became the main chain
+)
+
+// String returns the status name.
+func (s Status) String() string {
+	switch s {
+	case StatusInvalid:
+		return "invalid"
+	case StatusDuplicate:
+		return "duplicate"
+	case StatusOrphan:
+		return "orphan"
+	case StatusSideChain:
+		return "sidechain"
+	case StatusMainChain:
+		return "mainchain"
+	default:
+		return fmt.Sprintf("status(%d)", int(s))
+	}
+}
+
+// AddResult reports what AddBlock did, including the main-chain delta so the
+// caller can update its mempool and emit metric events. When stashed orphans
+// become connectable, their effects are folded into the same result.
+type AddResult struct {
+	Status Status
+	// Node is the tree node for the added block (nil for orphans,
+	// duplicates, and invalid blocks).
+	Node *Node
+	// Added lists every block that entered the tree during the call: the
+	// block itself plus any stashed orphans it unlocked. The relay and
+	// metrics layers see each block exactly once through this list.
+	Added []*Node
+	// Connected lists blocks that joined the main chain, oldest first.
+	Connected []*Node
+	// Disconnected lists blocks that left the main chain, oldest first.
+	Disconnected []*Node
+}
+
+// TipChanged reports whether the main chain moved.
+func (r *AddResult) TipChanged() bool { return len(r.Connected) > 0 }
+
+// maxOrphanBlocks bounds the orphan stash; beyond it the oldest parent
+// bucket is dropped (the gossip layer will re-fetch if still needed).
+const maxOrphanBlocks = 512
+
+// Chain errors.
+var (
+	ErrUnknownParent = errors.New("chain: parent unknown")
+	ErrKnownInvalid  = errors.New("chain: block previously marked invalid")
+)
+
+// State is a node's view of the blockchain: the block tree, the active
+// (main) chain, and the UTXO set at its tip. It is not safe for concurrent
+// use; each protocol node drives one from its event loop.
+type State struct {
+	params   types.Params
+	store    *Store
+	protocol Protocol
+	choice   ForkChoice
+
+	utxoSet *utxo.Set
+	tip     *Node
+
+	// undo records and collected fees for every block currently connected
+	// (undo) or ever connected (fees; fee totals are stable per block).
+	undo map[crypto.Hash]*utxo.Undo
+	fees map[crypto.Hash]types.Amount
+
+	orphans      map[crypto.Hash][]types.Block // parent hash -> waiting blocks
+	orphanCount  int
+	invalidCount int
+}
+
+// New creates a State rooted at the genesis block. The genesis coinbase is
+// applied to the UTXO set (pre-funded experiment outputs live there).
+func New(genesis types.Block, params types.Params, protocol Protocol, choice ForkChoice) (*State, error) {
+	st := &State{
+		params:   params,
+		store:    NewStore(genesis),
+		protocol: protocol,
+		choice:   choice,
+		utxoSet:  utxo.New(),
+		undo:     make(map[crypto.Hash]*utxo.Undo),
+		fees:     make(map[crypto.Hash]types.Amount),
+		orphans:  make(map[crypto.Hash][]types.Block),
+	}
+	st.tip = st.store.Genesis()
+	u, _, err := st.utxoSet.ApplyBlock(genesis.Transactions(), utxo.BlockContext{Height: 0, Params: params})
+	if err != nil {
+		return nil, fmt.Errorf("chain: applying genesis: %w", err)
+	}
+	st.undo[genesis.Hash()] = u
+	return st, nil
+}
+
+// Params returns the consensus parameters.
+func (st *State) Params() types.Params { return st.params }
+
+// Store exposes the underlying block tree (read-only use).
+func (st *State) Store() *Store { return st.store }
+
+// Tip returns the current main-chain tip.
+func (st *State) Tip() *Node { return st.tip }
+
+// UTXO returns the UTXO set at the current tip (read-only use).
+func (st *State) UTXO() *utxo.Set { return st.utxoSet }
+
+// FeeTotal returns the total fees collected by a block when it was
+// connected; zero if it never connected.
+func (st *State) FeeTotal(h crypto.Hash) types.Amount { return st.fees[h] }
+
+// EpochFeesAt sums the recorded fees of the uninterrupted run of microblocks
+// ending at n (walking up until the nearest PoW/key block). Bitcoin-NG's
+// coinbase validation uses it to compute the previous epoch's fee pot.
+func (st *State) EpochFeesAt(n *Node) types.Amount { return EpochFees(n, st.fees) }
+
+// Height returns the main-chain height.
+func (st *State) Height() uint64 { return st.tip.Height }
+
+// KeyHeight returns the main-chain PoW/key-block height.
+func (st *State) KeyHeight() uint64 { return st.tip.KeyHeight }
+
+// HasBlock reports whether the block is in the tree.
+func (st *State) HasBlock(h crypto.Hash) bool {
+	_, ok := st.store.Get(h)
+	return ok
+}
+
+// MainChainContains reports whether the block is on the active chain.
+func (st *State) MainChainContains(n *Node) bool {
+	return st.tip.AncestorAtHeight(n.Height) == n
+}
+
+// AddBlock validates and stores a block received at time now (Unix
+// nanoseconds), running fork choice and any resulting reorganization. When
+// the block's parent is unknown the block is stashed and reconsidered once
+// the parent arrives; the triggering AddBlock's result then includes the
+// orphans' effects.
+func (st *State) AddBlock(b types.Block, now int64) (*AddResult, error) {
+	res := &AddResult{}
+	err := st.addOne(b, now, res)
+	if err != nil || res.Status == StatusOrphan || res.Status == StatusDuplicate {
+		return res, err
+	}
+	// Cascade: orphans waiting on this block (and on blocks they unlock).
+	st.adoptOrphans(b.Hash(), now, res)
+	return res, nil
+}
+
+func (st *State) addOne(b types.Block, now int64, res *AddResult) error {
+	h := b.Hash()
+	if _, ok := st.store.Get(h); ok {
+		res.Status = StatusDuplicate
+		return nil
+	}
+	parent, ok := st.store.Get(b.PrevHash())
+	if !ok {
+		res.Status = StatusOrphan
+		st.stashOrphan(b)
+		return nil
+	}
+	if parent.Invalid {
+		res.Status = StatusInvalid
+		return ErrKnownInvalid
+	}
+	if err := st.protocol.CheckBlock(st, parent, b, now); err != nil {
+		res.Status = StatusInvalid
+		return err
+	}
+	n := st.store.Insert(b, now)
+	res.Node = n
+	res.Added = append(res.Added, n)
+
+	best := st.choice.Best(st.store, st.tip, n)
+	if best == st.tip {
+		res.Status = StatusSideChain
+		return nil
+	}
+	if err := st.reorgTo(best, res); err != nil {
+		// The failing block was marked invalid and the previous chain
+		// restored; surface the error but keep serving.
+		res.Status = StatusInvalid
+		return err
+	}
+	res.Status = StatusMainChain
+	return nil
+}
+
+func (st *State) stashOrphan(b types.Block) {
+	if st.orphanCount >= maxOrphanBlocks {
+		// Drop an arbitrary bucket; gossip re-delivery recovers it.
+		for parent, bucket := range st.orphans {
+			st.orphanCount -= len(bucket)
+			delete(st.orphans, parent)
+			break
+		}
+	}
+	// Duplicate stashes are harmless (addOne dedups on adoption).
+	st.orphans[b.PrevHash()] = append(st.orphans[b.PrevHash()], b)
+	st.orphanCount++
+}
+
+func (st *State) adoptOrphans(parent crypto.Hash, now int64, res *AddResult) {
+	queue := []crypto.Hash{parent}
+	for len(queue) > 0 {
+		h := queue[0]
+		queue = queue[1:]
+		bucket := st.orphans[h]
+		if len(bucket) == 0 {
+			continue
+		}
+		delete(st.orphans, h)
+		st.orphanCount -= len(bucket)
+		for _, b := range bucket {
+			sub := &AddResult{}
+			// Validation errors on orphans are swallowed: the sender
+			// of an invalid orphan is long gone.
+			if err := st.addOne(b, now, sub); err != nil {
+				continue
+			}
+			res.Added = append(res.Added, sub.Added...)
+			res.Connected = append(res.Connected, sub.Connected...)
+			res.Disconnected = append(res.Disconnected, sub.Disconnected...)
+			if sub.Status == StatusMainChain {
+				res.Status = StatusMainChain
+			}
+			queue = append(queue, b.Hash())
+		}
+	}
+}
+
+// reorgTo moves the active chain to target, disconnecting back to the
+// common ancestor and connecting forward. On a connect failure the failing
+// block's subtree is marked invalid, the previous chain is restored, and
+// fork choice re-runs over the remaining valid tree.
+func (st *State) reorgTo(target *Node, res *AddResult) error {
+	oldTip := st.tip
+	anc := CommonAncestor(oldTip, target)
+
+	// Disconnect oldTip..anc.
+	down := PathBetween(anc, oldTip)
+	for i := len(down) - 1; i >= 0; i-- {
+		st.disconnectBlock(down[i])
+	}
+
+	// Connect anc..target.
+	up := PathBetween(anc, target)
+	for i, n := range up {
+		if err := st.connectBlock(n); err != nil {
+			// Roll back the partial connect and restore the old chain.
+			for j := i - 1; j >= 0; j-- {
+				st.disconnectBlock(up[j])
+			}
+			for _, m := range down {
+				if cerr := st.connectBlock(m); cerr != nil {
+					// The old chain was valid moments ago; failure here
+					// means corrupted state, which cannot be served.
+					panic(fmt.Sprintf("chain: cannot restore previous chain: %v", cerr))
+				}
+			}
+			st.markInvalid(n)
+			// Another branch may now be best; retry (terminates: every
+			// retry permanently invalidates at least one node).
+			if best := st.bestValidTip(); best != st.tip {
+				if rerr := st.reorgTo(best, res); rerr == nil {
+					return err // original cause, but chain moved on
+				}
+			}
+			return err
+		}
+	}
+	st.tip = target
+	res.Disconnected = append(res.Disconnected, down...)
+	res.Connected = append(res.Connected, up...)
+	return nil
+}
+
+func (st *State) connectBlock(n *Node) error {
+	targets, err := st.protocol.PoisonTargets(st, n.Parent, n.Block)
+	if err != nil {
+		return fmt.Errorf("block %s: %w", n.Hash().Short(), err)
+	}
+	ctx := utxo.BlockContext{
+		Height:        n.KeyHeight,
+		Params:        st.params,
+		PoisonTargets: targets,
+	}
+	txs := n.Block.Transactions()
+	u, fees, err := st.utxoSet.ApplyBlock(txs, ctx)
+	if err != nil {
+		return fmt.Errorf("block %s: %w", n.Hash().Short(), err)
+	}
+	if err := st.protocol.ConnectCheck(st, n, fees); err != nil {
+		st.utxoSet.UndoBlock(u)
+		return fmt.Errorf("block %s: %w", n.Hash().Short(), err)
+	}
+	st.undo[n.Hash()] = u
+	var total types.Amount
+	for _, f := range fees {
+		total += f
+	}
+	st.fees[n.Hash()] = total
+	st.tip = n
+	return nil
+}
+
+func (st *State) disconnectBlock(n *Node) {
+	h := n.Hash()
+	u := st.undo[h]
+	if u == nil {
+		panic("chain: disconnecting block without undo record")
+	}
+	st.utxoSet.UndoBlock(u)
+	delete(st.undo, h)
+	st.tip = n.Parent
+}
+
+// markInvalid flags n and its entire subtree invalid.
+func (st *State) markInvalid(n *Node) {
+	n.Invalid = true
+	st.invalidCount++
+	for _, c := range n.children {
+		st.markInvalid(c)
+	}
+}
+
+// bestValidTip linearly scans the tree for the best non-invalid tip using
+// heaviest-weight/first-seen ordering. Only the rare invalid-block recovery
+// path uses it.
+func (st *State) bestValidTip() *Node {
+	best := st.store.Genesis()
+	for _, n := range st.store.nodes {
+		if n.Invalid {
+			continue
+		}
+		switch n.Weight.Cmp(best.Weight) {
+		case 1:
+			best = n
+		case 0:
+			if n.Height > best.Height ||
+				(n.Height == best.Height && n.ReceivedAt < best.ReceivedAt) {
+				best = n
+			}
+		}
+	}
+	return best
+}
+
+// MainChain returns the active chain from genesis to tip, inclusive.
+func (st *State) MainChain() []*Node {
+	out := make([]*Node, 0, st.tip.Height+1)
+	for n := st.tip; n != nil; n = n.Parent {
+		out = append(out, n)
+	}
+	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}

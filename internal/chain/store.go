@@ -1,0 +1,198 @@
+// Package chain implements blockchain state management shared by every
+// protocol in this repository: a block tree indexed by hash, pluggable fork
+// choice (heaviest chain for Bitcoin and Bitcoin-NG, heaviest subtree for
+// GHOST), and an active chain whose UTXO state advances and rolls back
+// through reorganizations.
+//
+// The package is protocol-agnostic: protocol-specific validation (difficulty
+// schedules, microblock signatures and spacing, coinbase economics, poison
+// evidence) plugs in through the Protocol interface, and fork choice through
+// the ForkChoice interface.
+package chain
+
+import (
+	"math/big"
+
+	"bitcoinng/internal/crypto"
+	"bitcoinng/internal/types"
+)
+
+// Node is a block in the tree together with its chain-cumulative metadata.
+type Node struct {
+	Block  types.Block
+	Parent *Node // nil for genesis
+
+	// Height counts all blocks from genesis, microblocks included.
+	Height uint64
+	// KeyHeight counts only proof-of-work blocks (Bitcoin blocks or
+	// Bitcoin-NG key blocks); it drives coinbase maturity and difficulty
+	// retargeting.
+	KeyHeight uint64
+	// Weight is the cumulative work from genesis. Microblocks contribute
+	// zero (§4.2: microblocks do not affect the weight of the chain).
+	Weight *big.Int
+	// KeyAncestor is the nearest ancestor (or self) that is a PoW/key
+	// block; for a microblock it identifies the epoch's key block, whose
+	// LeaderKey signs it.
+	KeyAncestor *Node
+	// ReceivedAt is the local arrival time in Unix nanoseconds (generation
+	// time for self-mined blocks). It feeds the first-seen tie-break rule
+	// and the §6 metrics.
+	ReceivedAt int64
+	// SubtreeWeight is the total work in the subtree rooted at this node,
+	// itself included; GHOST's fork choice reads it (§9).
+	SubtreeWeight *big.Int
+	// Invalid marks blocks that failed contextual validation on connect;
+	// fork choice never adopts an invalid node or its descendants.
+	Invalid bool
+
+	children []*Node
+}
+
+// Hash returns the block hash.
+func (n *Node) Hash() crypto.Hash { return n.Block.Hash() }
+
+// Children returns the node's children; callers must not mutate the slice.
+func (n *Node) Children() []*Node { return n.children }
+
+// IsAncestorOf reports whether n is an ancestor of (or equal to) m.
+func (n *Node) IsAncestorOf(m *Node) bool {
+	for m != nil && m.Height >= n.Height {
+		if m == n {
+			return true
+		}
+		m = m.Parent
+	}
+	return false
+}
+
+// AncestorAtHeight walks up from n to the ancestor at the given height.
+func (n *Node) AncestorAtHeight(h uint64) *Node {
+	for n != nil && n.Height > h {
+		n = n.Parent
+	}
+	if n == nil || n.Height != h {
+		return nil
+	}
+	return n
+}
+
+// Store is the block tree. It indexes every valid block ever seen, main
+// chain or not ("Branches and blocks outside the main chain are called
+// pruned", §3 — pruned blocks stay in the tree so late reorganizations can
+// revive them).
+type Store struct {
+	genesis *Node
+	nodes   map[crypto.Hash]*Node
+}
+
+// NewStore creates a tree rooted at the genesis block.
+func NewStore(genesis types.Block) *Store {
+	g := &Node{
+		Block:         genesis,
+		Height:        0,
+		KeyHeight:     0,
+		Weight:        new(big.Int).Set(genesis.Work()),
+		SubtreeWeight: new(big.Int).Set(genesis.Work()),
+	}
+	g.KeyAncestor = g
+	s := &Store{
+		genesis: g,
+		nodes:   map[crypto.Hash]*Node{genesis.Hash(): g},
+	}
+	return s
+}
+
+// Genesis returns the root node.
+func (s *Store) Genesis() *Node { return s.genesis }
+
+// Get returns the node for the hash, if the block is known.
+func (s *Store) Get(h crypto.Hash) (*Node, bool) {
+	n, ok := s.nodes[h]
+	return n, ok
+}
+
+// Len returns the number of blocks in the tree.
+func (s *Store) Len() int { return len(s.nodes) }
+
+// Insert links a block under its parent and computes cumulative metadata.
+// The parent must already be present and the block must not be. Returns the
+// new node.
+func (s *Store) Insert(b types.Block, receivedAt int64) *Node {
+	parent := s.nodes[b.PrevHash()]
+	if parent == nil {
+		panic("chain: Insert called without parent present")
+	}
+	if _, dup := s.nodes[b.Hash()]; dup {
+		panic("chain: Insert called with duplicate block")
+	}
+	work := b.Work()
+	n := &Node{
+		Block:         b,
+		Parent:        parent,
+		Height:        parent.Height + 1,
+		KeyHeight:     parent.KeyHeight,
+		Weight:        new(big.Int).Add(parent.Weight, work),
+		ReceivedAt:    receivedAt,
+		SubtreeWeight: new(big.Int).Set(work),
+	}
+	if b.Kind() == types.KindMicro {
+		n.KeyAncestor = parent.KeyAncestor
+	} else {
+		n.KeyHeight++
+		n.KeyAncestor = n
+	}
+	parent.children = append(parent.children, n)
+	s.nodes[b.Hash()] = n
+	// Propagate subtree weight to ancestors for GHOST.
+	if work.Sign() > 0 {
+		for a := parent; a != nil; a = a.Parent {
+			a.SubtreeWeight.Add(a.SubtreeWeight, work)
+		}
+	}
+	return n
+}
+
+// CommonAncestor returns the deepest node on both a's and b's chains.
+func CommonAncestor(a, b *Node) *Node {
+	for a.Height > b.Height {
+		a = a.Parent
+	}
+	for b.Height > a.Height {
+		b = b.Parent
+	}
+	for a != b {
+		a = a.Parent
+		b = b.Parent
+	}
+	return a
+}
+
+// PathBetween returns the blocks strictly after ancestor up to and including
+// tip, oldest first. ancestor must be an ancestor of tip.
+func PathBetween(ancestor, tip *Node) []*Node {
+	if ancestor == tip {
+		return nil
+	}
+	path := make([]*Node, 0, tip.Height-ancestor.Height)
+	for n := tip; n != ancestor; n = n.Parent {
+		path = append(path, n)
+	}
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path
+}
+
+// EpochFees sums the recorded fees of the microblocks in the epoch that ends
+// just above keyParent's chain: walking up from `from` (inclusive) until the
+// nearest PoW/key block (exclusive). Used by Bitcoin-NG coinbase validation
+// (§4.4) — the fees of the previous leader's microblocks fund the 40/60
+// split in the next key block's coinbase.
+func EpochFees(from *Node, fees map[crypto.Hash]types.Amount) types.Amount {
+	var total types.Amount
+	for n := from; n != nil && n.Block.Kind() == types.KindMicro; n = n.Parent {
+		total += fees[n.Hash()]
+	}
+	return total
+}

@@ -1,0 +1,228 @@
+package core
+
+import (
+	"fmt"
+
+	"bitcoinng/internal/bitcoin"
+	"bitcoinng/internal/chain"
+	"bitcoinng/internal/crypto"
+	"bitcoinng/internal/mining"
+	"bitcoinng/internal/node"
+	"bitcoinng/internal/types"
+)
+
+// microReserve is the microblock-size headroom for the signed header
+// (microblocks carry no coinbase).
+const microReserve = 128
+
+// Config configures a Bitcoin-NG node.
+type Config struct {
+	// Params are the consensus parameters; MicroblockInterval sets the
+	// leader's issue rate and TargetBlockInterval the key-block rate.
+	Params types.Params
+	// Key signs this node's microblocks when it leads and receives its
+	// rewards. Its public key is embedded in the node's key blocks (§4.1).
+	Key *crypto.PrivateKey
+	// Genesis is the shared genesis block.
+	Genesis *types.PowBlock
+	// Recorder receives metric events; nil discards them.
+	Recorder node.Recorder
+	// SimulatedMining marks key blocks as scheduler-generated and accepts
+	// such blocks from peers; live nodes grind real nonces.
+	SimulatedMining bool
+	// CensorTransactions makes this node, while leading, publish empty
+	// microblocks — the §5.2 "Censorship Resistance" DoS behaviour whose
+	// influence ends with the next honest key block.
+	CensorTransactions bool
+}
+
+// Node is a Bitcoin-NG protocol node. Beyond the shared Base it tracks
+// leadership: when the main chain's latest key block is its own, it issues
+// signed microblocks at the configured rate until deposed (§4.2).
+type Node struct {
+	*node.Base
+	cfg   Config
+	miner *mining.Miner
+
+	microTimer node.Timer
+	// leading reports whether the microblock production loop is armed.
+	leading bool
+	// fraud accumulates detected microblock forks by culprit key block,
+	// to be poisoned once this node leads (§4.5).
+	fraud map[crypto.Hash]*fraudRecord
+	// microMined counts microblocks this node produced.
+	microMined uint64
+}
+
+// New builds a Bitcoin-NG node on env.
+func New(env node.Env, cfg Config) (*Node, error) {
+	if cfg.Key == nil {
+		return nil, fmt.Errorf("core: config needs a key")
+	}
+	st, err := chain.New(cfg.Genesis, cfg.Params, Rules{AllowSimulatedPoW: cfg.SimulatedMining},
+		&chain.HeaviestChain{RandomTieBreak: cfg.Params.RandomTieBreak, Rand: env.Rand()})
+	if err != nil {
+		return nil, err
+	}
+	n := &Node{
+		Base:  node.NewBase(env, st, cfg.Recorder),
+		cfg:   cfg,
+		fraud: make(map[crypto.Hash]*fraudRecord),
+	}
+	n.Base.OnTipChange = n.onTipChange
+	n.Base.ProcessFn = n.ProcessBlock
+	return n, nil
+}
+
+// AttachMiner wires the key-block scheduler.
+func (n *Node) AttachMiner(m *mining.Miner) { n.miner = m }
+
+// Miner returns the key-block scheduler; nil until AttachMiner.
+func (n *Node) Miner() *mining.Miner { return n.miner }
+
+// MicroblocksMined returns how many microblocks this node has produced.
+func (n *Node) MicroblocksMined() uint64 { return n.microMined }
+
+// IsLeader reports whether this node currently leads (the main chain's
+// latest key block carries its public key).
+func (n *Node) IsLeader() bool {
+	key, ok := n.State.Tip().KeyAncestor.Block.(*types.KeyBlock)
+	return ok && key.Header.LeaderKey == n.cfg.Key.Public()
+}
+
+// ProcessBlock wraps Base.ProcessBlock with microblock fraud detection: a
+// valid microblock whose parent already has a different microblock child in
+// the same epoch proves the leader forked its own chain (§4.5). The gossip
+// layer routes through this method via Base.ProcessFn.
+func (n *Node) ProcessBlock(blk types.Block, from int) *chain.AddResult {
+	res := n.Base.ProcessBlock(blk, from)
+	for _, added := range res.Added {
+		if added.Block.Kind() == types.KindMicro {
+			n.detectFraud(added)
+		}
+	}
+	return res
+}
+
+// MineKeyBlock assembles and submits a key block on the current tip: the
+// scheduler's onFind callback. Becoming the leader starts microblock
+// production through the tip-change hook.
+func (n *Node) MineKeyBlock() *types.KeyBlock {
+	b := n.AssembleKeyBlock()
+	n.SubmitOwnBlock(b)
+	return b
+}
+
+// AssembleKeyBlock builds (without submitting) the next key block. Its
+// coinbase implements §4.4: mint subsidy + previous epoch's fees, paying
+// this node the subsidy plus the 60% "next leader" share and the previous
+// leader its 40% placement share.
+func (n *Node) AssembleKeyBlock() *types.KeyBlock {
+	tip := n.State.Tip()
+	params := n.cfg.Params
+	epochFees := n.State.EpochFeesAt(tip)
+	leaderShare, nextShare := params.SplitFee(epochFees)
+
+	outputs := []types.TxOutput{{
+		Value: params.Subsidy + nextShare,
+		To:    n.cfg.Key.Public().Addr(),
+	}}
+	if leaderShare > 0 {
+		if prev, ok := prevLeaderAddress(tip); ok {
+			outputs = append(outputs, types.TxOutput{Value: leaderShare, To: prev})
+		}
+	}
+	coinbase := &types.Transaction{
+		Kind:    types.TxCoinbase,
+		Outputs: outputs,
+		Height:  tip.KeyHeight + 1,
+	}
+	txs := []*types.Transaction{coinbase}
+	target := chain.NextTarget(tip, params)
+	return &types.KeyBlock{
+		Header: types.KeyBlockHeader{
+			Prev:       tip.Hash(),
+			MerkleRoot: crypto.MerkleRoot(types.TxIDs(txs)),
+			TimeNanos:  n.Env.Now(),
+			Target:     target,
+			LeaderKey:  n.cfg.Key.Public(),
+		},
+		Txs:          txs,
+		SimulatedPoW: n.cfg.SimulatedMining,
+	}
+}
+
+// onTipChange arms or disarms microblock production as leadership changes.
+func (n *Node) onTipChange(res *chain.AddResult) {
+	if n.IsLeader() {
+		if !n.leading {
+			n.leading = true
+			n.scheduleMicroblock()
+		}
+		return
+	}
+	n.leading = false
+	if n.microTimer != nil {
+		n.microTimer.Stop()
+		n.microTimer = nil
+	}
+}
+
+func (n *Node) scheduleMicroblock() {
+	n.microTimer = n.Env.After(n.cfg.Params.MicroblockInterval, func() {
+		n.microTimer = nil
+		if !n.leading || !n.IsLeader() {
+			n.leading = false
+			return
+		}
+		n.MineMicroBlock()
+		if n.leading {
+			n.scheduleMicroblock()
+		}
+	})
+}
+
+// MineMicroBlock assembles, signs, and submits one microblock on the
+// current tip. It returns nil without side effects when the node does not
+// lead or the minimum interval has not elapsed.
+func (n *Node) MineMicroBlock() *types.MicroBlock {
+	if !n.IsLeader() {
+		return nil
+	}
+	b := n.AssembleMicroBlock()
+	if b == nil {
+		return nil
+	}
+	n.microMined++
+	n.SubmitOwnBlock(b)
+	return b
+}
+
+// AssembleMicroBlock builds and signs (without submitting) the next
+// microblock: mempool transactions up to the size cap plus any eligible
+// poison transactions for frauds this node has witnessed.
+func (n *Node) AssembleMicroBlock() *types.MicroBlock {
+	tip := n.State.Tip()
+	params := n.cfg.Params
+	now := n.Env.Now()
+	if now-tip.Block.Time() < int64(params.MinMicroblockInterval) {
+		return nil // respect the §4.2 rate cap
+	}
+	var txs []*types.Transaction
+	if !n.cfg.CensorTransactions {
+		candidates := n.Pool.Select(params.MaxBlockSize - microReserve)
+		txs, _ = bitcoin.FilterSpendable(n.State, candidates, tip.KeyHeight)
+		txs = append(txs, n.eligiblePoisons(tip)...)
+	}
+
+	b := &types.MicroBlock{
+		Header: types.MicroBlockHeader{
+			Prev:      tip.Hash(),
+			TxRoot:    crypto.MerkleRoot(types.TxIDs(txs)),
+			TimeNanos: now,
+		},
+		Txs: txs,
+	}
+	b.Header.Sign(n.cfg.Key)
+	return b
+}

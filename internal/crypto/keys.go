@@ -1,0 +1,69 @@
+package crypto
+
+import (
+	"crypto/ed25519"
+	"fmt"
+	"io"
+)
+
+// Ed25519 sizes re-exported so callers do not import crypto/ed25519.
+const (
+	PublicKeySize = ed25519.PublicKeySize
+	SignatureSize = ed25519.SignatureSize
+)
+
+// PrivateKey signs microblock headers and transactions.
+type PrivateKey struct {
+	key ed25519.PrivateKey
+}
+
+// PublicKey verifies signatures. Key blocks carry the leader's PublicKey
+// (§4.1: "a key block contains a public key that will be used in the
+// subsequent microblocks").
+type PublicKey [PublicKeySize]byte
+
+// Signature is a detached Ed25519 signature.
+type Signature [SignatureSize]byte
+
+// GenerateKey creates a key pair from the given entropy source. In
+// simulations the source is the experiment's deterministic RNG; live nodes
+// pass crypto/rand.Reader.
+func GenerateKey(rand io.Reader) (*PrivateKey, error) {
+	_, priv, err := ed25519.GenerateKey(rand)
+	if err != nil {
+		return nil, fmt.Errorf("crypto: generate key: %w", err)
+	}
+	return &PrivateKey{key: priv}, nil
+}
+
+// Public returns the matching public key.
+func (p *PrivateKey) Public() PublicKey {
+	var pub PublicKey
+	copy(pub[:], p.key.Public().(ed25519.PublicKey))
+	return pub
+}
+
+// Sign signs msg.
+func (p *PrivateKey) Sign(msg []byte) Signature {
+	var sig Signature
+	copy(sig[:], ed25519.Sign(p.key, msg))
+	return sig
+}
+
+// Verify reports whether sig is a valid signature of msg under pub.
+func (pub PublicKey) Verify(msg []byte, sig Signature) bool {
+	return ed25519.Verify(pub[:], msg, sig[:])
+}
+
+// Address is the short identifier funds are paid to: the double-SHA256 of a
+// public key (an analogue of Bitcoin's pay-to-pubkey-hash).
+type Address Hash
+
+// Addr returns the address of the public key.
+func (pub PublicKey) Addr() Address { return Address(HashBytes(pub[:])) }
+
+// String abbreviates the address for logs.
+func (a Address) String() string { return Hash(a).Short() }
+
+// IsZero reports whether a is the zero address (burn / unset).
+func (a Address) IsZero() bool { return Hash(a).IsZero() }

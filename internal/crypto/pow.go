@@ -1,0 +1,124 @@
+package crypto
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// CompactTarget is the 32-bit "nBits" representation of a 256-bit
+// proof-of-work target, as used in Bitcoin block headers. The encoding is a
+// base-256 floating point: the high byte is an exponent (digit count), the
+// low 23 bits are the mantissa.
+type CompactTarget uint32
+
+// Difficulty-related errors.
+var errNegativeTarget = fmt.Errorf("crypto: negative compact target")
+
+var (
+	bigOne = big.NewInt(1)
+	// maxTarget is 2^256 - 1; work calculations divide by (target+1).
+	maxTarget = new(big.Int).Sub(new(big.Int).Lsh(bigOne, 256), bigOne)
+)
+
+// EasiestTarget accepts every hash; useful for tests and the simulated miner
+// where the scheduler, not the hash, decides block generation (§7 "Simulated
+// Mining": regression-test mode skips difficulty validation).
+const EasiestTarget CompactTarget = 0x227fffff
+
+// Big expands the compact form to the full 256-bit target.
+func (c CompactTarget) Big() *big.Int {
+	mant := int64(c & 0x007fffff)
+	exp := uint(c >> 24)
+	if c&0x00800000 != 0 {
+		mant = -mant // sign bit; never valid for targets but preserved
+	}
+	v := big.NewInt(mant)
+	if exp <= 3 {
+		return v.Rsh(v, 8*(3-exp))
+	}
+	return v.Lsh(v, 8*(exp-3))
+}
+
+// CompactFromBig compresses a 256-bit target into compact form, rounding the
+// mantissa down as Bitcoin does.
+func CompactFromBig(t *big.Int) CompactTarget {
+	if t.Sign() < 0 {
+		panic(errNegativeTarget)
+	}
+	bytes := uint((t.BitLen() + 7) / 8)
+	var mant uint64
+	if bytes <= 3 {
+		mant = t.Uint64() << (8 * (3 - bytes))
+	} else {
+		mant = new(big.Int).Rsh(t, 8*(bytes-3)).Uint64()
+	}
+	// If the mantissa's top bit is set it would read as a sign bit; shift
+	// one byte to clear it.
+	if mant&0x00800000 != 0 {
+		mant >>= 8
+		bytes++
+	}
+	return CompactTarget(uint32(bytes)<<24 | uint32(mant))
+}
+
+// CheckProofOfWork reports whether hash, interpreted as a little-endian
+// 256-bit integer (matching Bitcoin's convention for double-SHA256 digests),
+// is at or below the target.
+func CheckProofOfWork(hash Hash, target CompactTarget) bool {
+	return hashToInt(hash).Cmp(target.Big()) <= 0
+}
+
+// WorkForTarget returns the expected number of hash evaluations needed to
+// find a block at the given target: floor(2^256 / (target+1)). Chain weight
+// is the sum of this quantity over the chain's proof-of-work blocks (§3
+// "the winning chain is the heaviest one").
+func WorkForTarget(target CompactTarget) *big.Int {
+	t := target.Big()
+	if t.Sign() <= 0 {
+		return new(big.Int).Set(maxTarget)
+	}
+	denom := new(big.Int).Add(t, bigOne)
+	work := new(big.Int).Div(new(big.Int).Lsh(bigOne, 256), denom)
+	if work.Sign() == 0 {
+		// Targets at or above 2^256 succeed on the first try.
+		work.SetInt64(1)
+	}
+	return work
+}
+
+// hashToInt interprets a digest as a little-endian integer, per Bitcoin's
+// "hash below target" comparison.
+func hashToInt(h Hash) *big.Int {
+	var be [32]byte
+	for i := range h {
+		be[31-i] = h[i]
+	}
+	return new(big.Int).SetBytes(be[:])
+}
+
+// Retarget computes a new compact target so that blocks arriving at
+// observed intervals move toward the desired interval: the classic
+// difficulty adjustment newTarget = oldTarget * actual / expected, clamped
+// to a factor of 4 in either direction as Bitcoin does (§5.2 "Resilience to
+// Mining Power Variation" discusses the consequences of this tuning).
+func Retarget(old CompactTarget, actual, expected float64) CompactTarget {
+	if expected <= 0 || actual <= 0 {
+		return old
+	}
+	ratio := actual / expected
+	if ratio > 4 {
+		ratio = 4
+	} else if ratio < 0.25 {
+		ratio = 0.25
+	}
+	t := new(big.Float).SetInt(old.Big())
+	t.Mul(t, big.NewFloat(ratio))
+	next, _ := t.Int(nil)
+	if next.Sign() <= 0 {
+		next.SetInt64(1)
+	}
+	if next.Cmp(maxTarget) > 0 {
+		next.Set(maxTarget)
+	}
+	return CompactFromBig(next)
+}

@@ -1,0 +1,65 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"bitcoinng/internal/metrics"
+	"bitcoinng/internal/stats"
+)
+
+// FprintReport writes one run's §6 metrics in the layout the benchmark
+// tables share.
+func FprintReport(w io.Writer, label string, r *metrics.Report) {
+	fmt.Fprintf(w, "%-22s consensus=%8.2fs fairness=%5.3f mpu=%5.3f prune90=%8.2fs win90=%7.2fs tx/s=%6.2f forks/blk=%5.3f\n",
+		label,
+		r.ConsensusDelay.Seconds(),
+		r.Fairness,
+		r.MiningPowerUtilization,
+		r.TimeToPrune.Seconds(),
+		r.TimeToWin.Seconds(),
+		r.TxFrequency,
+		r.ForksPerPowBlock,
+	)
+}
+
+// FprintFig7 writes the Figure 7 series and its linear fit.
+func FprintFig7(w io.Writer, points []Fig7Point, fit stats.Fit) {
+	fmt.Fprintln(w, "Figure 7 — block propagation latency vs block size (Bitcoin)")
+	fmt.Fprintf(w, "%10s %12s %12s %12s\n", "size[B]", "p25[s]", "p50[s]", "p75[s]")
+	for _, p := range points {
+		fmt.Fprintf(w, "%10d %12.2f %12.2f %12.2f\n",
+			p.BlockSize, p.P25.Seconds(), p.P50.Seconds(), p.P75.Seconds())
+	}
+	fmt.Fprintf(w, "linear fit over medians: latency[s] = %.3g*size + %.3g, R²=%.4f\n",
+		fit.Slope, fit.Intercept, fit.R2)
+}
+
+// FprintFig8 writes one Figure 8 sweep as the six-panel table the paper
+// plots, one row per sweep point and protocol.
+func FprintFig8(w io.Writer, title, xLabel string, points []Fig8Point) {
+	fmt.Fprintln(w, title)
+	fmt.Fprintf(w, "%12s %-10s %12s %9s %7s %10s %9s %8s\n",
+		xLabel, "protocol", "consensus[s]", "fairness", "mpu", "prune90[s]", "win90[s]", "tx/s")
+	row := func(x float64, name string, r *metrics.Report) {
+		if r == nil {
+			return
+		}
+		fmt.Fprintf(w, "%12.4g %-10s %12.2f %9.3f %7.3f %10.2f %9.2f %8.2f\n",
+			x, name,
+			r.ConsensusDelay.Seconds(), r.Fairness, r.MiningPowerUtilization,
+			r.TimeToPrune.Seconds(), r.TimeToWin.Seconds(), r.TxFrequency)
+	}
+	for _, p := range points {
+		row(p.X, "bitcoin", p.Bitcoin)
+		row(p.X, "ng", p.NG)
+	}
+}
+
+// FprintRunStats writes simulation accounting for one result.
+func FprintRunStats(w io.Writer, res *Result) {
+	fmt.Fprintf(w, "sim: %v virtual in %v wall, %d events, %d msgs, %.1f MB sent\n",
+		res.SimTime.Round(time.Second), res.WallTime.Round(time.Millisecond),
+		res.Events, res.NetStats.MessagesSent, float64(res.NetStats.BytesSent)/1e6)
+}

@@ -1,0 +1,138 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+)
+
+// tinyScale keeps sweep tests fast while preserving directions.
+func tinyScale() Scale { return Scale{Nodes: 40, Blocks: 12, Seed: 2} }
+
+// TestFigure7Linearity checks the Figure 7 claim at test scale: median
+// propagation latency grows linearly with block size (the paper compares
+// against Decker & Wattenhofer's measured linearity).
+func TestFigure7Linearity(t *testing.T) {
+	points, fit, err := Figure7(tinyScale(), []int{20_000, 50_000, 80_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("points = %d", len(points))
+	}
+	for i := 1; i < len(points); i++ {
+		if points[i].P50 <= points[i-1].P50 {
+			t.Errorf("median propagation not increasing with size: %v", points)
+		}
+		if points[i].P25 > points[i].P50 || points[i].P50 > points[i].P75 {
+			t.Errorf("percentiles out of order at %d bytes", points[i].BlockSize)
+		}
+	}
+	if fit.Slope <= 0 {
+		t.Errorf("fit slope %v, want positive", fit.Slope)
+	}
+	if fit.R2 < 0.98 {
+		t.Errorf("R² = %.4f, propagation should be strongly linear in size", fit.R2)
+	}
+}
+
+// TestFigure8aDirections checks the §8.1 headline at test scale: at high
+// frequency Bitcoin's mining power utilization is materially below
+// Bitcoin-NG's, and NG's consensus delay is below Bitcoin's.
+func TestFigure8aDirections(t *testing.T) {
+	points, err := Figure8a(tinyScale(), []float64{0.05, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	high := points[len(points)-1]
+	if high.Bitcoin.MiningPowerUtilization >= high.NG.MiningPowerUtilization {
+		t.Errorf("at 0.5 Hz: bitcoin MPU %.3f should be below NG's %.3f",
+			high.Bitcoin.MiningPowerUtilization, high.NG.MiningPowerUtilization)
+	}
+	if high.NG.ConsensusDelay >= high.Bitcoin.ConsensusDelay {
+		t.Errorf("at 0.5 Hz: NG consensus %v should beat bitcoin's %v",
+			high.NG.ConsensusDelay, high.Bitcoin.ConsensusDelay)
+	}
+	// NG's consensus delay falls as microblock frequency rises.
+	if points[1].NG.ConsensusDelay >= points[0].NG.ConsensusDelay {
+		t.Errorf("NG consensus delay did not improve with frequency: %v -> %v",
+			points[0].NG.ConsensusDelay, points[1].NG.ConsensusDelay)
+	}
+}
+
+// TestFigure8bDirections checks the §8.2 headline at test scale: growing
+// blocks at high frequency costs Bitcoin mining power while NG holds 1.0,
+// and NG's throughput scales with size.
+func TestFigure8bDirections(t *testing.T) {
+	points, err := Figure8b(tinyScale(), []int{5_000, 60_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, big := points[0], points[1]
+	if big.Bitcoin.MiningPowerUtilization >= small.Bitcoin.MiningPowerUtilization {
+		t.Errorf("bitcoin MPU did not degrade with size: %.3f -> %.3f",
+			small.Bitcoin.MiningPowerUtilization, big.Bitcoin.MiningPowerUtilization)
+	}
+	if big.NG.MiningPowerUtilization < 0.95 {
+		t.Errorf("NG MPU fell to %.3f under big microblocks", big.NG.MiningPowerUtilization)
+	}
+	if big.NG.TxFrequency <= small.NG.TxFrequency {
+		t.Errorf("NG throughput did not scale with size: %.2f -> %.2f",
+			small.NG.TxFrequency, big.NG.TxFrequency)
+	}
+}
+
+func TestAblationDrivers(t *testing.T) {
+	random, firstSeen, err := TieBreakAblation(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if random.PowBlocks == 0 || firstSeen.PowBlocks == 0 {
+		t.Error("ablation runs produced no blocks")
+	}
+	points, err := KeyBlockIntervalAblation(tinyScale(), []time.Duration{20 * time.Second, 60 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d", len(points))
+	}
+	// Microblock-rate-bound metrics stay in the same ballpark across key
+	// intervals (§5.2: key frequency trades fork exposure, not throughput).
+	a, b := points[0].NG.TxFrequency, points[1].NG.TxFrequency
+	if a == 0 || b == 0 {
+		t.Fatalf("no throughput measured: %v %v", a, b)
+	}
+	ratio := a / b
+	if ratio < 0.5 || ratio > 2 {
+		t.Errorf("throughput should not depend strongly on key interval: %.2f vs %.2f", a, b)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	// Smoke the printers over a real (tiny) run so format regressions fail
+	// loudly rather than garbling benchmark output.
+	cfg := DefaultConfig(Bitcoin, 20, 1)
+	cfg.TargetBlocks = 5
+	cfg.Params.MaxBlockSize = 10_000
+	cfg.Params.TargetBlockInterval = 20 * time.Second
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb stringsBuilder
+	FprintReport(&sb, "test", res.Report)
+	FprintRunStats(&sb, res)
+	FprintFig8(&sb, "t", "x", []Fig8Point{{X: 1, Bitcoin: res.Report}})
+	if sb.Len() == 0 {
+		t.Error("formatters wrote nothing")
+	}
+}
+
+// stringsBuilder avoids importing strings just for the smoke test.
+type stringsBuilder struct{ buf []byte }
+
+func (s *stringsBuilder) Write(p []byte) (int, error) {
+	s.buf = append(s.buf, p...)
+	return len(p), nil
+}
+func (s *stringsBuilder) Len() int { return len(s.buf) }

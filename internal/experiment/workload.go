@@ -1,0 +1,202 @@
+// Package experiment is the evaluation harness: it assembles an emulated
+// network of protocol nodes, pre-loads identical artificial transaction
+// workloads, drives simulated mining, and computes the §6 metrics —
+// reproducing the paper's 1000-node methodology (§7) at configurable scale.
+// Sweep drivers regenerate each evaluation figure (§8).
+package experiment
+
+import (
+	"fmt"
+
+	"bitcoinng/internal/crypto"
+	"bitcoinng/internal/sim"
+	"bitcoinng/internal/types"
+)
+
+// Workload is the shared artificial transaction set: identical-size,
+// independent transactions spending distinct genesis outputs, built once and
+// shared (by pointer) across every node's pool — the in-memory analogue of
+// the paper's "top up the mempools of all nodes with the same set of
+// independent transactions" (§7).
+type Workload struct {
+	Genesis *types.PowBlock
+	Txs     []*types.Transaction
+	TxSize  int
+
+	index map[*types.Transaction]int32
+}
+
+// workloadValue and workloadFee fix each transaction's economics; the fee
+// funds Bitcoin-NG's 40/60 split path.
+const (
+	workloadValue = types.Amount(10_000)
+	workloadFee   = types.Amount(100)
+)
+
+// NewWorkload builds count transactions of exactly txSize bytes each (where
+// txSize permits), spending genesis outputs owned by a workload key derived
+// from seed. The genesis block funds them and is shared by every node.
+func NewWorkload(seed int64, count, txSize int) (*Workload, error) {
+	rng := sim.NewRand(seed, 0xf00d)
+	key, err := crypto.GenerateKey(rng)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: workload key: %w", err)
+	}
+	payouts := make([]types.TxOutput, count)
+	for i := range payouts {
+		payouts[i] = types.TxOutput{Value: workloadValue, To: key.Public().Addr()}
+	}
+	genesis := types.GenesisBlock(types.GenesisSpec{
+		TimeNanos: 0,
+		Target:    crypto.EasiestTarget,
+		Payouts:   payouts,
+	})
+	cbID := genesis.Txs[0].ID()
+
+	w := &Workload{
+		Genesis: genesis,
+		Txs:     make([]*types.Transaction, count),
+		TxSize:  txSize,
+		index:   make(map[*types.Transaction]int32, count),
+	}
+	for i := 0; i < count; i++ {
+		tx := &types.Transaction{
+			Kind:   types.TxRegular,
+			Inputs: []types.TxInput{{Prev: types.OutPoint{TxID: cbID, Index: uint32(i)}}},
+			Outputs: []types.TxOutput{{
+				Value: workloadValue - workloadFee,
+				To:    crypto.Address(crypto.HashBytes([]byte{byte(i), byte(i >> 8), byte(i >> 16)})),
+			}},
+		}
+		padTo(tx, txSize)
+		tx.SignInput(0, key)
+		// Prime the derived-value caches once, up front.
+		tx.ID()
+		tx.WireSize()
+		tx.InputAddr(0)
+		w.Txs[i] = tx
+		w.index[tx] = int32(i)
+	}
+	return w, nil
+}
+
+// padTo sets tx.Padding so the serialized size hits target exactly where
+// possible (off by at most the padding varint's growth otherwise).
+// Transactions whose base size already exceeds target are left unpadded.
+func padTo(tx *types.Transaction, target int) {
+	tx.Padding = nil
+	tx.Invalidate()
+	base := tx.WireSize() // includes the 1-byte varint of empty padding
+	want := target - base // extra bytes needed
+	if want <= 0 {
+		return
+	}
+	// n padding bytes cost n + (varintLen(n) - 1) extra. Start from the
+	// closed-form guess and correct for varint boundaries.
+	n := want
+	if want > 0xfc {
+		n = want - 2 // 3-byte varint
+		if n > 0xffff {
+			n = want - 4 // 5-byte varint
+		}
+	}
+	for n > 0 && n+varintLen(n)-1 > want {
+		n--
+	}
+	tx.Padding = make([]byte, n)
+	tx.Invalidate()
+}
+
+func varintLen(n int) int {
+	switch {
+	case n < 0xfd:
+		return 1
+	case n <= 0xffff:
+		return 3
+	case n <= 0xffffffff:
+		return 5
+	default:
+		return 9
+	}
+}
+
+// NewView returns a per-node pool view over the shared workload. Views
+// implement node.TxPool with one bit of state per transaction, so a
+// 1000-node experiment holds one copy of the workload plus 1000 bitmaps.
+func (w *Workload) NewView() *WorkloadView {
+	return &WorkloadView{
+		w:         w,
+		confirmed: make([]uint64, (len(w.Txs)+63)/64),
+		live:      len(w.Txs),
+	}
+}
+
+// WorkloadView is one node's pool over the shared workload.
+type WorkloadView struct {
+	w         *Workload
+	confirmed []uint64
+	cursor    int32 // first possibly-unconfirmed index
+	live      int
+}
+
+func (v *WorkloadView) bit(i int32) bool { return v.confirmed[i/64]&(1<<(uint(i)%64)) != 0 }
+func (v *WorkloadView) set(i int32)      { v.confirmed[i/64] |= 1 << (uint(i) % 64) }
+func (v *WorkloadView) clear(i int32)    { v.confirmed[i/64] &^= 1 << (uint(i) % 64) }
+
+// Add implements node.TxPool; the workload is fixed, so loose additions are
+// rejected (experiments do not relay transactions, §7).
+func (v *WorkloadView) Add(tx *types.Transaction) error {
+	return fmt.Errorf("experiment: workload pool is read-only")
+}
+
+// Select implements node.TxPool: unconfirmed transactions in index order up
+// to maxBytes.
+func (v *WorkloadView) Select(maxBytes int) []*types.Transaction {
+	// Advance the cursor over the confirmed prefix.
+	n := int32(len(v.w.Txs))
+	for v.cursor < n && v.bit(v.cursor) {
+		v.cursor++
+	}
+	var out []*types.Transaction
+	budget := maxBytes
+	for i := v.cursor; i < n && budget >= v.w.TxSize; i++ {
+		if v.bit(i) {
+			continue
+		}
+		tx := v.w.Txs[i]
+		size := tx.WireSize()
+		if size > budget {
+			break // identical sizes: nothing further fits either
+		}
+		out = append(out, tx)
+		budget -= size
+	}
+	return out
+}
+
+// RemoveConfirmed implements node.TxPool using pointer identity: blocks in
+// the simulator carry the same transaction objects the workload created.
+func (v *WorkloadView) RemoveConfirmed(txs []*types.Transaction) {
+	for _, tx := range txs {
+		if i, ok := v.w.index[tx]; ok && !v.bit(i) {
+			v.set(i)
+			v.live--
+		}
+	}
+}
+
+// Reinsert implements node.TxPool.
+func (v *WorkloadView) Reinsert(txs []*types.Transaction) {
+	for _, tx := range txs {
+		if i, ok := v.w.index[tx]; ok && v.bit(i) {
+			v.clear(i)
+			v.live++
+			if i < v.cursor {
+				v.cursor = i
+			}
+		}
+	}
+}
+
+// Len implements node.TxPool.
+func (v *WorkloadView) Len() int { return v.live }

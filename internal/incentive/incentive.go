@@ -1,0 +1,122 @@
+// Package incentive reproduces the security analysis of §5.1: the
+// closed-form bounds on r_leader — the fraction of a transaction fee the
+// serializing leader keeps — that make honest behaviour the most profitable
+// strategy, plus Monte-Carlo simulations of the two attacks that induce the
+// bounds.
+//
+// With the attacker bounded by α = 1/4 of mining power the window is
+// 37% < r_leader < 43%, so the protocol's 40% choice is incentive
+// compatible. Under the optimal-network assumption (no message rushing,
+// α = 1/3) the window is empty — the paper's observation that Bitcoin's
+// blockchain is more resilient than Bitcoin-NG in that regime.
+package incentive
+
+import (
+	"math/rand"
+)
+
+// DefaultAlpha is the paper's adversary bound: selfish mining caps safe
+// mining power at 1/4 of the network (§2).
+const DefaultAlpha = 0.25
+
+// OptimalNetworkAlpha is the adversary bound under a zero-latency network
+// where rushing is impossible; Bitcoin is believed selfish-mining-safe up to
+// almost 1/3 there (§5.1 "Optimal Network Assumption").
+const OptimalNetworkAlpha = 1.0 / 3.0
+
+// LowerBound returns the minimum incentive-compatible r_leader for the
+// transaction-inclusion attack (§5.1 "Transaction Inclusion"): a leader
+// secretly mining on its own unpublished microblock must expect less than
+// the honest 40% — α·1 + (1−α)·α·(1−r) < r, i.e. r > α(2−α)/(1+α−α²).
+func LowerBound(alpha float64) float64 {
+	return alpha * (2 - alpha) / (1 + alpha - alpha*alpha)
+}
+
+// UpperBound returns the maximum incentive-compatible r_leader for the
+// longest-chain-extension attack (§5.1 "Longest Chain Extension"): a miner
+// skipping the transaction's microblock to re-serialize it itself must
+// expect less than extending honestly — r + α(1−r) < 1−r, i.e.
+// r < (1−α)/(2−α).
+func UpperBound(alpha float64) float64 {
+	return (1 - alpha) / (2 - alpha)
+}
+
+// Window returns the incentive-compatible range of r_leader at the given
+// attacker size, and whether it is non-empty.
+func Window(alpha float64) (lo, hi float64, ok bool) {
+	lo, hi = LowerBound(alpha), UpperBound(alpha)
+	return lo, hi, lo < hi
+}
+
+// Compatible reports whether rLeader is incentive compatible at alpha.
+func Compatible(rLeader, alpha float64) bool {
+	lo, hi, ok := Window(alpha)
+	return ok && rLeader > lo && rLeader < hi
+}
+
+// InclusionAttackEV estimates by Monte-Carlo the attacker's expected fee
+// share in the transaction-inclusion attack: with probability α the leader
+// mines the next key block on its secret microblock and keeps 100% of the
+// fee; otherwise it waits for another miner to serialize the transaction and
+// earns the next-leader share (1−r) with probability α.
+func InclusionAttackEV(rng *rand.Rand, alpha, rLeader float64, trials int) float64 {
+	var total float64
+	for i := 0; i < trials; i++ {
+		if rng.Float64() < alpha {
+			total += 1.0
+			continue
+		}
+		if rng.Float64() < alpha {
+			total += 1.0 - rLeader
+		}
+	}
+	return total / float64(trials)
+}
+
+// ExtensionAttackEV estimates by Monte-Carlo the attacker's expected fee
+// share in the longest-chain-extension attack: the miner ignores the
+// transaction's microblock, places the transaction in its own microblock
+// (earning r), and with probability α also mines the subsequent key block
+// (earning 1−r).
+func ExtensionAttackEV(rng *rand.Rand, alpha, rLeader float64, trials int) float64 {
+	var total float64
+	for i := 0; i < trials; i++ {
+		total += rLeader
+		if rng.Float64() < alpha {
+			total += 1.0 - rLeader
+		}
+	}
+	return total / float64(trials)
+}
+
+// HonestInclusionEV is the honest leader's share: r_leader.
+func HonestInclusionEV(rLeader float64) float64 { return rLeader }
+
+// HonestExtensionEV is the honest miner's share when extending the
+// transaction's microblock: the next-leader share, 1−r.
+func HonestExtensionEV(rLeader float64) float64 { return 1 - rLeader }
+
+// TableRow is one α entry of the §5.1 analysis table.
+type TableRow struct {
+	Alpha      float64
+	Lower      float64 // r_leader must exceed this
+	Upper      float64 // r_leader must stay below this
+	WindowOpen bool    // non-empty range exists
+	R40Valid   bool    // the protocol's 40% sits inside the window
+}
+
+// Table evaluates the bounds over a grid of attacker sizes.
+func Table(alphas []float64) []TableRow {
+	rows := make([]TableRow, len(alphas))
+	for i, a := range alphas {
+		lo, hi, ok := Window(a)
+		rows[i] = TableRow{
+			Alpha:      a,
+			Lower:      lo,
+			Upper:      hi,
+			WindowOpen: ok,
+			R40Valid:   Compatible(0.40, a),
+		}
+	}
+	return rows
+}

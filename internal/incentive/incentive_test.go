@@ -1,0 +1,121 @@
+package incentive
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func almost(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestPaperBoundsAtQuarter(t *testing.T) {
+	// §5.1: at α = 1/4, r_leader > 37% and r_leader < 43%.
+	lo, hi, ok := Window(DefaultAlpha)
+	if !ok {
+		t.Fatal("window empty at α=1/4")
+	}
+	if !almost(lo, 0.3684, 0.001) {
+		t.Errorf("lower bound = %.4f, paper: ≈0.37", lo)
+	}
+	if !almost(hi, 0.4286, 0.001) {
+		t.Errorf("upper bound = %.4f, paper: ≈0.43", hi)
+	}
+	if !Compatible(0.40, DefaultAlpha) {
+		t.Error("the protocol's 40% must be incentive compatible at α=1/4")
+	}
+}
+
+func TestOptimalNetworkNoWindow(t *testing.T) {
+	// §5.1 "Optimal Network Assumption": at α = 1/3 the bounds become
+	// r > 45% and r < 40% — no intersection.
+	lo, hi, ok := Window(OptimalNetworkAlpha)
+	if ok {
+		t.Errorf("window should be empty at α=1/3: [%.4f, %.4f]", lo, hi)
+	}
+	if !almost(lo, 0.4545, 0.001) {
+		t.Errorf("lower bound = %.4f, paper: ≈0.45", lo)
+	}
+	if !almost(hi, 0.40, 0.001) {
+		t.Errorf("upper bound = %.4f, paper: 0.40", hi)
+	}
+	if Compatible(0.40, OptimalNetworkAlpha) {
+		t.Error("40% must not be compatible under the optimal network assumption")
+	}
+}
+
+func TestBoundsMonotoneInAlpha(t *testing.T) {
+	// A stronger attacker needs a larger leader share to stay honest and
+	// tolerates a smaller one before deviating: the window shrinks.
+	prevLo, prevHi := -1.0, 2.0
+	for a := 0.05; a <= 0.45; a += 0.05 {
+		lo, hi := LowerBound(a), UpperBound(a)
+		if lo <= prevLo {
+			t.Errorf("lower bound not increasing at α=%.2f", a)
+		}
+		if hi >= prevHi {
+			t.Errorf("upper bound not decreasing at α=%.2f", a)
+		}
+		prevLo, prevHi = lo, hi
+	}
+}
+
+func TestMonteCarloMatchesClosedFormInclusion(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const trials = 400_000
+	for _, alpha := range []float64{0.1, 0.25, 1.0 / 3.0} {
+		// At the exact lower bound the attack EV equals the honest EV.
+		r := LowerBound(alpha)
+		attack := InclusionAttackEV(rng, alpha, r, trials)
+		if !almost(attack, r, 0.005) {
+			t.Errorf("α=%.2f: inclusion attack EV %.4f != honest %.4f at the bound", alpha, attack, r)
+		}
+		// Above the bound honesty wins.
+		rHigh := r + 0.05
+		attack = InclusionAttackEV(rng, alpha, rHigh, trials)
+		if attack >= rHigh {
+			t.Errorf("α=%.2f: attack EV %.4f >= honest %.4f above the bound", alpha, attack, rHigh)
+		}
+		// Below the bound attacking wins.
+		rLow := r - 0.05
+		attack = InclusionAttackEV(rng, alpha, rLow, trials)
+		if attack <= rLow {
+			t.Errorf("α=%.2f: attack EV %.4f <= honest %.4f below the bound", alpha, attack, rLow)
+		}
+	}
+}
+
+func TestMonteCarloMatchesClosedFormExtension(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const trials = 400_000
+	for _, alpha := range []float64{0.1, 0.25, 1.0 / 3.0} {
+		r := UpperBound(alpha)
+		attack := ExtensionAttackEV(rng, alpha, r, trials)
+		honest := HonestExtensionEV(r)
+		if !almost(attack, honest, 0.005) {
+			t.Errorf("α=%.2f: extension attack EV %.4f != honest %.4f at the bound", alpha, attack, honest)
+		}
+		// Below the bound (smaller r) honesty wins.
+		rLow := r - 0.05
+		if ExtensionAttackEV(rng, alpha, rLow, trials) >= HonestExtensionEV(rLow) {
+			t.Errorf("α=%.2f: extension attack profitable below the bound", alpha)
+		}
+		// Above the bound the attack wins.
+		rHigh := r + 0.05
+		if ExtensionAttackEV(rng, alpha, rHigh, trials) <= HonestExtensionEV(rHigh) {
+			t.Errorf("α=%.2f: extension attack unprofitable above the bound", alpha)
+		}
+	}
+}
+
+func TestTable(t *testing.T) {
+	rows := Table([]float64{0.1, 0.25, 1.0 / 3.0})
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if !rows[0].WindowOpen || !rows[1].WindowOpen || rows[2].WindowOpen {
+		t.Errorf("window flags wrong: %+v", rows)
+	}
+	if !rows[1].R40Valid || rows[2].R40Valid {
+		t.Errorf("R40 flags wrong: %+v", rows)
+	}
+}

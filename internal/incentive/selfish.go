@@ -1,0 +1,69 @@
+package incentive
+
+import "math"
+
+// Selfish mining analysis (Eyal & Sirer, FC 2014 — the paper's reference
+// [21]). Bitcoin-NG inherits Bitcoin's vulnerability profile because
+// microblocks carry no weight (§5.1 "Heaviest Chain Extension"): withholding
+// strategies operate on PoW blocks only, identically in both protocols. The
+// closed-form revenue below quantifies the 1/4 bound both the paper's model
+// (§2) and this repository's default adversary assume.
+
+// SelfishRevenue returns the selfish miner's long-run revenue share for
+// mining power alpha and tie-race propagation advantage gamma (the fraction
+// of honest miners that mine on the attacker's branch during a 1-1 race).
+// This is equation (8) of Eyal & Sirer.
+func SelfishRevenue(alpha, gamma float64) float64 {
+	a, g := alpha, gamma
+	num := a*(1-a)*(1-a)*(4*a+g*(1-2*a)) - a*a*a
+	den := 1 - a*(1+(2-a)*a)
+	if den == 0 {
+		return 1
+	}
+	return num / den
+}
+
+// SelfishProfitable reports whether selfish mining beats honest mining
+// (revenue share above alpha) for the given parameters.
+func SelfishProfitable(alpha, gamma float64) bool {
+	return SelfishRevenue(alpha, gamma) > alpha
+}
+
+// SelfishThreshold returns the minimum mining power at which selfish mining
+// becomes profitable for a given gamma, found by bisection. Eyal & Sirer's
+// closed form is (1−γ)/(3−2γ): 1/4 at γ=1/2 (the protocol's random
+// tie-breaking), 1/3 at γ=0, 0 at γ=1.
+func SelfishThreshold(gamma float64) float64 {
+	lo, hi := 0.0, 0.5
+	for i := 0; i < 60; i++ {
+		mid := (lo + hi) / 2
+		if SelfishProfitable(mid, gamma) {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// SelfishThresholdClosedForm is Eyal & Sirer's analytic threshold
+// (1−γ)/(3−2γ), for cross-checking the bisection.
+func SelfishThresholdClosedForm(gamma float64) float64 {
+	return (1 - gamma) / (3 - 2*gamma)
+}
+
+// WeightedMicroblockAdvantage quantifies why microblocks must not carry
+// weight (§5.1 "Heaviest Chain Extension"): if each microblock added
+// epsilon·(key block work) to the chain weight, a withholding leader with
+// k secret microblocks starts every race k·epsilon ahead, which lowers the
+// effective selfish-mining threshold. The function returns the attacker
+// power at which withholding becomes profitable when each secret microblock
+// contributes that advantage, modeled as an increase of the attacker's
+// race-win probability gamma toward 1.
+func WeightedMicroblockAdvantage(gamma, epsilon float64, secretMicroblocks int) float64 {
+	// Secret weight converts ties the attacker would lose into wins; the
+	// effective gamma rises with the withheld weight and saturates at 1.
+	boost := float64(secretMicroblocks) * epsilon
+	g := gamma + (1-gamma)*math.Min(1, boost)
+	return SelfishThresholdClosedForm(g)
+}

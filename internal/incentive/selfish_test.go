@@ -1,0 +1,67 @@
+package incentive
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSelfishThresholdMatchesClosedForm(t *testing.T) {
+	for _, gamma := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		got := SelfishThreshold(gamma)
+		want := SelfishThresholdClosedForm(gamma)
+		if math.Abs(got-want) > 1e-6 {
+			t.Errorf("γ=%.2f: bisection %.6f vs closed form %.6f", gamma, got, want)
+		}
+	}
+}
+
+func TestQuarterBoundAtRandomTieBreak(t *testing.T) {
+	// The paper's model bounds the adversary at 1/4 (§2) because with
+	// random tie-breaking (γ=1/2) selfish mining profits above 25%.
+	got := SelfishThresholdClosedForm(0.5)
+	if math.Abs(got-0.25) > 1e-9 {
+		t.Errorf("threshold at γ=1/2 = %.4f, want 0.25", got)
+	}
+	// At γ=0 (attacker always loses races) the classic 1/3 bound.
+	if got := SelfishThresholdClosedForm(0); math.Abs(got-1.0/3.0) > 1e-9 {
+		t.Errorf("threshold at γ=0 = %.4f, want 1/3", got)
+	}
+}
+
+func TestSelfishRevenueBehaviour(t *testing.T) {
+	// Below threshold: honest at least as good. Above: selfish better.
+	if SelfishProfitable(0.20, 0.5) {
+		t.Error("selfish mining profitable at 20% with γ=1/2")
+	}
+	if !SelfishProfitable(0.30, 0.5) {
+		t.Error("selfish mining unprofitable at 30% with γ=1/2")
+	}
+	// Revenue grows with alpha.
+	prev := -1.0
+	for a := 0.26; a < 0.45; a += 0.02 {
+		rev := SelfishRevenue(a, 0.5)
+		if rev <= prev {
+			t.Errorf("revenue not increasing at α=%.2f", a)
+		}
+		prev = rev
+	}
+}
+
+func TestWeightedMicroblocksLowerThreshold(t *testing.T) {
+	// §5.1: "If microblocks had carried weight, an attacker could keep
+	// secret microblocks and gain advantage". With weightless microblocks
+	// (ε=0) the threshold stays at the baseline; any positive weight
+	// strictly lowers it.
+	base := SelfishThresholdClosedForm(0.5)
+	if got := WeightedMicroblockAdvantage(0.5, 0, 10); math.Abs(got-base) > 1e-9 {
+		t.Errorf("zero-weight microblocks changed the threshold: %v", got)
+	}
+	weighted := WeightedMicroblockAdvantage(0.5, 0.05, 10)
+	if weighted >= base {
+		t.Errorf("weighted microblocks did not lower the threshold: %.4f >= %.4f", weighted, base)
+	}
+	// Saturation: enough secret weight drives the threshold to 0 (γ→1).
+	if got := WeightedMicroblockAdvantage(0.5, 1, 100); got > 1e-9 {
+		t.Errorf("saturated advantage should zero the threshold, got %v", got)
+	}
+}

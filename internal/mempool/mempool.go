@@ -1,0 +1,153 @@
+// Package mempool holds transactions awaiting serialization into blocks.
+//
+// Experiments follow the paper's methodology (§7 "No Transaction
+// Propagation"): every node's pool is pre-loaded with the same set of
+// identical-size, independent artificial transactions before the run, and
+// no transactions are relayed while it executes. The pool nevertheless
+// implements the full lifecycle a real deployment needs — conflict
+// detection, confirmation removal, and reorg reinsertion — because the live
+// TCP node uses it too.
+package mempool
+
+import (
+	"errors"
+	"fmt"
+
+	"bitcoinng/internal/crypto"
+	"bitcoinng/internal/types"
+)
+
+// Pool errors.
+var (
+	ErrDuplicate = errors.New("mempool: transaction already present")
+	ErrConflict  = errors.New("mempool: input already spent by pooled transaction")
+	ErrKind      = errors.New("mempool: only regular transactions are pooled")
+)
+
+// Pool is a FIFO transaction pool. It is not safe for concurrent use; each
+// node owns one and drives it from its event loop.
+type Pool struct {
+	txs    map[crypto.Hash]*types.Transaction
+	order  []crypto.Hash                  // arrival order; selection is FIFO
+	spends map[types.OutPoint]crypto.Hash // claimed inputs -> claiming tx
+}
+
+// New returns an empty pool.
+func New() *Pool {
+	return &Pool{
+		txs:    make(map[crypto.Hash]*types.Transaction),
+		spends: make(map[types.OutPoint]crypto.Hash),
+	}
+}
+
+// Len returns the number of pooled transactions.
+func (p *Pool) Len() int { return len(p.txs) }
+
+// Contains reports whether the pool holds txid.
+func (p *Pool) Contains(txid crypto.Hash) bool {
+	_, ok := p.txs[txid]
+	return ok
+}
+
+// Add inserts a well-formed regular transaction, rejecting duplicates and
+// transactions that double-spend an input already claimed in the pool.
+// Validation against the UTXO set is the block assembler's job (a pooled
+// transaction can become invalid later through a conflicting confirmation).
+func (p *Pool) Add(tx *types.Transaction) error {
+	if tx.Kind != types.TxRegular {
+		return fmt.Errorf("%w: got %v", ErrKind, tx.Kind)
+	}
+	txid := tx.ID()
+	if _, ok := p.txs[txid]; ok {
+		return fmt.Errorf("%w: %s", ErrDuplicate, txid.Short())
+	}
+	for i := range tx.Inputs {
+		if owner, ok := p.spends[tx.Inputs[i].Prev]; ok {
+			return fmt.Errorf("%w: %v held by %s", ErrConflict, tx.Inputs[i].Prev, owner.Short())
+		}
+	}
+	p.txs[txid] = tx
+	p.order = append(p.order, txid)
+	for i := range tx.Inputs {
+		p.spends[tx.Inputs[i].Prev] = txid
+	}
+	return nil
+}
+
+// Select returns pooled transactions in arrival order whose serialized
+// sizes fit within maxBytes, skipping (not evicting) transactions that do
+// not fit. This is the deterministic block-filling policy every node in an
+// experiment shares.
+func (p *Pool) Select(maxBytes int) []*types.Transaction {
+	var out []*types.Transaction
+	remaining := maxBytes
+	for _, txid := range p.order {
+		tx, ok := p.txs[txid]
+		if !ok {
+			continue // lazily skip removed entries
+		}
+		size := tx.WireSize()
+		if size > remaining {
+			continue
+		}
+		out = append(out, tx)
+		remaining -= size
+	}
+	return out
+}
+
+// RemoveConfirmed drops the given transactions (typically the contents of a
+// newly connected block) and any pooled transaction that conflicts with
+// them on an input.
+func (p *Pool) RemoveConfirmed(txs []*types.Transaction) {
+	for _, tx := range txs {
+		p.remove(tx.ID())
+		// Evict pool entries that spend the same inputs.
+		for i := range tx.Inputs {
+			if owner, ok := p.spends[tx.Inputs[i].Prev]; ok {
+				p.remove(owner)
+			}
+		}
+	}
+	p.compact()
+}
+
+// Reinsert returns transactions to the pool after the block containing them
+// was disconnected in a reorganization. Conflicting entries that arrived in
+// the meantime win; reinsertion is best-effort, as in Bitcoin.
+func (p *Pool) Reinsert(txs []*types.Transaction) {
+	for _, tx := range txs {
+		if tx.Kind != types.TxRegular {
+			continue // coinbases and poisons die with their block
+		}
+		_ = p.Add(tx)
+	}
+}
+
+func (p *Pool) remove(txid crypto.Hash) {
+	tx, ok := p.txs[txid]
+	if !ok {
+		return
+	}
+	delete(p.txs, txid)
+	for i := range tx.Inputs {
+		if p.spends[tx.Inputs[i].Prev] == txid {
+			delete(p.spends, tx.Inputs[i].Prev)
+		}
+	}
+}
+
+// compact rebuilds the order slice once enough removed entries accumulate,
+// keeping Select linear in live entries.
+func (p *Pool) compact() {
+	if len(p.order) < 2*len(p.txs)+16 {
+		return
+	}
+	live := p.order[:0]
+	for _, txid := range p.order {
+		if _, ok := p.txs[txid]; ok {
+			live = append(live, txid)
+		}
+	}
+	p.order = live
+}

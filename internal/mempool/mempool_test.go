@@ -1,0 +1,179 @@
+package mempool
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"bitcoinng/internal/crypto"
+	"bitcoinng/internal/types"
+)
+
+func testKey(t testing.TB, seed int64) *crypto.PrivateKey {
+	t.Helper()
+	k, err := crypto.GenerateKey(rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatalf("GenerateKey: %v", err)
+	}
+	return k
+}
+
+func tx(t *testing.T, key *crypto.PrivateKey, prevIdx uint32, pad int) *types.Transaction {
+	t.Helper()
+	out := &types.Transaction{
+		Kind:    types.TxRegular,
+		Inputs:  []types.TxInput{{Prev: types.OutPoint{Index: prevIdx}}},
+		Outputs: []types.TxOutput{{Value: 1, To: crypto.Address{1}}},
+		Padding: make([]byte, pad),
+	}
+	out.SignInput(0, key)
+	return out
+}
+
+func TestAddSelectFIFO(t *testing.T) {
+	p := New()
+	key := testKey(t, 1)
+	a, b, c := tx(t, key, 1, 0), tx(t, key, 2, 0), tx(t, key, 3, 0)
+	for _, x := range []*types.Transaction{a, b, c} {
+		if err := p.Add(x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := p.Select(1 << 20)
+	if len(got) != 3 || got[0].ID() != a.ID() || got[1].ID() != b.ID() || got[2].ID() != c.ID() {
+		t.Error("selection not FIFO")
+	}
+}
+
+func TestAddRejectsDuplicateAndConflict(t *testing.T) {
+	p := New()
+	key := testKey(t, 2)
+	a := tx(t, key, 1, 0)
+	if err := p.Add(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Add(a); !errors.Is(err, ErrDuplicate) {
+		t.Errorf("duplicate err = %v", err)
+	}
+	// Different tx spending the same outpoint.
+	b := tx(t, key, 1, 4)
+	if err := p.Add(b); !errors.Is(err, ErrConflict) {
+		t.Errorf("conflict err = %v", err)
+	}
+	// Coinbase never pools.
+	cb := &types.Transaction{Kind: types.TxCoinbase, Outputs: []types.TxOutput{{Value: 1}}}
+	if err := p.Add(cb); !errors.Is(err, ErrKind) {
+		t.Errorf("coinbase err = %v", err)
+	}
+}
+
+func TestSelectRespectsSizeBudget(t *testing.T) {
+	p := New()
+	key := testKey(t, 3)
+	a := tx(t, key, 1, 0)
+	size := a.WireSize()
+	if err := p.Add(a); err != nil {
+		t.Fatal(err)
+	}
+	b := tx(t, key, 2, 0)
+	if err := p.Add(b); err != nil {
+		t.Fatal(err)
+	}
+	got := p.Select(size) // room for exactly one
+	if len(got) != 1 {
+		t.Fatalf("selected %d txs, want 1", len(got))
+	}
+	if got := p.Select(size - 1); len(got) != 0 {
+		t.Errorf("selected %d txs with insufficient budget", len(got))
+	}
+	if got := p.Select(2 * size); len(got) != 2 {
+		t.Errorf("selected %d txs, want 2", len(got))
+	}
+}
+
+func TestSelectSkipsOversizedButKeepsGoing(t *testing.T) {
+	p := New()
+	key := testKey(t, 4)
+	big := tx(t, key, 1, 5000)
+	small := tx(t, key, 2, 0)
+	if err := p.Add(big); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Add(small); err != nil {
+		t.Fatal(err)
+	}
+	got := p.Select(small.WireSize())
+	if len(got) != 1 || got[0].ID() != small.ID() {
+		t.Error("oversized head blocked selection")
+	}
+}
+
+func TestRemoveConfirmedEvictsConflicts(t *testing.T) {
+	p := New()
+	key := testKey(t, 5)
+	pooled := tx(t, key, 1, 0)
+	if err := p.Add(pooled); err != nil {
+		t.Fatal(err)
+	}
+	// A confirmed tx spending the same outpoint but not identical.
+	confirmed := tx(t, key, 1, 8)
+	p.RemoveConfirmed([]*types.Transaction{confirmed})
+	if p.Contains(pooled.ID()) {
+		t.Error("conflicting pooled tx survived confirmation")
+	}
+	if p.Len() != 0 {
+		t.Errorf("pool len = %d", p.Len())
+	}
+}
+
+func TestReinsertAfterReorg(t *testing.T) {
+	p := New()
+	key := testKey(t, 6)
+	a := tx(t, key, 1, 0)
+	if err := p.Add(a); err != nil {
+		t.Fatal(err)
+	}
+	p.RemoveConfirmed([]*types.Transaction{a})
+	if p.Len() != 0 {
+		t.Fatal("tx not removed")
+	}
+	// Disconnected block returns its transactions; coinbase is dropped.
+	cb := &types.Transaction{Kind: types.TxCoinbase, Outputs: []types.TxOutput{{Value: 1}}, Height: 4}
+	p.Reinsert([]*types.Transaction{a, cb})
+	if !p.Contains(a.ID()) {
+		t.Error("regular tx not reinserted")
+	}
+	if p.Len() != 1 {
+		t.Errorf("pool len = %d, want 1", p.Len())
+	}
+}
+
+func TestCompactionPreservesOrder(t *testing.T) {
+	p := New()
+	key := testKey(t, 7)
+	var kept []*types.Transaction
+	for i := uint32(1); i <= 60; i++ {
+		x := tx(t, key, i, 0)
+		if err := p.Add(x); err != nil {
+			t.Fatal(err)
+		}
+		if i%2 == 0 {
+			kept = append(kept, x)
+		}
+	}
+	// Remove all odd-index txs to trigger compaction.
+	var confirmed []*types.Transaction
+	for i := uint32(1); i <= 60; i += 2 {
+		confirmed = append(confirmed, tx(t, key, i, 0))
+	}
+	p.RemoveConfirmed(confirmed)
+	got := p.Select(1 << 30)
+	if len(got) != len(kept) {
+		t.Fatalf("select returned %d, want %d", len(got), len(kept))
+	}
+	for i := range got {
+		if got[i].ID() != kept[i].ID() {
+			t.Fatalf("order broken at %d after compaction", i)
+		}
+	}
+}

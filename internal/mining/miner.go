@@ -1,0 +1,89 @@
+package mining
+
+import (
+	"math/rand"
+
+	"bitcoinng/internal/sim"
+)
+
+// Miner triggers block generation for one node at exponentially distributed
+// intervals whose rate is proportional to the node's mining power. It is the
+// in-simulation equivalent of the paper's scheduler + regression-test-mode
+// client (§7 "Simulated Mining"): no hashes are computed, but the arrival
+// process matches real mining statistically.
+//
+// The exponential distribution is memoryless, so rate changes (difficulty
+// retargets, churn experiments) simply cancel the pending draw and redraw at
+// the new rate without biasing inter-block times.
+type Miner struct {
+	loop   *sim.Loop
+	rng    *rand.Rand
+	onFind func()
+
+	rate    float64 // expected blocks per second; 0 = not mining
+	timer   *sim.Timer
+	running bool
+	found   uint64
+}
+
+// NewMiner creates a miner that calls onFind each time it wins a block.
+// onFind runs on the simulation goroutine; it typically assembles and
+// broadcasts a block, then mining continues automatically.
+func NewMiner(loop *sim.Loop, rng *rand.Rand, onFind func()) *Miner {
+	return &Miner{loop: loop, rng: rng, onFind: onFind}
+}
+
+// Rate returns the current expected block-find rate in blocks per second.
+func (m *Miner) Rate() float64 { return m.rate }
+
+// Found returns how many blocks this miner has found.
+func (m *Miner) Found() uint64 { return m.found }
+
+// SetRate changes the block-find rate, rescheduling the pending draw.
+// A rate of zero (or less) pauses mining — the churn experiments use this
+// to model miners leaving (§5.2 "Resilience to Mining Power Variation").
+func (m *Miner) SetRate(blocksPerSec float64) {
+	m.rate = blocksPerSec
+	if m.running {
+		m.schedule()
+	}
+}
+
+// Start begins mining. It is idempotent.
+func (m *Miner) Start() {
+	if m.running {
+		return
+	}
+	m.running = true
+	m.schedule()
+}
+
+// Stop pauses mining, cancelling any pending find.
+func (m *Miner) Stop() {
+	m.running = false
+	if m.timer != nil {
+		m.timer.Stop()
+		m.timer = nil
+	}
+}
+
+func (m *Miner) schedule() {
+	if m.timer != nil {
+		m.timer.Stop()
+		m.timer = nil
+	}
+	if !m.running || m.rate <= 0 {
+		return
+	}
+	meanNanos := 1e9 / m.rate
+	delay := sim.Exponential(m.rng, meanNanos)
+	m.timer = m.loop.At(m.loop.Now()+delay, func() {
+		m.timer = nil
+		if !m.running {
+			return
+		}
+		m.found++
+		m.onFind()
+		m.schedule()
+	})
+}

@@ -1,0 +1,193 @@
+package mining
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"bitcoinng/internal/sim"
+	"bitcoinng/internal/stats"
+)
+
+func TestExponentialSharesNormalized(t *testing.T) {
+	for _, n := range []int{1, 5, 100, 1000} {
+		shares := ExponentialShares(n, DefaultExponent)
+		if len(shares) != n {
+			t.Fatalf("n=%d: got %d shares", n, len(shares))
+		}
+		var sum float64
+		for i, s := range shares {
+			if s <= 0 {
+				t.Fatalf("n=%d: share %d not positive", n, i)
+			}
+			if i > 0 && s > shares[i-1] {
+				t.Fatalf("n=%d: shares not decreasing at %d", n, i)
+			}
+			sum += s
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("n=%d: shares sum to %v", n, sum)
+		}
+	}
+	if ExponentialShares(0, 0.27) != nil {
+		t.Error("n=0 should yield nil")
+	}
+}
+
+func TestLargestShareNearQuarter(t *testing.T) {
+	// §8.1: Bitcoin's MPU tends toward 1/4, "the size of the largest
+	// miner" — the model's top share at scale is just under 24%.
+	got := LargestShare(1000, DefaultExponent)
+	if got < 0.20 || got > 0.27 {
+		t.Errorf("largest share = %.4f, want ≈ 0.24", got)
+	}
+	// Successive ranks decay by exp(-0.27).
+	shares := ExponentialShares(1000, DefaultExponent)
+	ratio := shares[1] / shares[0]
+	if math.Abs(ratio-math.Exp(-0.27)) > 1e-9 {
+		t.Errorf("rank decay ratio = %v", ratio)
+	}
+}
+
+func TestSampleWeeksShape(t *testing.T) {
+	rng := sim.NewRand(1, 1)
+	weeks := SampleWeeks(rng, 52, 50, DefaultExponent, 0.5)
+	if len(weeks) != 52 {
+		t.Fatalf("weeks = %d", len(weeks))
+	}
+	for w, s := range weeks {
+		var sum float64
+		for i, v := range s.Shares {
+			if i > 0 && v > s.Shares[i-1] {
+				t.Fatalf("week %d not ranked descending", w)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("week %d shares sum to %v", w, sum)
+		}
+	}
+}
+
+// TestFigure6FitRecoversExponent is the core Figure 6 reproduction check:
+// per-rank medians of the sampled weeks must fit an exponential with
+// exponent ≈ −0.27 and R² ≈ 0.99.
+func TestFigure6FitRecoversExponent(t *testing.T) {
+	rng := sim.NewRand(42, 2)
+	weeks := SampleWeeks(rng, 52, 100, DefaultExponent, 0.4)
+	pct := RankPercentiles(weeks, 20, []float64{0.25, 0.50, 0.75})
+	medians := pct[1]
+
+	var ranks, logShares []float64
+	for k, m := range medians {
+		ranks = append(ranks, float64(k+1))
+		logShares = append(logShares, math.Log(m))
+	}
+	fit := stats.LinearFit(ranks, logShares)
+	if math.Abs(fit.Slope-(-DefaultExponent)) > 0.04 {
+		t.Errorf("fitted exponent %.4f, want ≈ -0.27", fit.Slope)
+	}
+	if fit.R2 < 0.97 {
+		t.Errorf("R² = %.4f, paper reports 0.99", fit.R2)
+	}
+	// Percentile bands are ordered.
+	for k := 0; k < 20; k++ {
+		if !(pct[0][k] <= pct[1][k] && pct[1][k] <= pct[2][k]) {
+			t.Errorf("rank %d: percentile bands out of order", k)
+		}
+	}
+}
+
+func TestMinerExponentialIntervals(t *testing.T) {
+	loop := sim.NewLoop(0)
+	rng := sim.NewRand(7, 3)
+	var finds []int64
+	m := NewMiner(loop, rng, func() { finds = append(finds, loop.Now()) })
+	m.SetRate(1.0 / 10) // one block per 10 seconds
+	m.Start()
+	loop.RunFor(10000 * time.Second)
+	m.Stop()
+
+	n := len(finds)
+	if n < 800 || n > 1200 {
+		t.Fatalf("found %d blocks in 10000s at rate 0.1/s", n)
+	}
+	// Mean interval ≈ 10s.
+	var sum float64
+	prev := int64(0)
+	for _, f := range finds {
+		sum += float64(f - prev)
+		prev = f
+	}
+	mean := sum / float64(n) / 1e9
+	if math.Abs(mean-10)/10 > 0.15 {
+		t.Errorf("mean interval %.2fs, want ≈10s", mean)
+	}
+	if m.Found() != uint64(n) {
+		t.Errorf("Found() = %d, want %d", m.Found(), n)
+	}
+}
+
+func TestMinerRateProportionality(t *testing.T) {
+	loop := sim.NewLoop(0)
+	fast := NewMiner(loop, sim.NewRand(1, 10), nil)
+	slow := NewMiner(loop, sim.NewRand(1, 11), nil)
+	var fastN, slowN int
+	*fast = *NewMiner(loop, sim.NewRand(1, 10), func() { fastN++ })
+	*slow = *NewMiner(loop, sim.NewRand(1, 11), func() { slowN++ })
+	fast.SetRate(0.9)
+	slow.SetRate(0.1)
+	fast.Start()
+	slow.Start()
+	loop.RunFor(5000 * time.Second)
+	total := fastN + slowN
+	share := float64(fastN) / float64(total)
+	if math.Abs(share-0.9) > 0.03 {
+		t.Errorf("fast miner share %.3f, want ≈0.9", share)
+	}
+}
+
+func TestMinerStopAndZeroRate(t *testing.T) {
+	loop := sim.NewLoop(0)
+	count := 0
+	m := NewMiner(loop, sim.NewRand(2, 0), func() { count++ })
+	m.SetRate(100)
+	m.Start()
+	loop.RunFor(time.Second)
+	found := count
+	if found == 0 {
+		t.Fatal("no blocks at rate 100/s")
+	}
+	m.Stop()
+	loop.RunFor(10 * time.Second)
+	if count != found {
+		t.Error("miner found blocks after Stop")
+	}
+	// Zero rate pauses without stopping.
+	m.Start()
+	m.SetRate(0)
+	loop.RunFor(10 * time.Second)
+	if count != found {
+		t.Error("miner found blocks at rate 0")
+	}
+	// Restoring the rate resumes.
+	m.SetRate(100)
+	loop.RunFor(time.Second)
+	if count == found {
+		t.Error("miner did not resume after rate restored")
+	}
+}
+
+func TestMinerStartIdempotent(t *testing.T) {
+	loop := sim.NewLoop(0)
+	count := 0
+	m := NewMiner(loop, sim.NewRand(3, 0), func() { count++ })
+	m.SetRate(10)
+	m.Start()
+	m.Start() // must not double-schedule
+	loop.RunFor(100 * time.Second)
+	// ~1000 expected; a double-schedule would give ~2000.
+	if count > 1500 {
+		t.Errorf("found %d blocks; Start is not idempotent", count)
+	}
+}

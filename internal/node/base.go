@@ -1,0 +1,151 @@
+package node
+
+import (
+	"bitcoinng/internal/chain"
+	"bitcoinng/internal/mempool"
+	"bitcoinng/internal/types"
+	"bitcoinng/internal/wire"
+)
+
+// Base is the protocol-independent core of a node: chain state, mempool,
+// relay, and metrics wiring. internal/bitcoin and internal/core embed it and
+// add block production.
+type Base struct {
+	Env      Env
+	State    *chain.State
+	Pool     TxPool
+	Gossip   *Gossip
+	Recorder Recorder
+
+	// OnTipChange, if set, runs after the main chain moves and the mempool
+	// is updated. Bitcoin-NG uses it to start or stop microblock
+	// production as leadership changes.
+	OnTipChange func(res *chain.AddResult)
+
+	// ProcessFn is the block-ingest entry point used by the gossip layer.
+	// It defaults to ProcessBlock; protocols that wrap ingestion (e.g.
+	// Bitcoin-NG's fraud detection) replace it with their own method.
+	ProcessFn func(blk types.Block, from int) *chain.AddResult
+
+	// RelayTxs enables loose-transaction relay (live nodes); experiments
+	// leave it false per the paper's methodology (§7).
+	RelayTxs bool
+}
+
+// NewBase wires the core. The caller supplies the chain state (built with
+// its protocol's rules and fork choice).
+func NewBase(env Env, st *chain.State, rec Recorder) *Base {
+	if rec == nil {
+		rec = NopRecorder{}
+	}
+	b := &Base{
+		Env:      env,
+		State:    st,
+		Pool:     mempool.New(),
+		Recorder: rec,
+	}
+	b.Gossip = NewGossip(env, b)
+	b.ProcessFn = b.ProcessBlock
+	return b
+}
+
+// HandleMessage is the node's network entry point.
+func (b *Base) HandleMessage(from int, msg Message) {
+	b.Gossip.HandleMessage(from, msg)
+}
+
+// SubmitOwnBlock records and processes a self-generated block, then relays
+// it. It returns the chain's verdict (always StatusMainChain for honest
+// production, since nodes mine on their own tip).
+func (b *Base) SubmitOwnBlock(blk types.Block) *chain.AddResult {
+	b.Recorder.BlockGenerated(b.Env.NodeID(), b.Env.Now(), InfoFor(blk, b.Env.NodeID()))
+	return b.ProcessFn(blk, -1)
+}
+
+// ProcessBlock validates, stores, relays, and accounts a block received from
+// peer `from` (-1 for self).
+func (b *Base) ProcessBlock(blk types.Block, from int) *chain.AddResult {
+	now := b.Env.Now()
+	res, err := b.State.AddBlock(blk, now)
+	if err != nil {
+		// Invalid blocks are dropped silently: the sender may be
+		// malicious, and Bitcoin's client likewise just rejects.
+		return res
+	}
+	switch res.Status {
+	case chain.StatusDuplicate:
+		return res
+	case chain.StatusOrphan:
+		// Chase the missing parent from whoever sent the child. The inv
+		// type tag is advisory; lookups are by hash.
+		if from >= 0 {
+			b.Gossip.RequestBlock(Inv{Type: wire.MsgBlock, Hash: blk.PrevHash()}, from)
+		}
+		return res
+	}
+
+	// Relay every block that entered the tree.
+	for _, n := range res.Added {
+		b.Recorder.BlockAccepted(b.Env.NodeID(), now, n.Hash())
+		b.Gossip.Announce(n.Block, from)
+	}
+
+	if res.TipChanged() {
+		for _, n := range res.Disconnected {
+			b.Pool.Reinsert(n.Block.Transactions())
+		}
+		for _, n := range res.Connected {
+			b.Pool.RemoveConfirmed(n.Block.Transactions())
+		}
+		b.Recorder.TipChanged(b.Env.NodeID(), now, b.State.Tip().Hash(),
+			ids(res.Connected), ids(res.Disconnected))
+		if b.OnTipChange != nil {
+			b.OnTipChange(res)
+		}
+	}
+	return res
+}
+
+// handleTx pools and optionally relays a loose transaction.
+func (b *Base) handleTx(from int, tx *types.Transaction) {
+	if err := tx.CheckWellFormed(); err != nil {
+		return
+	}
+	if err := b.Pool.Add(tx); err != nil {
+		return // duplicate or conflicting
+	}
+	if !b.RelayTxs {
+		return
+	}
+	for _, p := range b.Env.Peers() {
+		if p == from {
+			continue
+		}
+		b.Env.Send(p, &TxMsg{Tx: tx})
+	}
+}
+
+// SubmitTx inserts a locally created transaction (wallet path) and relays it
+// when RelayTxs is on.
+func (b *Base) SubmitTx(tx *types.Transaction) error {
+	if err := tx.CheckWellFormed(); err != nil {
+		return err
+	}
+	if err := b.Pool.Add(tx); err != nil {
+		return err
+	}
+	if b.RelayTxs {
+		for _, p := range b.Env.Peers() {
+			b.Env.Send(p, &TxMsg{Tx: tx})
+		}
+	}
+	return nil
+}
+
+func ids(nodes []*chain.Node) []BlockID {
+	out := make([]BlockID, len(nodes))
+	for i, n := range nodes {
+		out[i] = n.Hash()
+	}
+	return out
+}

@@ -1,0 +1,131 @@
+package node
+
+import (
+	"time"
+
+	"bitcoinng/internal/types"
+)
+
+// fetchTimeout is how long to wait for a requested block before asking the
+// next peer that announced it.
+const fetchTimeout = 20 * time.Second
+
+// pendingFetch tracks an outstanding getdata.
+type pendingFetch struct {
+	inv        Inv
+	announcers []int // peers that announced it, in order heard
+	asked      int   // how many announcers were tried
+	timer      Timer
+}
+
+// Gossip implements inventory-based block relay over Env: announce new
+// blocks with inv, request unknown announcements with getdata, deliver with
+// block messages, and re-request from alternate announcers on timeout.
+type Gossip struct {
+	env  Env
+	base *Base
+
+	pending map[BlockID]*pendingFetch
+}
+
+// NewGossip wires a relay for base.
+func NewGossip(env Env, base *Base) *Gossip {
+	return &Gossip{env: env, base: base, pending: make(map[BlockID]*pendingFetch)}
+}
+
+// Announce sends an inv for b to every peer except `except` (the peer the
+// block came from; pass -1 to reach everyone).
+func (g *Gossip) Announce(b types.Block, except int) {
+	inv := Inv{Type: types.BlockMsgType(b), Hash: b.Hash()}
+	for _, p := range g.env.Peers() {
+		if p == except {
+			continue
+		}
+		g.env.Send(p, &InvMsg{Items: []Inv{inv}})
+	}
+}
+
+// HandleMessage dispatches one gossip message. Unknown message types are
+// ignored (forward compatibility).
+func (g *Gossip) HandleMessage(from int, msg Message) {
+	switch m := msg.(type) {
+	case *InvMsg:
+		g.handleInv(from, m)
+	case *GetDataMsg:
+		g.handleGetData(from, m)
+	case *BlockMsg:
+		g.handleBlock(from, m)
+	case *TxMsg:
+		g.base.handleTx(from, m.Tx)
+	}
+}
+
+func (g *Gossip) handleInv(from int, m *InvMsg) {
+	for _, inv := range m.Items {
+		if g.base.State.HasBlock(inv.Hash) {
+			continue
+		}
+		if pf, ok := g.pending[inv.Hash]; ok {
+			// Already fetching: remember this announcer as a fallback.
+			pf.announcers = append(pf.announcers, from)
+			continue
+		}
+		pf := &pendingFetch{inv: inv, announcers: []int{from}}
+		g.pending[inv.Hash] = pf
+		g.request(pf)
+	}
+}
+
+// request asks the next untried announcer for the block and arms the retry
+// timer.
+func (g *Gossip) request(pf *pendingFetch) {
+	if pf.asked >= len(pf.announcers) {
+		// Out of sources; give up. A future inv restarts the fetch.
+		delete(g.pending, pf.inv.Hash)
+		return
+	}
+	peer := pf.announcers[pf.asked]
+	pf.asked++
+	g.env.Send(peer, &GetDataMsg{Items: []Inv{pf.inv}})
+	pf.timer = g.env.After(fetchTimeout, func() {
+		if _, still := g.pending[pf.inv.Hash]; still {
+			g.request(pf)
+		}
+	})
+}
+
+func (g *Gossip) handleGetData(from int, m *GetDataMsg) {
+	for _, inv := range m.Items {
+		n, ok := g.base.State.Store().Get(inv.Hash)
+		if !ok {
+			continue // we never announce what we don't have; stale request
+		}
+		g.env.Send(from, &BlockMsg{Block: n.Block})
+	}
+}
+
+func (g *Gossip) handleBlock(from int, m *BlockMsg) {
+	h := m.Block.Hash()
+	if pf, ok := g.pending[h]; ok {
+		if pf.timer != nil {
+			pf.timer.Stop()
+		}
+		delete(g.pending, h)
+	}
+	g.base.ProcessFn(m.Block, from)
+}
+
+// RequestBlock explicitly fetches a block from a specific peer (used to
+// chase an orphan's missing parent).
+func (g *Gossip) RequestBlock(inv Inv, from int) {
+	if g.base.State.HasBlock(inv.Hash) {
+		return
+	}
+	if pf, ok := g.pending[inv.Hash]; ok {
+		pf.announcers = append(pf.announcers, from)
+		return
+	}
+	pf := &pendingFetch{inv: inv, announcers: []int{from}}
+	g.pending[inv.Hash] = pf
+	g.request(pf)
+}

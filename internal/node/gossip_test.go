@@ -1,0 +1,347 @@
+package node_test
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"bitcoinng/internal/bitcoin"
+	"bitcoinng/internal/chain"
+	"bitcoinng/internal/crypto"
+	"bitcoinng/internal/node"
+	"bitcoinng/internal/types"
+)
+
+// harness is a hand-pumped message fabric: Sends are queued and delivered
+// only when the test calls pump, and timers fire only when the test advances
+// the clock. It gives the gossip tests full control over ordering and loss.
+type harness struct {
+	t     *testing.T
+	now   int64
+	envs  map[int]*fakeEnv
+	bases map[int]*node.Base
+	mute  map[int]bool // nodes that drop all incoming messages
+}
+
+type queuedMsg struct {
+	from, to int
+	msg      node.Message
+}
+
+type fakeTimer struct {
+	at      int64
+	fn      func()
+	stopped bool
+}
+
+func (ft *fakeTimer) Stop() bool {
+	was := !ft.stopped && ft.fn != nil
+	ft.stopped = true
+	return was
+}
+
+type fakeEnv struct {
+	h      *harness
+	id     int
+	peers  []int
+	queue  []queuedMsg
+	timers []*fakeTimer
+	rng    *rand.Rand
+}
+
+func (e *fakeEnv) Now() int64 { return e.h.now }
+func (e *fakeEnv) After(d time.Duration, fn func()) node.Timer {
+	ft := &fakeTimer{at: e.h.now + int64(d), fn: fn}
+	e.timers = append(e.timers, ft)
+	return ft
+}
+func (e *fakeEnv) NodeID() int      { return e.id }
+func (e *fakeEnv) Peers() []int     { return e.peers }
+func (e *fakeEnv) Rand() *rand.Rand { return e.rng }
+func (e *fakeEnv) Send(p int, m node.Message) {
+	e.queue = append(e.queue, queuedMsg{from: e.id, to: p, msg: m})
+}
+
+func newHarness(t *testing.T, n int) (*harness, *types.PowBlock, *crypto.PrivateKey) {
+	t.Helper()
+	key, err := crypto.GenerateKey(rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	genesis := types.GenesisBlock(types.GenesisSpec{Target: crypto.EasiestTarget})
+	h := &harness{
+		t:     t,
+		envs:  make(map[int]*fakeEnv),
+		bases: make(map[int]*node.Base),
+		mute:  make(map[int]bool),
+	}
+	params := types.DefaultParams()
+	params.RandomTieBreak = false
+	for i := 0; i < n; i++ {
+		peers := make([]int, 0, n-1)
+		for j := 0; j < n; j++ {
+			if j != i {
+				peers = append(peers, j)
+			}
+		}
+		env := &fakeEnv{h: h, id: i, peers: peers, rng: rand.New(rand.NewSource(int64(i)))}
+		st, err := chain.New(genesis, params, bitcoin.Rules{AllowSimulatedPoW: true},
+			&chain.HeaviestChain{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.envs[i] = env
+		h.bases[i] = node.NewBase(env, st, nil)
+	}
+	return h, genesis, key
+}
+
+// pump delivers every queued message once (messages generated during
+// delivery wait for the next round). It returns how many were delivered.
+func (h *harness) pump() int {
+	var all []queuedMsg
+	ids := make([]int, 0, len(h.envs))
+	for id := range h.envs {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		e := h.envs[id]
+		all = append(all, e.queue...)
+		e.queue = nil
+	}
+	for _, qm := range all {
+		if h.mute[qm.to] {
+			continue
+		}
+		h.bases[qm.to].HandleMessage(qm.from, qm.msg)
+	}
+	return len(all)
+}
+
+// drain pumps until quiescent.
+func (h *harness) drain() {
+	for h.pump() > 0 {
+	}
+}
+
+// advance moves the clock and fires due timers.
+func (h *harness) advance(d time.Duration) {
+	h.now += int64(d)
+	for _, e := range h.envs {
+		timers := e.timers
+		e.timers = nil
+		for _, ft := range timers {
+			if ft.stopped {
+				continue
+			}
+			if ft.at <= h.now {
+				fn := ft.fn
+				ft.fn = nil
+				fn()
+			} else {
+				e.timers = append(e.timers, ft)
+			}
+		}
+	}
+}
+
+func mineOn(t *testing.T, key *crypto.PrivateKey, prev crypto.Hash, height uint64) *types.PowBlock {
+	t.Helper()
+	txs := []*types.Transaction{{
+		Kind:    types.TxCoinbase,
+		Outputs: []types.TxOutput{{Value: 50, To: key.Public().Addr()}},
+		Height:  height,
+	}}
+	return &types.PowBlock{
+		Header: types.PowHeader{
+			Prev:       prev,
+			MerkleRoot: crypto.MerkleRoot(types.TxIDs(txs)),
+			TimeNanos:  int64(height),
+			Target:     crypto.EasiestTarget,
+		},
+		Txs:          txs,
+		SimulatedPoW: true,
+	}
+}
+
+func TestInvGetDataBlockFlow(t *testing.T) {
+	h, genesis, key := newHarness(t, 3)
+	b1 := mineOn(t, key, genesis.Hash(), 1)
+
+	h.bases[0].SubmitOwnBlock(b1)
+
+	// Round 1: invs to peers 1 and 2.
+	if n := h.pump(); n != 2 {
+		t.Fatalf("round 1 delivered %d messages, want 2 invs", n)
+	}
+	// Round 2: getdata back to 0 (from both).
+	if n := h.pump(); n != 2 {
+		t.Fatalf("round 2 delivered %d, want 2 getdata", n)
+	}
+	// Round 3: block to 1 and 2.
+	h.drain()
+	for i := 1; i <= 2; i++ {
+		if !h.bases[i].State.HasBlock(b1.Hash()) {
+			t.Errorf("node %d did not receive the block", i)
+		}
+		if h.bases[i].State.Tip().Hash() != b1.Hash() {
+			t.Errorf("node %d tip not at b1", i)
+		}
+	}
+}
+
+func TestDuplicateInvFetchedOnce(t *testing.T) {
+	h, genesis, key := newHarness(t, 3)
+	b1 := mineOn(t, key, genesis.Hash(), 1)
+	inv := node.Inv{Type: types.BlockMsgType(b1), Hash: b1.Hash()}
+
+	// Node 2 hears the same inv from 0 and 1.
+	h.bases[2].HandleMessage(0, &node.InvMsg{Items: []node.Inv{inv}})
+	h.bases[2].HandleMessage(1, &node.InvMsg{Items: []node.Inv{inv}})
+
+	// Only one getdata goes out.
+	var getdatas int
+	for _, qm := range h.envs[2].queue {
+		if _, ok := qm.msg.(*node.GetDataMsg); ok {
+			getdatas++
+		}
+	}
+	if getdatas != 1 {
+		t.Errorf("sent %d getdata, want 1", getdatas)
+	}
+}
+
+func TestFetchRetryAfterTimeout(t *testing.T) {
+	h, genesis, key := newHarness(t, 3)
+	b1 := mineOn(t, key, genesis.Hash(), 1)
+	// Node 1 also has the block so it can serve it later.
+	h.bases[1].State.AddBlock(b1, 0)
+
+	h.mute[0] = true // node 0 will swallow the first getdata
+	inv := node.Inv{Type: types.BlockMsgType(b1), Hash: b1.Hash()}
+	h.bases[2].HandleMessage(0, &node.InvMsg{Items: []node.Inv{inv}})
+	h.bases[2].HandleMessage(1, &node.InvMsg{Items: []node.Inv{inv}})
+	h.drain() // getdata to 0 is dropped
+
+	if h.bases[2].State.HasBlock(b1.Hash()) {
+		t.Fatal("block arrived despite muted peer")
+	}
+	// After the fetch timeout the node retries with announcer 1.
+	h.advance(25 * time.Second)
+	h.drain()
+	if !h.bases[2].State.HasBlock(b1.Hash()) {
+		t.Error("fetch was not retried from the second announcer")
+	}
+}
+
+func TestOrphanParentChase(t *testing.T) {
+	h, genesis, key := newHarness(t, 2)
+	b1 := mineOn(t, key, genesis.Hash(), 1)
+	b2 := mineOn(t, key, b1.Hash(), 2)
+	h.bases[0].State.AddBlock(b1, 0)
+	h.bases[0].State.AddBlock(b2, 0)
+
+	// Node 1 receives b2 out of the blue: it must chase b1 from sender.
+	h.bases[1].HandleMessage(0, &node.BlockMsg{Block: b2})
+	h.drain()
+	if !h.bases[1].State.HasBlock(b1.Hash()) || !h.bases[1].State.HasBlock(b2.Hash()) {
+		t.Error("orphan parent not fetched")
+	}
+	if h.bases[1].State.Tip().Hash() != b2.Hash() {
+		t.Error("orphan cascade did not connect")
+	}
+}
+
+func TestNoRelayBackToSender(t *testing.T) {
+	h, genesis, key := newHarness(t, 2)
+	b1 := mineOn(t, key, genesis.Hash(), 1)
+	h.bases[1].HandleMessage(0, &node.BlockMsg{Block: b1})
+	// Node 1 must not announce b1 back to node 0.
+	for _, qm := range h.envs[1].queue {
+		if inv, ok := qm.msg.(*node.InvMsg); ok && qm.to == 0 {
+			for _, item := range inv.Items {
+				if item.Hash == b1.Hash() {
+					t.Error("block announced back to its sender")
+				}
+			}
+		}
+	}
+}
+
+func TestTxRelayFloodsWhenEnabled(t *testing.T) {
+	h, _, key := newHarness(t, 3)
+	for _, base := range h.bases {
+		base.RelayTxs = true
+	}
+	tx := &types.Transaction{
+		Kind:    types.TxRegular,
+		Inputs:  []types.TxInput{{Prev: types.OutPoint{Index: 1}}},
+		Outputs: []types.TxOutput{{Value: 1, To: crypto.Address{1}}},
+	}
+	tx.SignInput(0, key)
+
+	if err := h.bases[0].SubmitTx(tx); err != nil {
+		t.Fatal(err)
+	}
+	h.drain()
+	for i := 1; i < 3; i++ {
+		pool := h.bases[i].Pool.(interface{ Contains(crypto.Hash) bool })
+		if !pool.Contains(tx.ID()) {
+			t.Errorf("node %d did not pool the relayed tx", i)
+		}
+	}
+	// Resubmitting is rejected as a duplicate.
+	if err := h.bases[0].SubmitTx(tx); err == nil {
+		t.Error("duplicate SubmitTx accepted")
+	}
+	// Malformed transactions are refused outright.
+	bad := &types.Transaction{Kind: types.TxRegular}
+	if err := h.bases[0].SubmitTx(bad); err == nil {
+		t.Error("malformed SubmitTx accepted")
+	}
+}
+
+func TestTxRelayOffByDefault(t *testing.T) {
+	h, _, key := newHarness(t, 2)
+	tx := &types.Transaction{
+		Kind:    types.TxRegular,
+		Inputs:  []types.TxInput{{Prev: types.OutPoint{Index: 2}}},
+		Outputs: []types.TxOutput{{Value: 1, To: crypto.Address{1}}},
+	}
+	tx.SignInput(0, key)
+	if err := h.bases[0].SubmitTx(tx); err != nil {
+		t.Fatal(err)
+	}
+	h.drain()
+	if h.bases[1].Pool.Len() != 0 {
+		t.Error("transaction relayed despite RelayTxs=false (experiments must not relay, §7)")
+	}
+}
+
+func TestStaleGetDataIgnored(t *testing.T) {
+	h, _, _ := newHarness(t, 2)
+	unknown := crypto.HashBytes([]byte("nope"))
+	h.bases[0].HandleMessage(1, &node.GetDataMsg{Items: []node.Inv{{Hash: unknown}}})
+	if len(h.envs[0].queue) != 0 {
+		t.Error("node responded to getdata for unknown block")
+	}
+}
+
+func TestMessageSizes(t *testing.T) {
+	inv := &node.InvMsg{Items: make([]node.Inv, 3)}
+	if inv.Size() != 13+1+3*33 {
+		t.Errorf("inv size = %d", inv.Size())
+	}
+	gd := &node.GetDataMsg{Items: make([]node.Inv, 1)}
+	if gd.Size() != 13+1+33 {
+		t.Errorf("getdata size = %d", gd.Size())
+	}
+	key, _ := crypto.GenerateKey(rand.New(rand.NewSource(9)))
+	b := mineOn(t, key, crypto.Hash{}, 1)
+	bm := &node.BlockMsg{Block: b}
+	if bm.Size() != 13+b.WireSize() {
+		t.Errorf("block msg size = %d, want 13+%d", bm.Size(), b.WireSize())
+	}
+}

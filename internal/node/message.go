@@ -1,0 +1,116 @@
+package node
+
+import (
+	"bitcoinng/internal/crypto"
+	"bitcoinng/internal/types"
+	"bitcoinng/internal/wire"
+)
+
+// BlockID identifies a block in gossip and metrics events.
+type BlockID = crypto.Hash
+
+// BlockInfo is the generation-time metadata the metrics registry keeps per
+// block (the simulator's equivalent of the paper's instrumented logs).
+type BlockInfo struct {
+	ID       BlockID
+	Parent   BlockID
+	Kind     types.BlockKind
+	Time     int64 // header timestamp, Unix nanos
+	Size     int   // wire size in bytes
+	Payload  int   // bytes of regular-transaction payload
+	TxCount  int   // regular transactions carried
+	Work     bool  // carries proof-of-work weight
+	MinerID  int   // generating node
+	LeaderID int   // for microblocks: the epoch leader (== MinerID)
+}
+
+// InfoFor builds BlockInfo for a freshly generated block.
+func InfoFor(b types.Block, minerID int) BlockInfo {
+	info := BlockInfo{
+		ID:       b.Hash(),
+		Parent:   b.PrevHash(),
+		Kind:     b.Kind(),
+		Time:     b.Time(),
+		Size:     b.WireSize(),
+		Work:     b.Kind() != types.KindMicro,
+		MinerID:  minerID,
+		LeaderID: minerID,
+	}
+	for _, tx := range b.Transactions() {
+		if tx.Kind == types.TxRegular {
+			info.TxCount++
+			info.Payload += tx.WireSize()
+		}
+	}
+	return info
+}
+
+// Message is a gossip-layer message. Concrete types are InvMsg, GetDataMsg,
+// BlockMsg, and TxMsg. Size reports the bytes the network model charges,
+// matching what the TCP framing would send.
+type Message interface {
+	// Size returns the framed wire size in bytes.
+	Size() int
+	// Type returns the envelope message type.
+	Type() wire.MsgType
+}
+
+// envelopeOverhead is the framing cost per message (magic + type + length +
+// checksum), mirroring wire.Envelope.
+const envelopeOverhead = 13
+
+// invItemSize is one announced hash plus its type tag.
+const invItemSize = 33
+
+// Inv names one announced or requested block.
+type Inv struct {
+	Type wire.MsgType // MsgBlock, MsgKeyBlock, or MsgMicroBlock
+	Hash BlockID
+}
+
+// InvMsg announces inventory to a peer ("Any miner may add a valid block to
+// the chain by simply publishing it over an overlay network", §3 — relay is
+// announce/request/deliver like the operational client's inv/getdata).
+type InvMsg struct {
+	Items []Inv
+}
+
+// Size implements Message.
+func (m *InvMsg) Size() int { return envelopeOverhead + 1 + invItemSize*len(m.Items) }
+
+// Type implements Message.
+func (m *InvMsg) Type() wire.MsgType { return wire.MsgInv }
+
+// GetDataMsg requests previously announced inventory.
+type GetDataMsg struct {
+	Items []Inv
+}
+
+// Size implements Message.
+func (m *GetDataMsg) Size() int { return envelopeOverhead + 1 + invItemSize*len(m.Items) }
+
+// Type implements Message.
+func (m *GetDataMsg) Type() wire.MsgType { return wire.MsgGetData }
+
+// BlockMsg delivers a full block.
+type BlockMsg struct {
+	Block types.Block
+}
+
+// Size implements Message.
+func (m *BlockMsg) Size() int { return envelopeOverhead + m.Block.WireSize() }
+
+// Type implements Message.
+func (m *BlockMsg) Type() wire.MsgType { return types.BlockMsgType(m.Block) }
+
+// TxMsg relays a loose transaction (used by the live node; experiments
+// pre-load mempools instead, §7 "No Transaction Propagation").
+type TxMsg struct {
+	Tx *types.Transaction
+}
+
+// Size implements Message.
+func (m *TxMsg) Size() int { return envelopeOverhead + m.Tx.WireSize() }
+
+// Type implements Message.
+func (m *TxMsg) Type() wire.MsgType { return wire.MsgTx }

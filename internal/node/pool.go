@@ -1,0 +1,23 @@
+package node
+
+import "bitcoinng/internal/types"
+
+// TxPool is the transaction-pool interface a node's block assembly draws
+// from. internal/mempool provides the general implementation; the experiment
+// harness substitutes a shared-workload pool that holds one copy of the
+// artificial transaction set for all thousand nodes (§7 "No Transaction
+// Propagation" pre-loads identical pools everywhere).
+type TxPool interface {
+	// Add inserts a loose transaction (live relay and wallets).
+	Add(tx *types.Transaction) error
+	// Select returns transactions fitting maxBytes, in the pool's
+	// deterministic order, without removing them.
+	Select(maxBytes int) []*types.Transaction
+	// RemoveConfirmed drops transactions confirmed by a connected block
+	// and anything conflicting with them.
+	RemoveConfirmed(txs []*types.Transaction)
+	// Reinsert returns transactions from a disconnected block.
+	Reinsert(txs []*types.Transaction)
+	// Len reports the number of pending transactions.
+	Len() int
+}

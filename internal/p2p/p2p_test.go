@@ -1,0 +1,240 @@
+package p2p
+
+import (
+	"testing"
+	"time"
+
+	"bitcoinng/internal/bitcoin"
+	"bitcoinng/internal/core"
+	"bitcoinng/internal/crypto"
+	"bitcoinng/internal/node"
+	"bitcoinng/internal/sim"
+	"bitcoinng/internal/types"
+	"bitcoinng/internal/wire"
+)
+
+// liveNG is one live Bitcoin-NG node for tests.
+type liveNG struct {
+	rt   *Runtime
+	node *core.Node
+	key  *crypto.PrivateKey
+}
+
+func liveParams() types.Params {
+	p := types.DefaultParams()
+	p.RetargetWindow = 0
+	p.MicroblockInterval = 30 * time.Millisecond
+	p.MinMicroblockInterval = time.Millisecond
+	p.RandomTieBreak = false
+	return p
+}
+
+func startLiveNG(t *testing.T, id int, genesis *types.PowBlock) (*liveNG, string) {
+	t.Helper()
+	key, err := crypto.GenerateKey(sim.NewRand(int64(id), 77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := New(Config{NodeID: id, GenesisHash: genesis.Hash(), Seed: int64(id)})
+	n, err := core.New(rt, core.Config{
+		Params:          liveParams(),
+		Key:             key,
+		Genesis:         genesis,
+		SimulatedMining: true, // scheduler-free tests trigger mining directly
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.SetHandler(func(from int, msg node.Message) { n.HandleMessage(from, msg) })
+	addr, err := rt.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	return &liveNG{rt: rt, node: n, key: key}, addr.String()
+}
+
+// waitFor polls cond via the runtime's event loop until it holds or the
+// deadline passes.
+func waitFor(t *testing.T, rt *Runtime, d time.Duration, cond func() bool) bool {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		ok := false
+		rt.Do(func() { ok = cond() })
+		if ok {
+			return true
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return false
+}
+
+func TestLiveHandshakeAndRelay(t *testing.T) {
+	genesis := types.GenesisBlock(types.GenesisSpec{Target: crypto.EasiestTarget})
+	a, _ := startLiveNG(t, 1, genesis)
+	b, addrB := startLiveNG(t, 2, genesis)
+	c, addrC := startLiveNG(t, 3, genesis)
+
+	// Line topology: a — b — c. Blocks must relay across b to reach c.
+	if err := a.rt.Connect(addrB); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.rt.Connect(addrC); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.rt.Peers()) != 1 || len(b.rt.Peers()) != 2 {
+		t.Fatalf("peer counts: a=%d b=%d", len(a.rt.Peers()), len(b.rt.Peers()))
+	}
+
+	var kb *types.KeyBlock
+	a.rt.Do(func() { kb = a.node.MineKeyBlock() })
+	if kb == nil {
+		t.Fatal("no key block mined")
+	}
+	if !waitFor(t, c.rt, 5*time.Second, func() bool {
+		return c.node.State.HasBlock(kb.Hash())
+	}) {
+		t.Fatal("key block did not relay across the line")
+	}
+}
+
+func TestLiveLeaderMicroblocks(t *testing.T) {
+	genesis := types.GenesisBlock(types.GenesisSpec{Target: crypto.EasiestTarget})
+	a, _ := startLiveNG(t, 1, genesis)
+	b, addrB := startLiveNG(t, 2, genesis)
+	if err := a.rt.Connect(addrB); err != nil {
+		t.Fatal(err)
+	}
+	a.rt.Do(func() { a.node.MineKeyBlock() })
+
+	// The leader's microblock timers run on real time; follower b must
+	// track the chain as it grows.
+	if !waitFor(t, b.rt, 5*time.Second, func() bool {
+		return b.node.State.Height() >= 3
+	}) {
+		t.Fatal("microblocks did not propagate live")
+	}
+	var leading bool
+	a.rt.Do(func() { leading = a.node.IsLeader() })
+	if !leading {
+		t.Error("miner is not leader")
+	}
+}
+
+func TestLiveRejectsWrongGenesis(t *testing.T) {
+	g1 := types.GenesisBlock(types.GenesisSpec{Target: crypto.EasiestTarget})
+	g2 := types.GenesisBlock(types.GenesisSpec{Target: crypto.EasiestTarget, TimeNanos: 42})
+	a, _ := startLiveNG(t, 1, g1)
+	_, addrB := startLiveNG(t, 2, g2)
+	if err := a.rt.Connect(addrB); err == nil {
+		t.Error("handshake succeeded across different genesis blocks")
+	}
+	_ = a
+}
+
+func TestLiveRejectsDuplicateNodeID(t *testing.T) {
+	g := types.GenesisBlock(types.GenesisSpec{Target: crypto.EasiestTarget})
+	a, _ := startLiveNG(t, 7, g)
+	_, addrB := startLiveNG(t, 7, g)
+	if err := a.rt.Connect(addrB); err == nil {
+		t.Error("handshake succeeded with duplicate node id")
+	}
+}
+
+func TestLiveRealProofOfWork(t *testing.T) {
+	// A live Bitcoin node mining real PoW at trivial difficulty: the
+	// cmd/ngnode code path end to end over TCP.
+	genesis := types.GenesisBlock(types.GenesisSpec{Target: crypto.EasiestTarget})
+	params := types.DefaultParams()
+	params.RetargetWindow = 0
+	params.RandomTieBreak = false
+
+	mk := func(id int) (*Runtime, *bitcoin.Node, string) {
+		key, err := crypto.GenerateKey(sim.NewRand(int64(id), 99))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt := New(Config{NodeID: id, GenesisHash: genesis.Hash(), Seed: int64(id)})
+		n, err := bitcoin.New(rt, bitcoin.Config{
+			Params:  params,
+			Key:     key,
+			Genesis: genesis,
+			// SimulatedMining false: peers demand real proofs of work.
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt.SetHandler(func(from int, msg node.Message) { n.HandleMessage(from, msg) })
+		addr, err := rt.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(rt.Close)
+		return rt, n, addr.String()
+	}
+	rtA, nodeA, _ := mk(1)
+	rtB, nodeB, addrB := mk(2)
+	if err := rtA.Connect(addrB); err != nil {
+		t.Fatal(err)
+	}
+
+	// Mine for real: grind nonces until the (easy) target is met.
+	var blk *types.PowBlock
+	rtA.Do(func() {
+		blk = nodeA.AssembleBlock()
+		for nonce := uint64(0); ; nonce++ {
+			blk.Header.Nonce = nonce
+			if crypto.CheckProofOfWork(blk.Header.Hash(), blk.Header.Target) {
+				break
+			}
+		}
+		nodeA.SubmitOwnBlock(blk)
+	})
+	if !waitFor(t, rtB, 5*time.Second, func() bool {
+		return nodeB.State.Tip().Hash() == blk.Hash()
+	}) {
+		t.Fatal("real-PoW block did not reach the peer")
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	key, _ := crypto.GenerateKey(sim.NewRand(1, 1))
+	mb := &types.MicroBlock{
+		Header: types.MicroBlockHeader{
+			Prev:      crypto.HashBytes([]byte("p")),
+			TxRoot:    crypto.MerkleRoot(nil),
+			TimeNanos: 99,
+		},
+	}
+	mb.Header.Sign(key)
+	msgs := []node.Message{
+		&node.InvMsg{Items: []node.Inv{{Type: wire.MsgKeyBlock, Hash: crypto.HashBytes([]byte("x"))}}},
+		&node.GetDataMsg{Items: []node.Inv{{Type: wire.MsgBlock, Hash: crypto.HashBytes([]byte("y"))}}},
+		&node.BlockMsg{Block: mb},
+	}
+	for _, in := range msgs {
+		env, err := encodeMessage(in)
+		if err != nil {
+			t.Fatalf("encode %T: %v", in, err)
+		}
+		out, err := decodeMessage(env)
+		if err != nil {
+			t.Fatalf("decode %T: %v", in, err)
+		}
+		switch m := out.(type) {
+		case *node.InvMsg:
+			if m.Items[0] != in.(*node.InvMsg).Items[0] {
+				t.Error("inv round trip mismatch")
+			}
+		case *node.GetDataMsg:
+			if m.Items[0] != in.(*node.GetDataMsg).Items[0] {
+				t.Error("getdata round trip mismatch")
+			}
+		case *node.BlockMsg:
+			if m.Block.Hash() != mb.Hash() {
+				t.Error("block round trip mismatch")
+			}
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package p2p
+
+import (
+	"net"
+	"sync"
+
+	"bitcoinng/internal/wire"
+)
+
+// peer is one live connection: a reader goroutine decoding frames into the
+// runtime's event loop and a writer goroutine draining a bounded queue, so a
+// slow peer cannot block the node.
+type peer struct {
+	rt   *Runtime
+	id   int
+	conn net.Conn
+
+	outbox    chan *wire.Envelope
+	closeOnce sync.Once
+	done      chan struct{}
+}
+
+// outboxDepth bounds per-peer queued frames; beyond it frames drop and the
+// gossip retry machinery recovers (backpressure without head-of-line
+// blocking the event loop).
+const outboxDepth = 256
+
+func newPeer(rt *Runtime, id int, conn net.Conn) *peer {
+	return &peer{
+		rt:     rt,
+		id:     id,
+		conn:   conn,
+		outbox: make(chan *wire.Envelope, outboxDepth),
+		done:   make(chan struct{}),
+	}
+}
+
+func (p *peer) start() {
+	p.rt.wg.Add(2)
+	go p.readLoop()
+	go p.writeLoop()
+}
+
+func (p *peer) readLoop() {
+	defer p.rt.wg.Done()
+	defer p.close()
+	for {
+		env, err := wire.ReadEnvelope(p.conn)
+		if err != nil {
+			return
+		}
+		p.rt.deliver(p.id, env)
+	}
+}
+
+func (p *peer) writeLoop() {
+	defer p.rt.wg.Done()
+	for {
+		select {
+		case env := <-p.outbox:
+			if _, err := env.WriteTo(p.conn); err != nil {
+				p.close()
+				return
+			}
+		case <-p.done:
+			return
+		}
+	}
+}
+
+// send enqueues a frame, dropping when the peer is saturated.
+func (p *peer) send(env *wire.Envelope) {
+	select {
+	case p.outbox <- env:
+	case <-p.done:
+	default:
+		// Outbox full: drop. Inventory re-announcement and fetch retry
+		// make block relay loss-tolerant.
+	}
+}
+
+func (p *peer) close() {
+	p.closeOnce.Do(func() {
+		close(p.done)
+		p.conn.Close()
+		p.rt.dropPeer(p)
+	})
+}

@@ -1,0 +1,39 @@
+package sim
+
+import (
+	"math/rand"
+)
+
+// DeriveSeed mixes a base seed with a stream identifier so each node and
+// each subsystem gets an independent, reproducible random stream. The mix is
+// SplitMix64, whose avalanche behaviour keeps derived streams uncorrelated
+// even for adjacent identifiers.
+func DeriveSeed(base int64, stream uint64) int64 {
+	z := uint64(base) + 0x9e3779b97f4a7c15*(stream+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
+}
+
+// NewRand returns a deterministic *rand.Rand for the given base seed and
+// stream identifier.
+func NewRand(base int64, stream uint64) *rand.Rand {
+	return rand.New(rand.NewSource(DeriveSeed(base, stream)))
+}
+
+// Exponential draws an exponentially distributed duration in nanoseconds
+// with the given mean. Block inter-generation times are exponential (§7
+// "Simulated Mining": the geometric trial process is approximated by an
+// exponential distribution).
+func Exponential(rng *rand.Rand, meanNanos float64) int64 {
+	d := rng.ExpFloat64() * meanNanos
+	if d < 1 {
+		d = 1 // never zero: keeps event ordering strict
+	}
+	const maxDelay = float64(1 << 62)
+	if d > maxDelay {
+		d = maxDelay
+	}
+	return int64(d)
+}

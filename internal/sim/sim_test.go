@@ -1,0 +1,159 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestEventOrdering(t *testing.T) {
+	l := NewLoop(0)
+	var order []int
+	l.At(30, func() { order = append(order, 3) })
+	l.At(10, func() { order = append(order, 1) })
+	l.At(20, func() { order = append(order, 2) })
+	l.Drain(0)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v", order)
+	}
+	if l.Now() != 30 {
+		t.Errorf("clock = %d", l.Now())
+	}
+	if l.Executed() != 3 {
+		t.Errorf("executed = %d", l.Executed())
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	l := NewLoop(0)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		l.At(5, func() { order = append(order, i) })
+	}
+	l.Drain(0)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events misordered: %v", order)
+		}
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	l := NewLoop(0)
+	fired := false
+	tm := l.At(10, func() { fired = true })
+	if !tm.Stop() {
+		t.Error("Stop returned false for pending timer")
+	}
+	if tm.Stop() {
+		t.Error("second Stop returned true")
+	}
+	l.Drain(0)
+	if fired {
+		t.Error("stopped timer fired")
+	}
+}
+
+func TestPastEventsFireNow(t *testing.T) {
+	l := NewLoop(100)
+	var at int64
+	l.At(50, func() { at = l.Now() })
+	l.Drain(0)
+	if at != 100 {
+		t.Errorf("past event fired at %d", at)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	l := NewLoop(0)
+	var fired []int64
+	for _, at := range []int64{10, 20, 30, 40} {
+		at := at
+		l.At(at, func() { fired = append(fired, at) })
+	}
+	l.RunUntil(25)
+	if len(fired) != 2 {
+		t.Errorf("fired %v before deadline 25", fired)
+	}
+	if l.Now() != 25 {
+		t.Errorf("clock = %d, want 25", l.Now())
+	}
+	l.RunFor(time.Duration(15))
+	if len(fired) != 4 || l.Now() != 40 {
+		t.Errorf("fired %v clock %d", fired, l.Now())
+	}
+	// RunUntil past the last event advances the clock to the deadline.
+	l.RunUntil(100)
+	if l.Now() != 100 {
+		t.Errorf("clock = %d, want 100", l.Now())
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	l := NewLoop(0)
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 5 {
+			l.After(10, tick)
+		}
+	}
+	l.After(10, tick)
+	l.Drain(0)
+	if count != 5 || l.Now() != 50 {
+		t.Errorf("count = %d clock = %d", count, l.Now())
+	}
+}
+
+func TestDrainGuard(t *testing.T) {
+	l := NewLoop(0)
+	var tick func()
+	tick = func() { l.After(1, tick) } // endless
+	l.After(1, tick)
+	l.Drain(100)
+	if l.Executed() != 100 {
+		t.Errorf("executed = %d, want 100", l.Executed())
+	}
+}
+
+func TestDeriveSeedIndependence(t *testing.T) {
+	seen := make(map[int64]bool)
+	for stream := uint64(0); stream < 1000; stream++ {
+		s := DeriveSeed(42, stream)
+		if seen[s] {
+			t.Fatalf("seed collision at stream %d", stream)
+		}
+		seen[s] = true
+	}
+	if DeriveSeed(42, 0) == DeriveSeed(43, 0) {
+		t.Error("different base seeds gave the same derived seed")
+	}
+	if DeriveSeed(42, 7) != DeriveSeed(42, 7) {
+		t.Error("derive not deterministic")
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	rng := NewRand(1, 0)
+	const mean = 1e9
+	const n = 20000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += float64(Exponential(rng, mean))
+	}
+	got := sum / n
+	if math.Abs(got-mean)/mean > 0.05 {
+		t.Errorf("sample mean %.3g, want ~%.3g", got, mean)
+	}
+}
+
+func TestExponentialNeverZero(t *testing.T) {
+	rng := NewRand(2, 0)
+	for i := 0; i < 1000; i++ {
+		if Exponential(rng, 0.001) < 1 {
+			t.Fatal("Exponential returned < 1ns")
+		}
+	}
+}

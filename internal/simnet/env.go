@@ -1,0 +1,64 @@
+package simnet
+
+import (
+	"math/rand"
+	"time"
+
+	"bitcoinng/internal/node"
+	"bitcoinng/internal/sim"
+)
+
+// NodeEnv implements node.Env over the emulated network: the virtual clock
+// for time and scheduling, the overlay for peer messaging, and a per-node
+// deterministic random stream. The experiment harness builds one per node;
+// protocol code cannot tell it apart from the live TCP environment.
+type NodeEnv struct {
+	Loop *sim.Loop
+	Net  *Network
+	ID   int
+	Rng  *rand.Rand
+}
+
+// NewNodeEnv builds the environment for node id, deriving its random stream
+// from the experiment seed.
+func NewNodeEnv(loop *sim.Loop, net *Network, id int, seed int64) *NodeEnv {
+	return &NodeEnv{
+		Loop: loop,
+		Net:  net,
+		ID:   id,
+		Rng:  sim.NewRand(seed, uint64(id)+1),
+	}
+}
+
+// Now implements node.Env.
+func (e *NodeEnv) Now() int64 { return e.Loop.Now() }
+
+// After implements node.Env.
+func (e *NodeEnv) After(d time.Duration, fn func()) node.Timer {
+	return e.Loop.After(d, fn)
+}
+
+// NodeID implements node.Env.
+func (e *NodeEnv) NodeID() int { return e.ID }
+
+// Peers implements node.Env.
+func (e *NodeEnv) Peers() []int { return e.Net.Peers(e.ID) }
+
+// Send implements node.Env, charging the message's framed size to the
+// bandwidth model.
+func (e *NodeEnv) Send(peer int, msg node.Message) {
+	e.Net.Send(e.ID, peer, msg, msg.Size())
+}
+
+// Rand implements node.Env.
+func (e *NodeEnv) Rand() *rand.Rand { return e.Rng }
+
+// Deliver wires the network's delivery callback for node id to a handler
+// (typically Base.HandleMessage).
+func (e *NodeEnv) Deliver(h func(from int, msg node.Message)) {
+	e.Net.Handle(e.ID, func(from int, payload any, size int) {
+		if msg, ok := payload.(node.Message); ok {
+			h(from, msg)
+		}
+	})
+}

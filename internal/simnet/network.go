@@ -1,0 +1,232 @@
+package simnet
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"bitcoinng/internal/sim"
+)
+
+// Config describes the emulated network.
+type Config struct {
+	// Nodes is the network size (the paper runs 1000).
+	Nodes int
+	// MinPeers is the minimum outbound degree; each node connects to this
+	// many uniformly random peers and links are bidirectional, so the
+	// effective degree averages about twice this ("connecting each node to
+	// at least 5 other nodes, chosen uniformly at random", §7).
+	MinPeers int
+	// Latency samples the fixed one-way propagation delay of each link.
+	Latency LatencyModel
+	// BandwidthBPS is the per-pair bandwidth in bits per second ("about
+	// 100kbit/sec among each pair of nodes", §7).
+	BandwidthBPS float64
+	// ProcPerByte and ProcPerMsg model receiver-side processing (block
+	// verification, mempool updates). Messages queue at a busy receiver;
+	// this is what eventually caps throughput by node capacity (§8.2).
+	ProcPerByte time.Duration
+	ProcPerMsg  time.Duration
+	// Seed drives topology construction and latency assignment.
+	Seed int64
+}
+
+// DefaultConfig mirrors the paper's testbed parameters at a configurable
+// scale.
+func DefaultConfig(nodes int, seed int64) Config {
+	return Config{
+		Nodes:        nodes,
+		MinPeers:     5,
+		Latency:      DefaultLatency(),
+		BandwidthBPS: 100_000,
+		ProcPerByte:  50 * time.Nanosecond, // ~20 MB/s verification rate
+		ProcPerMsg:   100 * time.Microsecond,
+		Seed:         seed,
+	}
+}
+
+// Handler receives a delivered message: the sending node, an opaque payload,
+// and the wire size the network charged for it.
+type Handler func(from int, payload any, size int)
+
+// link is one direction of an edge with store-and-forward queueing.
+type link struct {
+	latency int64 // nanos, fixed per edge
+	freeAt  int64 // when the sender-side pipe drains
+}
+
+// Stats aggregates network-wide counters.
+type Stats struct {
+	MessagesSent  uint64
+	BytesSent     uint64
+	MessagesLost  uint64        // dropped by an active partition
+	MaxQueueDelay time.Duration // worst sender-side bandwidth queuing seen
+}
+
+// Network is the emulated overlay.
+type Network struct {
+	loop     *sim.Loop
+	cfg      Config
+	adj      [][]int
+	links    map[[2]int]*link
+	handlers []Handler
+	busyAt   []int64 // per-node receiver busy-until
+	stats    Stats
+	// group assigns each node to a partition group; messages between
+	// different groups are silently dropped. nil means fully connected.
+	group []int
+}
+
+// New builds the topology: MinPeers uniformly random outbound links per
+// node, made bidirectional, then patched to a single connected component
+// (wiring representatives of stray components together, as a bootstrap node
+// list would).
+func New(loop *sim.Loop, cfg Config) *Network {
+	if cfg.Nodes < 2 {
+		panic(fmt.Sprintf("simnet: need at least 2 nodes, got %d", cfg.Nodes))
+	}
+	if cfg.Latency == nil {
+		cfg.Latency = DefaultLatency()
+	}
+	// A node cannot have more neighbors than there are other nodes; small
+	// test networks just become cliques.
+	if cfg.MinPeers > cfg.Nodes-1 {
+		cfg.MinPeers = cfg.Nodes - 1
+	}
+	n := &Network{
+		loop:     loop,
+		cfg:      cfg,
+		adj:      make([][]int, cfg.Nodes),
+		links:    make(map[[2]int]*link),
+		handlers: make([]Handler, cfg.Nodes),
+		busyAt:   make([]int64, cfg.Nodes),
+	}
+	const topologyStream = 0x7e7 // dedicated stream id for topology building
+	rng := sim.NewRand(cfg.Seed, topologyStream)
+	for i := 0; i < cfg.Nodes; i++ {
+		for len(n.adj[i]) < cfg.MinPeers {
+			j := rng.Intn(cfg.Nodes)
+			if j == i || n.connected(i, j) {
+				continue
+			}
+			n.connect(i, j, rng)
+		}
+	}
+	n.ensureConnected(rng)
+	return n
+}
+
+func (n *Network) connected(i, j int) bool {
+	_, ok := n.links[[2]int{i, j}]
+	return ok
+}
+
+func (n *Network) connect(i, j int, rng *rand.Rand) {
+	lat := int64(n.cfg.Latency.Sample(rng))
+	n.links[[2]int{i, j}] = &link{latency: lat}
+	n.links[[2]int{j, i}] = &link{latency: lat}
+	n.adj[i] = append(n.adj[i], j)
+	n.adj[j] = append(n.adj[j], i)
+}
+
+// ensureConnected unions stray components into one.
+func (n *Network) ensureConnected(rng *rand.Rand) {
+	parent := make([]int, n.cfg.Nodes)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+	for edge := range n.links {
+		union(edge[0], edge[1])
+	}
+	root := find(0)
+	for i := 1; i < n.cfg.Nodes; i++ {
+		if find(i) != root {
+			n.connect(root, i, rng)
+			union(root, i)
+		}
+	}
+}
+
+// Size returns the number of nodes.
+func (n *Network) Size() int { return n.cfg.Nodes }
+
+// Peers returns node id's neighbors; callers must not mutate the slice.
+func (n *Network) Peers(id int) []int { return n.adj[id] }
+
+// Handle registers the delivery callback for node id.
+func (n *Network) Handle(id int, h Handler) { n.handlers[id] = h }
+
+// Stats returns aggregate counters.
+func (n *Network) Stats() Stats { return n.stats }
+
+// SetPartition splits the network: group[i] is node i's side, and messages
+// between different sides vanish (a WAN cut). Pass nil to heal. In-flight
+// messages already past the cut still deliver, like packets in transit when
+// a link fails.
+func (n *Network) SetPartition(group []int) {
+	if group != nil && len(group) != n.cfg.Nodes {
+		panic(fmt.Sprintf("simnet: partition of %d nodes on a %d-node network", len(group), n.cfg.Nodes))
+	}
+	n.group = group
+}
+
+// Send transmits payload of the given wire size from -> to. Delivery time is
+// queueing (sender-side pipe busy) + transfer (size over bandwidth) +
+// propagation (link latency) + receiver processing (queued behind earlier
+// arrivals). Sends between unconnected nodes panic: the overlay has no
+// routing, only direct links, like Bitcoin's gossip.
+func (n *Network) Send(from, to int, payload any, size int) {
+	l := n.links[[2]int{from, to}]
+	if l == nil {
+		panic(fmt.Sprintf("simnet: no link %d->%d", from, to))
+	}
+	if n.group != nil && n.group[from] != n.group[to] {
+		n.stats.MessagesLost++
+		return
+	}
+	now := n.loop.Now()
+	start := now
+	if l.freeAt > start {
+		start = l.freeAt
+	}
+	if q := time.Duration(start - now); q > n.stats.MaxQueueDelay {
+		n.stats.MaxQueueDelay = q
+	}
+	transfer := int64(float64(size*8) / n.cfg.BandwidthBPS * float64(time.Second))
+	l.freeAt = start + transfer
+	arrival := l.freeAt + l.latency
+
+	n.stats.MessagesSent++
+	n.stats.BytesSent += uint64(size)
+
+	n.loop.At(arrival, func() {
+		// Receiver processing: serialize behind earlier work.
+		procStart := n.loop.Now()
+		if n.busyAt[to] > procStart {
+			procStart = n.busyAt[to]
+		}
+		done := procStart + int64(n.cfg.ProcPerMsg) + int64(n.cfg.ProcPerByte)*int64(size)
+		n.busyAt[to] = done
+		n.loop.At(done, func() {
+			if h := n.handlers[to]; h != nil {
+				h(from, payload, size)
+			}
+		})
+	})
+}
+
+// Broadcast sends payload to every neighbor of from.
+func (n *Network) Broadcast(from int, payload any, size int) {
+	for _, p := range n.adj[from] {
+		n.Send(from, p, payload, size)
+	}
+}

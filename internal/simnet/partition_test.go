@@ -1,0 +1,62 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+
+	"bitcoinng/internal/sim"
+)
+
+func TestPartitionDropsCrossTraffic(t *testing.T) {
+	loop := sim.NewLoop(0)
+	cfg := Config{
+		Nodes:        4,
+		MinPeers:     3, // clique
+		Latency:      Fixed(time.Millisecond),
+		BandwidthBPS: 1e9,
+		Seed:         1,
+	}
+	net := New(loop, cfg)
+	received := make([]int, 4)
+	for i := 0; i < 4; i++ {
+		i := i
+		net.Handle(i, func(int, any, int) { received[i]++ })
+	}
+
+	// Partition {0,1} | {2,3}: cross-group messages vanish.
+	net.SetPartition([]int{0, 0, 1, 1})
+	net.Send(0, 1, "in-group", 10)
+	net.Send(0, 2, "cross", 10)
+	net.Send(3, 2, "in-group", 10)
+	net.Send(3, 0, "cross", 10)
+	loop.Drain(0)
+
+	if received[1] != 1 || received[2] != 1 {
+		t.Errorf("in-group delivery broken: %v", received)
+	}
+	if received[0] != 0 || received[3] != 0 {
+		t.Errorf("cross-group message leaked: %v", received)
+	}
+	if net.Stats().MessagesLost != 2 {
+		t.Errorf("lost = %d, want 2", net.Stats().MessagesLost)
+	}
+
+	// Heal: everything flows again.
+	net.SetPartition(nil)
+	net.Send(0, 2, "healed", 10)
+	loop.Drain(0)
+	if received[2] != 2 {
+		t.Errorf("post-heal delivery broken: %v", received)
+	}
+}
+
+func TestPartitionSizeValidated(t *testing.T) {
+	loop := sim.NewLoop(0)
+	net := New(loop, DefaultConfig(4, 1))
+	defer func() {
+		if recover() == nil {
+			t.Error("wrong-size partition accepted")
+		}
+	}()
+	net.SetPartition([]int{0, 1})
+}

@@ -1,0 +1,287 @@
+package simnet
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"bitcoinng/internal/sim"
+)
+
+func TestTopologyDegreeAndSymmetry(t *testing.T) {
+	loop := sim.NewLoop(0)
+	net := New(loop, DefaultConfig(200, 1))
+	for i := 0; i < net.Size(); i++ {
+		if len(net.Peers(i)) < 5 {
+			t.Errorf("node %d degree %d < 5", i, len(net.Peers(i)))
+		}
+		for _, j := range net.Peers(i) {
+			found := false
+			for _, k := range net.Peers(j) {
+				if k == i {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("edge %d->%d not symmetric", i, j)
+			}
+		}
+	}
+}
+
+func TestTopologyConnected(t *testing.T) {
+	loop := sim.NewLoop(0)
+	net := New(loop, DefaultConfig(500, 2))
+	seen := make([]bool, net.Size())
+	queue := []int{0}
+	seen[0] = true
+	count := 1
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range net.Peers(v) {
+			if !seen[w] {
+				seen[w] = true
+				count++
+				queue = append(queue, w)
+			}
+		}
+	}
+	if count != net.Size() {
+		t.Errorf("reachable %d of %d nodes", count, net.Size())
+	}
+}
+
+func TestTopologyDeterministic(t *testing.T) {
+	a := New(sim.NewLoop(0), DefaultConfig(100, 7))
+	b := New(sim.NewLoop(0), DefaultConfig(100, 7))
+	for i := 0; i < 100; i++ {
+		pa, pb := a.Peers(i), b.Peers(i)
+		if len(pa) != len(pb) {
+			t.Fatalf("node %d degree differs", i)
+		}
+		for j := range pa {
+			if pa[j] != pb[j] {
+				t.Fatalf("node %d peer %d differs", i, j)
+			}
+		}
+	}
+	// Different seed, different topology (overwhelmingly likely).
+	c := New(sim.NewLoop(0), DefaultConfig(100, 8))
+	same := true
+	for i := 0; i < 100 && same; i++ {
+		pa, pc := a.Peers(i), c.Peers(i)
+		if len(pa) != len(pc) {
+			same = false
+			break
+		}
+		for j := range pa {
+			if pa[j] != pc[j] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical topology")
+	}
+}
+
+func TestDeliveryTiming(t *testing.T) {
+	loop := sim.NewLoop(0)
+	cfg := Config{
+		Nodes:        2,
+		MinPeers:     1,
+		Latency:      Fixed(100 * time.Millisecond),
+		BandwidthBPS: 100_000, // 100 kbit/s
+		Seed:         1,
+	}
+	net := New(loop, cfg)
+	var deliveredAt int64
+	var gotSize int
+	net.Handle(1, func(from int, payload any, size int) {
+		deliveredAt = loop.Now()
+		gotSize = size
+	})
+	// 12500 bytes = 100000 bits = 1 second of transfer at 100 kbit/s.
+	net.Send(0, 1, "blk", 12500)
+	loop.Drain(0)
+	want := int64(time.Second + 100*time.Millisecond)
+	if deliveredAt != want {
+		t.Errorf("delivered at %d, want %d", deliveredAt, want)
+	}
+	if gotSize != 12500 {
+		t.Errorf("size = %d", gotSize)
+	}
+}
+
+func TestBandwidthQueueing(t *testing.T) {
+	loop := sim.NewLoop(0)
+	cfg := Config{
+		Nodes:        2,
+		MinPeers:     1,
+		Latency:      Fixed(0),
+		BandwidthBPS: 100_000,
+		Seed:         1,
+	}
+	net := New(loop, cfg)
+	var arrivals []int64
+	net.Handle(1, func(from int, payload any, size int) {
+		arrivals = append(arrivals, loop.Now())
+	})
+	// Two back-to-back 1-second transfers share the pipe: second arrives
+	// at 2s, not 1s.
+	net.Send(0, 1, "a", 12500)
+	net.Send(0, 1, "b", 12500)
+	loop.Drain(0)
+	if len(arrivals) != 2 {
+		t.Fatalf("delivered %d", len(arrivals))
+	}
+	if arrivals[0] != int64(time.Second) || arrivals[1] != int64(2*time.Second) {
+		t.Errorf("arrivals = %v", arrivals)
+	}
+	if net.Stats().MaxQueueDelay != time.Second {
+		t.Errorf("max queue delay = %v", net.Stats().MaxQueueDelay)
+	}
+}
+
+func TestLinksQueueIndependently(t *testing.T) {
+	loop := sim.NewLoop(0)
+	cfg := Config{
+		Nodes:        3,
+		MinPeers:     2,
+		Latency:      Fixed(0),
+		BandwidthBPS: 100_000,
+		Seed:         1,
+	}
+	net := New(loop, cfg)
+	var at1, at2 int64
+	net.Handle(1, func(int, any, int) { at1 = loop.Now() })
+	net.Handle(2, func(int, any, int) { at2 = loop.Now() })
+	// The paper's model is per-pair bandwidth: parallel links don't share.
+	net.Send(0, 1, "a", 12500)
+	net.Send(0, 2, "b", 12500)
+	loop.Drain(0)
+	if at1 != int64(time.Second) || at2 != int64(time.Second) {
+		t.Errorf("arrivals %d, %d — links not independent", at1, at2)
+	}
+}
+
+func TestReceiverProcessingSerializes(t *testing.T) {
+	loop := sim.NewLoop(0)
+	cfg := Config{
+		Nodes:        3,
+		MinPeers:     2,
+		Latency:      Fixed(0),
+		BandwidthBPS: 1e12, // effectively infinite pipe
+		ProcPerMsg:   100 * time.Millisecond,
+		Seed:         1,
+	}
+	net := New(loop, cfg)
+	var arrivals []int64
+	net.Handle(2, func(int, any, int) { arrivals = append(arrivals, loop.Now()) })
+	// Two messages from different senders arrive together; processing
+	// serializes them 100ms apart.
+	net.Send(0, 2, "a", 10)
+	net.Send(1, 2, "b", 10)
+	loop.Drain(0)
+	if len(arrivals) != 2 {
+		t.Fatalf("delivered %d", len(arrivals))
+	}
+	gap := arrivals[1] - arrivals[0]
+	if gap != int64(100*time.Millisecond) {
+		t.Errorf("processing gap = %v", time.Duration(gap))
+	}
+}
+
+func TestBroadcastReachesAllPeers(t *testing.T) {
+	loop := sim.NewLoop(0)
+	net := New(loop, DefaultConfig(50, 3))
+	got := make(map[int]bool)
+	for _, p := range net.Peers(0) {
+		p := p
+		net.Handle(p, func(from int, payload any, size int) {
+			if from == 0 {
+				got[p] = true
+			}
+		})
+	}
+	net.Broadcast(0, "hello", 100)
+	loop.Drain(0)
+	if len(got) != len(net.Peers(0)) {
+		t.Errorf("broadcast reached %d of %d peers", len(got), len(net.Peers(0)))
+	}
+}
+
+func TestHistogramSampling(t *testing.T) {
+	h := NewHistogram([]HistogramBucket{
+		{Min: 10 * time.Millisecond, Max: 20 * time.Millisecond, Weight: 1},
+		{Min: 100 * time.Millisecond, Max: 200 * time.Millisecond, Weight: 1},
+	})
+	rng := rand.New(rand.NewSource(1))
+	low, high := 0, 0
+	for i := 0; i < 10000; i++ {
+		d := h.Sample(rng)
+		switch {
+		case d >= 10*time.Millisecond && d < 20*time.Millisecond:
+			low++
+		case d >= 100*time.Millisecond && d < 200*time.Millisecond:
+			high++
+		default:
+			t.Fatalf("sample %v outside buckets", d)
+		}
+	}
+	ratio := float64(low) / float64(low+high)
+	if ratio < 0.45 || ratio > 0.55 {
+		t.Errorf("bucket ratio %.3f, want ~0.5", ratio)
+	}
+}
+
+func TestDefaultLatencyShape(t *testing.T) {
+	h := DefaultLatency()
+	rng := rand.New(rand.NewSource(2))
+	var samples []time.Duration
+	for i := 0; i < 10000; i++ {
+		samples = append(samples, h.Sample(rng))
+	}
+	var sum time.Duration
+	for _, s := range samples {
+		if s < 5*time.Millisecond || s > 400*time.Millisecond {
+			t.Fatalf("sample %v out of range", s)
+		}
+		sum += s
+	}
+	mean := sum / time.Duration(len(samples))
+	if mean < 80*time.Millisecond || mean > 180*time.Millisecond {
+		t.Errorf("mean latency %v outside plausible internet range", mean)
+	}
+}
+
+func TestSendWithoutLinkPanics(t *testing.T) {
+	loop := sim.NewLoop(0)
+	cfg := Config{Nodes: 10, MinPeers: 1, Latency: Fixed(0), BandwidthBPS: 1, Seed: 1}
+	net := New(loop, cfg)
+	// Find a non-adjacent pair.
+	var a, b int
+	found := false
+	for i := 0; i < 10 && !found; i++ {
+		for j := 0; j < 10; j++ {
+			if i == j || net.connected(i, j) {
+				continue
+			}
+			a, b = i, j
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Skip("graph complete at this size")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("send without link did not panic")
+		}
+	}()
+	net.Send(a, b, "x", 1)
+}

@@ -1,0 +1,153 @@
+// Package stats provides the small statistics toolkit the experiment
+// harness and benchmarks use: percentiles, moments, and least-squares linear
+// regression with R² (the paper fits its mining-power model with a 0.99
+// coefficient of determination, §7, and reports a linear size/latency
+// relation, Fig. 7).
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Percentile returns the p-quantile (0 ≤ p ≤ 1) of values using linear
+// interpolation between order statistics. It copies and sorts internally;
+// NaN is returned for an empty input.
+func Percentile(values []float64, p float64) float64 {
+	if len(values) == 0 {
+		return math.NaN()
+	}
+	sorted := make([]float64, len(values))
+	copy(sorted, values)
+	sort.Float64s(sorted)
+	return PercentileSorted(sorted, p)
+}
+
+// PercentileSorted is Percentile over already-sorted input, without copying.
+func PercentileSorted(sorted []float64, p float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return math.NaN()
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[n-1]
+	}
+	pos := p * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Mean returns the arithmetic mean; NaN for empty input.
+func Mean(values []float64) float64 {
+	if len(values) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, v := range values {
+		sum += v
+	}
+	return sum / float64(len(values))
+}
+
+// StdDev returns the sample standard deviation (n-1 denominator); zero for
+// fewer than two values.
+func StdDev(values []float64) float64 {
+	if len(values) < 2 {
+		return 0
+	}
+	m := Mean(values)
+	var ss float64
+	for _, v := range values {
+		d := v - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(values)-1))
+}
+
+// MinMax returns the extremes; NaNs for empty input.
+func MinMax(values []float64) (min, max float64) {
+	if len(values) == 0 {
+		return math.NaN(), math.NaN()
+	}
+	min, max = values[0], values[0]
+	for _, v := range values[1:] {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	return min, max
+}
+
+// Fit is a least-squares line y = Slope*x + Intercept with its coefficient
+// of determination.
+type Fit struct {
+	Slope     float64
+	Intercept float64
+	R2        float64
+}
+
+// LinearFit fits a line through (x[i], y[i]). It requires len(x) == len(y)
+// and at least two points; degenerate inputs yield NaN fields.
+func LinearFit(x, y []float64) Fit {
+	n := len(x)
+	if n != len(y) || n < 2 {
+		return Fit{Slope: math.NaN(), Intercept: math.NaN(), R2: math.NaN()}
+	}
+	mx, my := Mean(x), Mean(y)
+	var sxx, sxy, syy float64
+	for i := 0; i < n; i++ {
+		dx, dy := x[i]-mx, y[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return Fit{Slope: math.NaN(), Intercept: math.NaN(), R2: math.NaN()}
+	}
+	slope := sxy / sxx
+	intercept := my - slope*mx
+	r2 := 1.0
+	if syy > 0 {
+		r2 = (sxy * sxy) / (sxx * syy)
+	}
+	return Fit{Slope: slope, Intercept: intercept, R2: r2}
+}
+
+// Summary bundles the descriptive statistics the benchmark tables print.
+type Summary struct {
+	N                  int
+	Mean, Min, Max     float64
+	P25, P50, P75, P90 float64
+}
+
+// Summarize computes a Summary; an empty input yields NaN fields.
+func Summarize(values []float64) Summary {
+	s := Summary{N: len(values)}
+	if len(values) == 0 {
+		nan := math.NaN()
+		s.Mean, s.Min, s.Max = nan, nan, nan
+		s.P25, s.P50, s.P75, s.P90 = nan, nan, nan, nan
+		return s
+	}
+	sorted := make([]float64, len(values))
+	copy(sorted, values)
+	sort.Float64s(sorted)
+	s.Mean = Mean(values)
+	s.Min, s.Max = sorted[0], sorted[len(sorted)-1]
+	s.P25 = PercentileSorted(sorted, 0.25)
+	s.P50 = PercentileSorted(sorted, 0.50)
+	s.P75 = PercentileSorted(sorted, 0.75)
+	s.P90 = PercentileSorted(sorted, 0.90)
+	return s
+}

@@ -1,0 +1,154 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestPercentileBasics(t *testing.T) {
+	v := []float64{4, 1, 3, 2, 5}
+	if got := Percentile(v, 0.5); got != 3 {
+		t.Errorf("median = %v", got)
+	}
+	if got := Percentile(v, 0); got != 1 {
+		t.Errorf("p0 = %v", got)
+	}
+	if got := Percentile(v, 1); got != 5 {
+		t.Errorf("p100 = %v", got)
+	}
+	// Interpolation: p25 of 1..5 is 2.
+	if got := Percentile(v, 0.25); got != 2 {
+		t.Errorf("p25 = %v", got)
+	}
+	// p90 of 1..5: pos = 3.6 -> 4*(0.4) + 5*(0.6) = 4.6.
+	if got := Percentile(v, 0.9); !almost(got, 4.6, 1e-12) {
+		t.Errorf("p90 = %v", got)
+	}
+	if !math.IsNaN(Percentile(nil, 0.5)) {
+		t.Error("empty percentile not NaN")
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	v := []float64{3, 1, 2}
+	Percentile(v, 0.5)
+	if v[0] != 3 || v[1] != 1 || v[2] != 2 {
+		t.Error("input mutated")
+	}
+}
+
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(raw []float64, a, b float64) bool {
+		var v []float64
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				v = append(v, x)
+			}
+		}
+		if len(v) == 0 {
+			return true
+		}
+		pa := math.Mod(math.Abs(a), 1)
+		pb := math.Mod(math.Abs(b), 1)
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		return Percentile(v, pa) <= Percentile(v, pb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanStdDev(t *testing.T) {
+	v := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(v); got != 5 {
+		t.Errorf("mean = %v", got)
+	}
+	// Sample stddev of this classic set is ~2.138.
+	if got := StdDev(v); !almost(got, 2.138, 0.001) {
+		t.Errorf("stddev = %v", got)
+	}
+	if StdDev([]float64{1}) != 0 {
+		t.Error("single-element stddev != 0")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	min, max := MinMax([]float64{3, -1, 7, 0})
+	if min != -1 || max != 7 {
+		t.Errorf("MinMax = %v, %v", min, max)
+	}
+	min, max = MinMax(nil)
+	if !math.IsNaN(min) || !math.IsNaN(max) {
+		t.Error("empty MinMax not NaN")
+	}
+}
+
+func TestLinearFitExact(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{3, 5, 7, 9} // y = 2x + 1
+	fit := LinearFit(x, y)
+	if !almost(fit.Slope, 2, 1e-12) || !almost(fit.Intercept, 1, 1e-12) {
+		t.Errorf("fit = %+v", fit)
+	}
+	if !almost(fit.R2, 1, 1e-12) {
+		t.Errorf("R2 = %v", fit.R2)
+	}
+}
+
+func TestLinearFitNoisy(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var x, y []float64
+	for i := 0; i < 500; i++ {
+		xi := float64(i)
+		x = append(x, xi)
+		y = append(y, 3*xi+10+rng.NormFloat64()*5)
+	}
+	fit := LinearFit(x, y)
+	if !almost(fit.Slope, 3, 0.05) {
+		t.Errorf("slope = %v", fit.Slope)
+	}
+	if fit.R2 < 0.99 {
+		t.Errorf("R2 = %v for strongly linear data", fit.R2)
+	}
+}
+
+func TestLinearFitDegenerate(t *testing.T) {
+	if fit := LinearFit([]float64{1}, []float64{2}); !math.IsNaN(fit.Slope) {
+		t.Error("single point fit not NaN")
+	}
+	if fit := LinearFit([]float64{1, 2}, []float64{1}); !math.IsNaN(fit.Slope) {
+		t.Error("mismatched lengths not NaN")
+	}
+	// Vertical line: all x equal.
+	if fit := LinearFit([]float64{2, 2, 2}, []float64{1, 2, 3}); !math.IsNaN(fit.Slope) {
+		t.Error("vertical data not NaN")
+	}
+	// Horizontal line: slope 0, R2 defined as 1 (perfect fit).
+	fit := LinearFit([]float64{1, 2, 3}, []float64{5, 5, 5})
+	if fit.Slope != 0 || fit.R2 != 1 {
+		t.Errorf("horizontal fit = %+v", fit)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	if s.N != 10 || s.Min != 1 || s.Max != 10 {
+		t.Errorf("summary = %+v", s)
+	}
+	if !almost(s.Mean, 5.5, 1e-12) || !almost(s.P50, 5.5, 1e-12) {
+		t.Errorf("summary = %+v", s)
+	}
+	if !almost(s.P90, 9.1, 1e-9) {
+		t.Errorf("P90 = %v", s.P90)
+	}
+	empty := Summarize(nil)
+	if empty.N != 0 || !math.IsNaN(empty.Mean) {
+		t.Errorf("empty summary = %+v", empty)
+	}
+}

@@ -1,0 +1,270 @@
+package types
+
+import (
+	"testing"
+
+	"bitcoinng/internal/crypto"
+	"bitcoinng/internal/wire"
+)
+
+func makeCoinbase(to crypto.Address, value Amount, height uint64) *Transaction {
+	return &Transaction{
+		Kind:    TxCoinbase,
+		Outputs: []TxOutput{{Value: value, To: to}},
+		Height:  height,
+	}
+}
+
+func makePowBlock(t *testing.T, prev crypto.Hash, height uint64) *PowBlock {
+	t.Helper()
+	txs := []*Transaction{makeCoinbase(crypto.Address{1}, 50, height)}
+	return &PowBlock{
+		Header: PowHeader{
+			Prev:       prev,
+			MerkleRoot: crypto.MerkleRoot(TxIDs(txs)),
+			TimeNanos:  int64(height) * 1e9,
+			Target:     crypto.EasiestTarget,
+		},
+		Txs:          txs,
+		SimulatedPoW: true,
+	}
+}
+
+func TestPowBlockRoundTrip(t *testing.T) {
+	b := makePowBlock(t, crypto.HashBytes([]byte("prev")), 1)
+	var out PowBlock
+	if err := wire.Decode(wire.Encode(b), &out); err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if out.Hash() != b.Hash() {
+		t.Error("round trip changed hash")
+	}
+	if err := out.CheckWellFormed(); err != nil {
+		t.Errorf("decoded block invalid: %v", err)
+	}
+	if out.WireSize() != b.WireSize() {
+		t.Error("round trip changed wire size")
+	}
+}
+
+func TestPowBlockValidation(t *testing.T) {
+	b := makePowBlock(t, crypto.ZeroHash, 1)
+	if err := b.CheckWellFormed(); err != nil {
+		t.Fatalf("valid block rejected: %v", err)
+	}
+
+	// Wrong merkle root.
+	bad := makePowBlock(t, crypto.ZeroHash, 1)
+	bad.Header.MerkleRoot = crypto.Hash{1}
+	if err := bad.CheckWellFormed(); err == nil {
+		t.Error("bad merkle root accepted")
+	}
+
+	// Missing coinbase.
+	bad = makePowBlock(t, crypto.ZeroHash, 1)
+	bad.Txs = nil
+	if err := bad.CheckWellFormed(); err == nil {
+		t.Error("empty tx set accepted")
+	}
+
+	// Second coinbase.
+	bad = makePowBlock(t, crypto.ZeroHash, 1)
+	bad.Txs = append(bad.Txs, makeCoinbase(crypto.Address{2}, 50, 1))
+	bad.Header.MerkleRoot = crypto.MerkleRoot(TxIDs(bad.Txs))
+	if err := bad.CheckWellFormed(); err == nil {
+		t.Error("duplicate coinbase accepted")
+	}
+
+	// Live block must satisfy proof of work: an impossible target fails.
+	bad = makePowBlock(t, crypto.ZeroHash, 1)
+	bad.SimulatedPoW = false
+	bad.Header.Target = crypto.CompactTarget(0x01000001) // near-zero target
+	if err := bad.CheckWellFormed(); err == nil {
+		t.Error("live block without PoW accepted")
+	}
+}
+
+func TestKeyBlockRoundTripAndLeaderKey(t *testing.T) {
+	leader := testKey(t, 11)
+	txs := []*Transaction{makeCoinbase(leader.Public().Addr(), 50, 2)}
+	kb := &KeyBlock{
+		Header: KeyBlockHeader{
+			Prev:       crypto.HashBytes([]byte("tip")),
+			MerkleRoot: crypto.MerkleRoot(TxIDs(txs)),
+			TimeNanos:  7e9,
+			Target:     crypto.EasiestTarget,
+			LeaderKey:  leader.Public(),
+		},
+		Txs:          txs,
+		SimulatedPoW: true,
+	}
+	if err := kb.CheckWellFormed(); err != nil {
+		t.Fatalf("valid key block rejected: %v", err)
+	}
+	var out KeyBlock
+	if err := wire.Decode(wire.Encode(kb), &out); err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if out.Hash() != kb.Hash() {
+		t.Error("round trip changed hash")
+	}
+	if out.Header.LeaderKey != leader.Public() {
+		t.Error("leader key lost in round trip")
+	}
+	if out.Kind() != KindKey {
+		t.Errorf("Kind = %v", out.Kind())
+	}
+	if out.Work().Sign() <= 0 {
+		t.Error("key block carries no work")
+	}
+}
+
+func TestMicroBlockSignatureAndWeight(t *testing.T) {
+	leader := testKey(t, 12)
+	attacker := testKey(t, 13)
+	tx := makeSignedTx(t, leader, OutPoint{Index: 9}, 5, 5)
+	mb := &MicroBlock{
+		Header: MicroBlockHeader{
+			Prev:      crypto.HashBytes([]byte("keyblock")),
+			TxRoot:    crypto.MerkleRoot(TxIDs([]*Transaction{tx})),
+			TimeNanos: 8e9,
+		},
+		Txs: []*Transaction{tx},
+	}
+	mb.Header.Sign(leader)
+
+	if err := mb.CheckWellFormed(leader.Public()); err != nil {
+		t.Fatalf("valid microblock rejected: %v", err)
+	}
+	// Wrong leader key must fail: only the epoch leader may extend (§4.2).
+	if err := mb.CheckWellFormed(attacker.Public()); err == nil {
+		t.Error("microblock accepted under wrong leader key")
+	}
+	// Microblocks carry zero weight (§4.2).
+	if mb.Work().Sign() != 0 {
+		t.Error("microblock carries weight")
+	}
+	// A coinbase inside a microblock is invalid.
+	bad := &MicroBlock{
+		Header: MicroBlockHeader{Prev: mb.Header.Prev},
+		Txs:    []*Transaction{makeCoinbase(crypto.Address{3}, 50, 1)},
+	}
+	bad.Header.TxRoot = crypto.MerkleRoot(TxIDs(bad.Txs))
+	bad.Header.Sign(leader)
+	if err := bad.CheckWellFormed(leader.Public()); err == nil {
+		t.Error("microblock with coinbase accepted")
+	}
+}
+
+func TestMicroBlockRoundTrip(t *testing.T) {
+	leader := testKey(t, 14)
+	mb := &MicroBlock{
+		Header: MicroBlockHeader{
+			Prev:      crypto.HashBytes([]byte("k")),
+			TimeNanos: 1e9,
+		},
+	}
+	mb.Header.TxRoot = crypto.MerkleRoot(nil)
+	mb.Header.Sign(leader)
+	var out MicroBlock
+	if err := wire.Decode(wire.Encode(mb), &out); err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if out.Hash() != mb.Hash() {
+		t.Error("round trip changed hash")
+	}
+	if !out.Header.VerifySignature(leader.Public()) {
+		t.Error("signature lost in round trip")
+	}
+}
+
+func TestMicroBlockHashCommitsToSignature(t *testing.T) {
+	leaderA := testKey(t, 15)
+	leaderB := testKey(t, 16)
+	hdr := MicroBlockHeader{Prev: crypto.Hash{1}, TimeNanos: 5}
+	a := hdr
+	a.Sign(leaderA)
+	b := hdr
+	b.Sign(leaderB)
+	if a.Hash() == b.Hash() {
+		t.Error("different signatures produced the same microblock hash")
+	}
+	if a.SigHash() != b.SigHash() {
+		t.Error("SigHash must not depend on the signature")
+	}
+}
+
+func TestDecodeBlockMsg(t *testing.T) {
+	pb := makePowBlock(t, crypto.ZeroHash, 1)
+	payload := wire.Encode(pb)
+
+	got, err := DecodeBlockMsg(wire.MsgBlock, payload)
+	if err != nil {
+		t.Fatalf("DecodeBlockMsg: %v", err)
+	}
+	if got.Hash() != pb.Hash() {
+		t.Error("decoded block hash mismatch")
+	}
+	if _, err := DecodeBlockMsg(wire.MsgPing, payload); err == nil {
+		t.Error("non-block message type accepted")
+	}
+	if _, err := DecodeBlockMsg(wire.MsgMicroBlock, payload); err == nil {
+		t.Error("pow payload decoded as microblock")
+	}
+	if BlockMsgType(pb) != wire.MsgBlock {
+		t.Error("BlockMsgType(pow) wrong")
+	}
+}
+
+func TestGenesisDeterminism(t *testing.T) {
+	spec := GenesisSpec{
+		TimeNanos: 42,
+		Target:    crypto.EasiestTarget,
+		Payouts:   []TxOutput{{Value: 1000, To: crypto.Address{7}}},
+	}
+	a := GenesisBlock(spec)
+	b := GenesisBlock(spec)
+	if a.Hash() != b.Hash() {
+		t.Error("same spec produced different genesis blocks")
+	}
+	if err := a.CheckWellFormed(); err != nil {
+		t.Errorf("genesis invalid: %v", err)
+	}
+	if !a.PrevHash().IsZero() {
+		t.Error("genesis has a predecessor")
+	}
+	// Different payouts, different genesis.
+	spec.Payouts[0].Value = 2000
+	if GenesisBlock(spec).Hash() == a.Hash() {
+		t.Error("different spec produced the same genesis")
+	}
+	// Empty payouts still yields a valid block.
+	empty := GenesisBlock(GenesisSpec{Target: crypto.EasiestTarget})
+	if err := empty.CheckWellFormed(); err != nil {
+		t.Errorf("empty genesis invalid: %v", err)
+	}
+}
+
+func TestSplitFeeConserved(t *testing.T) {
+	p := DefaultParams()
+	for _, fee := range []Amount{0, 1, 2, 3, 99, 100, 12345, -5} {
+		leader, next := p.SplitFee(fee)
+		if fee <= 0 {
+			if leader != 0 || next != 0 {
+				t.Errorf("SplitFee(%d) = %d,%d", fee, leader, next)
+			}
+			continue
+		}
+		if leader+next != fee {
+			t.Errorf("SplitFee(%d): %d+%d != %d", fee, leader, next, fee)
+		}
+		if leader < 0 || next < 0 {
+			t.Errorf("SplitFee(%d) negative share", fee)
+		}
+	}
+	// 40% of 100 is exactly 40.
+	leader, next := p.SplitFee(100)
+	if leader != 40 || next != 60 {
+		t.Errorf("SplitFee(100) = %d,%d, want 40,60", leader, next)
+	}
+}

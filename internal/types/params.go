@@ -1,0 +1,88 @@
+package types
+
+import "time"
+
+// Params carries the consensus parameters shared by the protocols. The zero
+// value is not useful; start from DefaultParams and override per experiment.
+type Params struct {
+	// CoinbaseMaturity is the number of blocks a coinbase output must be
+	// buried under before it can be spent (§4.4: "a maturity period of 100
+	// blocks, to avoid non-mergeable transactions following a fork").
+	CoinbaseMaturity int
+
+	// Subsidy is the fixed reward minted by each PoW/key block ("each key
+	// block entitles its generator a set amount", §4.4).
+	Subsidy Amount
+
+	// LeaderFeeFrac is the fraction of each entry's fee earned by the
+	// leader that places it in a microblock; the remainder goes to the
+	// next leader. The paper fixes 40%/60% and derives 37% < r < 43% for
+	// incentive compatibility at α = 1/4 (§5.1).
+	LeaderFeeFrac float64
+
+	// PoisonRewardFrac is the fraction of a revoked leader's revenue the
+	// poisoner collects, e.g. 5% (§4.5).
+	PoisonRewardFrac float64
+
+	// MaxBlockSize bounds the serialized size of PoW blocks and
+	// microblocks ("The size of microblocks is bounded by a predefined
+	// maximum", §4.2).
+	MaxBlockSize int
+
+	// TargetBlockInterval is the average PoW block interval the difficulty
+	// adjustment aims for — Bitcoin block interval, or Bitcoin-NG key
+	// block interval.
+	TargetBlockInterval time.Duration
+
+	// MicroblockInterval is the rate at which a Bitcoin-NG leader issues
+	// microblocks.
+	MicroblockInterval time.Duration
+
+	// MinMicroblockInterval is the minimum spacing between a microblock
+	// and its predecessor; a smaller gap (or a future timestamp) makes the
+	// microblock invalid, which stops a leader from swamping the system
+	// (§4.2).
+	MinMicroblockInterval time.Duration
+
+	// RetargetWindow is the number of PoW/key blocks between difficulty
+	// adjustments (Bitcoin uses 2016; experiments use smaller windows).
+	RetargetWindow int
+
+	// RandomTieBreak selects the fork-choice tie rule: true picks a
+	// heaviest branch uniformly at random (the paper's recommendation,
+	// following [21]); false keeps the first-seen branch like the
+	// operational client.
+	RandomTieBreak bool
+}
+
+// DefaultParams mirrors the paper's experimental configuration: 100-second
+// key block intervals, 10-second microblocks, 100 kbit/s-friendly block
+// sizes, and the 40/60 fee split.
+func DefaultParams() Params {
+	return Params{
+		CoinbaseMaturity:      100,
+		Subsidy:               50 * 100_000_000,
+		LeaderFeeFrac:         0.40,
+		PoisonRewardFrac:      0.05,
+		MaxBlockSize:          1_000_000,
+		TargetBlockInterval:   100 * time.Second,
+		MicroblockInterval:    10 * time.Second,
+		MinMicroblockInterval: 10 * time.Millisecond,
+		RetargetWindow:        2016,
+		RandomTieBreak:        true,
+	}
+}
+
+// SplitFee divides fee between the leader that serialized the entry and the
+// next leader, per the LeaderFeeFrac split. The leader share rounds down;
+// the remainder goes to the next leader so no value is created or lost.
+func (p Params) SplitFee(fee Amount) (leader, next Amount) {
+	if fee <= 0 {
+		return 0, 0
+	}
+	leader = Amount(float64(fee) * p.LeaderFeeFrac)
+	if leader > fee {
+		leader = fee
+	}
+	return leader, fee - leader
+}

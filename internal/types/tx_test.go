@@ -1,0 +1,207 @@
+package types
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"bitcoinng/internal/crypto"
+	"bitcoinng/internal/wire"
+)
+
+func testKey(t testing.TB, seed int64) *crypto.PrivateKey {
+	t.Helper()
+	k, err := crypto.GenerateKey(rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatalf("GenerateKey: %v", err)
+	}
+	return k
+}
+
+// makeSignedTx builds a 1-input, 2-output regular transaction signed by key.
+func makeSignedTx(t testing.TB, key *crypto.PrivateKey, prev OutPoint, pay, change Amount) *Transaction {
+	t.Helper()
+	tx := &Transaction{
+		Kind:   TxRegular,
+		Inputs: []TxInput{{Prev: prev}},
+		Outputs: []TxOutput{
+			{Value: pay, To: crypto.Address(crypto.HashBytes([]byte("dest")))},
+			{Value: change, To: key.Public().Addr()},
+		},
+	}
+	tx.SignInput(0, key)
+	return tx
+}
+
+func TestTransactionRoundTrip(t *testing.T) {
+	key := testKey(t, 1)
+	tx := makeSignedTx(t, key, OutPoint{TxID: crypto.HashBytes([]byte("prev")), Index: 3}, 70, 25)
+	// Padding is covered by the signature, so set it and re-sign.
+	tx.Padding = []byte{1, 2, 3}
+	tx.SignInput(0, key)
+
+	b := wire.Encode(tx)
+	var out Transaction
+	if err := wire.Decode(b, &out); err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if out.ID() != tx.ID() {
+		t.Error("round trip changed the transaction ID")
+	}
+	if err := out.CheckWellFormed(); err != nil {
+		t.Errorf("decoded tx invalid: %v", err)
+	}
+}
+
+func TestTransactionIDCommitsToEverything(t *testing.T) {
+	key := testKey(t, 2)
+	base := makeSignedTx(t, key, OutPoint{Index: 1}, 10, 5)
+	id := base.ID()
+
+	mutations := []func(*Transaction){
+		func(tx *Transaction) { tx.Outputs[0].Value++ },
+		func(tx *Transaction) { tx.Outputs[0].To = crypto.Address{9} },
+		func(tx *Transaction) { tx.Inputs[0].Prev.Index++ },
+		func(tx *Transaction) { tx.Padding = append(tx.Padding, 0) },
+		func(tx *Transaction) { tx.Height++ },
+	}
+	for i, mutate := range mutations {
+		cp := *base
+		cp.Inputs = append([]TxInput(nil), base.Inputs...)
+		cp.Outputs = append([]TxOutput(nil), base.Outputs...)
+		mutate(&cp)
+		cp.Invalidate() // caches were copied from base
+		if cp.ID() == id {
+			t.Errorf("mutation %d did not change the ID", i)
+		}
+	}
+}
+
+func TestSignatureCoversOutputs(t *testing.T) {
+	key := testKey(t, 3)
+	tx := makeSignedTx(t, key, OutPoint{Index: 0}, 50, 50)
+	if err := tx.CheckWellFormed(); err != nil {
+		t.Fatalf("valid tx rejected: %v", err)
+	}
+	// Redirecting an output must invalidate the signature.
+	tx.Outputs[0].To = crypto.Address(crypto.HashBytes([]byte("thief")))
+	tx.Invalidate()
+	if err := tx.CheckWellFormed(); err == nil {
+		t.Error("tampered output accepted")
+	}
+}
+
+func TestCheckWellFormedShapes(t *testing.T) {
+	key := testKey(t, 4)
+	valid := makeSignedTx(t, key, OutPoint{}, 5, 5)
+
+	cases := []struct {
+		name string
+		tx   *Transaction
+	}{
+		{"no outputs", &Transaction{Kind: TxRegular, Inputs: valid.Inputs}},
+		{"negative value", &Transaction{Kind: TxCoinbase, Outputs: []TxOutput{{Value: -1}}}},
+		{"overflow value", &Transaction{Kind: TxCoinbase, Outputs: []TxOutput{{Value: MaxAmount + 1}}}},
+		{"coinbase with inputs", &Transaction{Kind: TxCoinbase, Inputs: valid.Inputs, Outputs: valid.Outputs}},
+		{"regular without inputs", &Transaction{Kind: TxRegular, Outputs: valid.Outputs}},
+		{"poison without evidence", &Transaction{Kind: TxPoison, Outputs: valid.Outputs}},
+		{"regular with evidence", &Transaction{Kind: TxRegular, Inputs: valid.Inputs, Outputs: valid.Outputs, Evidence: &PoisonEvidence{}}},
+		{"regular with height", func() *Transaction {
+			tx := makeSignedTx(t, key, OutPoint{}, 5, 5)
+			tx.Height = 7
+			return tx
+		}()},
+		{"unknown kind", &Transaction{Kind: 99, Outputs: valid.Outputs}},
+	}
+	for _, c := range cases {
+		if err := c.tx.CheckWellFormed(); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestCoinbaseWellFormed(t *testing.T) {
+	cb := &Transaction{
+		Kind:    TxCoinbase,
+		Outputs: []TxOutput{{Value: 50, To: crypto.Address{1}}},
+		Height:  10,
+	}
+	if err := cb.CheckWellFormed(); err != nil {
+		t.Errorf("valid coinbase rejected: %v", err)
+	}
+}
+
+func TestPoisonEvidenceRoundTrip(t *testing.T) {
+	leader := testKey(t, 5)
+	hdr := MicroBlockHeader{
+		Prev:      crypto.HashBytes([]byte("parent")),
+		TxRoot:    crypto.HashBytes([]byte("root")),
+		TimeNanos: 12345,
+	}
+	hdr.Sign(leader)
+	tx := &Transaction{
+		Kind:    TxPoison,
+		Outputs: []TxOutput{{Value: 1, To: crypto.Address{2}}},
+		Evidence: &PoisonEvidence{
+			Culprit:  crypto.HashBytes([]byte("keyblock")),
+			Pruned:   hdr,
+			Conflict: crypto.HashBytes([]byte("mainchain micro")),
+		},
+	}
+	if err := tx.CheckWellFormed(); err != nil {
+		t.Fatalf("valid poison rejected: %v", err)
+	}
+	var out Transaction
+	if err := wire.Decode(wire.Encode(tx), &out); err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if out.Evidence == nil || out.Evidence.Pruned.Signature != hdr.Signature {
+		t.Error("evidence lost in round trip")
+	}
+	if !out.Evidence.Pruned.VerifySignature(leader.Public()) {
+		t.Error("decoded evidence signature invalid")
+	}
+}
+
+func TestOutputSum(t *testing.T) {
+	tx := &Transaction{Outputs: []TxOutput{{Value: 3}, {Value: 4}}}
+	if got := tx.OutputSum(); got != 7 {
+		t.Errorf("OutputSum = %d", got)
+	}
+}
+
+func TestWireSizeTracksPadding(t *testing.T) {
+	key := testKey(t, 6)
+	tx := makeSignedTx(t, key, OutPoint{}, 1, 1)
+	base := tx.WireSize()
+	tx.Padding = make([]byte, 100)
+	tx.Invalidate()
+	if got := tx.WireSize(); got != base+100 {
+		t.Errorf("WireSize with padding = %d, base = %d", got, base)
+	}
+}
+
+func TestTransactionDecodeRejectsJunkProperty(t *testing.T) {
+	// Random byte strings must either fail to decode or decode to a value
+	// that re-encodes to the same bytes (decode/encode is an identity on
+	// the valid subset).
+	f := func(b []byte) bool {
+		var tx Transaction
+		if err := wire.Decode(b, &tx); err != nil {
+			return true
+		}
+		out := wire.Encode(&tx)
+		if len(out) != len(b) {
+			return false
+		}
+		for i := range out {
+			if out[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,278 @@
+// Package utxo implements the replicated state machine the blockchain
+// serializes (§2, §3 of the paper): an unspent-transaction-output set with
+// atomic block application, undo records for chain reorganizations, coinbase
+// maturity, and Bitcoin-NG poison revocation of fraudulent leader revenue
+// (§4.5).
+package utxo
+
+import (
+	"errors"
+	"fmt"
+
+	"bitcoinng/internal/crypto"
+	"bitcoinng/internal/types"
+)
+
+// Entry is one unspent output.
+type Entry struct {
+	Value types.Amount
+	To    crypto.Address
+	// Coinbase entries are spendable only after the maturity period
+	// (§4.4) and are the only entries poison transactions can revoke.
+	Coinbase bool
+	// Height is the key-height (PoW-block height for Bitcoin) of the block
+	// that created the entry, used for the maturity check.
+	Height uint64
+	// Revoked entries belonged to a leader proven fraudulent (§4.5); they
+	// can never be spent.
+	Revoked bool
+}
+
+// Validation errors.
+var (
+	ErrMissingInput    = errors.New("utxo: input not found or already spent")
+	ErrWrongOwner      = errors.New("utxo: input key does not own the output")
+	ErrImmature        = errors.New("utxo: coinbase output not yet mature")
+	ErrRevokedInput    = errors.New("utxo: output revoked by poison transaction")
+	ErrValueOverflow   = errors.New("utxo: outputs exceed inputs")
+	ErrUnknownCulprit  = errors.New("utxo: poison target coinbase unknown")
+	ErrAlreadyPoisoned = errors.New("utxo: cheater already poisoned")
+	ErrExcessReward    = errors.New("utxo: poison reward exceeds allowed fraction")
+	ErrDuplicateOutput = errors.New("utxo: output already exists")
+)
+
+// BlockContext carries the contextual information ApplyBlock needs.
+type BlockContext struct {
+	// Height is the key-height of the block being applied (microblocks use
+	// their epoch's key height).
+	Height uint64
+	// Params supplies CoinbaseMaturity and PoisonRewardFrac.
+	Params types.Params
+	// PoisonTargets maps a poison transaction's ID to the coinbase
+	// transaction ID of the culprit it revokes. The chain layer resolves
+	// the mapping from the evidence (culprit key block → its coinbase)
+	// after verifying the fraud proof.
+	PoisonTargets map[crypto.Hash]crypto.Hash
+}
+
+// Set is the UTXO set. It is not safe for concurrent use; each protocol node
+// owns one (or a small number, for staging branch validation).
+type Set struct {
+	entries  map[types.OutPoint]Entry
+	poisoned map[crypto.Hash]bool // coinbase txids already revoked
+}
+
+// New returns an empty set.
+func New() *Set {
+	return &Set{
+		entries:  make(map[types.OutPoint]Entry),
+		poisoned: make(map[crypto.Hash]bool),
+	}
+}
+
+// Len returns the number of unspent entries.
+func (s *Set) Len() int { return len(s.entries) }
+
+// Lookup returns the entry for op, if present.
+func (s *Set) Lookup(op types.OutPoint) (Entry, bool) {
+	e, ok := s.entries[op]
+	return e, ok
+}
+
+// Range iterates the unspent entries in unspecified order until fn returns
+// false. Callers must not mutate the set during iteration.
+func (s *Set) Range(fn func(op types.OutPoint, e Entry) bool) {
+	for op, e := range s.entries {
+		if !fn(op, e) {
+			return
+		}
+	}
+}
+
+// BalanceOf sums the spendable (non-revoked) value paid to addr. It is a
+// linear scan intended for wallets and tests, not consensus.
+func (s *Set) BalanceOf(addr crypto.Address) types.Amount {
+	var sum types.Amount
+	for _, e := range s.entries {
+		if e.To == addr && !e.Revoked {
+			sum += e.Value
+		}
+	}
+	return sum
+}
+
+// Clone returns a deep copy, used to stage validation of a candidate branch
+// without touching the active state.
+func (s *Set) Clone() *Set {
+	c := &Set{
+		entries:  make(map[types.OutPoint]Entry, len(s.entries)),
+		poisoned: make(map[crypto.Hash]bool, len(s.poisoned)),
+	}
+	for op, e := range s.entries {
+		c.entries[op] = e
+	}
+	for id := range s.poisoned {
+		c.poisoned[id] = true
+	}
+	return c
+}
+
+// spentRecord remembers a consumed entry so Undo can restore it.
+type spentRecord struct {
+	Op    types.OutPoint
+	Entry Entry
+}
+
+// Undo reverses one block application.
+type Undo struct {
+	created  []types.OutPoint
+	spent    []spentRecord
+	revoked  []types.OutPoint // entries flipped to Revoked
+	poisoned []crypto.Hash    // coinbase txids newly marked poisoned
+}
+
+// checkSpend validates that input i of tx may spend from the set at the
+// given context and returns the entry.
+func (s *Set) checkSpend(tx *types.Transaction, i int, ctx *BlockContext) (Entry, error) {
+	in := &tx.Inputs[i]
+	e, ok := s.entries[in.Prev]
+	if !ok {
+		return Entry{}, fmt.Errorf("%w: %v", ErrMissingInput, in.Prev)
+	}
+	if e.Revoked {
+		return Entry{}, fmt.Errorf("%w: %v", ErrRevokedInput, in.Prev)
+	}
+	if tx.InputAddr(i) != e.To {
+		return Entry{}, fmt.Errorf("%w: %v", ErrWrongOwner, in.Prev)
+	}
+	if e.Coinbase && ctx.Height-e.Height < uint64(ctx.Params.CoinbaseMaturity) {
+		return Entry{}, fmt.Errorf("%w: %v at height %d, needs %d confirmations",
+			ErrImmature, in.Prev, e.Height, ctx.Params.CoinbaseMaturity)
+	}
+	return e, nil
+}
+
+// applyTx validates and applies one transaction, appending to undo.
+// Signature validity is intrinsic (checked by CheckWellFormed before the
+// block reaches the state machine); applyTx checks the contextual rules.
+func (s *Set) applyTx(tx *types.Transaction, ctx *BlockContext, undo *Undo) (fee types.Amount, err error) {
+	txid := tx.ID()
+	switch tx.Kind {
+	case types.TxPoison:
+		if err := s.applyPoison(tx, txid, ctx, undo); err != nil {
+			return 0, err
+		}
+	case types.TxCoinbase:
+		// Amount correctness is the chain layer's concern (it knows the
+		// subsidy and collected fees); here a coinbase just mints.
+	default:
+		var inSum types.Amount
+		for i := range tx.Inputs {
+			e, err := s.checkSpend(tx, i, ctx)
+			if err != nil {
+				return 0, fmt.Errorf("tx %s input %d: %w", txid.Short(), i, err)
+			}
+			inSum += e.Value
+			undo.spent = append(undo.spent, spentRecord{Op: tx.Inputs[i].Prev, Entry: e})
+			delete(s.entries, tx.Inputs[i].Prev)
+		}
+		outSum := tx.OutputSum()
+		if outSum > inSum {
+			return 0, fmt.Errorf("tx %s: %w (%d > %d)", txid.Short(), ErrValueOverflow, outSum, inSum)
+		}
+		fee = inSum - outSum
+	}
+
+	// Genesis payouts (height 0) are exempt from maturity so experiment
+	// workloads can spend immediately.
+	isCoinbase := tx.Kind == types.TxCoinbase && ctx.Height > 0
+	for i := range tx.Outputs {
+		op := types.OutPoint{TxID: txid, Index: uint32(i)}
+		if _, exists := s.entries[op]; exists {
+			return 0, fmt.Errorf("%w: %v", ErrDuplicateOutput, op)
+		}
+		s.entries[op] = Entry{
+			Value:    tx.Outputs[i].Value,
+			To:       tx.Outputs[i].To,
+			Coinbase: isCoinbase,
+			Height:   ctx.Height,
+		}
+		undo.created = append(undo.created, op)
+	}
+	return fee, nil
+}
+
+// applyPoison revokes the culprit's unspent coinbase outputs and checks the
+// poisoner's reward does not exceed the allowed fraction of the revoked
+// value (§4.5: "a poison transaction grants the current leader a fraction of
+// that compensation, e.g., 5%"; the rest is lost).
+func (s *Set) applyPoison(tx *types.Transaction, txid crypto.Hash, ctx *BlockContext, undo *Undo) error {
+	culpritCB, ok := ctx.PoisonTargets[txid]
+	if !ok {
+		return fmt.Errorf("%w: poison %s", ErrUnknownCulprit, txid.Short())
+	}
+	if s.poisoned[culpritCB] {
+		// "Only one poison transaction can be placed per cheater."
+		return fmt.Errorf("%w: coinbase %s", ErrAlreadyPoisoned, culpritCB.Short())
+	}
+	var revokedValue types.Amount
+	for op, e := range s.entries {
+		if op.TxID == culpritCB && !e.Revoked {
+			e.Revoked = true
+			s.entries[op] = e
+			undo.revoked = append(undo.revoked, op)
+			revokedValue += e.Value
+		}
+	}
+	reward := types.Amount(float64(revokedValue) * ctx.Params.PoisonRewardFrac)
+	if tx.OutputSum() > reward {
+		return fmt.Errorf("%w: %d > %d", ErrExcessReward, tx.OutputSum(), reward)
+	}
+	s.poisoned[culpritCB] = true
+	undo.poisoned = append(undo.poisoned, culpritCB)
+	return nil
+}
+
+// ApplyBlock validates and applies a block's transactions atomically. On
+// success it returns the undo record and the fee collected from each
+// transaction (indexed like txs). On failure the set is unchanged.
+//
+// Later transactions may spend outputs created by earlier transactions in
+// the same block, matching Bitcoin semantics.
+func (s *Set) ApplyBlock(txs []*types.Transaction, ctx BlockContext) (*Undo, []types.Amount, error) {
+	undo := &Undo{}
+	fees := make([]types.Amount, len(txs))
+	for i, tx := range txs {
+		fee, err := s.applyTx(tx, &ctx, undo)
+		if err != nil {
+			s.UndoBlock(undo)
+			return nil, nil, fmt.Errorf("block tx %d: %w", i, err)
+		}
+		fees[i] = fee
+	}
+	return undo, fees, nil
+}
+
+// UndoBlock reverses a block application. Undo records must be applied in
+// reverse order of the blocks they came from.
+func (s *Set) UndoBlock(u *Undo) {
+	for i := len(u.created) - 1; i >= 0; i-- {
+		delete(s.entries, u.created[i])
+	}
+	for i := len(u.spent) - 1; i >= 0; i-- {
+		s.entries[u.spent[i].Op] = u.spent[i].Entry
+	}
+	for i := len(u.revoked) - 1; i >= 0; i-- {
+		if e, ok := s.entries[u.revoked[i]]; ok {
+			e.Revoked = false
+			s.entries[u.revoked[i]] = e
+		}
+	}
+	for i := len(u.poisoned) - 1; i >= 0; i-- {
+		delete(s.poisoned, u.poisoned[i])
+	}
+}
+
+// Poisoned reports whether the coinbase txid has been revoked by a poison
+// transaction.
+func (s *Set) Poisoned(coinbaseID crypto.Hash) bool { return s.poisoned[coinbaseID] }

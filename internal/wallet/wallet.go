@@ -1,0 +1,135 @@
+// Package wallet implements key management and transaction construction on
+// top of the UTXO state machine: the "users command addresses, and send
+// Bitcoins by forming a transaction from her address to another's address"
+// role of §3.
+package wallet
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"bitcoinng/internal/chain"
+	"bitcoinng/internal/crypto"
+	"bitcoinng/internal/types"
+	"bitcoinng/internal/utxo"
+)
+
+// Wallet errors.
+var (
+	ErrInsufficientFunds = errors.New("wallet: insufficient spendable funds")
+	ErrBadAmount         = errors.New("wallet: amount must be positive")
+)
+
+// Wallet owns one key pair and builds transactions against a chain state.
+type Wallet struct {
+	key *crypto.PrivateKey
+}
+
+// New creates a wallet around an existing key.
+func New(key *crypto.PrivateKey) *Wallet { return &Wallet{key: key} }
+
+// Generate creates a wallet with a fresh key from the entropy source.
+func Generate(rand io.Reader) (*Wallet, error) {
+	key, err := crypto.GenerateKey(rand)
+	if err != nil {
+		return nil, err
+	}
+	return &Wallet{key: key}, nil
+}
+
+// Key returns the wallet's private key (the protocol node needs it for
+// microblock signing when this wallet's owner leads).
+func (w *Wallet) Key() *crypto.PrivateKey { return w.key }
+
+// Address returns the wallet's receiving address.
+func (w *Wallet) Address() crypto.Address { return w.key.Public().Addr() }
+
+// utxoRef is one spendable output found during a scan.
+type utxoRef struct {
+	op    types.OutPoint
+	entry utxo.Entry
+}
+
+// spendable lists the wallet's usable outputs at the chain tip: unrevoked,
+// and past coinbase maturity.
+func (w *Wallet) spendable(st *chain.State) []utxoRef {
+	addr := w.Address()
+	height := st.KeyHeight()
+	maturity := uint64(st.Params().CoinbaseMaturity)
+	var out []utxoRef
+	st.UTXO().Range(func(op types.OutPoint, e utxo.Entry) bool {
+		if e.To != addr || e.Revoked {
+			return true
+		}
+		if e.Coinbase && height-e.Height < maturity {
+			return true
+		}
+		out = append(out, utxoRef{op: op, entry: e})
+		return true
+	})
+	// Deterministic order: largest first, then outpoint for stability.
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].entry.Value != out[j].entry.Value {
+			return out[i].entry.Value > out[j].entry.Value
+		}
+		if out[i].op.TxID != out[j].op.TxID {
+			return out[i].op.TxID.String() < out[j].op.TxID.String()
+		}
+		return out[i].op.Index < out[j].op.Index
+	})
+	return out
+}
+
+// Balance returns the wallet's spendable balance at the tip.
+func (w *Wallet) Balance(st *chain.State) types.Amount {
+	var sum types.Amount
+	for _, ref := range w.spendable(st) {
+		sum += ref.entry.Value
+	}
+	return sum
+}
+
+// Pay builds and signs a transaction sending amount to `to`, paying fee on
+// top, returning change to the wallet. Coins are selected largest-first.
+func (w *Wallet) Pay(st *chain.State, to crypto.Address, amount, fee types.Amount) (*types.Transaction, error) {
+	if amount <= 0 || fee < 0 {
+		return nil, fmt.Errorf("%w: amount %d fee %d", ErrBadAmount, amount, fee)
+	}
+	need := amount + fee
+	var (
+		selected []utxoRef
+		total    types.Amount
+	)
+	for _, ref := range w.spendable(st) {
+		selected = append(selected, ref)
+		total += ref.entry.Value
+		if total >= need {
+			break
+		}
+	}
+	if total < need {
+		return nil, fmt.Errorf("%w: have %d, need %d", ErrInsufficientFunds, total, need)
+	}
+	tx := &types.Transaction{
+		Kind:    types.TxRegular,
+		Inputs:  make([]types.TxInput, len(selected)),
+		Outputs: []types.TxOutput{{Value: amount, To: to}},
+	}
+	for i, ref := range selected {
+		tx.Inputs[i].Prev = ref.op
+	}
+	if change := total - need; change > 0 {
+		tx.Outputs = append(tx.Outputs, types.TxOutput{Value: change, To: w.Address()})
+	}
+	// All public keys must be in place before the first signature: the
+	// signature hash covers every input's key.
+	for i := range tx.Inputs {
+		tx.Inputs[i].PubKey = w.key.Public()
+	}
+	for i := range tx.Inputs {
+		tx.SignInput(i, w.key)
+	}
+	return tx, nil
+}

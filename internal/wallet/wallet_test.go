@@ -1,0 +1,179 @@
+package wallet
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"bitcoinng/internal/bitcoin"
+	"bitcoinng/internal/chain"
+	"bitcoinng/internal/crypto"
+	"bitcoinng/internal/types"
+)
+
+// newState builds a chain whose genesis funds the wallet with the given
+// output values.
+func newState(t *testing.T, w *Wallet, values ...types.Amount) *chain.State {
+	t.Helper()
+	payouts := make([]types.TxOutput, len(values))
+	for i, v := range values {
+		payouts[i] = types.TxOutput{Value: v, To: w.Address()}
+	}
+	genesis := types.GenesisBlock(types.GenesisSpec{
+		Target:  crypto.EasiestTarget,
+		Payouts: payouts,
+	})
+	params := types.DefaultParams()
+	params.RandomTieBreak = false
+	st, err := chain.New(genesis, params, bitcoin.Rules{AllowSimulatedPoW: true}, &chain.HeaviestChain{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func testWallet(t *testing.T, seed int64) *Wallet {
+	t.Helper()
+	w, err := Generate(rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestBalance(t *testing.T) {
+	w := testWallet(t, 1)
+	st := newState(t, w, 100, 250)
+	if got := w.Balance(st); got != 350 {
+		t.Errorf("balance = %d, want 350", got)
+	}
+	other := testWallet(t, 2)
+	if got := other.Balance(st); got != 0 {
+		t.Errorf("stranger balance = %d", got)
+	}
+}
+
+func TestPayBuildsValidTransaction(t *testing.T) {
+	w := testWallet(t, 3)
+	st := newState(t, w, 500)
+	dest := testWallet(t, 4).Address()
+
+	tx, err := w.Pay(st, dest, 300, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.CheckWellFormed(); err != nil {
+		t.Fatalf("built tx invalid: %v", err)
+	}
+	// Outputs: 300 to dest, 190 change.
+	if tx.Outputs[0].Value != 300 || tx.Outputs[0].To != dest {
+		t.Errorf("payment output wrong: %+v", tx.Outputs[0])
+	}
+	if len(tx.Outputs) != 2 || tx.Outputs[1].Value != 190 || tx.Outputs[1].To != w.Address() {
+		t.Errorf("change output wrong")
+	}
+	// It actually connects through the state machine.
+	fees := applyViaBlock(t, st, tx)
+	if fees != 10 {
+		t.Errorf("collected fee = %d, want 10", fees)
+	}
+	if got := w.Balance(st); got != 190 {
+		t.Errorf("post-spend balance = %d, want 190", got)
+	}
+}
+
+// applyViaBlock mines the tx into a block on st and returns its fee.
+func applyViaBlock(t *testing.T, st *chain.State, tx *types.Transaction) types.Amount {
+	t.Helper()
+	key, err := crypto.GenerateKey(rand.New(rand.NewSource(99)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	txs := []*types.Transaction{
+		{
+			Kind:    types.TxCoinbase,
+			Outputs: []types.TxOutput{{Value: st.Params().Subsidy, To: key.Public().Addr()}},
+			Height:  st.KeyHeight() + 1,
+		},
+		tx,
+	}
+	b := &types.PowBlock{
+		Header: types.PowHeader{
+			Prev:       st.Tip().Hash(),
+			MerkleRoot: crypto.MerkleRoot(types.TxIDs(txs)),
+			TimeNanos:  st.Tip().Block.Time() + 1,
+			Target:     crypto.EasiestTarget,
+		},
+		Txs:          txs,
+		SimulatedPoW: true,
+	}
+	if _, err := st.AddBlock(b, b.Header.TimeNanos); err != nil {
+		t.Fatalf("block with wallet tx rejected: %v", err)
+	}
+	return st.FeeTotal(b.Hash()) // coinbase contributes zero
+}
+
+func TestPayMultiInput(t *testing.T) {
+	w := testWallet(t, 5)
+	st := newState(t, w, 100, 100, 100)
+	dest := crypto.Address{9}
+
+	// 250 needs all three outputs (selection is largest-first, all equal).
+	tx, err := w.Pay(st, dest, 240, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tx.Inputs) != 3 {
+		t.Fatalf("inputs = %d, want 3", len(tx.Inputs))
+	}
+	if err := tx.CheckWellFormed(); err != nil {
+		t.Fatalf("multi-input tx invalid: %v", err)
+	}
+	applyViaBlock(t, st, tx)
+	if got := w.Balance(st); got != 50 {
+		t.Errorf("change = %d, want 50", got)
+	}
+}
+
+func TestPayInsufficientFunds(t *testing.T) {
+	w := testWallet(t, 6)
+	st := newState(t, w, 100)
+	if _, err := w.Pay(st, crypto.Address{1}, 100, 1); !errors.Is(err, ErrInsufficientFunds) {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := w.Pay(st, crypto.Address{1}, 0, 0); !errors.Is(err, ErrBadAmount) {
+		t.Errorf("zero amount err = %v", err)
+	}
+}
+
+func TestPaySkipsImmatureCoinbase(t *testing.T) {
+	w := testWallet(t, 7)
+	st := newState(t, w, 50)
+
+	// Mine a block whose coinbase pays the wallet: immature for 100 blocks.
+	txs := []*types.Transaction{{
+		Kind:    types.TxCoinbase,
+		Outputs: []types.TxOutput{{Value: 1000, To: w.Address()}},
+		Height:  1,
+	}}
+	b := &types.PowBlock{
+		Header: types.PowHeader{
+			Prev:       st.Tip().Hash(),
+			MerkleRoot: crypto.MerkleRoot(types.TxIDs(txs)),
+			TimeNanos:  1,
+			Target:     crypto.EasiestTarget,
+		},
+		Txs:          txs,
+		SimulatedPoW: true,
+	}
+	if _, err := st.AddBlock(b, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Balance counts only the mature 50.
+	if got := w.Balance(st); got != 50 {
+		t.Errorf("balance = %d, want 50 (coinbase immature)", got)
+	}
+	if _, err := w.Pay(st, crypto.Address{2}, 500, 0); !errors.Is(err, ErrInsufficientFunds) {
+		t.Errorf("immature spend err = %v", err)
+	}
+}
