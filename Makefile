@@ -1,0 +1,18 @@
+GO ?= go
+
+.PHONY: build vet test race bench
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test: build
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -short ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' .

@@ -30,8 +30,8 @@ func wireDecode(in wire.Encoder, out wire.Decoder) error {
 }
 
 // benchScale keeps `go test -bench=.` in tens of seconds; the shape of every
-// curve survives the scale-down (EXPERIMENTS.md compares against paper
-// scale).
+// curve survives the scale-down (DESIGN.md §3 notes the paper-scale
+// comparison via cmd/ngbench).
 func benchScale() Scale { return Scale{Nodes: 100, Blocks: 30, Seed: 1} }
 
 // BenchmarkFigure6MiningPowerDistribution regenerates Figure 6: 52 weeks of

@@ -8,20 +8,26 @@
 //
 // This root package is the public API surface. It offers three entry points:
 //
-//   - Experiments: Run one measured execution (RunExperiment) or a whole
-//     figure sweep (Figure7, Figure8a, Figure8b) on the discrete-event
-//     emulated network, and read back the §6 metrics in a Report.
+//   - Experiments: Run one measured execution (RunExperiment on a config
+//     from NewExperiment) or a whole figure sweep (Figure7, Figure8a,
+//     Figure8b) on the discrete-event emulated network, and read back the
+//     §6 metrics in a Report.
 //
-//   - Clusters: NewCluster builds an interactive in-process network of
-//     protocol nodes on the emulator — drive virtual time, submit
-//     transactions from wallets, watch leadership and chains move. The
-//     examples/ directory is built on this.
+//   - Clusters: New builds an interactive in-process network of protocol
+//     nodes on the emulator — drive virtual time, submit transactions from
+//     wallets, watch leadership and chains move. The examples/ directory is
+//     built on this.
 //
 //   - Live nodes: the cmd/ngnode binary runs the same protocol code over
 //     real TCP with real proof-of-work at configurable difficulty.
 //
-// See DESIGN.md for the system inventory and the experiment index, and
-// EXPERIMENTS.md for paper-versus-measured results.
+// Two abstractions compose across all three: the protocol registry
+// (RegisterProtocol — every harness assembles nodes through it, so a new
+// protocol variant plugs in without touching them) and the Scenario API
+// (NewScenario/At — scripted partitions, churn, and attacks that run on
+// any harness's event loop).
+//
+// See DESIGN.md for the architecture and the experiment index.
 package bitcoinng
 
 import (
@@ -30,22 +36,24 @@ import (
 	"bitcoinng/internal/crypto"
 	"bitcoinng/internal/experiment"
 	"bitcoinng/internal/metrics"
+	"bitcoinng/internal/protocol"
 	"bitcoinng/internal/stats"
 	"bitcoinng/internal/types"
 )
 
-// Protocol selects a consensus protocol implementation.
-type Protocol = experiment.Protocol
+// Protocol selects a consensus protocol implementation by its registered
+// name (see RegisterProtocol).
+type Protocol = protocol.Protocol
 
 // The protocols this repository implements.
 const (
 	// Bitcoin is the baseline Nakamoto blockchain (§3 of the paper).
-	Bitcoin = experiment.Bitcoin
+	Bitcoin = protocol.Bitcoin
 	// BitcoinNG is the paper's contribution (§4): key blocks elect
 	// leaders, microblocks serialize transactions.
-	BitcoinNG = experiment.BitcoinNG
+	BitcoinNG = protocol.BitcoinNG
 	// GHOST is the heaviest-subtree baseline discussed in §9.
-	GHOST = experiment.GHOST
+	GHOST = protocol.GHOST
 )
 
 // Frequently used value types, re-exported for the public API.
@@ -60,6 +68,8 @@ type (
 	Hash = crypto.Hash
 	// Transaction is a ledger entry.
 	Transaction = types.Transaction
+	// Block is a chain block of any kind (PoW, key, micro).
+	Block = types.Block
 	// Report carries the §6 metrics for one run.
 	Report = metrics.Report
 	// Fit is a least-squares line with R² (Figure 6/7 checks).

@@ -4,14 +4,12 @@ import (
 	"fmt"
 	"time"
 
-	"bitcoinng/internal/bitcoin"
 	"bitcoinng/internal/chain"
-	"bitcoinng/internal/core"
 	"bitcoinng/internal/crypto"
-	"bitcoinng/internal/ghost"
 	"bitcoinng/internal/metrics"
 	"bitcoinng/internal/mining"
 	"bitcoinng/internal/node"
+	"bitcoinng/internal/protocol"
 	"bitcoinng/internal/sim"
 	"bitcoinng/internal/simnet"
 	"bitcoinng/internal/types"
@@ -19,8 +17,13 @@ import (
 )
 
 // ClusterConfig describes an interactive in-process network.
+//
+// Deprecated: prefer New with functional options (WithParams, WithAutoMine,
+// WithScenario, ...); NewCluster remains as a thin shim over the same
+// assembly path.
 type ClusterConfig struct {
-	// Protocol selects the client implementation; default BitcoinNG.
+	// Protocol selects the client implementation from the protocol
+	// registry; default BitcoinNG.
 	Protocol Protocol
 	// Nodes is the network size (≥ 2).
 	Nodes int
@@ -32,13 +35,22 @@ type ClusterConfig struct {
 	// genesis (spendable immediately).
 	FundPerNode Amount
 	// AutoMine attaches simulated miners with power following the paper's
-	// exponential rank distribution; without it, call Node(i).MineBlock /
-	// MineKeyBlock manually.
+	// exponential rank distribution; without it, call Node(i).MineBlock
+	// manually.
 	AutoMine bool
+	// Censors lists node indices that, while leading, publish empty
+	// microblocks — the §5.2 "Censorship Resistance" DoS behaviour whose
+	// influence ends with the next honest key block.
+	Censors []int
+	// Scenario, if set, is armed at build time: each step fires at its
+	// offset from virtual time zero as Run advances the clock. Use
+	// Cluster.Play to run a scenario relative to the current time instead.
+	Scenario *Scenario
 }
 
 // Cluster is an interactive emulated network. All methods must be called
-// from one goroutine; time only advances inside Run/RunUntil.
+// from one goroutine; time only advances inside Run and Play. Cluster
+// implements the Scenario Runtime, so scripted steps act on it directly.
 type Cluster struct {
 	cfg       ClusterConfig
 	loop      *sim.Loop
@@ -46,20 +58,22 @@ type Cluster struct {
 	collector *metrics.Collector
 	nodes     []*ClusterNode
 	genesis   *types.PowBlock
+	scenErrs  []error
 }
 
 // ClusterNode is one node handle.
 type ClusterNode struct {
 	id     int
+	client protocol.Client
 	base   *node.Base
-	ng     *core.Node    // nil unless BitcoinNG
-	btc    *bitcoin.Node // nil for BitcoinNG
 	miner  *mining.Miner
 	wallet *wallet.Wallet
 }
 
 // NewCluster builds the network, funds wallets, and (with AutoMine) arms
 // miners. Nothing runs until Run is called.
+//
+// Deprecated: use New with functional options.
 func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	if cfg.Nodes < 2 {
 		return nil, fmt.Errorf("bitcoinng: cluster needs at least 2 nodes")
@@ -70,6 +84,10 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	if cfg.Params == (Params{}) {
 		cfg.Params = DefaultParams()
 		cfg.Params.RetargetWindow = 0
+	}
+	censors, err := protocol.CensorSet(cfg.Nodes, cfg.Censors)
+	if err != nil {
+		return nil, fmt.Errorf("bitcoinng: %w", err)
 	}
 	loop := sim.NewLoop(0)
 	network := simnet.New(loop, simnet.DefaultConfig(cfg.Nodes, cfg.Seed))
@@ -105,53 +123,35 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 
 	for i := 0; i < cfg.Nodes; i++ {
 		env := simnet.NewNodeEnv(loop, network, i, cfg.Seed)
-		cn := &ClusterNode{id: i, wallet: wallet.New(keys[i])}
-		var onFind func()
-		switch cfg.Protocol {
-		case BitcoinNG:
-			n, err := core.New(env, core.Config{
-				Params:          cfg.Params,
-				Key:             keys[i],
-				Genesis:         genesis,
-				Recorder:        collector,
-				SimulatedMining: true,
-			})
-			if err != nil {
-				return nil, err
-			}
-			cn.ng, cn.base = n, n.Base
-			onFind = func() { n.MineKeyBlock() }
-			env.Deliver(n.HandleMessage)
-		case Bitcoin, GHOST:
-			bcfg := bitcoin.Config{
-				Params:          cfg.Params,
-				Key:             keys[i],
-				Genesis:         genesis,
-				Recorder:        collector,
-				SimulatedMining: true,
-			}
-			var n *bitcoin.Node
-			var err error
-			if cfg.Protocol == GHOST {
-				n, err = ghost.New(env, bcfg)
-			} else {
-				n, err = bitcoin.New(env, bcfg)
-			}
-			if err != nil {
-				return nil, err
-			}
-			cn.btc, cn.base = n, n.Base
-			onFind = func() { n.MineBlock() }
-			env.Deliver(n.HandleMessage)
-		default:
-			return nil, fmt.Errorf("bitcoinng: unknown protocol %q", cfg.Protocol)
+		client, err := protocol.Build(env, protocol.Spec{
+			Protocol:           protocol.Protocol(cfg.Protocol),
+			Params:             cfg.Params,
+			Key:                keys[i],
+			Genesis:            genesis,
+			Recorder:           collector,
+			SimulatedMining:    true,
+			CensorTransactions: censors[i],
+		})
+		if err != nil {
+			return nil, err
 		}
-		cn.miner = mining.NewMiner(loop, sim.NewRand(cfg.Seed, uint64(0x40000+i)), onFind)
+		env.Deliver(client.HandleMessage)
+		cn := &ClusterNode{
+			id:     i,
+			client: client,
+			base:   client.Base(),
+			wallet: wallet.New(keys[i]),
+		}
+		cn.miner = mining.NewMiner(loop, sim.NewRand(cfg.Seed, uint64(0x40000+i)),
+			func() { client.MineBlock() })
 		if cfg.AutoMine {
 			cn.miner.SetRate(shares[i] * totalRate)
 			cn.miner.Start()
 		}
 		c.nodes = append(c.nodes, cn)
+	}
+	if cfg.Scenario != nil {
+		c.schedule(cfg.Scenario, nil)
 	}
 	return c, nil
 }
@@ -159,20 +159,75 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 // Run advances virtual time by d, processing everything scheduled within it.
 func (c *Cluster) Run(d time.Duration) { c.loop.RunFor(d) }
 
-// Partition cuts the network into the given groups of node indices; nodes
-// not listed join group 0. Messages across groups are lost until Heal.
-func (c *Cluster) Partition(groups ...[]int) {
-	assignment := make([]int, len(c.nodes))
-	for g, members := range groups {
-		for _, id := range members {
-			assignment[id] = g + 1
+// Play arms the scenario's steps relative to the current virtual time and
+// runs through its last step. It returns the first error from this
+// scenario's own steps (failures of a concurrently armed build-time
+// scenario surface via ScenarioErrors instead); scheduling is complete when
+// Play returns, so later Run calls execute nothing further from it.
+func (c *Cluster) Play(s *Scenario) error {
+	var first error
+	c.schedule(s, func(err error) {
+		if first == nil {
+			first = err
 		}
+	})
+	c.loop.RunFor(s.Duration())
+	return first
+}
+
+// ScenarioErrors returns every scenario step failure observed so far, in
+// firing order.
+func (c *Cluster) ScenarioErrors() []error { return c.scenErrs }
+
+// schedule arms s on the loop; each step failure is recorded in scenErrs
+// and, when own is non-nil, reported to it as well.
+func (c *Cluster) schedule(s *Scenario, own func(error)) {
+	s.Schedule(func(d time.Duration, fn func()) { c.loop.After(d, fn) }, c,
+		func(ts TimedStep, err error) {
+			wrapped := fmt.Errorf("bitcoinng: scenario step %q at %v: %w", ts.Step.Name, ts.Offset, err)
+			c.scenErrs = append(c.scenErrs, wrapped)
+			if own != nil {
+				own(wrapped)
+			}
+		})
+}
+
+// Partition cuts the network into the given groups of node indices; nodes
+// not listed join group 0. Messages across groups are lost until Heal. An
+// out-of-range node is an error.
+func (c *Cluster) Partition(groups ...[]int) error {
+	assignment, err := simnet.PartitionAssignment(len(c.nodes), groups)
+	if err != nil {
+		return fmt.Errorf("bitcoinng: %w", err)
 	}
 	c.net.SetPartition(assignment)
+	return nil
 }
 
 // Heal removes the partition; chains reconcile as the next blocks announce.
 func (c *Cluster) Heal() { c.net.SetPartition(nil) }
+
+// SetMiningRate adjusts one node's simulated mining power (blocks/sec) and
+// starts its miner; zero pauses it. Part of the Scenario Runtime. An
+// out-of-range node is an error.
+func (c *Cluster) SetMiningRate(node int, blocksPerSec float64) error {
+	if node < 0 || node >= len(c.nodes) {
+		return fmt.Errorf("bitcoinng: node %d out of range (cluster size %d)", node, len(c.nodes))
+	}
+	c.nodes[node].SetMiningRate(blocksPerSec)
+	return nil
+}
+
+// ScaleLatency multiplies every link's propagation delay (the LatencySpike
+// scenario step); 1 restores the configured model.
+func (c *Cluster) ScaleLatency(factor float64) { c.net.ScaleLatency(factor) }
+
+// Equivocate is the Scenario Runtime form of EquivocateLeader, discarding
+// the microblock hashes.
+func (c *Cluster) Equivocate(leader int, txA, txB *Transaction) error {
+	_, _, err := c.EquivocateLeader(leader, txA, txB)
+	return err
+}
 
 // Now returns the current virtual time.
 func (c *Cluster) Now() time.Duration { return time.Duration(c.loop.Now()) }
@@ -212,6 +267,10 @@ func (c *Cluster) Converged() bool {
 
 // ID returns the node's index.
 func (n *ClusterNode) ID() int { return n.id }
+
+// Client returns the node's protocol client; assert the protocol package's
+// capability interfaces on it for protocol-specific control.
+func (n *ClusterNode) Client() ProtocolClient { return n.client }
 
 // Wallet returns the node's wallet.
 func (n *ClusterNode) Wallet() *wallet.Wallet { return n.wallet }
@@ -253,20 +312,16 @@ func (n *ClusterNode) Pay(to Address, amount, fee Amount) (*Transaction, error) 
 // SubmitTx adds an externally built transaction to this node's pool.
 func (n *ClusterNode) SubmitTx(tx *Transaction) error { return n.base.SubmitTx(tx) }
 
-// IsLeader reports whether this node currently leads (Bitcoin-NG only).
+// IsLeader reports whether this node currently leads (protocols without
+// leadership always report false).
 func (n *ClusterNode) IsLeader() bool {
-	return n.ng != nil && n.ng.IsLeader()
+	l, ok := n.client.(protocol.Leader)
+	return ok && l.IsLeader()
 }
 
-// MineBlock forces one block find now: a key block under Bitcoin-NG, a
-// regular block otherwise.
-func (n *ClusterNode) MineBlock() {
-	if n.ng != nil {
-		n.ng.MineKeyBlock()
-		return
-	}
-	n.btc.MineBlock()
-}
+// MineBlock forces one block find now — a key block under Bitcoin-NG, a
+// regular block otherwise — and returns it.
+func (n *ClusterNode) MineBlock() types.Block { return n.client.MineBlock() }
 
 // SetMiningRate adjusts the node's simulated mining power (blocks/sec) and
 // starts the miner; zero pauses it — the churn experiments use this (§5.2).
@@ -275,59 +330,39 @@ func (n *ClusterNode) SetMiningRate(blocksPerSec float64) {
 	n.miner.Start()
 }
 
-// MicroblocksMined returns the node's microblock production count
-// (Bitcoin-NG only; zero otherwise).
+// MicroblocksMined returns the node's microblock production count (zero for
+// protocols without microblocks).
 func (n *ClusterNode) MicroblocksMined() uint64 {
-	if n.ng == nil {
-		return 0
+	if p, ok := n.client.(protocol.MicroblockProducer); ok {
+		return p.MicroblocksMined()
 	}
-	return n.ng.MicroblocksMined()
+	return 0
 }
 
-// FraudsDetected returns how many leader equivocations this Bitcoin-NG node
-// has witnessed and holds poison evidence for (§4.5).
+// FraudsDetected returns how many leader equivocations this node has
+// witnessed and holds poison evidence for (§4.5); zero for protocols
+// without fraud proofs.
 func (n *ClusterNode) FraudsDetected() int {
-	if n.ng == nil {
-		return 0
+	if w, ok := n.client.(protocol.FraudWitness); ok {
+		return w.FraudsDetected()
 	}
-	return len(n.ng.KnownFrauds())
+	return 0
 }
 
-// EquivocateLeader makes the given Bitcoin-NG node — which must currently
-// lead — sign two conflicting microblocks on its tip, each carrying one of
-// the transactions, and publish them to different peers: the split-brain
+// EquivocateLeader makes the given node — which must currently lead — sign
+// two conflicting microblocks on its tip, each carrying one of the
+// transactions, and publish them to different peers: the split-brain
 // double-spend of §4.5. It returns the two microblock hashes. Honest nodes
 // that see both detect the fraud and poison the leader once they lead.
 func (c *Cluster) EquivocateLeader(leaderID int, txA, txB *Transaction) (Hash, Hash, error) {
-	ln := c.nodes[leaderID]
-	if ln.ng == nil || !ln.ng.IsLeader() {
-		return Hash{}, Hash{}, fmt.Errorf("bitcoinng: node %d is not the current leader", leaderID)
+	if leaderID < 0 || leaderID >= len(c.nodes) {
+		return Hash{}, Hash{}, fmt.Errorf("bitcoinng: node %d out of range (cluster size %d)", leaderID, len(c.nodes))
 	}
-	tip := ln.base.State.Tip()
-	now := c.loop.Now()
-	minGap := int64(c.cfg.Params.MinMicroblockInterval)
-	build := func(tx *Transaction, extraNanos int64) *types.MicroBlock {
-		var txs []*types.Transaction
-		if tx != nil {
-			txs = []*types.Transaction{tx}
-		}
-		mb := &types.MicroBlock{
-			Header: types.MicroBlockHeader{
-				Prev:      tip.Hash(),
-				TxRoot:    crypto.MerkleRoot(types.TxIDs(txs)),
-				TimeNanos: now + minGap + extraNanos,
-			},
-			Txs: txs,
-		}
-		mb.Header.Sign(ln.wallet.Key())
-		return mb
+	leader := c.nodes[leaderID]
+	victim := c.nodes[protocol.EquivocationVictim(leaderID, len(c.nodes))]
+	mbA, mbB, err := protocol.PublishEquivocation(leaderID, leader.client, victim.client, txA, txB)
+	if err != nil {
+		return Hash{}, Hash{}, fmt.Errorf("bitcoinng: node %d (%s): %w", leaderID, c.cfg.Protocol, err)
 	}
-	mbA := build(txA, 0)
-	mbB := build(txB, 1) // distinct timestamp, distinct hash
-	// Publish the first normally; slip the second directly to a different
-	// node, as a targeted attacker would.
-	ln.base.ProcessBlock(mbA, -1)
-	victim := c.nodes[(leaderID+1)%len(c.nodes)]
-	victim.base.ProcessFn(mbB, leaderID)
 	return mbA.Hash(), mbB.Hash(), nil
 }

@@ -1,6 +1,8 @@
 // Command ngnode runs a live Bitcoin-NG node over TCP: real proof-of-work
 // key-block mining at a configurable difficulty, microblock production while
-// leading, and inv/getdata block relay with peers.
+// leading, and inv/getdata block relay with peers. The node is assembled
+// through the protocol registry — the same path the simulator harnesses use
+// — so protocol code runs unchanged between the emulator and live sockets.
 //
 // Start a two-node network on one machine:
 //
@@ -24,10 +26,10 @@ import (
 
 	"bitcoinng/internal/blockstore"
 	"bitcoinng/internal/chain"
-	"bitcoinng/internal/core"
 	"bitcoinng/internal/crypto"
 	"bitcoinng/internal/node"
 	"bitcoinng/internal/p2p"
+	"bitcoinng/internal/protocol"
 	"bitcoinng/internal/sim"
 	"bitcoinng/internal/types"
 )
@@ -69,15 +71,17 @@ func main() {
 	rt := p2p.New(p2p.Config{NodeID: *id, GenesisHash: genesis.Hash(), Seed: int64(*id)})
 	defer rt.Close()
 
-	n, err := core.New(rt, core.Config{
-		Params:  params,
-		Key:     key,
-		Genesis: genesis,
+	client, err := protocol.Build(rt, protocol.Spec{
+		Protocol: protocol.BitcoinNG,
+		Params:   params,
+		Key:      key,
+		Genesis:  genesis,
 	})
 	if err != nil {
 		log.Fatalf("node: %v", err)
 	}
-	rt.SetHandler(func(from int, msg node.Message) { n.HandleMessage(from, msg) })
+	base := client.Base()
+	rt.SetHandler(client.HandleMessage)
 
 	// Optional persistence: replay stored blocks into the chain, then keep
 	// appending everything the chain accepts.
@@ -92,7 +96,7 @@ func main() {
 		}
 		defer store.Close()
 		replayed, err := blockstore.ReplayInto(store, func(b types.Block) error {
-			res, err := n.State.AddBlock(b, b.Time())
+			res, err := base.State.AddBlock(b, b.Time())
 			if err != nil {
 				return err
 			}
@@ -104,9 +108,9 @@ func main() {
 		if err != nil {
 			log.Fatalf("replay: %v", err)
 		}
-		log.Printf("replayed %d blocks from %s (height %d)", replayed, store.Path(), n.State.Height())
-		prevProcess := n.Base.ProcessFn
-		n.Base.ProcessFn = func(b types.Block, from int) *chain.AddResult {
+		log.Printf("replayed %d blocks from %s (height %d)", replayed, store.Path(), base.State.Height())
+		prevProcess := base.ProcessFn
+		base.ProcessFn = func(b types.Block, from int) *chain.AddResult {
 			res := prevProcess(b, from)
 			for _, added := range res.Added {
 				if err := store.Append(added.Block); err != nil {
@@ -137,7 +141,11 @@ func main() {
 
 	stop := make(chan struct{})
 	if *mine {
-		go mineLoop(rt, n, stop)
+		assembler, ok := client.(protocol.KeyBlockAssembler)
+		if !ok {
+			log.Fatalf("protocol %q cannot assemble key blocks for live mining", protocol.BitcoinNG)
+		}
+		go mineLoop(rt, base, assembler, stop)
 	}
 
 	ticker := time.NewTicker(*status)
@@ -148,10 +156,18 @@ func main() {
 		select {
 		case <-ticker.C:
 			rt.Do(func() {
-				tip := n.State.Tip()
+				tip := base.State.Tip()
+				leading := false
+				if l, ok := client.(protocol.Leader); ok {
+					leading = l.IsLeader()
+				}
+				var micros uint64
+				if p, ok := client.(protocol.MicroblockProducer); ok {
+					micros = p.MicroblocksMined()
+				}
 				log.Printf("height=%d keyheight=%d tip=%s leader=%v peers=%d micro=%d",
-					tip.Height, tip.KeyHeight, tip.Hash().Short(), n.IsLeader(),
-					len(rt.Peers()), n.MicroblocksMined())
+					tip.Height, tip.KeyHeight, tip.Hash().Short(), leading,
+					len(rt.Peers()), micros)
 			})
 		case <-sigs:
 			close(stop)
@@ -163,7 +179,7 @@ func main() {
 
 // mineLoop grinds real proofs of work on the current tip, refreshing the
 // template whenever the chain moves.
-func mineLoop(rt *p2p.Runtime, n *core.Node, stop chan struct{}) {
+func mineLoop(rt *p2p.Runtime, base *node.Base, assembler protocol.KeyBlockAssembler, stop chan struct{}) {
 	var tipGen atomic.Uint64 // bumped on every template refresh
 	for {
 		select {
@@ -174,8 +190,8 @@ func mineLoop(rt *p2p.Runtime, n *core.Node, stop chan struct{}) {
 		var blk *types.KeyBlock
 		var tipHash crypto.Hash
 		rt.Do(func() {
-			blk = n.AssembleKeyBlock()
-			tipHash = n.State.Tip().Hash()
+			blk = assembler.AssembleKeyBlock()
+			tipHash = base.State.Tip().Hash()
 		})
 		gen := tipGen.Add(1)
 		found := false
@@ -193,7 +209,7 @@ func mineLoop(rt *p2p.Runtime, n *core.Node, stop chan struct{}) {
 			// Refresh the template periodically in case the tip moved.
 			if nonce%50_000 == 0 && nonce > 0 {
 				var cur crypto.Hash
-				rt.Do(func() { cur = n.State.Tip().Hash() })
+				rt.Do(func() { cur = base.State.Tip().Hash() })
 				if cur != tipHash || tipGen.Load() != gen {
 					break
 				}
@@ -203,8 +219,8 @@ func mineLoop(rt *p2p.Runtime, n *core.Node, stop chan struct{}) {
 			continue
 		}
 		rt.Do(func() {
-			if n.State.Tip().Hash() == tipHash {
-				res := n.SubmitOwnBlock(blk)
+			if base.State.Tip().Hash() == tipHash {
+				res := base.SubmitOwnBlock(blk)
 				log.Printf("mined key block %s (status %v)", blk.Hash().Short(), res.Status)
 			}
 		})

@@ -11,14 +11,17 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"bitcoinng/internal/experiment"
+	protoreg "bitcoinng/internal/protocol"
 )
 
 func main() {
 	var (
-		protocol  = flag.String("protocol", "bitcoin-ng", "protocol: bitcoin | bitcoin-ng | ghost")
+		protocol = flag.String("protocol", "bitcoin-ng",
+			"protocol: "+strings.Join(protoreg.Names(), " | "))
 		nodes     = flag.Int("nodes", 200, "network size (paper: 1000)")
 		seed      = flag.Int64("seed", 1, "experiment seed (reproducible)")
 		blocks    = flag.Int("blocks", 60, "payload blocks to run (paper: 50-100)")

@@ -1,8 +1,8 @@
-// Churn: §5.2 "Resilience to Mining Power Variation". When most mining
-// power suddenly leaves (miners chase a more profitable coin), Bitcoin-style
-// chains stall entirely until difficulty retargets. In Bitcoin-NG only key
-// blocks stall: the incumbent leader keeps serializing transactions in
-// microblocks at an unchanged rate.
+// Churn: §5.2 "Resilience to Mining Power Variation", scripted as a
+// Scenario. When most mining power suddenly leaves (miners chase a more
+// profitable coin), Bitcoin-style chains stall entirely until difficulty
+// retargets. In Bitcoin-NG only key blocks stall: the incumbent leader
+// keeps serializing transactions in microblocks at an unchanged rate.
 //
 //	go run ./examples/churn
 package main
@@ -21,41 +21,52 @@ func main() {
 	params.TargetBlockInterval = 20 * time.Second
 	params.MicroblockInterval = 2 * time.Second
 
-	cluster, err := bitcoinng.NewCluster(bitcoinng.ClusterConfig{
-		Protocol:    bitcoinng.BitcoinNG,
-		Nodes:       12,
-		Seed:        3,
-		Params:      params,
-		FundPerNode: 1_000_000,
-		AutoMine:    true,
-	})
+	const nodes = 12
+
+	// Phase boundaries, recorded by Call steps as the script executes.
+	var h1, k1, h2, k2 uint64
+
+	var cluster *bitcoinng.Cluster
+	script := bitcoinng.NewScenario(
+		bitcoinng.At(2*time.Minute, bitcoinng.Call("record healthy phase",
+			func(bitcoinng.ScenarioRuntime) error {
+				h1, k1 = cluster.Node(0).Height(), cluster.Node(0).KeyHeight()
+				return nil
+			})),
+		// 99% of mining power leaves; difficulty not yet retargeted.
+		bitcoinng.At(2*time.Minute, bitcoinng.ChurnAll(0.0005)),
+		bitcoinng.At(4*time.Minute, bitcoinng.Call("record churn phase",
+			func(bitcoinng.ScenarioRuntime) error {
+				h2, k2 = cluster.Node(0).Height(), cluster.Node(0).KeyHeight()
+				return nil
+			})),
+		// Miners return.
+		bitcoinng.At(4*time.Minute, bitcoinng.ChurnAll(0.05/nodes)),
+	)
+
+	cluster, err := bitcoinng.New(nodes,
+		bitcoinng.WithSeed(3),
+		bitcoinng.WithParams(params),
+		bitcoinng.WithFunding(1_000_000),
+		bitcoinng.WithScenario(script),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	fmt.Println("phase 1: healthy network (20s key blocks, 2s microblocks)")
-	cluster.Run(2 * time.Minute)
-	h1, k1 := cluster.Node(0).Height(), cluster.Node(0).KeyHeight()
-	fmt.Printf("  after 2min: %d blocks, %d key blocks\n\n", h1, k1)
+	fmt.Println("phase 2 at t=2min: 99% of mining power leaves")
+	fmt.Println("phase 3 at t=4min: miners return")
+	fmt.Println()
+	cluster.Run(6 * time.Minute)
 
-	fmt.Println("phase 2: 99% of mining power leaves (difficulty not yet retargeted)")
-	for i := 0; i < cluster.Size(); i++ {
-		cluster.Node(i).SetMiningRate(0.0005) // key blocks now ~hours apart
-	}
-	cluster.Run(2 * time.Minute)
-	h2, k2 := cluster.Node(0).Height(), cluster.Node(0).KeyHeight()
-	fmt.Printf("  after 2min: +%d blocks, +%d key blocks\n", h2-h1, k2-k1)
-	fmt.Printf("  key blocks stalled, but the leader kept serializing: %d microblocks\n\n",
-		(h2-h1)-(k2-k1))
-
-	fmt.Println("phase 3: miners return")
-	for i := 0; i < cluster.Size(); i++ {
-		cluster.Node(i).SetMiningRate(0.05 / float64(cluster.Size()))
-	}
-	cluster.Run(2 * time.Minute)
 	h3, k3 := cluster.Node(0).Height(), cluster.Node(0).KeyHeight()
-	fmt.Printf("  after 2min: +%d blocks, +%d key blocks\n\n", h3-h2, k3-k2)
-
+	fmt.Printf("phase 1: %d blocks, %d key blocks\n", h1, k1)
+	fmt.Printf("phase 2: +%d blocks, +%d key blocks\n", h2-h1, k2-k1)
+	fmt.Printf("  key blocks stalled, but the leader kept serializing: %d microblocks\n",
+		(h2-h1)-(k2-k1))
+	fmt.Printf("phase 3: +%d blocks, +%d key blocks\n", h3-h2, k3-k2)
+	fmt.Println()
 	fmt.Println("In a Bitcoin-style chain phase 2 would freeze the ledger completely;")
 	fmt.Println("in Bitcoin-NG transaction processing continued at the microblock rate (§5.2).")
 }

@@ -1,9 +1,9 @@
-// Doublespend: the §4.5 attack and its punishment. A malicious Bitcoin-NG
-// leader signs two conflicting microblocks — paying two different merchants
-// with the same coins — and publishes them to different parts of the
-// network. Honest nodes detect the equivocation, and once one of them wins
-// leadership it places a poison transaction: the cheater's key-block revenue
-// is revoked and the poisoner collects 5%.
+// Doublespend: the §4.5 attack and its punishment, scripted as a Scenario.
+// A malicious Bitcoin-NG leader signs two conflicting microblocks — paying
+// two different merchants with the same coins — and publishes them to
+// different parts of the network. Honest nodes detect the equivocation, and
+// once one of them wins leadership it places a poison transaction: the
+// cheater's key-block revenue is revoked and the poisoner collects 5%.
 //
 //	go run ./examples/doublespend
 package main
@@ -22,26 +22,20 @@ func main() {
 	params.TargetBlockInterval = 30 * time.Second
 	params.MicroblockInterval = 3 * time.Second
 
-	cluster, err := bitcoinng.NewCluster(bitcoinng.ClusterConfig{
-		Protocol:    bitcoinng.BitcoinNG,
-		Nodes:       8,
-		Seed:        7,
-		Params:      params,
-		FundPerNode: 100_000,
-		AutoMine:    false, // we script who mines when
-	})
+	cluster, err := bitcoinng.New(8,
+		bitcoinng.WithSeed(7),
+		bitcoinng.WithParams(params),
+		bitcoinng.WithFunding(100_000),
+		bitcoinng.WithAutoMine(false), // we script who mines when
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
 	attacker := cluster.Node(0)
 	honest := cluster.Node(1)
 
-	// The attacker wins the first key block and leads.
-	attacker.MineBlock()
-	cluster.Run(5 * time.Second)
-	fmt.Printf("attacker (node 0) leads: %v\n", attacker.IsLeader())
-
-	// Build two payments spending the SAME coins to different merchants.
+	// Build two payments spending the SAME genesis coins to different
+	// merchants: the double spend, signed but not yet published.
 	merchantA := bitcoinng.Address{0xaa}
 	merchantB := bitcoinng.Address{0xbb}
 	w := attacker.Wallet()
@@ -54,29 +48,38 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Split-brain: one microblock per merchant, sent to different peers.
-	hashA, hashB, err := cluster.EquivocateLeader(0, txA, txB)
-	if err != nil {
+	// The whole attack is one composable script against the event loop.
+	var attackerBalanceBefore bitcoinng.Amount
+	attack := bitcoinng.NewScenario(
+		bitcoinng.At(0, bitcoinng.Call("attacker wins the first key block",
+			func(bitcoinng.ScenarioRuntime) error {
+				attacker.MineBlock()
+				return nil
+			})),
+		// Split-brain at t=5s: one microblock per merchant, sent to
+		// different peers.
+		bitcoinng.At(5*time.Second, bitcoinng.Equivocate(0, txA, txB)),
+		bitcoinng.At(15*time.Second, bitcoinng.Call("honest node wins the next key block",
+			func(bitcoinng.ScenarioRuntime) error {
+				attackerBalanceBefore = honest.Balance(attacker.Address())
+				honest.MineBlock()
+				return nil
+			})),
+	)
+	if err := cluster.Play(attack); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("leader signed conflicting microblocks %s and %s\n",
-		hashA.Short(), hashB.Short())
+	fmt.Printf("attacker (node 0) led and signed conflicting microblocks\n")
 
-	cluster.Run(10 * time.Second)
-	fmt.Printf("honest nodes with fraud evidence: ")
 	count := 0
 	for i := 1; i < cluster.Size(); i++ {
 		if cluster.Node(i).FraudsDetected() > 0 {
 			count++
 		}
 	}
-	fmt.Printf("%d of %d\n", count, cluster.Size()-1)
+	fmt.Printf("honest nodes with fraud evidence: %d of %d\n", count, cluster.Size()-1)
 
-	attackerBalanceBefore := honest.Balance(attacker.Address())
-
-	// An honest node wins the next key block and, as the new leader,
-	// places the poison in its first microblock.
-	honest.MineBlock()
+	// Let the new leader place the poison in its first microblocks.
 	cluster.Run(30 * time.Second)
 
 	attackerBalanceAfter := honest.Balance(attacker.Address())

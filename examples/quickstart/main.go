@@ -19,14 +19,13 @@ func main() {
 	params.TargetBlockInterval = 30 * time.Second // key blocks
 	params.MicroblockInterval = 5 * time.Second   // ledger entries
 
-	cluster, err := bitcoinng.NewCluster(bitcoinng.ClusterConfig{
-		Protocol:    bitcoinng.BitcoinNG,
-		Nodes:       20,
-		Seed:        42,
-		Params:      params,
-		FundPerNode: 1_000_000,
-		AutoMine:    true, // mining power follows the paper's Figure 6 model
-	})
+	cluster, err := bitcoinng.New(20,
+		bitcoinng.WithSeed(42),
+		bitcoinng.WithParams(params),
+		bitcoinng.WithFunding(1_000_000),
+		// AutoMine defaults on: mining power follows the paper's Figure 6
+		// model.
+	)
 	if err != nil {
 		log.Fatal(err)
 	}

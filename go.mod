@@ -1,0 +1,3 @@
+module bitcoinng
+
+go 1.24

@@ -4,26 +4,25 @@ import (
 	"fmt"
 	"time"
 
-	"bitcoinng/internal/bitcoin"
-	"bitcoinng/internal/core"
 	"bitcoinng/internal/crypto"
-	"bitcoinng/internal/ghost"
 	"bitcoinng/internal/metrics"
 	"bitcoinng/internal/mining"
-	"bitcoinng/internal/node"
+	"bitcoinng/internal/protocol"
+	"bitcoinng/internal/scenario"
 	"bitcoinng/internal/sim"
 	"bitcoinng/internal/simnet"
 	"bitcoinng/internal/types"
 )
 
-// Protocol selects which client the experiment runs.
-type Protocol string
+// Protocol selects which client the experiment runs; any name registered in
+// internal/protocol is valid.
+type Protocol = protocol.Protocol
 
 // Protocols under evaluation.
 const (
-	Bitcoin   Protocol = "bitcoin"
-	BitcoinNG Protocol = "bitcoin-ng"
-	GHOST     Protocol = "ghost"
+	Bitcoin   = protocol.Bitcoin
+	BitcoinNG = protocol.BitcoinNG
+	GHOST     = protocol.GHOST
 )
 
 // Config describes one experiment execution.
@@ -60,6 +59,13 @@ type Config struct {
 	// the paper's 100 kbit/s and the default latency histogram.
 	BandwidthBPS float64
 	Latency      simnet.LatencyModel
+	// Censors lists node indices that, while leading, publish empty
+	// microblocks — the §5.2 "Censorship Resistance" DoS behaviour.
+	Censors []int
+	// Scenario, if set, is armed at run start: each step fires at its
+	// offset from virtual time zero. The run does not stop before the
+	// scenario's last step, even once TargetBlocks is reached.
+	Scenario *scenario.Scenario
 }
 
 // DefaultConfig is a paper-faithful configuration at the given scale.
@@ -91,17 +97,23 @@ type Result struct {
 	WallTime time.Duration
 	// SimTime is the virtual duration of the run.
 	SimTime time.Duration
+	// ScenarioErrors collects failures from scheduled scenario steps, in
+	// firing order.
+	ScenarioErrors []error
 }
 
-// runner holds one assembled experiment.
+// runner holds one assembled experiment. It implements scenario.Runtime, so
+// a Config's Scenario scripts partitions, churn, and attacks against it.
 type runner struct {
 	cfg       Config
 	loop      *sim.Loop
 	net       *simnet.Network
 	collector *metrics.Collector
 	workload  *Workload
+	clients   []protocol.Client
 	miners    []*mining.Miner
 	payload   types.BlockKind // which kind counts toward TargetBlocks
+	scenErrs  []error
 }
 
 // Run executes one experiment.
@@ -125,6 +137,14 @@ func build(cfg Config) (*runner, error) {
 	}
 	if cfg.MaxSimTime <= 0 {
 		cfg.MaxSimTime = 6 * time.Hour
+	}
+	if cfg.Scenario != nil && cfg.Scenario.Duration() > cfg.MaxSimTime {
+		return nil, fmt.Errorf("experiment: scenario's last step at %v exceeds MaxSimTime %v",
+			cfg.Scenario.Duration(), cfg.MaxSimTime)
+	}
+	censors, err := protocol.CensorSet(cfg.Nodes, cfg.Censors)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: %w", err)
 	}
 	if cfg.MiningExponent == 0 {
 		cfg.MiningExponent = mining.DefaultExponent
@@ -160,10 +180,7 @@ func build(cfg Config) (*runner, error) {
 		net:       network,
 		collector: collector,
 		workload:  workload,
-		payload:   types.KindPow,
-	}
-	if cfg.Protocol == BitcoinNG {
-		r.payload = types.KindMicro
+		payload:   protocol.Payload(cfg.Protocol),
 	}
 
 	shares := mining.ExponentialShares(cfg.Nodes, cfg.MiningExponent)
@@ -175,63 +192,91 @@ func build(cfg Config) (*runner, error) {
 		if err != nil {
 			return nil, err
 		}
-		var base *node.Base
-		var onFind func()
-		switch cfg.Protocol {
-		case Bitcoin, GHOST:
-			bcfg := bitcoin.Config{
-				Params:          cfg.Params,
-				Key:             key,
-				Genesis:         workload.Genesis,
-				Recorder:        collector,
-				SimulatedMining: true,
-			}
-			var n *bitcoin.Node
-			if cfg.Protocol == GHOST {
-				n, err = ghost.New(env, bcfg)
-			} else {
-				n, err = bitcoin.New(env, bcfg)
-			}
-			if err != nil {
-				return nil, err
-			}
-			base = n.Base
-			onFind = func() { n.MineBlock() }
-			env.Deliver(n.HandleMessage)
-		case BitcoinNG:
-			n, err := core.New(env, core.Config{
-				Params:          cfg.Params,
-				Key:             key,
-				Genesis:         workload.Genesis,
-				Recorder:        collector,
-				SimulatedMining: true,
-			})
-			if err != nil {
-				return nil, err
-			}
-			base = n.Base
-			onFind = func() { n.MineKeyBlock() }
-			env.Deliver(n.HandleMessage)
-		default:
-			return nil, fmt.Errorf("experiment: unknown protocol %q", cfg.Protocol)
+		client, err := protocol.Build(env, protocol.Spec{
+			Protocol:           cfg.Protocol,
+			Params:             cfg.Params,
+			Key:                key,
+			Genesis:            workload.Genesis,
+			Recorder:           collector,
+			SimulatedMining:    true,
+			CensorTransactions: censors[i],
+		})
+		if err != nil {
+			return nil, err
 		}
-		base.Pool = workload.NewView()
+		env.Deliver(client.HandleMessage)
+		client.Base().Pool = workload.NewView()
 
-		m := mining.NewMiner(loop, sim.NewRand(cfg.Seed, uint64(0x20000+i)), onFind)
+		m := mining.NewMiner(loop, sim.NewRand(cfg.Seed, uint64(0x20000+i)),
+			func() { client.MineBlock() })
 		m.SetRate(shares[i] * totalRate)
+		r.clients = append(r.clients, client)
 		r.miners = append(r.miners, m)
 	}
 	return r, nil
 }
 
+// Size implements scenario.Runtime.
+func (r *runner) Size() int { return len(r.clients) }
+
+// Partition implements scenario.Runtime.
+func (r *runner) Partition(groups ...[]int) error {
+	assignment, err := simnet.PartitionAssignment(len(r.clients), groups)
+	if err != nil {
+		return fmt.Errorf("experiment: %w", err)
+	}
+	r.net.SetPartition(assignment)
+	return nil
+}
+
+// Heal implements scenario.Runtime.
+func (r *runner) Heal() { r.net.SetPartition(nil) }
+
+// SetMiningRate implements scenario.Runtime.
+func (r *runner) SetMiningRate(node int, blocksPerSec float64) error {
+	if node < 0 || node >= len(r.miners) {
+		return fmt.Errorf("experiment: node %d out of range (network size %d)", node, len(r.miners))
+	}
+	r.miners[node].SetRate(blocksPerSec)
+	r.miners[node].Start()
+	return nil
+}
+
+// ScaleLatency implements scenario.Runtime.
+func (r *runner) ScaleLatency(factor float64) { r.net.ScaleLatency(factor) }
+
+// Equivocate implements scenario.Runtime: the leader signs two conflicting
+// microblocks, one published normally, the other slipped to a neighbor.
+func (r *runner) Equivocate(leader int, txA, txB *types.Transaction) error {
+	if leader < 0 || leader >= len(r.clients) {
+		return fmt.Errorf("experiment: node %d out of range (network size %d)", leader, len(r.clients))
+	}
+	victim := r.clients[protocol.EquivocationVictim(leader, len(r.clients))]
+	_, _, err := protocol.PublishEquivocation(leader, r.clients[leader], victim, txA, txB)
+	if err != nil {
+		return fmt.Errorf("experiment: node %d (%s): %w", leader, r.cfg.Protocol, err)
+	}
+	return nil
+}
+
 func (r *runner) run() (*Result, error) {
 	startWall := time.Now()
+	var scenarioUntil int64
+	if r.cfg.Scenario != nil {
+		scenarioUntil = int64(r.cfg.Scenario.Duration())
+		r.cfg.Scenario.Schedule(
+			func(d time.Duration, fn func()) { r.loop.After(d, fn) }, r,
+			func(ts scenario.TimedStep, err error) {
+				r.scenErrs = append(r.scenErrs,
+					fmt.Errorf("experiment: scenario step %q at %v: %w", ts.Step.Name, ts.Offset, err))
+			})
+	}
 	for _, m := range r.miners {
 		m.Start()
 	}
 	// Advance in slices, checking the stop rule between them.
 	step := r.cfg.Params.TargetBlockInterval / 4
-	if r.cfg.Protocol == BitcoinNG && r.cfg.Params.MicroblockInterval < step {
+	if r.payload == types.KindMicro && r.cfg.Params.MicroblockInterval < step {
 		step = r.cfg.Params.MicroblockInterval
 	}
 	if step <= 0 {
@@ -239,7 +284,8 @@ func (r *runner) run() (*Result, error) {
 	}
 	deadline := int64(r.cfg.MaxSimTime)
 	for r.loop.Now() < deadline {
-		if r.collector.CountKind(r.payload) >= r.cfg.TargetBlocks {
+		if r.loop.Now() >= scenarioUntil &&
+			r.collector.CountKind(r.payload) >= r.cfg.TargetBlocks {
 			break
 		}
 		r.loop.RunFor(step)
@@ -258,11 +304,12 @@ func (r *runner) run() (*Result, error) {
 	opts := metrics.DefaultAnalyzeOptions(end)
 	report := r.collector.Analyze(opts)
 	return &Result{
-		Config:   r.cfg,
-		Report:   report,
-		NetStats: r.net.Stats(),
-		Events:   r.loop.Executed(),
-		WallTime: time.Since(startWall),
-		SimTime:  time.Duration(end),
+		Config:         r.cfg,
+		Report:         report,
+		NetStats:       r.net.Stats(),
+		Events:         r.loop.Executed(),
+		WallTime:       time.Since(startWall),
+		SimTime:        time.Duration(end),
+		ScenarioErrors: r.scenErrs,
 	}, nil
 }

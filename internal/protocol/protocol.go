@@ -1,0 +1,148 @@
+// Package protocol is the consensus-client registry: every way of running a
+// node — interactive clusters (the root package), measured experiments
+// (internal/experiment), and live binaries (cmd/ngnode) — assembles its
+// clients through one Build call, so a new protocol variant (an attack
+// client, a parameter fork) plugs into every harness by registering a
+// constructor, without touching any of them.
+//
+// A protocol implementation satisfies Client: the universal surface the
+// harnesses drive. Everything beyond it — leadership, equivocation, live
+// key-block assembly — is an optional capability discovered by interface
+// assertion, so protocols expose exactly what they implement and harness
+// features degrade gracefully on clients that lack them.
+package protocol
+
+import (
+	"fmt"
+
+	"bitcoinng/internal/crypto"
+	"bitcoinng/internal/node"
+	"bitcoinng/internal/types"
+)
+
+// Protocol names a registered consensus client implementation.
+type Protocol string
+
+// The built-in protocols, registered at package init.
+const (
+	// Bitcoin is the baseline Nakamoto blockchain (§3 of the paper).
+	Bitcoin Protocol = "bitcoin"
+	// BitcoinNG is the paper's contribution (§4): key blocks elect
+	// leaders, microblocks serialize transactions.
+	BitcoinNG Protocol = "bitcoin-ng"
+	// GHOST is the heaviest-subtree baseline discussed in §9.
+	GHOST Protocol = "ghost"
+)
+
+// Spec carries everything a client constructor needs. One Spec vocabulary
+// serves every registered protocol; constructors ignore fields that do not
+// apply to them.
+type Spec struct {
+	// Protocol selects the registered constructor.
+	Protocol Protocol
+	// Params are the consensus parameters under test.
+	Params types.Params
+	// Key signs the node's blocks (microblocks while leading, under NG)
+	// and receives its rewards.
+	Key *crypto.PrivateKey
+	// Genesis is the shared genesis block.
+	Genesis *types.PowBlock
+	// Recorder receives metric events; nil discards them.
+	Recorder node.Recorder
+	// SimulatedMining marks blocks as scheduler-generated and accepts such
+	// blocks from peers; live nodes leave it false and grind real nonces.
+	SimulatedMining bool
+	// CensorTransactions makes an NG node publish empty microblocks while
+	// leading (§5.2 "Censorship Resistance"); other protocols ignore it.
+	CensorTransactions bool
+}
+
+// Client is a running consensus protocol node: the surface every harness
+// (cluster, experiment runner, live binary) drives, regardless of protocol.
+type Client interface {
+	// Base returns the protocol-independent node core (chain state,
+	// mempool, gossip, metrics wiring).
+	Base() *node.Base
+	// HandleMessage is the node's network entry point.
+	HandleMessage(from int, msg node.Message)
+	// MineBlock forces one proof-of-work block find now — a key block
+	// under Bitcoin-NG, a regular block otherwise — and returns it. It is
+	// the simulated miner's onFind callback.
+	MineBlock() types.Block
+}
+
+// CensorSet validates censor node indices against the network size and
+// returns a membership set; both harnesses build their per-node
+// Spec.CensorTransactions from it. Errors are left unprefixed for callers
+// to wrap with their package name.
+func CensorSet(nodes int, censors []int) (map[int]bool, error) {
+	set := make(map[int]bool, len(censors))
+	for _, id := range censors {
+		if id < 0 || id >= nodes {
+			return nil, fmt.Errorf("censor node %d out of range (network size %d)", id, nodes)
+		}
+		set[id] = true
+	}
+	return set, nil
+}
+
+// EquivocationVictim picks which node privately receives the second
+// conflicting microblock: the leader's successor in index order. Both
+// harnesses route through this, so the §4.5 delivery policy has one home.
+func EquivocationVictim(leaderID, nodes int) int { return (leaderID + 1) % nodes }
+
+// PublishEquivocation drives the §4.5 split-brain attack on a built
+// network: leader — which must implement Equivocator and currently lead —
+// signs two conflicting microblocks, each carrying one of the transactions
+// (nil for empty); the first is published normally, the second slipped
+// directly to victim (chosen via EquivocationVictim), as a targeted
+// attacker would. Both harnesses (cluster and experiment runner) share this
+// delivery policy.
+func PublishEquivocation(leaderID int, leader, victim Client, txA, txB *types.Transaction) (*types.MicroBlock, *types.MicroBlock, error) {
+	eq, ok := leader.(Equivocator)
+	if !ok {
+		return nil, nil, fmt.Errorf("protocol: client cannot equivocate")
+	}
+	mbA, mbB, err := eq.Equivocate(txA, txB)
+	if err != nil {
+		return nil, nil, err
+	}
+	leader.Base().ProcessBlock(mbA, -1)
+	victim.Base().ProcessFn(mbB, leaderID)
+	return mbA, mbB, nil
+}
+
+// Optional capabilities, discovered via interface assertion on a Client.
+// Bitcoin-NG implements all of them; a custom protocol implements whichever
+// subset it supports and the harnesses adapt.
+type (
+	// Leader is implemented by protocols with a notion of a current
+	// leader (Bitcoin-NG: the miner of the latest key block).
+	Leader interface {
+		IsLeader() bool
+	}
+
+	// MicroblockProducer reports microblock production counts.
+	MicroblockProducer interface {
+		MicroblocksMined() uint64
+	}
+
+	// FraudWitness reports how many leader equivocations the node has
+	// witnessed and holds poison evidence for (§4.5).
+	FraudWitness interface {
+		FraudsDetected() int
+	}
+
+	// Equivocator is implemented by clients that can act as a malicious
+	// leader: sign two conflicting microblocks on the current tip for the
+	// caller to deliver to disjoint parts of the network (§4.5).
+	Equivocator interface {
+		Equivocate(txA, txB *types.Transaction) (*types.MicroBlock, *types.MicroBlock, error)
+	}
+
+	// KeyBlockAssembler builds (without submitting) the next key block;
+	// live miners grind nonces on the result out of the event loop.
+	KeyBlockAssembler interface {
+		AssembleKeyBlock() *types.KeyBlock
+	}
+)

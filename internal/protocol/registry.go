@@ -1,0 +1,92 @@
+package protocol
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"bitcoinng/internal/node"
+	"bitcoinng/internal/types"
+)
+
+// ErrUnknownProtocol is wrapped by Build when the requested protocol has no
+// registration; every harness surfaces this one error for a bad name.
+var ErrUnknownProtocol = errors.New("protocol: unknown protocol")
+
+// Registration describes one protocol implementation.
+type Registration struct {
+	// New constructs a client of this protocol on env.
+	New func(env node.Env, spec Spec) (Client, error)
+	// Payload is the block kind that carries the transaction payload:
+	// KindMicro for Bitcoin-NG, KindPow for Bitcoin-style chains. The
+	// experiment harness counts payload blocks toward its stop rule.
+	Payload types.BlockKind
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = make(map[Protocol]Registration)
+)
+
+// Register adds a protocol to the registry. It errors on an empty name, a
+// nil constructor, or a duplicate registration.
+func Register(name Protocol, reg Registration) error {
+	if name == "" {
+		return fmt.Errorf("protocol: registration needs a name")
+	}
+	if reg.New == nil {
+		return fmt.Errorf("protocol: registration of %q needs a constructor", name)
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		return fmt.Errorf("protocol: %q already registered", name)
+	}
+	registry[name] = reg
+	return nil
+}
+
+// MustRegister is Register that panics on error; package init paths use it.
+func MustRegister(name Protocol, reg Registration) {
+	if err := Register(name, reg); err != nil {
+		panic(err)
+	}
+}
+
+// Build constructs a client of spec.Protocol on env. An unregistered name
+// returns an error wrapping ErrUnknownProtocol that lists what is available.
+func Build(env node.Env, spec Spec) (Client, error) {
+	regMu.RLock()
+	reg, ok := registry[spec.Protocol]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w %q (registered: %s)",
+			ErrUnknownProtocol, spec.Protocol, strings.Join(Names(), ", "))
+	}
+	return reg.New(env, spec)
+}
+
+// Payload returns the registered payload block kind for the protocol;
+// unregistered names default to KindPow.
+func Payload(name Protocol) types.BlockKind {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	if reg, ok := registry[name]; ok {
+		return reg.Payload
+	}
+	return types.KindPow
+}
+
+// Names returns the registered protocol names, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, string(name))
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,181 @@
+// Package scenario is the composable fault-and-attack scripting layer: a
+// Scenario is an ordered list of timed steps (partition the network, heal
+// it, churn mining power, equivocate a leader, spike latency) that both the
+// interactive cluster (root package) and the measured experiment runner
+// (internal/experiment) execute on their event loops. New adversarial
+// scenarios are a few lines of composition instead of a new copy of the
+// harness's assembly code.
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"bitcoinng/internal/types"
+)
+
+// Runtime is the harness surface steps act on. The root package's Cluster
+// and the experiment runner both implement it; steps stay harness-agnostic.
+type Runtime interface {
+	// Size returns the number of nodes.
+	Size() int
+	// Partition cuts the network into the given groups of node indices;
+	// nodes not listed join group 0. Messages across groups are lost. An
+	// out-of-range node is an error.
+	Partition(groups ...[]int) error
+	// Heal removes any partition.
+	Heal()
+	// SetMiningRate adjusts one node's simulated mining power
+	// (blocks/sec) and starts its miner; zero pauses it (§5.2 churn). An
+	// out-of-range node is an error.
+	SetMiningRate(node int, blocksPerSec float64) error
+	// ScaleLatency multiplies every link's propagation delay; 1 restores
+	// the configured model.
+	ScaleLatency(factor float64)
+	// Equivocate makes the given node — which must currently lead — sign
+	// two conflicting microblocks and deliver them to disjoint parts of
+	// the network (§4.5). Nil transactions produce empty siblings.
+	Equivocate(leader int, txA, txB *types.Transaction) error
+}
+
+// Step is one scripted action against a Runtime.
+type Step struct {
+	// Name labels the step in error reports.
+	Name string
+	// Do performs the action.
+	Do func(rt Runtime) error
+}
+
+// TimedStep is a Step armed at an offset on the event loop.
+type TimedStep struct {
+	// Offset is the virtual time from the scenario's start.
+	Offset time.Duration
+	Step   Step
+}
+
+// At schedules a step at the given offset from the scenario's start.
+func At(offset time.Duration, step Step) TimedStep {
+	return TimedStep{Offset: offset, Step: step}
+}
+
+// Scenario is an ordered list of timed steps. Steps sharing an offset fire
+// in declaration order.
+type Scenario struct {
+	Steps []TimedStep
+}
+
+// New composes a scenario from timed steps.
+func New(steps ...TimedStep) *Scenario { return &Scenario{Steps: steps} }
+
+// Add appends further steps and returns the scenario for chaining.
+func (s *Scenario) Add(steps ...TimedStep) *Scenario {
+	s.Steps = append(s.Steps, steps...)
+	return s
+}
+
+// Duration returns the offset of the last-firing step.
+func (s *Scenario) Duration() time.Duration {
+	var max time.Duration
+	for _, ts := range s.Steps {
+		if ts.Offset > max {
+			max = ts.Offset
+		}
+	}
+	return max
+}
+
+// Schedule arms every step on the harness's event loop, offsets relative to
+// now. A step error is reported to onErr (if non-nil) and does not stop the
+// remaining steps.
+func (s *Scenario) Schedule(after func(time.Duration, func()), rt Runtime, onErr func(TimedStep, error)) {
+	for _, ts := range s.Steps {
+		ts := ts
+		after(ts.Offset, func() {
+			if err := ts.Step.Do(rt); err != nil && onErr != nil {
+				onErr(ts, err)
+			}
+		})
+	}
+}
+
+// checkNode surfaces a bad node index as a step error — scripts are the
+// public scripting surface, and an unchecked index would otherwise panic
+// deep inside the event loop long after the typo.
+func checkNode(rt Runtime, node int) error {
+	if node < 0 || node >= rt.Size() {
+		return fmt.Errorf("scenario: node %d out of range (network size %d)", node, rt.Size())
+	}
+	return nil
+}
+
+// Partition cuts the network into the given groups of node indices.
+func Partition(groups ...[]int) Step {
+	return Step{Name: "partition", Do: func(rt Runtime) error {
+		for _, members := range groups {
+			for _, id := range members {
+				if err := checkNode(rt, id); err != nil {
+					return err
+				}
+			}
+		}
+		return rt.Partition(groups...)
+	}}
+}
+
+// Heal removes the partition; chains reconcile as the next blocks announce.
+func Heal() Step {
+	return Step{Name: "heal", Do: func(rt Runtime) error {
+		rt.Heal()
+		return nil
+	}}
+}
+
+// Churn sets one node's mining rate (blocks/sec); zero pauses its miner.
+func Churn(node int, blocksPerSec float64) Step {
+	return Step{Name: "churn", Do: func(rt Runtime) error {
+		if err := checkNode(rt, node); err != nil {
+			return err
+		}
+		return rt.SetMiningRate(node, blocksPerSec)
+	}}
+}
+
+// ChurnAll sets every node's mining rate — the §5.2 "mining power suddenly
+// leaves/returns" experiments.
+func ChurnAll(blocksPerSec float64) Step {
+	return Step{Name: "churn-all", Do: func(rt Runtime) error {
+		for i := 0; i < rt.Size(); i++ {
+			if err := rt.SetMiningRate(i, blocksPerSec); err != nil {
+				return err
+			}
+		}
+		return nil
+	}}
+}
+
+// Equivocate makes the given leader sign two conflicting microblocks, each
+// carrying one of the transactions (nil for empty), delivered to disjoint
+// parts of the network (§4.5).
+func Equivocate(leader int, txA, txB *types.Transaction) Step {
+	return Step{Name: "equivocate", Do: func(rt Runtime) error {
+		if err := checkNode(rt, leader); err != nil {
+			return err
+		}
+		return rt.Equivocate(leader, txA, txB)
+	}}
+}
+
+// LatencySpike multiplies every link's propagation delay; compose with a
+// later LatencySpike(1) to end the spike.
+func LatencySpike(factor float64) Step {
+	return Step{Name: "latency-spike", Do: func(rt Runtime) error {
+		rt.ScaleLatency(factor)
+		return nil
+	}}
+}
+
+// Call wraps an arbitrary action — mine a block, assert mid-run state,
+// print a phase report — as a named step.
+func Call(name string, fn func(rt Runtime) error) Step {
+	return Step{Name: name, Do: fn}
+}

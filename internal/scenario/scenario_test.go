@@ -1,0 +1,167 @@
+package scenario
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"bitcoinng/internal/types"
+)
+
+// fakeRuntime records every action so step dispatch can be asserted.
+type fakeRuntime struct {
+	size   int
+	log    []string
+	eqErr  error
+	eqTxsA *types.Transaction
+}
+
+func (f *fakeRuntime) Size() int { return f.size }
+func (f *fakeRuntime) Partition(groups ...[]int) error {
+	f.log = append(f.log, fmt.Sprintf("partition(%d groups)", len(groups)))
+	return nil
+}
+func (f *fakeRuntime) Heal() { f.log = append(f.log, "heal") }
+func (f *fakeRuntime) SetMiningRate(node int, rate float64) error {
+	f.log = append(f.log, fmt.Sprintf("rate(%d,%g)", node, rate))
+	return nil
+}
+func (f *fakeRuntime) ScaleLatency(factor float64) {
+	f.log = append(f.log, fmt.Sprintf("latency(%g)", factor))
+}
+func (f *fakeRuntime) Equivocate(leader int, txA, txB *types.Transaction) error {
+	f.log = append(f.log, fmt.Sprintf("equivocate(%d)", leader))
+	f.eqTxsA = txA
+	return f.eqErr
+}
+
+// fakeClock is a sorted-by-insertion-order scheduler.
+type fakeClock struct {
+	events []struct {
+		at time.Duration
+		fn func()
+	}
+}
+
+func (c *fakeClock) after(d time.Duration, fn func()) {
+	c.events = append(c.events, struct {
+		at time.Duration
+		fn func()
+	}{d, fn})
+}
+
+// fire runs events in offset order, stable for equal offsets.
+func (c *fakeClock) fire() {
+	for next := time.Duration(-1); ; {
+		var lowest time.Duration = 1<<63 - 1
+		for _, e := range c.events {
+			if e.at > next && e.at < lowest {
+				lowest = e.at
+			}
+		}
+		if lowest == 1<<63-1 {
+			return
+		}
+		for _, e := range c.events {
+			if e.at == lowest {
+				e.fn()
+			}
+		}
+		next = lowest
+	}
+}
+
+func TestScenarioStepsDispatchInOrder(t *testing.T) {
+	rt := &fakeRuntime{size: 3}
+	clock := &fakeClock{}
+	s := New(
+		At(2*time.Minute, Heal()),
+		At(time.Minute, Partition([]int{0}, []int{1, 2})),
+		At(3*time.Minute, ChurnAll(0.5)),
+		At(4*time.Minute, LatencySpike(10)),
+		At(4*time.Minute, Churn(1, 0)),
+	)
+	if got, want := s.Duration(), 4*time.Minute; got != want {
+		t.Fatalf("Duration() = %v, want %v", got, want)
+	}
+	s.Schedule(clock.after, rt, nil)
+	clock.fire()
+
+	want := []string{
+		"partition(2 groups)", "heal",
+		"rate(0,0.5)", "rate(1,0.5)", "rate(2,0.5)",
+		"latency(10)", "rate(1,0)",
+	}
+	if len(rt.log) != len(want) {
+		t.Fatalf("log = %v, want %v", rt.log, want)
+	}
+	for i := range want {
+		if rt.log[i] != want[i] {
+			t.Errorf("log[%d] = %q, want %q", i, rt.log[i], want[i])
+		}
+	}
+}
+
+func TestScenarioStepErrorsReported(t *testing.T) {
+	boom := errors.New("boom")
+	rt := &fakeRuntime{size: 2, eqErr: boom}
+	clock := &fakeClock{}
+
+	var failed []TimedStep
+	var errs []error
+	s := New(
+		At(time.Second, Equivocate(0, nil, nil)),
+		At(2*time.Second, Heal()), // later steps still run
+	)
+	s.Schedule(clock.after, rt,
+		func(ts TimedStep, err error) { failed, errs = append(failed, ts), append(errs, err) })
+	clock.fire()
+
+	if len(errs) != 1 || !errors.Is(errs[0], boom) {
+		t.Fatalf("errors = %v, want [boom]", errs)
+	}
+	if failed[0].Step.Name != "equivocate" || failed[0].Offset != time.Second {
+		t.Errorf("failed step = %q at %v", failed[0].Step.Name, failed[0].Offset)
+	}
+	if rt.log[len(rt.log)-1] != "heal" {
+		t.Error("steps after a failing step did not run")
+	}
+}
+
+func TestScenarioRejectsOutOfRangeNodes(t *testing.T) {
+	rt := &fakeRuntime{size: 3}
+	clock := &fakeClock{}
+	var errs []error
+	s := New(
+		At(time.Second, Churn(3, 0)),
+		At(time.Second, Partition([]int{0}, []int{5})),
+		At(time.Second, Equivocate(-1, nil, nil)),
+	)
+	s.Schedule(clock.after, rt, func(_ TimedStep, err error) { errs = append(errs, err) })
+	clock.fire()
+
+	if len(errs) != 3 {
+		t.Fatalf("errors = %v, want 3 out-of-range errors", errs)
+	}
+	for _, err := range errs {
+		if !strings.Contains(err.Error(), "out of range") {
+			t.Errorf("error %q does not name the out-of-range index", err)
+		}
+	}
+	if len(rt.log) != 0 {
+		t.Errorf("out-of-range steps reached the runtime: %v", rt.log)
+	}
+}
+
+func TestScenarioAddComposes(t *testing.T) {
+	s := New(At(time.Second, Heal()))
+	s.Add(At(5*time.Second, Heal()), At(3*time.Second, Heal()))
+	if len(s.Steps) != 3 {
+		t.Fatalf("Steps = %d, want 3", len(s.Steps))
+	}
+	if s.Duration() != 5*time.Second {
+		t.Fatalf("Duration() = %v, want 5s", s.Duration())
+	}
+}

@@ -75,6 +75,9 @@ type Network struct {
 	// group assigns each node to a partition group; messages between
 	// different groups are silently dropped. nil means fully connected.
 	group []int
+	// latencyScale multiplies per-link propagation delay (the LatencySpike
+	// scenario step); zero or one means unscaled.
+	latencyScale float64
 }
 
 // New builds the topology: MinPeers uniformly random outbound links per
@@ -179,6 +182,29 @@ func (n *Network) SetPartition(group []int) {
 	n.group = group
 }
 
+// ScaleLatency multiplies every link's propagation delay from now on;
+// messages already in flight keep the delay they were sent with, like
+// packets on the wire when a route degrades. A factor of 1 (or 0) restores
+// the configured model.
+func (n *Network) ScaleLatency(factor float64) { n.latencyScale = factor }
+
+// PartitionAssignment expands explicit groups of node indices into the
+// per-node assignment SetPartition takes: listed nodes get group index+1,
+// everyone unlisted joins group 0. An out-of-range index is an error (left
+// unprefixed for callers to wrap with their package name).
+func PartitionAssignment(nodes int, groups [][]int) ([]int, error) {
+	assignment := make([]int, nodes)
+	for g, members := range groups {
+		for _, id := range members {
+			if id < 0 || id >= nodes {
+				return nil, fmt.Errorf("partition node %d out of range (network size %d)", id, nodes)
+			}
+			assignment[id] = g + 1
+		}
+	}
+	return assignment, nil
+}
+
 // Send transmits payload of the given wire size from -> to. Delivery time is
 // queueing (sender-side pipe busy) + transfer (size over bandwidth) +
 // propagation (link latency) + receiver processing (queued behind earlier
@@ -203,7 +229,11 @@ func (n *Network) Send(from, to int, payload any, size int) {
 	}
 	transfer := int64(float64(size*8) / n.cfg.BandwidthBPS * float64(time.Second))
 	l.freeAt = start + transfer
-	arrival := l.freeAt + l.latency
+	latency := l.latency
+	if n.latencyScale > 0 {
+		latency = int64(float64(latency) * n.latencyScale)
+	}
+	arrival := l.freeAt + latency
 
 	n.stats.MessagesSent++
 	n.stats.BytesSent += uint64(size)

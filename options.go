@@ -1,0 +1,156 @@
+package bitcoinng
+
+import (
+	"bitcoinng/internal/experiment"
+	"bitcoinng/internal/protocol"
+)
+
+// Option configures node assembly for both harness entry points: New
+// (interactive clusters) and NewExperiment (measured runs). One option
+// vocabulary serves both; options that only apply to one harness (noted on
+// each) are ignored by the other.
+type Option func(*options)
+
+type options struct {
+	protocol      Protocol
+	seed          int64
+	params        Params
+	paramsSet     bool
+	autoMine      bool
+	fund          Amount
+	censors       []int
+	scenario      *Scenario
+	workloadCount int
+	txSize        int
+	targetBlocks  int
+}
+
+func defaultOptions() options {
+	return options{protocol: BitcoinNG, seed: 1, autoMine: true}
+}
+
+// WithProtocol selects the registered protocol to run; default BitcoinNG.
+func WithProtocol(p Protocol) Option { return func(o *options) { o.protocol = p } }
+
+// WithSeed makes the run deterministic from seed; default 1.
+func WithSeed(seed int64) Option { return func(o *options) { o.seed = seed } }
+
+// WithParams sets the consensus parameters; default DefaultParams with
+// difficulty retargeting off (the scheduler sets rates).
+func WithParams(p Params) Option {
+	return func(o *options) { o.params, o.paramsSet = p, true }
+}
+
+// WithAutoMine toggles simulated miners with power following the paper's
+// exponential rank distribution; default on for clusters. Pass false to
+// script who mines when via MineBlock. Experiments always mine.
+func WithAutoMine(on bool) Option { return func(o *options) { o.autoMine = on } }
+
+// WithFunding pre-funds every cluster node's wallet from genesis
+// (spendable immediately). Cluster-only: experiments pre-load a workload
+// instead.
+func WithFunding(perNode Amount) Option { return func(o *options) { o.fund = perNode } }
+
+// WithScenario arms a scripted scenario at virtual time zero: partitions,
+// churn, leader equivocation, latency spikes. Cluster.Play runs further
+// scenarios relative to the current time.
+func WithScenario(s *Scenario) Option { return func(o *options) { o.scenario = s } }
+
+// WithCensors marks nodes that, while leading, publish empty microblocks —
+// the §5.2 "Censorship Resistance" DoS behaviour whose influence ends with
+// the next honest key block. Out-of-range indices are rejected at build
+// time.
+func WithCensors(nodes ...int) Option { return func(o *options) { o.censors = nodes } }
+
+// WithWorkload sizes the pre-loaded artificial transaction workload: count
+// transactions of txSize bytes each (§7 "No Transaction Propagation").
+// Experiment-only: clusters submit transactions from wallets.
+func WithWorkload(count, txSize int) Option {
+	return func(o *options) { o.workloadCount, o.txSize = count, txSize }
+}
+
+// WithTargetBlocks stops an experiment once this many payload blocks exist;
+// the paper uses 50-100. Experiment-only.
+func WithTargetBlocks(n int) Option { return func(o *options) { o.targetBlocks = n } }
+
+// New builds an interactive cluster of n nodes from functional options —
+// the primary cluster entry point:
+//
+//	c, err := bitcoinng.New(10,
+//		bitcoinng.WithParams(params),
+//		bitcoinng.WithFunding(100_000),
+//		bitcoinng.WithScenario(bitcoinng.NewScenario(
+//			bitcoinng.At(time.Minute, bitcoinng.Partition([]int{0, 1, 2})),
+//			bitcoinng.At(3*time.Minute, bitcoinng.Heal()),
+//		)))
+//
+// Nothing runs until Run or Play advances virtual time.
+func New(n int, opts ...Option) (*Cluster, error) {
+	o := defaultOptions()
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return NewCluster(ClusterConfig{
+		Protocol:    o.protocol,
+		Nodes:       n,
+		Seed:        o.seed,
+		Params:      o.params,
+		FundPerNode: o.fund,
+		AutoMine:    o.autoMine,
+		Censors:     o.censors,
+		Scenario:    o.scenario,
+	})
+}
+
+// NewExperiment builds a measured-run configuration for n nodes from the
+// same option vocabulary as New; pass the result to RunExperiment (after
+// any direct field tweaks — the config struct stays fully exported).
+func NewExperiment(n int, opts ...Option) ExperimentConfig {
+	o := defaultOptions()
+	for _, opt := range opts {
+		opt(&o)
+	}
+	cfg := experiment.DefaultConfig(o.protocol, n, o.seed)
+	if o.paramsSet {
+		cfg.Params = o.params
+	}
+	if o.workloadCount > 0 {
+		cfg.WorkloadCount = o.workloadCount
+	}
+	if o.txSize > 0 {
+		cfg.TxSize = o.txSize
+	}
+	if o.targetBlocks > 0 {
+		cfg.TargetBlocks = o.targetBlocks
+	}
+	cfg.Censors = o.censors
+	cfg.Scenario = o.scenario
+	return cfg
+}
+
+// The protocol registry, re-exported so new protocols plug into every
+// harness (New, NewCluster, RunExperiment, cmd/) without touching them.
+type (
+	// ProtocolClient is a running consensus node: the surface every
+	// harness drives. Optional capabilities (protocol.Leader,
+	// protocol.Equivocator, ...) are discovered by interface assertion.
+	ProtocolClient = protocol.Client
+	// ProtocolSpec carries everything a client constructor needs.
+	ProtocolSpec = protocol.Spec
+	// ProtocolRegistration describes one protocol implementation: its
+	// constructor and which block kind carries its transaction payload.
+	ProtocolRegistration = protocol.Registration
+)
+
+// ErrUnknownProtocol is returned (wrapped) by every harness when asked for
+// an unregistered protocol name.
+var ErrUnknownProtocol = protocol.ErrUnknownProtocol
+
+// RegisterProtocol adds a protocol implementation under name; it then runs
+// under every harness. Registration errors on duplicates.
+func RegisterProtocol(name Protocol, reg ProtocolRegistration) error {
+	return protocol.Register(name, reg)
+}
+
+// RegisteredProtocols returns the registered protocol names, sorted.
+func RegisteredProtocols() []string { return protocol.Names() }

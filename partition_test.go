@@ -7,52 +7,62 @@ import (
 
 // TestPartitionHealDeepReorg cuts a Bitcoin-NG network in half, lets both
 // sides elect their own leaders and serialize divergent histories, then
-// heals the cut. The lighter side must reorganize onto the heavier chain —
-// microblocks, epoch fee records, and UTXO state all rolling back and
-// forward correctly — and the whole network must converge.
+// heals the cut — all scripted as a Scenario played on the event loop. The
+// lighter side must reorganize onto the heavier chain — microblocks, epoch
+// fee records, and UTXO state all rolling back and forward correctly — and
+// the whole network must converge.
 func TestPartitionHealDeepReorg(t *testing.T) {
 	params := DefaultParams()
 	params.RetargetWindow = 0
 	params.TargetBlockInterval = 20 * time.Second
 	params.MicroblockInterval = 2 * time.Second
 
-	c, err := NewCluster(ClusterConfig{
-		Protocol:    BitcoinNG,
-		Nodes:       10,
-		Seed:        5,
-		Params:      params,
-		FundPerNode: 100_000,
-		AutoMine:    true,
-	})
+	c, err := New(10,
+		WithSeed(5),
+		WithParams(params),
+		WithFunding(100_000),
+	)
 	if err != nil {
 		t.Fatal(err)
 	}
-	// A common prefix first.
-	c.Run(time.Minute)
-	if !c.Converged() && c.Node(0).KeyHeight() == 0 {
-		t.Fatal("no common prefix built")
+
+	var tipA, tipB Hash
+	var sideAConsistent bool
+	script := NewScenario(
+		// A common prefix first; then cut nodes 0-4 from 5-9.
+		At(time.Minute, Call("check common prefix", func(ScenarioRuntime) error {
+			if !c.Converged() && c.Node(0).KeyHeight() == 0 {
+				t.Error("no common prefix built")
+			}
+			return nil
+		})),
+		At(time.Minute, Partition([]int{0, 1, 2, 3, 4}, []int{5, 6, 7, 8, 9})),
+		At(4*time.Minute, Call("capture divergent tips", func(ScenarioRuntime) error {
+			tipA, tipB = c.Node(0).TipID(), c.Node(5).TipID()
+			sideAConsistent = true
+			for i := 1; i < 5; i++ {
+				if c.Node(i).TipID() != tipA {
+					sideAConsistent = false
+				}
+			}
+			return nil
+		})),
+		// Heal; reconciliation happens when the next blocks announce
+		// across the restored links and orphan-parent chasing pulls the
+		// missing branch.
+		At(4*time.Minute, Heal()),
+	)
+	if err := c.Play(script); err != nil {
+		t.Fatal(err)
 	}
 
-	// Cut: nodes 0-4 vs 5-9.
-	c.Partition([]int{0, 1, 2, 3, 4}, []int{5, 6, 7, 8, 9})
-	c.Run(3 * time.Minute)
-
-	tipA := c.Node(0).TipID()
-	tipB := c.Node(5).TipID()
 	if tipA == tipB {
 		t.Fatal("sides did not diverge under partition")
 	}
-	// Each side stayed internally consistent.
-	for i := 1; i < 5; i++ {
-		if c.Node(i).TipID() != tipA {
-			t.Errorf("node %d diverged within side A", i)
-		}
+	if !sideAConsistent {
+		t.Error("nodes diverged within side A")
 	}
 
-	// Heal; reconciliation happens when the next blocks announce across
-	// the restored links and orphan-parent chasing pulls the missing
-	// branch.
-	c.Heal()
 	c.Run(3 * time.Minute)
 
 	if !c.Converged() {

@@ -1,0 +1,257 @@
+package bitcoinng
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"bitcoinng/internal/bitcoin"
+	"bitcoinng/internal/node"
+	"bitcoinng/internal/protocol"
+	"bitcoinng/internal/types"
+)
+
+// countingClient is a custom protocol registration: Bitcoin's consensus
+// rules with instrumented block production — the shape an attack variant
+// (e.g. a Greedy-Mine client) takes. It plugs into every harness through
+// the registry alone.
+type countingClient struct {
+	*bitcoin.Node
+	mined int
+}
+
+func (c *countingClient) Base() *node.Base { return c.Node.Base }
+
+func (c *countingClient) MineBlock() types.Block {
+	c.mined++
+	return c.Node.MineBlock()
+}
+
+// The registry is process-global with no unregistration, so the test
+// protocol registers once even across -count=N reruns.
+var (
+	countingOnce  sync.Once
+	countingErr   error
+	countingBuilt []*countingClient
+)
+
+const countingProtocol Protocol = "test-counting"
+
+func registerCountingProtocol(t *testing.T) {
+	t.Helper()
+	countingOnce.Do(func() {
+		countingErr = RegisterProtocol(countingProtocol, ProtocolRegistration{
+			Payload: types.KindPow,
+			New: func(env node.Env, spec ProtocolSpec) (ProtocolClient, error) {
+				n, err := bitcoin.New(env, bitcoin.Config{
+					Params:          spec.Params,
+					Key:             spec.Key,
+					Genesis:         spec.Genesis,
+					Recorder:        spec.Recorder,
+					SimulatedMining: spec.SimulatedMining,
+				})
+				if err != nil {
+					return nil, err
+				}
+				c := &countingClient{Node: n}
+				countingBuilt = append(countingBuilt, c)
+				return c, nil
+			},
+		})
+	})
+	if countingErr != nil {
+		t.Fatal(countingErr)
+	}
+}
+
+// TestCustomProtocolRunsUnderBothHarnesses registers a new protocol and
+// runs it, without any harness changes, under NewCluster and RunExperiment.
+func TestCustomProtocolRunsUnderBothHarnesses(t *testing.T) {
+	registerCountingProtocol(t)
+	start := len(countingBuilt)
+
+	params := DefaultParams()
+	params.RetargetWindow = 0
+	params.TargetBlockInterval = 20 * time.Second
+	c, err := New(4, WithProtocol(countingProtocol), WithSeed(3), WithParams(params))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Run(3 * time.Minute)
+	if c.Node(0).Height() == 0 {
+		t.Error("cluster: custom protocol produced no blocks")
+	}
+	if c.Node(0).IsLeader() {
+		t.Error("cluster: leadership capability invented for a leaderless protocol")
+	}
+	clusterMined := 0
+	for _, cc := range countingBuilt[start : start+4] {
+		clusterMined += cc.mined
+	}
+	if clusterMined == 0 {
+		t.Error("cluster: mining never went through the custom client")
+	}
+
+	cfg := NewExperiment(4, WithProtocol(countingProtocol), WithSeed(1), WithTargetBlocks(5))
+	cfg.Params.MaxBlockSize = 20_000
+	cfg.Params.TargetBlockInterval = 20 * time.Second
+	res, err := RunExperiment(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.Blocks == 0 {
+		t.Error("experiment: custom protocol produced no blocks")
+	}
+	if len(countingBuilt) != start+8 {
+		t.Errorf("built %d nodes through the custom constructor, want %d", len(countingBuilt)-start, 8)
+	}
+}
+
+// TestUnknownProtocolSharedError asserts both harnesses reject an
+// unregistered protocol with the registry's one shared error.
+func TestUnknownProtocolSharedError(t *testing.T) {
+	if _, err := NewCluster(ClusterConfig{Protocol: "no-such-protocol", Nodes: 2}); !errors.Is(err, ErrUnknownProtocol) {
+		t.Errorf("NewCluster error = %v, want ErrUnknownProtocol", err)
+	}
+	if _, err := New(2, WithProtocol("no-such-protocol")); !errors.Is(err, ErrUnknownProtocol) {
+		t.Errorf("New error = %v, want ErrUnknownProtocol", err)
+	}
+	if _, err := RunExperiment(DefaultExperiment("no-such-protocol", 2, 1)); !errors.Is(err, ErrUnknownProtocol) {
+		t.Errorf("RunExperiment error = %v, want ErrUnknownProtocol", err)
+	}
+	// The message names what is available.
+	_, err := New(2, WithProtocol("no-such-protocol"))
+	for _, want := range []string{`"no-such-protocol"`, string(Bitcoin), string(BitcoinNG), string(GHOST)} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %s", err, want)
+		}
+	}
+}
+
+// TestDuplicateRegistrationRejected covers the registry's collision path.
+func TestDuplicateRegistrationRejected(t *testing.T) {
+	if err := RegisterProtocol(BitcoinNG, ProtocolRegistration{
+		Payload: types.KindMicro,
+		New: func(env node.Env, spec ProtocolSpec) (ProtocolClient, error) {
+			return nil, nil
+		},
+	}); err == nil {
+		t.Fatal("re-registering bitcoin-ng succeeded")
+	}
+	if err := protocol.Register("", ProtocolRegistration{}); err == nil {
+		t.Fatal("registering an empty name succeeded")
+	}
+}
+
+// TestWithCensors drives the §5.2 censorship behaviour through the public
+// API: a censoring leader serializes no transactions, and the payment only
+// confirms once an honest node takes over leadership.
+func TestWithCensors(t *testing.T) {
+	params := DefaultParams()
+	params.RetargetWindow = 0
+	params.TargetBlockInterval = 20 * time.Second
+	params.MicroblockInterval = 2 * time.Second
+	c, err := New(4,
+		WithSeed(11),
+		WithParams(params),
+		WithFunding(10_000),
+		WithAutoMine(false),
+		WithCensors(0),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dest := Address{0xce}
+	tx, err := c.Node(1).Pay(dest, 2_500, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < c.Size(); i++ {
+		if i != 1 {
+			if err := c.Node(i).SubmitTx(tx); err != nil {
+				t.Fatalf("node %d rejected tx: %v", i, err)
+			}
+		}
+	}
+	c.Node(0).MineBlock() // the censor leads
+	c.Run(30 * time.Second)
+	if got := c.Node(1).Balance(dest); got != 0 {
+		t.Fatalf("censoring leader confirmed the payment: dest balance %d", got)
+	}
+	c.Node(1).MineBlock() // an honest leader takes over
+	c.Run(30 * time.Second)
+	if got := c.Node(1).Balance(dest); got != 2_500 {
+		t.Fatalf("honest leader did not confirm the payment: dest balance %d", got)
+	}
+
+	// An out-of-range censor index is rejected at build time, not silently
+	// ignored — under both harnesses.
+	if _, err := New(4, WithCensors(4)); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Errorf("New(4, WithCensors(4)) error = %v, want out-of-range rejection", err)
+	}
+	if _, err := RunExperiment(NewExperiment(4, WithCensors(9))); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Errorf("NewExperiment censor error = %v, want out-of-range rejection", err)
+	}
+}
+
+// TestExperimentWithCensors measures §5.2 censorship in a run: with every
+// node censoring, microblocks are produced but serialize no transactions.
+func TestExperimentWithCensors(t *testing.T) {
+	cfg := NewExperiment(4, WithSeed(5), WithTargetBlocks(8), WithCensors(0, 1, 2, 3))
+	cfg.Params.MaxBlockSize = 20_000
+	res, err := RunExperiment(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.Blocks == 0 {
+		t.Fatal("censoring network produced no blocks")
+	}
+	if res.Report.TxFrequency != 0 {
+		t.Errorf("censoring leaders serialized transactions: tx/s = %v", res.Report.TxFrequency)
+	}
+}
+
+// TestExperimentScenarioBeyondMaxSimTime asserts a scenario that outlives
+// the run is rejected up front instead of silently truncated.
+func TestExperimentScenarioBeyondMaxSimTime(t *testing.T) {
+	cfg := NewExperiment(2, WithScenario(NewScenario(At(7*time.Hour, Heal()))))
+	if _, err := RunExperiment(cfg); err == nil || !strings.Contains(err.Error(), "MaxSimTime") {
+		t.Fatalf("err = %v, want MaxSimTime validation error", err)
+	}
+}
+
+// TestExperimentScenario runs a partition/heal script inside a measured
+// experiment: the third harness-independent scenario consumer.
+func TestExperimentScenario(t *testing.T) {
+	params := DefaultParams()
+	params.RetargetWindow = 0
+	params.TargetBlockInterval = 20 * time.Second
+	params.MicroblockInterval = 2 * time.Second
+	params.MaxBlockSize = 20_000
+	cfg := NewExperiment(6,
+		WithSeed(2),
+		WithParams(params),
+		WithTargetBlocks(10),
+		WithScenario(NewScenario(
+			At(30*time.Second, Partition([]int{0, 1, 2}, []int{3, 4, 5})),
+			At(90*time.Second, Heal()),
+			At(100*time.Second, LatencySpike(3)),
+			At(110*time.Second, LatencySpike(1)),
+		)),
+	)
+	res, err := RunExperiment(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, serr := range res.ScenarioErrors {
+		t.Errorf("scenario step failed: %v", serr)
+	}
+	if res.NetStats.MessagesLost == 0 {
+		t.Error("partition dropped no messages — the scenario did not execute")
+	}
+	if res.SimTime < 110*time.Second {
+		t.Errorf("run stopped at %v, before the scenario's last step", res.SimTime)
+	}
+}
