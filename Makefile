@@ -1,6 +1,7 @@
 GO ?= go
+BENCH_DATE := $(shell date +%Y%m%d)
 
-.PHONY: build vet test race bench
+.PHONY: build vet test race bench bench-json smoke
 
 build:
 	$(GO) build ./...
@@ -16,3 +17,16 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' .
+
+# bench-json records the Figure and substrate benchmarks as go test -json
+# events in BENCH_<date>.json — one file per day, committed when a PR claims
+# a performance change, so the perf trajectory of the repo stays auditable.
+bench-json:
+	$(GO) test -json -bench=. -benchtime=1x -run='^$$' . > BENCH_$(BENCH_DATE).json
+	@grep -c '"Action"' BENCH_$(BENCH_DATE).json >/dev/null && echo "wrote BENCH_$(BENCH_DATE).json"
+
+# smoke is the CI scalability gate: a paper-scale (1000-node) Bitcoin-NG run
+# kept to a handful of payload blocks so it finishes in well under the job's
+# time budget.
+smoke:
+	$(GO) run ./cmd/ngbench -figure smoke -nodes 1000 -blocks 5

@@ -277,14 +277,10 @@ func BenchmarkClusterNGMinute(b *testing.B) {
 	params.RetargetWindow = 0
 	params.TargetBlockInterval = 20 * time.Second
 	params.MicroblockInterval = 2 * time.Second
-	c, err := NewCluster(ClusterConfig{
-		Protocol:    BitcoinNG,
-		Nodes:       50,
-		Seed:        1,
-		Params:      params,
-		FundPerNode: 1000,
-		AutoMine:    true,
-	})
+	c, err := New(50,
+		WithParams(params),
+		WithFunding(1000),
+	)
 	if err != nil {
 		b.Fatal(err)
 	}

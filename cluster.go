@@ -13,6 +13,7 @@ import (
 	"bitcoinng/internal/sim"
 	"bitcoinng/internal/simnet"
 	"bitcoinng/internal/types"
+	"bitcoinng/internal/validate"
 	"bitcoinng/internal/wallet"
 )
 
@@ -46,6 +47,9 @@ type ClusterConfig struct {
 	// offset from virtual time zero as Run advances the clock. Use
 	// Cluster.Play to run a scenario relative to the current time instead.
 	Scenario *Scenario
+	// DisableConnectCache turns off the shared connect cache so every node
+	// re-validates every block locally; results are identical either way.
+	DisableConnectCache bool
 }
 
 // Cluster is an interactive emulated network. All methods must be called
@@ -121,6 +125,10 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	shares := mining.ExponentialShares(cfg.Nodes, mining.DefaultExponent)
 	totalRate := 1.0 / cfg.Params.TargetBlockInterval.Seconds()
 
+	cache := validate.Shared()
+	if cfg.DisableConnectCache {
+		cache = nil
+	}
 	for i := 0; i < cfg.Nodes; i++ {
 		env := simnet.NewNodeEnv(loop, network, i, cfg.Seed)
 		client, err := protocol.Build(env, protocol.Spec{
@@ -131,6 +139,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			Recorder:           collector,
 			SimulatedMining:    true,
 			CensorTransactions: censors[i],
+			ConnectCache:       cache,
 		})
 		if err != nil {
 			return nil, err

@@ -10,14 +10,7 @@ func TestClusterNGLifecycle(t *testing.T) {
 	params.RetargetWindow = 0
 	params.TargetBlockInterval = 30 * time.Second
 	params.MicroblockInterval = 5 * time.Second
-	c, err := NewCluster(ClusterConfig{
-		Protocol:    BitcoinNG,
-		Nodes:       10,
-		Seed:        1,
-		Params:      params,
-		FundPerNode: 1_000_000,
-		AutoMine:    true,
-	})
+	c, err := New(10, WithParams(params), WithFunding(1_000_000))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,14 +43,7 @@ func TestClusterPaymentConfirms(t *testing.T) {
 	params.RetargetWindow = 0
 	params.TargetBlockInterval = 20 * time.Second
 	params.MicroblockInterval = 2 * time.Second
-	c, err := NewCluster(ClusterConfig{
-		Protocol:    BitcoinNG,
-		Nodes:       6,
-		Seed:        2,
-		Params:      params,
-		FundPerNode: 10_000,
-		AutoMine:    true,
-	})
+	c, err := New(6, WithSeed(2), WithParams(params), WithFunding(10_000))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,14 +82,7 @@ func TestClusterBitcoinAndGhost(t *testing.T) {
 		params := DefaultParams()
 		params.RetargetWindow = 0
 		params.TargetBlockInterval = 20 * time.Second
-		c, err := NewCluster(ClusterConfig{
-			Protocol:    p,
-			Nodes:       8,
-			Seed:        3,
-			Params:      params,
-			FundPerNode: 1000,
-			AutoMine:    true,
-		})
+		c, err := New(8, WithProtocol(p), WithSeed(3), WithParams(params), WithFunding(1000))
 		if err != nil {
 			t.Fatalf("%s: %v", p, err)
 		}
@@ -124,14 +103,7 @@ func TestClusterChurn(t *testing.T) {
 	params.RetargetWindow = 0
 	params.TargetBlockInterval = 20 * time.Second
 	params.MicroblockInterval = 2 * time.Second
-	c, err := NewCluster(ClusterConfig{
-		Protocol:    BitcoinNG,
-		Nodes:       6,
-		Seed:        4,
-		Params:      params,
-		FundPerNode: 1000,
-		AutoMine:    true,
-	})
+	c, err := New(6, WithSeed(4), WithParams(params), WithFunding(1000))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,13 +125,7 @@ func TestClusterChurn(t *testing.T) {
 
 func TestClusterDeterminism(t *testing.T) {
 	mk := func() Hash {
-		c, err := NewCluster(ClusterConfig{
-			Protocol:    BitcoinNG,
-			Nodes:       5,
-			Seed:        9,
-			FundPerNode: 1000,
-			AutoMine:    true,
-		})
+		c, err := New(5, WithSeed(9), WithFunding(1000))
 		if err != nil {
 			t.Fatal(err)
 		}

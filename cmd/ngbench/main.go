@@ -22,11 +22,12 @@ import (
 	"bitcoinng/internal/mining"
 	"bitcoinng/internal/sim"
 	"bitcoinng/internal/stats"
+	"bitcoinng/internal/validate"
 )
 
 func main() {
 	var (
-		figure = flag.String("figure", "all", "which figure: 6 | 7 | 8a | 8b | incentive | ablation | all")
+		figure = flag.String("figure", "all", "which figure: 6 | 7 | 8a | 8b | incentive | ablation | all, or smoke (standalone scalability run, not part of all)")
 		nodes  = flag.Int("nodes", 0, "override network size (default: laptop scale 120)")
 		blocks = flag.Int("blocks", 0, "override payload blocks per run (default 40)")
 		seed   = flag.Int64("seed", 1, "experiment seed")
@@ -83,6 +84,31 @@ func main() {
 	})
 	run("incentive", func() error { return incentiveTable() })
 	run("ablation", func() error { return ablations(scale) })
+	if *figure == "smoke" {
+		run("smoke", func() error { return smoke(scale) })
+	}
+}
+
+// smoke runs a single Bitcoin-NG experiment at the requested scale and
+// prints the report plus validation-pipeline counters. CI runs it at paper
+// scale (`-figure smoke -nodes 1000 -blocks 5`) under a time budget to catch
+// scalability regressions before they land.
+func smoke(scale experiment.Scale) error {
+	cfg := experiment.DefaultConfig(experiment.BitcoinNG, scale.Nodes, scale.Seed)
+	cfg.TargetBlocks = scale.Blocks
+	res, err := experiment.Run(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("smoke: %d nodes, %d payload blocks, seed %d\n", scale.Nodes, scale.Blocks, scale.Seed)
+	experiment.FprintReport(os.Stdout, "bitcoin-ng", res.Report)
+	stats := validate.Shared().Stats()
+	fmt.Printf("connect cache: %d entries, %d hits, %d misses (%.1f%% hit rate)\n",
+		stats.Entries, stats.Hits, stats.Misses, 100*stats.HitRate())
+	fmt.Printf("simulated %v in %v wall (%d events, %d messages, %.1f MB sent)\n",
+		res.SimTime.Round(time.Second), res.WallTime.Round(time.Millisecond),
+		res.Events, res.NetStats.MessagesSent, float64(res.NetStats.BytesSent)/1e6)
+	return nil
 }
 
 // figure6 prints the mining-power distribution by rank with its

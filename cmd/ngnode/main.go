@@ -32,6 +32,7 @@ import (
 	"bitcoinng/internal/protocol"
 	"bitcoinng/internal/sim"
 	"bitcoinng/internal/types"
+	"bitcoinng/internal/validate"
 )
 
 func main() {
@@ -76,6 +77,9 @@ func main() {
 		Params:   params,
 		Key:      key,
 		Genesis:  genesis,
+		// One live process usually hosts one node, but reorgs still
+		// replay cached deltas instead of re-applying blocks.
+		ConnectCache: validate.Shared(),
 	})
 	if err != nil {
 		log.Fatalf("node: %v", err)

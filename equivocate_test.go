@@ -15,14 +15,12 @@ func TestEquivocateLeaderLifecycle(t *testing.T) {
 	params.TargetBlockInterval = 30 * time.Second
 	params.MicroblockInterval = 3 * time.Second
 
-	c, err := NewCluster(ClusterConfig{
-		Protocol:    BitcoinNG,
-		Nodes:       8,
-		Seed:        7,
-		Params:      params,
-		FundPerNode: 100_000,
-		AutoMine:    false,
-	})
+	c, err := New(8,
+		WithSeed(7),
+		WithParams(params),
+		WithFunding(100_000),
+		WithAutoMine(false),
+	)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -7,23 +7,19 @@ import (
 	"bitcoinng"
 )
 
-// ExampleNewCluster runs a small Bitcoin-NG network for five virtual
-// minutes and reads back the §6 security metrics. Clusters are
-// deterministic from their seed, so this output is exact.
-func ExampleNewCluster() {
+// ExampleNew runs a small Bitcoin-NG network for five virtual minutes and
+// reads back the §6 security metrics. Clusters are deterministic from their
+// seed, so this output is exact.
+func ExampleNew() {
 	params := bitcoinng.DefaultParams()
 	params.RetargetWindow = 0
 	params.TargetBlockInterval = 30 * time.Second
 	params.MicroblockInterval = 5 * time.Second
 
-	cluster, err := bitcoinng.NewCluster(bitcoinng.ClusterConfig{
-		Protocol:    bitcoinng.BitcoinNG,
-		Nodes:       10,
-		Seed:        1,
-		Params:      params,
-		FundPerNode: 1_000_000,
-		AutoMine:    true,
-	})
+	cluster, err := bitcoinng.New(10,
+		bitcoinng.WithParams(params),
+		bitcoinng.WithFunding(1_000_000),
+	)
 	if err != nil {
 		panic(err)
 	}
@@ -35,7 +31,7 @@ func ExampleNewCluster() {
 	fmt.Printf("fairness: %.2f\n", r.Fairness)
 	fmt.Printf("converged: %v\n", cluster.Converged())
 	// Output:
-	// key blocks: 15
+	// key blocks: 7
 	// mining power utilization: 1.00
 	// fairness: 1.00
 	// converged: true

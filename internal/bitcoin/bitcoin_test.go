@@ -10,6 +10,7 @@ import (
 	"bitcoinng/internal/sim"
 	"bitcoinng/internal/simnet"
 	"bitcoinng/internal/types"
+	"bitcoinng/internal/validate"
 )
 
 // cluster is a small emulated Bitcoin network for tests.
@@ -55,6 +56,7 @@ func newCluster(t *testing.T, n int, seed int64, params types.Params) *cluster {
 			Key:             keys[i],
 			Genesis:         genesis,
 			SimulatedMining: true,
+			ConnectCache:    validate.Shared(),
 		})
 		if err != nil {
 			t.Fatal(err)

@@ -1,0 +1,203 @@
+package bitcoin
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"bitcoinng/internal/chain"
+	"bitcoinng/internal/crypto"
+	"bitcoinng/internal/sim"
+	"bitcoinng/internal/types"
+	"bitcoinng/internal/utxo"
+	"bitcoinng/internal/validate"
+)
+
+// newCachedState builds a chain.State over the given params wired to cache.
+func newCachedState(t *testing.T, genesis *types.PowBlock, params types.Params, cache *validate.Cache) *chain.State {
+	t.Helper()
+	st, err := chain.New(genesis, params, Rules{AllowSimulatedPoW: true},
+		&chain.HeaviestChain{RandomTieBreak: false}, chain.WithConnectCache(cache))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// powBlockOn assembles a simulated-PoW block with the given coinbase value.
+func powBlockOn(prev crypto.Hash, at int64, height uint64, value types.Amount) *types.PowBlock {
+	coinbase := &types.Transaction{
+		Kind:    types.TxCoinbase,
+		Outputs: []types.TxOutput{{Value: value, To: crypto.Address{0xcb}}},
+		Height:  height,
+	}
+	return &types.PowBlock{
+		Header: types.PowHeader{
+			Prev:       prev,
+			MerkleRoot: crypto.MerkleRoot(types.TxIDs([]*types.Transaction{coinbase})),
+			TimeNanos:  at,
+			Target:     crypto.EasiestTarget,
+		},
+		Txs:          []*types.Transaction{coinbase},
+		SimulatedPoW: true,
+	}
+}
+
+// TestConnectCacheDoesNotLeakAcrossRules is the soundness core of the shared
+// cache: the same block judged under different consensus parameters lands in
+// different fingerprint universes, so a verdict computed under generous
+// rules can never leak to a node running strict ones (and vice versa).
+func TestConnectCacheDoesNotLeakAcrossRules(t *testing.T) {
+	genesis := types.GenesisBlock(types.GenesisSpec{Target: crypto.EasiestTarget})
+	cache := validate.NewCache(64)
+
+	generous := types.DefaultParams()
+	generous.RetargetWindow = 0
+	strict := generous
+	strict.Subsidy = generous.Subsidy / 2
+
+	blk := powBlockOn(genesis.Hash(), 1, 1, generous.Subsidy) // full subsidy claimed
+
+	// The generous node accepts and memoizes the connect outcome.
+	stA := newCachedState(t, genesis, generous, cache)
+	res, err := stA.AddBlock(blk, 2)
+	if err != nil || res.Status != chain.StatusMainChain {
+		t.Fatalf("generous rules: status %v, err %v", res.Status, err)
+	}
+
+	// The strict node shares the cache object but must reject: its coinbase
+	// cap is half the claimed amount.
+	stB := newCachedState(t, genesis, strict, cache)
+	if _, err := stB.AddBlock(blk, 2); !errors.Is(err, ErrBadCoinbaseAmt) {
+		t.Fatalf("strict rules accepted an overpaying coinbase through the cache: err %v", err)
+	}
+
+	// A third node with the generous rules replays the memoized delta: same
+	// verdict, same resulting state, strictly more cache hits.
+	before := cache.Stats().Hits
+	stC := newCachedState(t, genesis, generous, cache)
+	res, err = stC.AddBlock(blk, 2)
+	if err != nil || res.Status != chain.StatusMainChain {
+		t.Fatalf("replaying node: status %v, err %v", res.Status, err)
+	}
+	if cache.Stats().Hits <= before {
+		t.Fatal("replaying node did not hit the cache")
+	}
+	if stC.UTXO().Len() != stA.UTXO().Len() {
+		t.Fatalf("replayed UTXO set diverged: %d vs %d entries", stC.UTXO().Len(), stA.UTXO().Len())
+	}
+	if got := stC.UTXO().BalanceOf(crypto.Address{0xcb}); got != generous.Subsidy {
+		t.Fatalf("replayed coinbase balance = %d, want %d", got, generous.Subsidy)
+	}
+}
+
+// TestConnectCacheSharesNegativeVerdicts asserts the 2nd node rejecting an
+// invalid block takes the memoized path and reaches the same verdict.
+func TestConnectCacheSharesNegativeVerdicts(t *testing.T) {
+	genesis := types.GenesisBlock(types.GenesisSpec{Target: crypto.EasiestTarget})
+	cache := validate.NewCache(64)
+	params := types.DefaultParams()
+	params.RetargetWindow = 0
+
+	bad := powBlockOn(genesis.Hash(), 1, 1, params.Subsidy+1) // over-claims by 1
+
+	stA := newCachedState(t, genesis, params, cache)
+	if _, err := stA.AddBlock(bad, 2); !errors.Is(err, ErrBadCoinbaseAmt) {
+		t.Fatalf("first node verdict = %v", err)
+	}
+	before := cache.Stats().Hits
+	stB := newCachedState(t, genesis, params, cache)
+	if _, err := stB.AddBlock(bad, 2); !errors.Is(err, ErrBadCoinbaseAmt) {
+		t.Fatalf("second node verdict = %v", err)
+	}
+	if cache.Stats().Hits <= before {
+		t.Fatal("negative verdict was not shared")
+	}
+	if stB.UTXO().Len() != stA.UTXO().Len() {
+		t.Fatal("rejected block mutated a UTXO set")
+	}
+}
+
+// TestConnectCacheReorgReplaysDeltas reorganizes a cached chain: the losing
+// branch disconnects through the shared deltas and the winning branch
+// connects from cache on the node that saw the blocks in the other order.
+func TestConnectCacheReorgReplaysDeltas(t *testing.T) {
+	genesis := types.GenesisBlock(types.GenesisSpec{Target: crypto.EasiestTarget})
+	cache := validate.NewCache(64)
+	params := types.DefaultParams()
+	params.RetargetWindow = 0
+
+	a1 := powBlockOn(genesis.Hash(), 1, 1, params.Subsidy)
+	b1 := powBlockOn(genesis.Hash(), 2, 1, params.Subsidy-1) // sibling branch
+	b2 := powBlockOn(b1.Hash(), 3, 2, params.Subsidy)
+
+	// Node A: sees a1 first, then reorgs to b1+b2.
+	stA := newCachedState(t, genesis, params, cache)
+	for _, blk := range []*types.PowBlock{a1, b1, b2} {
+		if _, err := stA.AddBlock(blk, 4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Node B: sees the winning branch first, then the stale sibling.
+	stB := newCachedState(t, genesis, params, cache)
+	for _, blk := range []*types.PowBlock{b1, b2, a1} {
+		if _, err := stB.AddBlock(blk, 4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if stA.Tip().Hash() != b2.Hash() || stB.Tip().Hash() != b2.Hash() {
+		t.Fatalf("tips diverged: %s vs %s", stA.Tip().Hash().Short(), stB.Tip().Hash().Short())
+	}
+	if stA.UTXO().Len() != stB.UTXO().Len() {
+		t.Fatalf("UTXO sets diverged after reorg: %d vs %d", stA.UTXO().Len(), stB.UTXO().Len())
+	}
+}
+
+// TestClusterConvergesWithSharedCache runs the existing propagation cluster
+// against one shared cache and cross-checks the final UTXO sets entry by
+// entry against a cache-free node that replays the same chain.
+func TestClusterConvergesWithSharedCache(t *testing.T) {
+	params := types.DefaultParams()
+	params.RetargetWindow = 0
+	params.TargetBlockInterval = 10 * time.Second
+	c := newCluster(t, 5, 11, params)
+	c.preload(t, 32, 100)
+	rng := sim.NewRand(11, 0x77)
+	for i := 0; i < 8; i++ {
+		c.nodes[rng.Intn(len(c.nodes))].MineBlock()
+		c.loop.RunFor(5 * time.Second)
+	}
+	c.loop.RunFor(time.Minute)
+
+	tip := c.nodes[0].State.Tip().Hash()
+	for i, n := range c.nodes[1:] {
+		if n.State.Tip().Hash() != tip {
+			t.Fatalf("node %d tip diverged", i+1)
+		}
+	}
+	// Replay the main chain into a fresh cache-less state; the UTXO set
+	// must match the cluster nodes' replayed-from-cache sets exactly.
+	fresh, err := chain.New(c.genesis, params, Rules{AllowSimulatedPoW: true},
+		&chain.HeaviestChain{RandomTieBreak: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range c.nodes[0].State.MainChain()[1:] {
+		if _, err := fresh.AddBlock(n.Block, n.Block.Time()+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := fresh.UTXO()
+	got := c.nodes[0].State.UTXO()
+	if got.Len() != want.Len() {
+		t.Fatalf("UTXO size: cached %d, uncached %d", got.Len(), want.Len())
+	}
+	want.Range(func(op types.OutPoint, e utxo.Entry) bool {
+		ge, ok := got.Lookup(op)
+		if !ok || ge != e {
+			t.Errorf("entry %v: cached %+v, uncached %+v (present %v)", op, ge, e, ok)
+			return false
+		}
+		return true
+	})
+}

@@ -8,6 +8,7 @@ import (
 	"bitcoinng/internal/mining"
 	"bitcoinng/internal/node"
 	"bitcoinng/internal/types"
+	"bitcoinng/internal/validate"
 )
 
 // coinbaseReserve is the block-size headroom kept for the header and
@@ -33,6 +34,10 @@ type Config struct {
 	// ForkChoice overrides the fork-choice rule; nil selects the heaviest
 	// chain. internal/ghost substitutes the heaviest-subtree rule (§9).
 	ForkChoice chain.ForkChoice
+	// ConnectCache, when set, shares memoized connect verdicts (UTXO
+	// deltas, fees) with every other node whose rules fingerprint matches;
+	// nil validates everything locally.
+	ConnectCache *validate.Cache
 }
 
 // Node is a Bitcoin protocol node.
@@ -52,7 +57,8 @@ func New(env node.Env, cfg Config) (*Node, error) {
 	if choice == nil {
 		choice = &chain.HeaviestChain{RandomTieBreak: cfg.Params.RandomTieBreak, Rand: env.Rand()}
 	}
-	st, err := chain.New(cfg.Genesis, cfg.Params, Rules{AllowSimulatedPoW: cfg.SimulatedMining}, choice)
+	st, err := chain.New(cfg.Genesis, cfg.Params, Rules{AllowSimulatedPoW: cfg.SimulatedMining}, choice,
+		chain.WithConnectCache(cfg.ConnectCache))
 	if err != nil {
 		return nil, err
 	}

@@ -41,6 +41,13 @@ type Rules struct {
 	AllowSimulatedPoW bool
 }
 
+// RulesID implements chain.Protocol. GHOST shares these rules (it differs
+// only in fork choice, which is per-node state), so its nodes share the
+// same connect-cache universe — soundly, since their connect verdicts agree.
+func (r Rules) RulesID() string {
+	return fmt.Sprintf("bitcoin/simpow=%t", r.AllowSimulatedPoW)
+}
+
 // CheckBlock implements chain.Protocol.
 func (r Rules) CheckBlock(st *chain.State, parent *chain.Node, b types.Block, now int64) error {
 	pb, ok := b.(*types.PowBlock)

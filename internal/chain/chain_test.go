@@ -14,6 +14,8 @@ import (
 // in internal/bitcoin and internal/core and are tested there.
 type openProtocol struct{}
 
+func (openProtocol) RulesID() string { return "test/open" }
+
 func (openProtocol) CheckBlock(st *State, parent *Node, b types.Block, now int64) error {
 	switch blk := b.(type) {
 	case *types.PowBlock:
@@ -451,13 +453,13 @@ func TestEpochFees(t *testing.T) {
 	f.add(m1)
 	f.add(m2)
 
-	got := EpochFees(f.st.Tip(), f.st.fees)
+	got := EpochFees(f.st.Tip())
 	if got != 150 {
 		t.Errorf("EpochFees = %d, want 150", got)
 	}
 	// From the key block itself the epoch is empty.
 	n, _ := f.st.Store().Get(k1.Hash())
-	if got := EpochFees(n, f.st.fees); got != 0 {
+	if got := EpochFees(n); got != 0 {
 		t.Errorf("EpochFees at key block = %d", got)
 	}
 }

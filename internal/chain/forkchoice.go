@@ -10,6 +10,16 @@ type ForkChoice interface {
 	Best(s *Store, current, added *Node) *Node
 }
 
+// SubtreeWeighted lets a fork choice declare whether it reads
+// Node.SubtreeWeight; the store pays the per-insert ancestor walk that
+// maintains subtree weights only when needed. Fork choices that do not
+// implement the interface get the weights maintained (the safe default for
+// custom rules); built-in rules that only compare cumulative chain weight
+// opt out and skip the cost entirely.
+type SubtreeWeighted interface {
+	NeedsSubtreeWeight() bool
+}
+
 // HeaviestChain is the Bitcoin/Bitcoin-NG rule (§3, §4.1): adopt the chain
 // representing the most aggregate work, breaking ties either uniformly at
 // random (the paper's recommendation, after [21]) or by keeping the
@@ -20,6 +30,10 @@ type HeaviestChain struct {
 	// Rand supplies tie-break coin flips; required when RandomTieBreak.
 	Rand *rand.Rand
 }
+
+// NeedsSubtreeWeight implements SubtreeWeighted: heaviest-chain only
+// compares cumulative weight, so the store can skip subtree maintenance.
+func (h *HeaviestChain) NeedsSubtreeWeight() bool { return false }
 
 // Best implements ForkChoice.
 func (h *HeaviestChain) Best(s *Store, current, added *Node) *Node {
@@ -54,6 +68,10 @@ type GHOST struct {
 	RandomTieBreak bool
 	Rand           *rand.Rand
 }
+
+// NeedsSubtreeWeight implements SubtreeWeighted: GHOST's descent compares
+// subtree weights, so the store must maintain them.
+func (g *GHOST) NeedsSubtreeWeight() bool { return true }
 
 // Best implements ForkChoice. The added node is unused: GHOST recomputes the
 // greedy descent from the root, since a block anywhere in the tree can flip

@@ -111,6 +111,8 @@ func TestArrivalOrderIndependence(t *testing.T) {
 // where parent context may not exist yet at CheckBlock time.)
 type permissive struct{}
 
+func (permissive) RulesID() string { return "test/permissive" }
+
 func (permissive) CheckBlock(st *State, parent *Node, b types.Block, now int64) error {
 	return nil
 }

@@ -7,11 +7,20 @@ import (
 	"bitcoinng/internal/crypto"
 	"bitcoinng/internal/types"
 	"bitcoinng/internal/utxo"
+	"bitcoinng/internal/validate"
 )
 
 // Protocol supplies the protocol-specific validation the generic chain
 // machinery calls out to. internal/bitcoin and internal/core implement it.
 type Protocol interface {
+	// RulesID is a stable identifier of the protocol's validation
+	// semantics, including any flags that change them (e.g. whether
+	// simulated proof of work is accepted). Together with the consensus
+	// parameters it forms the connect-cache fingerprint, so two nodes
+	// share cached connect verdicts exactly when their RulesID and Params
+	// agree.
+	RulesID() string
+
 	// CheckBlock fully validates a block before it enters the tree, given
 	// its resolved parent: intrinsic well-formedness (including microblock
 	// signatures, which need the epoch's leader key from the parent
@@ -21,14 +30,19 @@ type Protocol interface {
 
 	// ConnectCheck validates block economics after its transactions were
 	// applied to the UTXO set: coinbase amounts against subsidy and fees
-	// (fees[i] is the fee collected from transaction i). Returning an
-	// error rolls the application back and marks the block invalid.
+	// (fees[i] is the fee collected from transaction i). It must be a
+	// pure function of the block and its ancestor chain — its verdict is
+	// shared across nodes through the connect cache. Returning an error
+	// rolls the application back and marks the block invalid.
 	ConnectCheck(st *State, n *Node, fees []types.Amount) error
 
 	// PoisonTargets verifies the fraud proofs of any poison transactions
 	// in b and resolves each poison transaction ID to the culprit's
 	// coinbase transaction ID. Protocols without poison transactions
 	// return (nil, nil) for poison-free blocks and an error otherwise.
+	// Like ConnectCheck, the verdict must depend only on the block and
+	// its ancestor chain (everything the evidence may reference is, by
+	// construction, in the connecting block's ancestry).
 	PoisonTargets(st *State, parent *Node, b types.Block) (map[crypto.Hash]crypto.Hash, error)
 }
 
@@ -105,36 +119,97 @@ type State struct {
 	utxoSet *utxo.Set
 	tip     *Node
 
-	// undo records and collected fees for every block currently connected
-	// (undo) or ever connected (fees; fee totals are stable per block).
-	undo map[crypto.Hash]*utxo.Undo
-	fees map[crypto.Hash]types.Amount
+	// cache, when set, memoizes connect outcomes process-wide under fp so
+	// nodes sharing rules replay each block's delta instead of recomputing
+	// it. fp is derived once at construction.
+	cache *validate.Cache
+	fp    validate.Fingerprint
 
 	orphans      map[crypto.Hash][]types.Block // parent hash -> waiting blocks
 	orphanCount  int
 	invalidCount int
 }
 
+// Option configures a State at construction.
+type Option func(*State)
+
+// WithConnectCache threads a shared connect cache through the state; nil
+// disables caching (every connect recomputes locally).
+func WithConnectCache(c *validate.Cache) Option {
+	return func(st *State) { st.cache = c }
+}
+
 // New creates a State rooted at the genesis block. The genesis coinbase is
 // applied to the UTXO set (pre-funded experiment outputs live there).
-func New(genesis types.Block, params types.Params, protocol Protocol, choice ForkChoice) (*State, error) {
+func New(genesis types.Block, params types.Params, protocol Protocol, choice ForkChoice, opts ...Option) (*State, error) {
 	st := &State{
 		params:   params,
 		store:    NewStore(genesis),
 		protocol: protocol,
 		choice:   choice,
 		utxoSet:  utxo.New(),
-		undo:     make(map[crypto.Hash]*utxo.Undo),
-		fees:     make(map[crypto.Hash]types.Amount),
+		fp:       validate.FingerprintOf(protocol.RulesID(), params),
 		orphans:  make(map[crypto.Hash][]types.Block),
 	}
+	for _, opt := range opts {
+		opt(st)
+	}
+	// Fork choices that do not declare their needs get subtree weights
+	// maintained: a custom rule reading Node.SubtreeWeight must keep
+	// working even if it predates the SubtreeWeighted interface.
+	track := true
+	if sw, ok := choice.(SubtreeWeighted); ok {
+		track = sw.NeedsSubtreeWeight()
+	}
+	if track {
+		st.store.EnableSubtreeWeights()
+	}
 	st.tip = st.store.Genesis()
+
+	// Genesis application goes through the cache too: experiment genesis
+	// blocks carry hundreds of pre-funded outputs, and every node of a run
+	// applies the same ones.
+	key := validate.Key{Block: genesis.Hash(), Rules: st.fp}
+	if res, ok := st.lookupConnect(key); ok {
+		if res.Err != nil {
+			return nil, fmt.Errorf("chain: applying genesis: %w", res.Err)
+		}
+		st.utxoSet.RedoBlock(res.Delta)
+		st.tip.undo = res.Delta
+		return st, nil
+	}
 	u, _, err := st.utxoSet.ApplyBlock(genesis.Transactions(), utxo.BlockContext{Height: 0, Params: params})
 	if err != nil {
+		st.storeConnect(key, &validate.ConnectResult{Err: err})
 		return nil, fmt.Errorf("chain: applying genesis: %w", err)
 	}
-	st.undo[genesis.Hash()] = u
+	st.storeConnect(key, &validate.ConnectResult{Delta: u})
+	st.tip.undo = u
 	return st, nil
+}
+
+// lookupConnect consults the connect cache, if one is attached.
+func (st *State) lookupConnect(key validate.Key) (*validate.ConnectResult, bool) {
+	if st.cache == nil {
+		return nil, false
+	}
+	return st.cache.Lookup(key)
+}
+
+// storeConnect memoizes a connect outcome, if a cache is attached.
+func (st *State) storeConnect(key validate.Key, res *validate.ConnectResult) {
+	if st.cache != nil {
+		st.cache.Store(key, res)
+	}
+}
+
+// ConnectCacheStats reports the attached cache's counters; zero Stats when
+// no cache is attached.
+func (st *State) ConnectCacheStats() validate.Stats {
+	if st.cache == nil {
+		return validate.Stats{}
+	}
+	return st.cache.Stats()
 }
 
 // Params returns the consensus parameters.
@@ -151,12 +226,18 @@ func (st *State) UTXO() *utxo.Set { return st.utxoSet }
 
 // FeeTotal returns the total fees collected by a block when it was
 // connected; zero if it never connected.
-func (st *State) FeeTotal(h crypto.Hash) types.Amount { return st.fees[h] }
+func (st *State) FeeTotal(h crypto.Hash) types.Amount {
+	n, ok := st.store.Get(h)
+	if !ok {
+		return 0
+	}
+	return n.feeTotal
+}
 
 // EpochFeesAt sums the recorded fees of the uninterrupted run of microblocks
 // ending at n (walking up until the nearest PoW/key block). Bitcoin-NG's
 // coinbase validation uses it to compute the previous epoch's fee pot.
-func (st *State) EpochFeesAt(n *Node) types.Amount { return EpochFees(n, st.fees) }
+func (st *State) EpochFeesAt(n *Node) types.Amount { return EpochFees(n) }
 
 // Height returns the main-chain height.
 func (st *State) Height() uint64 { return st.tip.Height }
@@ -319,10 +400,42 @@ func (st *State) reorgTo(target *Node, res *AddResult) error {
 	return nil
 }
 
+// connectBlock advances the UTXO set over n. The outcome is a pure function
+// of (block hash, parent hash, rules fingerprint) — the block hash commits
+// to the whole history below it — so it is memoized in the connect cache:
+// the first node to connect a block computes, every later node (and every
+// reorg that re-connects it) replays the recorded delta.
 func (st *State) connectBlock(n *Node) error {
+	h := n.Hash()
+	key := validate.Key{Block: h, Parent: n.Parent.Hash(), Rules: st.fp}
+	res, hit := st.lookupConnect(key)
+	if !hit {
+		res = st.computeConnect(n)
+		st.storeConnect(key, res)
+	}
+	if res.Err != nil {
+		return res.Err
+	}
+	if hit {
+		st.utxoSet.RedoBlock(res.Delta)
+	}
+	n.undo = res.Delta
+	n.feeTotal = res.FeeTotal
+	st.tip = n
+	return nil
+}
+
+// computeConnect runs the full connect stage: poison evidence, transaction
+// application, economic checks. On success the UTXO set is left advanced
+// over the block (the recorded delta describes exactly that advance); on
+// failure it is left untouched.
+func (st *State) computeConnect(n *Node) *validate.ConnectResult {
+	fail := func(err error) *validate.ConnectResult {
+		return &validate.ConnectResult{Err: fmt.Errorf("block %s: %w", n.Hash().Short(), err)}
+	}
 	targets, err := st.protocol.PoisonTargets(st, n.Parent, n.Block)
 	if err != nil {
-		return fmt.Errorf("block %s: %w", n.Hash().Short(), err)
+		return fail(err)
 	}
 	ctx := utxo.BlockContext{
 		Height:        n.KeyHeight,
@@ -332,30 +445,25 @@ func (st *State) connectBlock(n *Node) error {
 	txs := n.Block.Transactions()
 	u, fees, err := st.utxoSet.ApplyBlock(txs, ctx)
 	if err != nil {
-		return fmt.Errorf("block %s: %w", n.Hash().Short(), err)
+		return fail(err)
 	}
 	if err := st.protocol.ConnectCheck(st, n, fees); err != nil {
 		st.utxoSet.UndoBlock(u)
-		return fmt.Errorf("block %s: %w", n.Hash().Short(), err)
+		return fail(err)
 	}
-	st.undo[n.Hash()] = u
 	var total types.Amount
 	for _, f := range fees {
 		total += f
 	}
-	st.fees[n.Hash()] = total
-	st.tip = n
-	return nil
+	return &validate.ConnectResult{Delta: u, FeeTotal: total}
 }
 
 func (st *State) disconnectBlock(n *Node) {
-	h := n.Hash()
-	u := st.undo[h]
-	if u == nil {
+	if n.undo == nil {
 		panic("chain: disconnecting block without undo record")
 	}
-	st.utxoSet.UndoBlock(u)
-	delete(st.undo, h)
+	st.utxoSet.UndoBlock(n.undo)
+	n.undo = nil
 	st.tip = n.Parent
 }
 

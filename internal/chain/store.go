@@ -15,6 +15,7 @@ import (
 
 	"bitcoinng/internal/crypto"
 	"bitcoinng/internal/types"
+	"bitcoinng/internal/utxo"
 )
 
 // Node is a block in the tree together with its chain-cumulative metadata.
@@ -40,13 +41,24 @@ type Node struct {
 	// and the §6 metrics.
 	ReceivedAt int64
 	// SubtreeWeight is the total work in the subtree rooted at this node,
-	// itself included; GHOST's fork choice reads it (§9).
+	// itself included; GHOST's fork choice reads it (§9). It is only
+	// maintained when the store's fork choice declares it needs subtree
+	// weights (Store.EnableSubtreeWeights); otherwise it holds just the
+	// node's own work.
 	SubtreeWeight *big.Int
 	// Invalid marks blocks that failed contextual validation on connect;
 	// fork choice never adopts an invalid node or its descendants.
 	Invalid bool
 
 	children []*Node
+
+	// undo is the block's recorded UTXO delta while connected (nil when
+	// not on the active chain); feeTotal is the total fee the block
+	// collected when it last connected (stable per block). Kept on the
+	// node rather than in side maps: every connect touches them, and the
+	// per-State maps they replaced were a measurable allocation source.
+	undo     *utxo.Delta
+	feeTotal types.Amount
 }
 
 // Hash returns the block hash.
@@ -84,6 +96,12 @@ func (n *Node) AncestorAtHeight(h uint64) *Node {
 type Store struct {
 	genesis *Node
 	nodes   map[crypto.Hash]*Node
+	// trackSubtree enables SubtreeWeight maintenance, which costs an
+	// O(chain-length) big.Int walk per inserted PoW block. Maintenance is
+	// on unless the fork choice declares it unneeded (chain.SubtreeWeighted
+	// — the built-in heaviest-chain rule opts out); when off, SubtreeWeight
+	// holds just the node's own work.
+	trackSubtree bool
 }
 
 // NewStore creates a tree rooted at the genesis block.
@@ -105,6 +123,16 @@ func NewStore(genesis types.Block) *Store {
 
 // Genesis returns the root node.
 func (s *Store) Genesis() *Node { return s.genesis }
+
+// EnableSubtreeWeights turns on cumulative subtree-weight maintenance. It
+// must be called before any Insert (chain.New does, when the fork choice
+// needs it).
+func (s *Store) EnableSubtreeWeights() {
+	if len(s.nodes) > 1 {
+		panic("chain: EnableSubtreeWeights after blocks were inserted")
+	}
+	s.trackSubtree = true
+}
 
 // Get returns the node for the hash, if the block is known.
 func (s *Store) Get(h crypto.Hash) (*Node, bool) {
@@ -128,13 +156,26 @@ func (s *Store) Insert(b types.Block, receivedAt int64) *Node {
 	}
 	work := b.Work()
 	n := &Node{
-		Block:         b,
-		Parent:        parent,
-		Height:        parent.Height + 1,
-		KeyHeight:     parent.KeyHeight,
-		Weight:        new(big.Int).Add(parent.Weight, work),
-		ReceivedAt:    receivedAt,
-		SubtreeWeight: new(big.Int).Set(work),
+		Block:      b,
+		Parent:     parent,
+		Height:     parent.Height + 1,
+		KeyHeight:  parent.KeyHeight,
+		ReceivedAt: receivedAt,
+	}
+	if work.Sign() == 0 {
+		// Zero-work blocks (microblocks) share the parent's cumulative
+		// weight; Weight values are read-only after creation.
+		n.Weight = parent.Weight
+	} else {
+		n.Weight = new(big.Int).Add(parent.Weight, work)
+	}
+	if s.trackSubtree {
+		// Own big.Int: descendants mutate it during propagation.
+		n.SubtreeWeight = new(big.Int).Set(work)
+	} else {
+		// Untracked stores never mutate SubtreeWeight, so aliasing the
+		// (possibly shared) work value is safe.
+		n.SubtreeWeight = work
 	}
 	if b.Kind() == types.KindMicro {
 		n.KeyAncestor = parent.KeyAncestor
@@ -145,7 +186,7 @@ func (s *Store) Insert(b types.Block, receivedAt int64) *Node {
 	parent.children = append(parent.children, n)
 	s.nodes[b.Hash()] = n
 	// Propagate subtree weight to ancestors for GHOST.
-	if work.Sign() > 0 {
+	if s.trackSubtree && work.Sign() > 0 {
 		for a := parent; a != nil; a = a.Parent {
 			a.SubtreeWeight.Add(a.SubtreeWeight, work)
 		}
@@ -189,10 +230,10 @@ func PathBetween(ancestor, tip *Node) []*Node {
 // nearest PoW/key block (exclusive). Used by Bitcoin-NG coinbase validation
 // (§4.4) — the fees of the previous leader's microblocks fund the 40/60
 // split in the next key block's coinbase.
-func EpochFees(from *Node, fees map[crypto.Hash]types.Amount) types.Amount {
+func EpochFees(from *Node) types.Amount {
 	var total types.Amount
 	for n := from; n != nil && n.Block.Kind() == types.KindMicro; n = n.Parent {
-		total += fees[n.Hash()]
+		total += n.feeTotal
 	}
 	return total
 }

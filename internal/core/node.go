@@ -9,6 +9,7 @@ import (
 	"bitcoinng/internal/mining"
 	"bitcoinng/internal/node"
 	"bitcoinng/internal/types"
+	"bitcoinng/internal/validate"
 )
 
 // microReserve is the microblock-size headroom for the signed header
@@ -34,6 +35,10 @@ type Config struct {
 	// microblocks — the §5.2 "Censorship Resistance" DoS behaviour whose
 	// influence ends with the next honest key block.
 	CensorTransactions bool
+	// ConnectCache, when set, shares memoized connect verdicts (UTXO
+	// deltas, epoch fees) with every other node whose rules fingerprint
+	// matches; nil validates everything locally.
+	ConnectCache *validate.Cache
 }
 
 // Node is a Bitcoin-NG protocol node. Beyond the shared Base it tracks
@@ -60,7 +65,8 @@ func New(env node.Env, cfg Config) (*Node, error) {
 		return nil, fmt.Errorf("core: config needs a key")
 	}
 	st, err := chain.New(cfg.Genesis, cfg.Params, Rules{AllowSimulatedPoW: cfg.SimulatedMining},
-		&chain.HeaviestChain{RandomTieBreak: cfg.Params.RandomTieBreak, Rand: env.Rand()})
+		&chain.HeaviestChain{RandomTieBreak: cfg.Params.RandomTieBreak, Rand: env.Rand()},
+		chain.WithConnectCache(cfg.ConnectCache))
 	if err != nil {
 		return nil, err
 	}

@@ -36,9 +36,8 @@ var (
 	ErrBadCoinbaseHt   = errors.New("core: coinbase height mismatch")
 	ErrBadCoinbaseAmt  = errors.New("core: coinbase exceeds subsidy plus epoch fees")
 	ErrFeeSplitShort   = errors.New("core: previous leader paid less than the fee split")
-	ErrBadEvidence     = errors.New("core: poison evidence does not prove a fork")
-	ErrPoisonTooSoon   = errors.New("core: poison before the culprit's subsequent key block")
-	ErrPoisonInKeyless = errors.New("core: poison evidence references unknown blocks")
+	ErrBadEvidence   = errors.New("core: poison evidence does not prove a fork")
+	ErrPoisonTooSoon = errors.New("core: poison before the culprit's subsequent key block")
 )
 
 // Rules implements chain.Protocol for Bitcoin-NG.
@@ -46,6 +45,14 @@ type Rules struct {
 	// AllowSimulatedPoW accepts scheduler-generated key blocks (the
 	// experiments' regtest mode); live deployments require real PoW.
 	AllowSimulatedPoW bool
+}
+
+// RulesID implements chain.Protocol. Behavioural node flags that do not
+// change validation (censorship, equivocation) deliberately stay out of the
+// identifier: a censoring node judges blocks exactly like an honest one, so
+// sharing verdicts between them is sound.
+func (r Rules) RulesID() string {
+	return fmt.Sprintf("bitcoin-ng/simpow=%t", r.AllowSimulatedPoW)
 }
 
 // CheckBlock implements chain.Protocol.
@@ -168,18 +175,19 @@ func (r Rules) PoisonTargets(st *chain.State, parent *chain.Node, b types.Block)
 			continue
 		}
 		ev := tx.Evidence
-		culprit, ok := st.Store().Get(ev.Culprit)
-		if !ok || culprit.Block.Kind() != types.KindKey {
-			return nil, fmt.Errorf("%w: culprit %s", ErrPoisonInKeyless, ev.Culprit.Short())
-		}
-		conflict, ok := st.Store().Get(ev.Conflict)
-		if !ok || conflict.Block.Kind() != types.KindMicro {
-			return nil, fmt.Errorf("%w: conflict %s", ErrPoisonInKeyless, ev.Conflict.Short())
-		}
-		// The on-chain half of the fork must actually be on this branch
-		// and belong to the culprit's epoch.
-		if conflict.KeyAncestor != culprit || !conflict.IsAncestorOf(parent) {
-			return nil, fmt.Errorf("%w: conflict not on culprit's chain", ErrBadEvidence)
+		// The referenced culprit key block and on-chain conflict microblock
+		// must sit in the connecting block's own ancestry, in one epoch.
+		// Every resolution failure collapses into the one ErrBadEvidence so
+		// the verdict — including its error — is a pure function of the
+		// ancestor chain: whether an unrelated side-branch block happens to
+		// be in this node's store must not show through (the connect cache
+		// shares the error object across nodes).
+		culprit, okC := st.Store().Get(ev.Culprit)
+		conflict, okF := st.Store().Get(ev.Conflict)
+		if !okC || culprit.Block.Kind() != types.KindKey ||
+			!okF || conflict.Block.Kind() != types.KindMicro ||
+			conflict.KeyAncestor != culprit || !conflict.IsAncestorOf(parent) {
+			return nil, fmt.Errorf("%w: conflict not in the culprit's epoch on this chain", ErrBadEvidence)
 		}
 		// The pruned half must be a *different* microblock with the same
 		// predecessor, signed by the culprit's leader key: two signed

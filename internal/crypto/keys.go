@@ -4,6 +4,7 @@ import (
 	"crypto/ed25519"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // Ed25519 sizes re-exported so callers do not import crypto/ed25519.
@@ -12,9 +13,26 @@ const (
 	SignatureSize = ed25519.SignatureSize
 )
 
-// PrivateKey signs microblock headers and transactions.
+// PrivateKey signs microblock headers and transactions. Key material is
+// derived from the seed lazily: expanding an Ed25519 seed into a signing key
+// costs a scalar-base multiplication, and large experiments create one key
+// per node while only the nodes that actually win blocks (or lead) ever
+// sign — so generation is a 32-byte read and the expansion is paid on first
+// use only.
 type PrivateKey struct {
-	key ed25519.PrivateKey
+	seed [ed25519.SeedSize]byte
+
+	once sync.Once
+	key  ed25519.PrivateKey
+	pub  PublicKey
+}
+
+// expand derives the signing key and public key from the seed once.
+func (p *PrivateKey) expand() {
+	p.once.Do(func() {
+		p.key = ed25519.NewKeyFromSeed(p.seed[:])
+		copy(p.pub[:], p.key[ed25519.SeedSize:])
+	})
 }
 
 // PublicKey verifies signatures. Key blocks carry the leader's PublicKey
@@ -29,22 +47,22 @@ type Signature [SignatureSize]byte
 // simulations the source is the experiment's deterministic RNG; live nodes
 // pass crypto/rand.Reader.
 func GenerateKey(rand io.Reader) (*PrivateKey, error) {
-	_, priv, err := ed25519.GenerateKey(rand)
-	if err != nil {
+	p := &PrivateKey{}
+	if _, err := io.ReadFull(rand, p.seed[:]); err != nil {
 		return nil, fmt.Errorf("crypto: generate key: %w", err)
 	}
-	return &PrivateKey{key: priv}, nil
+	return p, nil
 }
 
 // Public returns the matching public key.
 func (p *PrivateKey) Public() PublicKey {
-	var pub PublicKey
-	copy(pub[:], p.key.Public().(ed25519.PublicKey))
-	return pub
+	p.expand()
+	return p.pub
 }
 
 // Sign signs msg.
 func (p *PrivateKey) Sign(msg []byte) Signature {
+	p.expand()
 	var sig Signature
 	copy(sig[:], ed25519.Sign(p.key, msg))
 	return sig

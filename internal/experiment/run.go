@@ -12,6 +12,7 @@ import (
 	"bitcoinng/internal/sim"
 	"bitcoinng/internal/simnet"
 	"bitcoinng/internal/types"
+	"bitcoinng/internal/validate"
 )
 
 // Protocol selects which client the experiment runs; any name registered in
@@ -66,6 +67,11 @@ type Config struct {
 	// offset from virtual time zero. The run does not stop before the
 	// scenario's last step, even once TargetBlocks is reached.
 	Scenario *scenario.Scenario
+	// DisableConnectCache turns off the shared connect cache, making every
+	// node re-validate every block locally — the pre-cache behaviour, kept
+	// for determinism cross-checks and micro-benchmarks. Reports are
+	// byte-identical either way.
+	DisableConnectCache bool
 }
 
 // DefaultConfig is a paper-faithful configuration at the given scale.
@@ -173,6 +179,10 @@ func build(cfg Config) (*runner, error) {
 		return nil, err
 	}
 	collector := metrics.NewCollector(workload.Genesis, 0)
+	cache := validate.Shared()
+	if cfg.DisableConnectCache {
+		cache = nil
+	}
 
 	r := &runner{
 		cfg:       cfg,
@@ -200,6 +210,7 @@ func build(cfg Config) (*runner, error) {
 			Recorder:           collector,
 			SimulatedMining:    true,
 			CensorTransactions: censors[i],
+			ConnectCache:       cache,
 		})
 		if err != nil {
 			return nil, err

@@ -11,6 +11,7 @@ import (
 	"bitcoinng/internal/crypto"
 	"bitcoinng/internal/sim"
 	"bitcoinng/internal/types"
+	"bitcoinng/internal/validate"
 )
 
 // Workload is the shared artificial transaction set: identical-size,
@@ -69,14 +70,16 @@ func NewWorkload(seed int64, count, txSize int) (*Workload, error) {
 			}},
 		}
 		padTo(tx, txSize)
-		tx.SignInput(0, key)
-		// Prime the derived-value caches once, up front.
-		tx.ID()
-		tx.WireSize()
-		tx.InputAddr(0)
 		w.Txs[i] = tx
 		w.index[tx] = int32(i)
 	}
+	// Sign and prime the derived-value caches (stage-1 stateless work) on
+	// the parallel pool: transactions are independent, the barrier below
+	// makes the parallelism invisible, and the event loop then only ever
+	// sees warm caches.
+	pool := validate.SharedPool()
+	pool.Run(count, func(i int) { w.Txs[i].SignInput(0, key) })
+	pool.WarmTransactions(w.Txs)
 	return w, nil
 }
 

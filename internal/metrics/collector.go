@@ -48,15 +48,19 @@ type Collector struct {
 	tips   map[int32][]tipAt
 	nodes  int32 // max node id seen + 1
 	start  int64 // virtual time of collector creation
+	// kindCount tracks generated blocks per kind (genesis excluded) so the
+	// experiment stop rule polls in O(1) instead of scanning the registry.
+	kindCount map[types.BlockKind]int
 }
 
 // NewCollector creates a collector. The genesis block must be registered
 // before any node events arrive so children can resolve their parent.
 func NewCollector(genesis types.Block, startTime int64) *Collector {
 	c := &Collector{
-		index: make(map[node.BlockID]int32),
-		tips:  make(map[int32][]tipAt),
-		start: startTime,
+		index:     make(map[node.BlockID]int32),
+		tips:      make(map[int32][]tipAt),
+		start:     startTime,
+		kindCount: make(map[types.BlockKind]int),
 	}
 	rec := &blockRecord{
 		Info: node.BlockInfo{
@@ -106,6 +110,7 @@ func (c *Collector) BlockGenerated(nodeID int, at int64, info node.BlockInfo) {
 	}
 	c.index[info.ID] = rec.Idx
 	c.blocks = append(c.blocks, rec)
+	c.kindCount[info.Kind]++
 }
 
 // BlockAccepted implements node.Recorder.
@@ -152,11 +157,5 @@ func (c *Collector) BlockCount() int {
 func (c *Collector) CountKind(kind types.BlockKind) int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	n := 0
-	for _, rec := range c.blocks[1:] {
-		if rec.Info.Kind == kind {
-			n++
-		}
-	}
-	return n
+	return c.kindCount[kind]
 }

@@ -1,22 +1,40 @@
 package node
 
 import (
+	"slices"
 	"time"
 
 	"bitcoinng/internal/types"
 )
 
-// fetchTimeout is how long to wait for a requested block before asking the
-// next peer that announced it.
-const fetchTimeout = 20 * time.Second
+// defaultFetchTimeout is how long to wait for a requested block before
+// asking the next peer that announced it, when Params.FetchTimeout is unset.
+const defaultFetchTimeout = 20 * time.Second
 
-// pendingFetch tracks an outstanding getdata.
+// fetchTimeout resolves the configured re-request timeout.
+func (g *Gossip) fetchTimeout() time.Duration {
+	if t := g.base.State.Params().FetchTimeout; t > 0 {
+		return t
+	}
+	return defaultFetchTimeout
+}
+
+// pendingFetch tracks an outstanding getdata. The request message is built
+// once and reused across retry rounds (messages are read-only after send).
 type pendingFetch struct {
-	inv        Inv
+	req        GetDataMsg
 	announcers []int // peers that announced it, in order heard
 	asked      int   // how many announcers were tried
 	timer      Timer
 }
+
+func newPendingFetch(inv Inv, from int) *pendingFetch {
+	pf := &pendingFetch{announcers: []int{from}}
+	pf.req.Items = []Inv{inv}
+	return pf
+}
+
+func (pf *pendingFetch) hash() BlockID { return pf.req.Items[0].Hash }
 
 // Gossip implements inventory-based block relay over Env: announce new
 // blocks with inv, request unknown announcements with getdata, deliver with
@@ -26,6 +44,14 @@ type Gossip struct {
 	base *Base
 
 	pending map[BlockID]*pendingFetch
+
+	// knownHash/knownBy, while a fetched block is being processed, name the
+	// peers that announced it to us: they provably have it, so the relay
+	// suppresses the useless inv back to them (the operational client's
+	// known-inventory filtering). Valid only for the duration of the
+	// handleBlock call that set them.
+	knownHash BlockID
+	knownBy   []int
 }
 
 // NewGossip wires a relay for base.
@@ -34,14 +60,22 @@ func NewGossip(env Env, base *Base) *Gossip {
 }
 
 // Announce sends an inv for b to every peer except `except` (the peer the
-// block came from; pass -1 to reach everyone).
+// block came from; pass -1 to reach everyone) and except peers that already
+// announced the block to us. One message object fans out to all peers:
+// gossip messages are read-only after send, so the simulated network can
+// deliver the same object everywhere.
 func (g *Gossip) Announce(b types.Block, except int) {
-	inv := Inv{Type: types.BlockMsgType(b), Hash: b.Hash()}
+	h := b.Hash()
+	var known []int
+	if h == g.knownHash {
+		known = g.knownBy
+	}
+	msg := &InvMsg{Items: []Inv{{Type: types.BlockMsgType(b), Hash: h}}}
 	for _, p := range g.env.Peers() {
-		if p == except {
+		if p == except || slices.Contains(known, p) {
 			continue
 		}
-		g.env.Send(p, &InvMsg{Items: []Inv{inv}})
+		g.env.Send(p, msg)
 	}
 }
 
@@ -70,7 +104,7 @@ func (g *Gossip) handleInv(from int, m *InvMsg) {
 			pf.announcers = append(pf.announcers, from)
 			continue
 		}
-		pf := &pendingFetch{inv: inv, announcers: []int{from}}
+		pf := newPendingFetch(inv, from)
 		g.pending[inv.Hash] = pf
 		g.request(pf)
 	}
@@ -81,14 +115,14 @@ func (g *Gossip) handleInv(from int, m *InvMsg) {
 func (g *Gossip) request(pf *pendingFetch) {
 	if pf.asked >= len(pf.announcers) {
 		// Out of sources; give up. A future inv restarts the fetch.
-		delete(g.pending, pf.inv.Hash)
+		delete(g.pending, pf.hash())
 		return
 	}
 	peer := pf.announcers[pf.asked]
 	pf.asked++
-	g.env.Send(peer, &GetDataMsg{Items: []Inv{pf.inv}})
-	pf.timer = g.env.After(fetchTimeout, func() {
-		if _, still := g.pending[pf.inv.Hash]; still {
+	g.env.Send(peer, &pf.req)
+	pf.timer = g.env.After(g.fetchTimeout(), func() {
+		if _, still := g.pending[pf.hash()]; still {
 			g.request(pf)
 		}
 	})
@@ -111,8 +145,12 @@ func (g *Gossip) handleBlock(from int, m *BlockMsg) {
 			pf.timer.Stop()
 		}
 		delete(g.pending, h)
+		// Everyone who announced the block provably has it; the Announce
+		// issued while processing skips them.
+		g.knownHash, g.knownBy = h, pf.announcers
 	}
 	g.base.ProcessFn(m.Block, from)
+	g.knownHash, g.knownBy = BlockID{}, nil
 }
 
 // RequestBlock explicitly fetches a block from a specific peer (used to
@@ -125,7 +163,7 @@ func (g *Gossip) RequestBlock(inv Inv, from int) {
 		pf.announcers = append(pf.announcers, from)
 		return
 	}
-	pf := &pendingFetch{inv: inv, announcers: []int{from}}
+	pf := newPendingFetch(inv, from)
 	g.pending[inv.Hash] = pf
 	g.request(pf)
 }

@@ -65,6 +65,13 @@ func (e *fakeEnv) Send(p int, m node.Message) {
 
 func newHarness(t *testing.T, n int) (*harness, *types.PowBlock, *crypto.PrivateKey) {
 	t.Helper()
+	params := types.DefaultParams()
+	params.RandomTieBreak = false
+	return newHarnessParams(t, n, params)
+}
+
+func newHarnessParams(t *testing.T, n int, params types.Params) (*harness, *types.PowBlock, *crypto.PrivateKey) {
+	t.Helper()
 	key, err := crypto.GenerateKey(rand.New(rand.NewSource(1)))
 	if err != nil {
 		t.Fatal(err)
@@ -76,8 +83,6 @@ func newHarness(t *testing.T, n int) (*harness, *types.PowBlock, *crypto.Private
 		bases: make(map[int]*node.Base),
 		mute:  make(map[int]bool),
 	}
-	params := types.DefaultParams()
-	params.RandomTieBreak = false
 	for i := 0; i < n; i++ {
 		peers := make([]int, 0, n-1)
 		for j := 0; j < n; j++ {
@@ -233,6 +238,38 @@ func TestFetchRetryAfterTimeout(t *testing.T) {
 	h.drain()
 	if !h.bases[2].State.HasBlock(b1.Hash()) {
 		t.Error("fetch was not retried from the second announcer")
+	}
+}
+
+// TestFetchTimeoutConfigurable asserts the retry timer follows
+// Params.FetchTimeout rather than the built-in default — LatencySpike
+// scenarios at large scale factors stretch propagation past 20 s and must be
+// able to stretch the re-request window with it.
+func TestFetchTimeoutConfigurable(t *testing.T) {
+	params := types.DefaultParams()
+	params.RandomTieBreak = false
+	params.FetchTimeout = 2 * time.Minute
+	h, genesis, key := newHarnessParams(t, 3, params)
+	b1 := mineOn(t, key, genesis.Hash(), 1)
+	h.bases[1].State.AddBlock(b1, 0)
+
+	h.mute[0] = true
+	inv := node.Inv{Type: types.BlockMsgType(b1), Hash: b1.Hash()}
+	h.bases[2].HandleMessage(0, &node.InvMsg{Items: []node.Inv{inv}})
+	h.bases[2].HandleMessage(1, &node.InvMsg{Items: []node.Inv{inv}})
+	h.drain()
+
+	// The stock 20s default would have retried here; the configured window
+	// has not elapsed, so no retry yet.
+	h.advance(25 * time.Second)
+	h.drain()
+	if h.bases[2].State.HasBlock(b1.Hash()) {
+		t.Fatal("fetch retried before the configured timeout")
+	}
+	h.advance(2 * time.Minute)
+	h.drain()
+	if !h.bases[2].State.HasBlock(b1.Hash()) {
+		t.Error("fetch was not retried after the configured timeout")
 	}
 }
 

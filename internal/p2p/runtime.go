@@ -11,6 +11,7 @@ import (
 
 	"bitcoinng/internal/crypto"
 	"bitcoinng/internal/node"
+	"bitcoinng/internal/validate"
 	"bitcoinng/internal/wire"
 )
 
@@ -322,11 +323,20 @@ func (rt *Runtime) dropPeer(p *peer) {
 	rt.mu.Unlock()
 }
 
-// deliver routes an inbound message to the handler on the event loop.
+// deliver routes an inbound message to the handler on the event loop. Block
+// payloads get their stateless verification (stage 1: hashes, PoW, Merkle
+// roots, transaction signatures) pre-warmed on the worker pool first: the
+// reader goroutine owns the freshly decoded object exclusively, the pool's
+// barrier completes before the post, and the single-threaded protocol loop
+// then only sees verdict-cache hits instead of paying milliseconds of
+// signature checks per block.
 func (rt *Runtime) deliver(from int, env *wire.Envelope) {
 	msg, err := decodeMessage(env)
 	if err != nil {
 		return // malformed; drop
+	}
+	if bm, ok := msg.(*node.BlockMsg); ok {
+		validate.SharedPool().WarmBlock(bm.Block)
 	}
 	rt.post(func() {
 		if rt.handler != nil {

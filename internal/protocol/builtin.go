@@ -21,6 +21,7 @@ func bitcoinConfig(spec Spec) bitcoin.Config {
 		Genesis:         spec.Genesis,
 		Recorder:        spec.Recorder,
 		SimulatedMining: spec.SimulatedMining,
+		ConnectCache:    spec.ConnectCache,
 	}
 }
 
@@ -63,6 +64,7 @@ func newBitcoinNG(env node.Env, spec Spec) (Client, error) {
 		Recorder:           spec.Recorder,
 		SimulatedMining:    spec.SimulatedMining,
 		CensorTransactions: spec.CensorTransactions,
+		ConnectCache:       spec.ConnectCache,
 	})
 	if err != nil {
 		return nil, err

@@ -18,6 +18,7 @@ import (
 	"bitcoinng/internal/crypto"
 	"bitcoinng/internal/node"
 	"bitcoinng/internal/types"
+	"bitcoinng/internal/validate"
 )
 
 // Protocol names a registered consensus client implementation.
@@ -55,6 +56,12 @@ type Spec struct {
 	// CensorTransactions makes an NG node publish empty microblocks while
 	// leading (§5.2 "Censorship Resistance"); other protocols ignore it.
 	CensorTransactions bool
+	// ConnectCache shares memoized connect-stage verdicts (UTXO deltas,
+	// fees) between every node whose validation rules fingerprint matches
+	// — the harnesses pass validate.Shared() so the 2nd..Nth node
+	// connecting a block replays the first node's work. nil validates
+	// everything locally.
+	ConnectCache *validate.Cache
 }
 
 // Client is a running consensus protocol node: the surface every harness

@@ -8,59 +8,104 @@
 package sim
 
 import (
-	"container/heap"
 	"time"
 )
 
 // Timestamps are Unix nanoseconds on the virtual clock; durations are
 // time.Duration as usual.
 
-// Timer is a scheduled callback that can be cancelled.
+// Timer is a scheduled callback that can be cancelled. Only At hands out
+// timers; the PostEvent fast path schedules fire-and-forget events with no
+// cancellation handle and no per-event allocation.
 type Timer struct {
-	at    int64
-	seq   uint64
-	fn    func()
+	loop  *Loop
 	index int // heap index, -1 when fired or stopped
 }
 
 // Stop cancels the timer; it reports whether the callback was still pending.
+// The event is removed from the queue eagerly, so heavy arm-then-cancel
+// traffic (block-fetch retry timers) does not grow the heap with dead
+// entries.
 func (t *Timer) Stop() bool {
-	if t.index < 0 || t.fn == nil {
+	if t.index < 0 {
 		return false
 	}
-	t.fn = nil
+	t.loop.remove(t.index)
+	t.index = -1
 	return true
 }
 
-// eventQueue orders timers by (time, sequence): simultaneous events fire in
-// scheduling order, which keeps runs deterministic.
-type eventQueue []*Timer
+// Runnable is a pre-allocated event body for PostEvent: schedulers with
+// per-message state (the network's in-flight deliveries) implement it once
+// per message instead of allocating closures per scheduling hop.
+type Runnable interface {
+	Run()
+}
 
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
+// event is one scheduled callback, stored by value: the (at, seq) ordering
+// keys live inline in the heap slice, so sift comparisons touch no pointers.
+// Exactly one of fn and r is set.
+type event struct {
+	at  int64
+	seq uint64
+	fn  func()
+	r   Runnable
+	t   *Timer // cancellation handle; nil for PostEvent events
+}
+
+// eventQueue is a binary min-heap of events ordered by (time, sequence):
+// simultaneous events fire in scheduling order, which keeps runs
+// deterministic. The heap is hand-rolled rather than container/heap because
+// the standard interface boxes every pushed and popped value into an `any`,
+// which made event scheduling one of the top allocation sites of a
+// paper-scale run.
+type eventQueue []event
+
+func (q eventQueue) less(i, j int) bool {
 	if q[i].at != q[j].at {
 		return q[i].at < q[j].at
 	}
 	return q[i].seq < q[j].seq
 }
-func (q eventQueue) Swap(i, j int) {
+
+func (q eventQueue) swap(i, j int) {
 	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
+	if q[i].t != nil {
+		q[i].t.index = i
+	}
+	if q[j].t != nil {
+		q[j].t.index = j
+	}
 }
-func (q *eventQueue) Push(x any) {
-	t := x.(*Timer)
-	t.index = len(*q)
-	*q = append(*q, t)
+
+func (q eventQueue) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			return
+		}
+		q.swap(i, parent)
+		i = parent
+	}
 }
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	t := old[n-1]
-	old[n-1] = nil
-	t.index = -1
-	*q = old[:n-1]
-	return t
+
+func (q eventQueue) siftDown(i int) {
+	n := len(q)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		least := left
+		if right := left + 1; right < n && q.less(right, left) {
+			least = right
+		}
+		if !q.less(least, i) {
+			return
+		}
+		q.swap(i, least)
+		i = least
+	}
 }
 
 // Loop is the event loop. It is single-threaded: callbacks run inline on the
@@ -88,15 +133,66 @@ func (l *Loop) Executed() uint64 { return l.executed }
 func (l *Loop) Pending() int { return len(l.queue) }
 
 // At schedules fn at absolute virtual time at; times in the past fire at the
-// current instant (after already-queued events for that instant).
+// current instant (after already-queued events for that instant). The
+// returned Timer can cancel the event; callers that never cancel should
+// prefer Post, which skips the handle allocation.
 func (l *Loop) At(at int64, fn func()) *Timer {
+	t := &Timer{loop: l}
+	l.push(at, fn, t)
+	return t
+}
+
+// PostEvent schedules a Runnable with no cancellation handle and no closure
+// allocation; the same Runnable may be re-posted from inside its own Run.
+func (l *Loop) PostEvent(at int64, r Runnable) {
 	if at < l.now {
 		at = l.now
 	}
-	t := &Timer{at: at, seq: l.seq, fn: fn}
+	l.queue = append(l.queue, event{at: at, seq: l.seq, r: r})
 	l.seq++
-	heap.Push(&l.queue, t)
-	return t
+	l.queue.siftUp(len(l.queue) - 1)
+}
+
+func (l *Loop) push(at int64, fn func(), t *Timer) {
+	if at < l.now {
+		at = l.now
+	}
+	if t != nil {
+		t.index = len(l.queue)
+	}
+	l.queue = append(l.queue, event{at: at, seq: l.seq, fn: fn, t: t})
+	l.seq++
+	l.queue.siftUp(len(l.queue) - 1)
+}
+
+// pop removes and returns the earliest event; the queue must be non-empty.
+func (l *Loop) pop() event {
+	q := l.queue
+	ev := q[0]
+	last := len(q) - 1
+	q.swap(0, last)
+	q[last] = event{}
+	l.queue = q[:last]
+	l.queue.siftDown(0)
+	if ev.t != nil {
+		ev.t.index = -1
+	}
+	return ev
+}
+
+// remove deletes the event at heap index i (Timer.Stop's eager removal).
+func (l *Loop) remove(i int) {
+	q := l.queue
+	last := len(q) - 1
+	if i != last {
+		q.swap(i, last)
+	}
+	q[last] = event{}
+	l.queue = q[:last]
+	if i != last {
+		l.queue.siftDown(i)
+		l.queue.siftUp(i)
+	}
 }
 
 // After schedules fn d from now.
@@ -106,36 +202,25 @@ func (l *Loop) After(d time.Duration, fn func()) *Timer {
 
 // Step fires the next event; it reports false when the queue is empty.
 func (l *Loop) Step() bool {
-	for len(l.queue) > 0 {
-		t := heap.Pop(&l.queue).(*Timer)
-		if t.fn == nil {
-			continue // stopped
-		}
-		l.now = t.at
-		fn := t.fn
-		t.fn = nil
-		l.executed++
-		fn()
-		return true
+	if len(l.queue) == 0 {
+		return false
 	}
-	return false
+	ev := l.pop()
+	l.now = ev.at
+	l.executed++
+	if ev.r != nil {
+		ev.r.Run()
+	} else {
+		ev.fn()
+	}
+	return true
 }
 
 // RunUntil processes events until the virtual clock would pass deadline or
 // the queue empties. Events scheduled exactly at deadline still fire. The
 // clock ends at deadline if it was reached, else at the last event.
 func (l *Loop) RunUntil(deadline int64) {
-	for len(l.queue) > 0 {
-		// Peek without popping: stopped timers at the head are skipped
-		// by Step, so inspect the first live one.
-		next := l.queue[0]
-		if next.fn == nil {
-			heap.Pop(&l.queue)
-			continue
-		}
-		if next.at > deadline {
-			break
-		}
+	for len(l.queue) > 0 && l.queue[0].at <= deadline {
 		l.Step()
 	}
 	if l.now < deadline {

@@ -16,10 +16,52 @@ func DeriveSeed(base int64, stream uint64) int64 {
 	return int64(z)
 }
 
+// xoshiro is a xoshiro256++ rand.Source64. The standard library's default
+// source pays an ~600-word seeding loop per stream; experiment builds create
+// several streams per node, which made seeding a top-3 cost of paper-scale
+// runs. xoshiro256++ seeds with four SplitMix64 steps, passes the usual
+// statistical batteries, and stays fully deterministic per (seed, stream).
+type xoshiro struct {
+	s [4]uint64
+}
+
+func (x *xoshiro) seed(v uint64) {
+	// SplitMix64 expansion, the initialization the xoshiro authors
+	// recommend; it cannot produce the all-zero state.
+	for i := range x.s {
+		v += 0x9e3779b97f4a7c15
+		z := v
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		x.s[i] = z ^ (z >> 31)
+	}
+}
+
+func rotl(v uint64, k uint) uint64 { return v<<k | v>>(64-k) }
+
+func (x *xoshiro) Uint64() uint64 {
+	s := &x.s
+	result := rotl(s[0]+s[3], 23) + s[0]
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = rotl(s[3], 45)
+	return result
+}
+
+func (x *xoshiro) Int63() int64 { return int64(x.Uint64() >> 1) }
+
+func (x *xoshiro) Seed(seed int64) { x.seed(uint64(seed)) }
+
 // NewRand returns a deterministic *rand.Rand for the given base seed and
 // stream identifier.
 func NewRand(base int64, stream uint64) *rand.Rand {
-	return rand.New(rand.NewSource(DeriveSeed(base, stream)))
+	src := &xoshiro{}
+	src.seed(uint64(DeriveSeed(base, stream)))
+	return rand.New(src)
 }
 
 // Exponential draws an exponentially distributed duration in nanoseconds

@@ -63,12 +63,20 @@ type Stats struct {
 	MaxQueueDelay time.Duration // worst sender-side bandwidth queuing seen
 }
 
+// edge is one neighbor entry in a node's adjacency list, carrying the
+// direction's link state inline so the per-message lookup is a short scan
+// over a node's (small) neighbor list instead of a map probe.
+type edge struct {
+	peer int
+	out  *link
+}
+
 // Network is the emulated overlay.
 type Network struct {
 	loop     *sim.Loop
 	cfg      Config
-	adj      [][]int
-	links    map[[2]int]*link
+	adj      [][]int  // peer ids per node (Peers view)
+	edges    [][]edge // peer ids + outbound link state per node
 	handlers []Handler
 	busyAt   []int64 // per-node receiver busy-until
 	stats    Stats
@@ -100,7 +108,7 @@ func New(loop *sim.Loop, cfg Config) *Network {
 		loop:     loop,
 		cfg:      cfg,
 		adj:      make([][]int, cfg.Nodes),
-		links:    make(map[[2]int]*link),
+		edges:    make([][]edge, cfg.Nodes),
 		handlers: make([]Handler, cfg.Nodes),
 		busyAt:   make([]int64, cfg.Nodes),
 	}
@@ -120,14 +128,25 @@ func New(loop *sim.Loop, cfg Config) *Network {
 }
 
 func (n *Network) connected(i, j int) bool {
-	_, ok := n.links[[2]int{i, j}]
-	return ok
+	return n.linkTo(i, j) != nil
+}
+
+// linkTo returns the i->j link, or nil when not neighbors. Degrees are small
+// (MinPeers-scale), so a linear scan beats hashing a composite key on the
+// per-message path.
+func (n *Network) linkTo(i, j int) *link {
+	for _, e := range n.edges[i] {
+		if e.peer == j {
+			return e.out
+		}
+	}
+	return nil
 }
 
 func (n *Network) connect(i, j int, rng *rand.Rand) {
 	lat := int64(n.cfg.Latency.Sample(rng))
-	n.links[[2]int{i, j}] = &link{latency: lat}
-	n.links[[2]int{j, i}] = &link{latency: lat}
+	n.edges[i] = append(n.edges[i], edge{peer: j, out: &link{latency: lat}})
+	n.edges[j] = append(n.edges[j], edge{peer: i, out: &link{latency: lat}})
 	n.adj[i] = append(n.adj[i], j)
 	n.adj[j] = append(n.adj[j], i)
 }
@@ -147,8 +166,10 @@ func (n *Network) ensureConnected(rng *rand.Rand) {
 		return x
 	}
 	union := func(a, b int) { parent[find(a)] = find(b) }
-	for edge := range n.links {
-		union(edge[0], edge[1])
+	for i, es := range n.edges {
+		for _, e := range es {
+			union(i, e.peer)
+		}
 	}
 	root := find(0)
 	for i := 1; i < n.cfg.Nodes; i++ {
@@ -211,7 +232,7 @@ func PartitionAssignment(nodes int, groups [][]int) ([]int, error) {
 // arrivals). Sends between unconnected nodes panic: the overlay has no
 // routing, only direct links, like Bitcoin's gossip.
 func (n *Network) Send(from, to int, payload any, size int) {
-	l := n.links[[2]int{from, to}]
+	l := n.linkTo(from, to)
 	if l == nil {
 		panic(fmt.Sprintf("simnet: no link %d->%d", from, to))
 	}
@@ -238,20 +259,42 @@ func (n *Network) Send(from, to int, payload any, size int) {
 	n.stats.MessagesSent++
 	n.stats.BytesSent += uint64(size)
 
-	n.loop.At(arrival, func() {
-		// Receiver processing: serialize behind earlier work.
+	d := &delivery{n: n, from: from, to: to, payload: payload, size: size}
+	n.loop.PostEvent(arrival, d)
+}
+
+// delivery carries one in-flight message through its two scheduling hops
+// (arrival at the receiver, then completion of receiver-side processing)
+// with a single allocation: it is its own event (sim.Runnable), re-posting
+// itself for the second hop.
+type delivery struct {
+	n        *Network
+	from, to int
+	size     int
+	payload  any
+	arrived  bool
+}
+
+// Run implements sim.Runnable. The first hop lands at propagation end, where
+// receiver processing serializes behind earlier work (§8.2 — node capacity
+// is what ultimately caps throughput); the second hand the message to the
+// receiver once processed.
+func (d *delivery) Run() {
+	n := d.n
+	if !d.arrived {
+		d.arrived = true
 		procStart := n.loop.Now()
-		if n.busyAt[to] > procStart {
-			procStart = n.busyAt[to]
+		if n.busyAt[d.to] > procStart {
+			procStart = n.busyAt[d.to]
 		}
-		done := procStart + int64(n.cfg.ProcPerMsg) + int64(n.cfg.ProcPerByte)*int64(size)
-		n.busyAt[to] = done
-		n.loop.At(done, func() {
-			if h := n.handlers[to]; h != nil {
-				h(from, payload, size)
-			}
-		})
-	})
+		done := procStart + int64(n.cfg.ProcPerMsg) + int64(n.cfg.ProcPerByte)*int64(d.size)
+		n.busyAt[d.to] = done
+		n.loop.PostEvent(done, d)
+		return
+	}
+	if h := n.handlers[d.to]; h != nil {
+		h(d.from, d.payload, d.size)
+	}
 }
 
 // Broadcast sends payload to every neighbor of from.

@@ -53,6 +53,14 @@ type Params struct {
 	// following [21]); false keeps the first-seen branch like the
 	// operational client.
 	RandomTieBreak bool
+
+	// FetchTimeout is how long the gossip layer waits for a requested
+	// block before re-requesting it from the next peer that announced it.
+	// It is relay tuning, not consensus; scenarios that scale latency by
+	// large factors (LatencySpike) should scale it too, or fetches
+	// silently starve while retries hammer dead peers. Zero takes the
+	// 20-second default.
+	FetchTimeout time.Duration
 }
 
 // DefaultParams mirrors the paper's experimental configuration: 100-second
@@ -70,6 +78,7 @@ func DefaultParams() Params {
 		MinMicroblockInterval: 10 * time.Millisecond,
 		RetargetWindow:        2016,
 		RandomTieBreak:        true,
+		FetchTimeout:          20 * time.Second,
 	}
 }
 

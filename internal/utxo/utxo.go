@@ -117,19 +117,36 @@ func (s *Set) Clone() *Set {
 	return c
 }
 
-// spentRecord remembers a consumed entry so Undo can restore it.
-type spentRecord struct {
-	Op    types.OutPoint
-	Entry Entry
+// Delta op kinds.
+const (
+	opCreate uint8 = iota // entry added to the set
+	opSpend               // entry consumed (Entry holds the old value)
+	opRevoke              // entry flipped to Revoked
+	opPoison              // coinbase txid marked poisoned (Op.TxID holds it)
+)
+
+// deltaOp is one recorded mutation. Ops form an ordered log so a delta
+// replays forward correctly even when a block spends outputs it created
+// (intra-block chains), and reverses backward for reorganizations.
+type deltaOp struct {
+	kind  uint8
+	op    types.OutPoint
+	entry Entry // old entry for opSpend, new entry for opCreate
 }
 
-// Undo reverses one block application.
-type Undo struct {
-	created  []types.OutPoint
-	spent    []spentRecord
-	revoked  []types.OutPoint // entries flipped to Revoked
-	poisoned []crypto.Hash    // coinbase txids newly marked poisoned
+// Delta records one block's effect on the set as an ordered mutation log. It
+// serves two roles: the undo record for disconnecting the block during a
+// reorganization, and — because create ops carry the full entries — a redo
+// record that replays the block onto another set in the same pre-state
+// without re-validating anything (the connect cache in internal/validate
+// shares one Delta across every node that connects the block). A Delta is
+// immutable once returned by ApplyBlock; Redo/Undo only read it.
+type Delta struct {
+	ops []deltaOp
 }
+
+// Ops returns the number of recorded mutations.
+func (d *Delta) Ops() int { return len(d.ops) }
 
 // checkSpend validates that input i of tx may spend from the set at the
 // given context and returns the entry.
@@ -152,14 +169,14 @@ func (s *Set) checkSpend(tx *types.Transaction, i int, ctx *BlockContext) (Entry
 	return e, nil
 }
 
-// applyTx validates and applies one transaction, appending to undo.
+// applyTx validates and applies one transaction, appending to the delta log.
 // Signature validity is intrinsic (checked by CheckWellFormed before the
 // block reaches the state machine); applyTx checks the contextual rules.
-func (s *Set) applyTx(tx *types.Transaction, ctx *BlockContext, undo *Undo) (fee types.Amount, err error) {
+func (s *Set) applyTx(tx *types.Transaction, ctx *BlockContext, d *Delta) (fee types.Amount, err error) {
 	txid := tx.ID()
 	switch tx.Kind {
 	case types.TxPoison:
-		if err := s.applyPoison(tx, txid, ctx, undo); err != nil {
+		if err := s.applyPoison(tx, txid, ctx, d); err != nil {
 			return 0, err
 		}
 	case types.TxCoinbase:
@@ -173,7 +190,7 @@ func (s *Set) applyTx(tx *types.Transaction, ctx *BlockContext, undo *Undo) (fee
 				return 0, fmt.Errorf("tx %s input %d: %w", txid.Short(), i, err)
 			}
 			inSum += e.Value
-			undo.spent = append(undo.spent, spentRecord{Op: tx.Inputs[i].Prev, Entry: e})
+			d.ops = append(d.ops, deltaOp{kind: opSpend, op: tx.Inputs[i].Prev, entry: e})
 			delete(s.entries, tx.Inputs[i].Prev)
 		}
 		outSum := tx.OutputSum()
@@ -191,13 +208,14 @@ func (s *Set) applyTx(tx *types.Transaction, ctx *BlockContext, undo *Undo) (fee
 		if _, exists := s.entries[op]; exists {
 			return 0, fmt.Errorf("%w: %v", ErrDuplicateOutput, op)
 		}
-		s.entries[op] = Entry{
+		e := Entry{
 			Value:    tx.Outputs[i].Value,
 			To:       tx.Outputs[i].To,
 			Coinbase: isCoinbase,
 			Height:   ctx.Height,
 		}
-		undo.created = append(undo.created, op)
+		s.entries[op] = e
+		d.ops = append(d.ops, deltaOp{kind: opCreate, op: op, entry: e})
 	}
 	return fee, nil
 }
@@ -206,7 +224,7 @@ func (s *Set) applyTx(tx *types.Transaction, ctx *BlockContext, undo *Undo) (fee
 // poisoner's reward does not exceed the allowed fraction of the revoked
 // value (§4.5: "a poison transaction grants the current leader a fraction of
 // that compensation, e.g., 5%"; the rest is lost).
-func (s *Set) applyPoison(tx *types.Transaction, txid crypto.Hash, ctx *BlockContext, undo *Undo) error {
+func (s *Set) applyPoison(tx *types.Transaction, txid crypto.Hash, ctx *BlockContext, d *Delta) error {
 	culpritCB, ok := ctx.PoisonTargets[txid]
 	if !ok {
 		return fmt.Errorf("%w: poison %s", ErrUnknownCulprit, txid.Short())
@@ -220,7 +238,7 @@ func (s *Set) applyPoison(tx *types.Transaction, txid crypto.Hash, ctx *BlockCon
 		if op.TxID == culpritCB && !e.Revoked {
 			e.Revoked = true
 			s.entries[op] = e
-			undo.revoked = append(undo.revoked, op)
+			d.ops = append(d.ops, deltaOp{kind: opRevoke, op: op})
 			revokedValue += e.Value
 		}
 	}
@@ -229,47 +247,78 @@ func (s *Set) applyPoison(tx *types.Transaction, txid crypto.Hash, ctx *BlockCon
 		return fmt.Errorf("%w: %d > %d", ErrExcessReward, tx.OutputSum(), reward)
 	}
 	s.poisoned[culpritCB] = true
-	undo.poisoned = append(undo.poisoned, culpritCB)
+	d.ops = append(d.ops, deltaOp{kind: opPoison, op: types.OutPoint{TxID: culpritCB}})
 	return nil
 }
 
 // ApplyBlock validates and applies a block's transactions atomically. On
-// success it returns the undo record and the fee collected from each
+// success it returns the delta record and the fee collected from each
 // transaction (indexed like txs). On failure the set is unchanged.
 //
 // Later transactions may spend outputs created by earlier transactions in
 // the same block, matching Bitcoin semantics.
-func (s *Set) ApplyBlock(txs []*types.Transaction, ctx BlockContext) (*Undo, []types.Amount, error) {
-	undo := &Undo{}
+func (s *Set) ApplyBlock(txs []*types.Transaction, ctx BlockContext) (*Delta, []types.Amount, error) {
+	d := &Delta{}
 	fees := make([]types.Amount, len(txs))
 	for i, tx := range txs {
-		fee, err := s.applyTx(tx, &ctx, undo)
+		fee, err := s.applyTx(tx, &ctx, d)
 		if err != nil {
-			s.UndoBlock(undo)
+			s.UndoBlock(d)
 			return nil, nil, fmt.Errorf("block tx %d: %w", i, err)
 		}
 		fees[i] = fee
 	}
-	return undo, fees, nil
+	return d, fees, nil
 }
 
-// UndoBlock reverses a block application. Undo records must be applied in
-// reverse order of the blocks they came from.
-func (s *Set) UndoBlock(u *Undo) {
-	for i := len(u.created) - 1; i >= 0; i-- {
-		delete(s.entries, u.created[i])
-	}
-	for i := len(u.spent) - 1; i >= 0; i-- {
-		s.entries[u.spent[i].Op] = u.spent[i].Entry
-	}
-	for i := len(u.revoked) - 1; i >= 0; i-- {
-		if e, ok := s.entries[u.revoked[i]]; ok {
-			e.Revoked = false
-			s.entries[u.revoked[i]] = e
+// RedoBlock replays a recorded delta forward onto the set without any
+// validation. It is only sound when the set is in the exact pre-state the
+// delta was recorded against — the connect cache guarantees this by content
+// addressing (equal block hash implies equal history below it). A missing
+// spend target means that guarantee was broken and panics: serving a
+// corrupted ledger is worse than crashing.
+func (s *Set) RedoBlock(d *Delta) {
+	for i := range d.ops {
+		op := &d.ops[i]
+		switch op.kind {
+		case opCreate:
+			s.entries[op.op] = op.entry
+		case opSpend:
+			if _, ok := s.entries[op.op]; !ok {
+				panic(fmt.Sprintf("utxo: redo spends missing entry %v", op.op))
+			}
+			delete(s.entries, op.op)
+		case opRevoke:
+			e, ok := s.entries[op.op]
+			if !ok {
+				panic(fmt.Sprintf("utxo: redo revokes missing entry %v", op.op))
+			}
+			e.Revoked = true
+			s.entries[op.op] = e
+		case opPoison:
+			s.poisoned[op.op.TxID] = true
 		}
 	}
-	for i := len(u.poisoned) - 1; i >= 0; i-- {
-		delete(s.poisoned, u.poisoned[i])
+}
+
+// UndoBlock reverses a block application. Deltas must be undone in reverse
+// order of the blocks they came from.
+func (s *Set) UndoBlock(d *Delta) {
+	for i := len(d.ops) - 1; i >= 0; i-- {
+		op := &d.ops[i]
+		switch op.kind {
+		case opCreate:
+			delete(s.entries, op.op)
+		case opSpend:
+			s.entries[op.op] = op.entry
+		case opRevoke:
+			if e, ok := s.entries[op.op]; ok {
+				e.Revoked = false
+				s.entries[op.op] = e
+			}
+		case opPoison:
+			delete(s.poisoned, op.op.TxID)
+		}
 	}
 }
 

@@ -1,0 +1,183 @@
+// Package validate is the shared validation pipeline behind every protocol
+// node. Validation of a block splits into three stages:
+//
+//  1. Stateless well-formedness — proof of work against the header, Merkle
+//     roots, transaction shapes, signatures. These are pure functions of the
+//     object itself and are verdict-cached on the objects in internal/types;
+//     this package adds a deterministic worker pool (Pool) that pre-warms
+//     those caches in parallel outside the single-threaded event loops.
+//
+//  2. Contextual connect — applying the block's transactions to the UTXO set
+//     at its parent and checking the protocol's economic rules (coinbase
+//     amounts, fee splits, poison evidence). The outcome — the UTXO delta,
+//     the per-transaction fees, and the verdict — is a pure function of
+//     (block hash, parent hash, rules fingerprint): the block hash commits to
+//     the transactions and, through the parent chain, to the exact UTXO state
+//     the block connects onto. This package memoizes that outcome in a
+//     process-wide content-addressed Cache so that when N simulated nodes
+//     connect the same block, the 2nd..Nth replay the recorded delta instead
+//     of recomputing it (§8.2 of the paper: once propagation is cheap,
+//     per-node processing capacity is the throughput cap).
+//
+//  3. Per-node state — tip choice, orphan stashes, mempools. Never shared and
+//     never cached here.
+//
+// Sharing a cache entry is sound only between nodes whose validation
+// semantics agree, which is what the rules fingerprint pins: it hashes the
+// protocol's RulesID (name plus semantics-bearing flags) together with the
+// consensus parameters, so nodes running different rules — different
+// subsidies, fee splits, intervals, or protocols — can never observe each
+// other's verdicts.
+package validate
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"bitcoinng/internal/crypto"
+	"bitcoinng/internal/types"
+	"bitcoinng/internal/utxo"
+)
+
+// Fingerprint pins a validation-rules universe: protocol semantics plus
+// consensus parameters. Connect verdicts are only shared within one
+// fingerprint.
+type Fingerprint crypto.Hash
+
+// FingerprintOf derives the rules fingerprint from a protocol's RulesID and
+// the consensus parameters. Params is hashed through its full value so any
+// parameter change — even one a protocol happens to ignore — lands in a
+// fresh cache universe; false sharing is a soundness bug, false splitting
+// only costs a recompute.
+func FingerprintOf(rulesID string, params types.Params) Fingerprint {
+	return Fingerprint(crypto.HashBytes([]byte(fmt.Sprintf("%s|%#v", rulesID, params))))
+}
+
+// Key content-addresses one connect computation.
+type Key struct {
+	// Block is the hash of the block being connected; it commits to the
+	// transaction set and, through the header chain, to the entire history
+	// below it (including genesis), so it uniquely determines the UTXO
+	// state the block applies to.
+	Block crypto.Hash
+	// Parent is the hash of the block connected onto, kept in the key as a
+	// defense-in-depth redundancy (Block already commits to it).
+	Parent crypto.Hash
+	// Rules is the validation-rules fingerprint.
+	Rules Fingerprint
+}
+
+// ConnectResult is the memoized outcome of the connect stage. Results are
+// immutable once stored: replaying nodes read the delta, they never write
+// through it.
+type ConnectResult struct {
+	// Delta is the UTXO mutation the block causes; nil when Err is set.
+	Delta *utxo.Delta
+	// FeeTotal is the total fee the block collected, recorded by the chain
+	// layer for epoch fee accounting. (Per-transaction fees are consumed by
+	// the economic checks during the initial computation and not retained.)
+	FeeTotal types.Amount
+	// Err is the validation verdict: nil for a connectable block, the
+	// (deterministic) rejection otherwise. Negative verdicts are cached
+	// too — the 2nd..Nth node rejecting an invalid block should not redo
+	// the work of discovering why.
+	Err error
+}
+
+// DefaultCacheSize bounds the shared cache; at ~a few kilobytes per cached
+// block delta this caps worst-case memory in the tens of megabytes while
+// comfortably holding every block of a paper-scale run.
+const DefaultCacheSize = 16384
+
+// Cache is a bounded content-addressed connect cache, safe for concurrent
+// use. Eviction is FIFO: experiment traffic connects a block on every node
+// within one propagation delay of the first, so recency hardly matters and
+// FIFO keeps eviction O(1) and allocation-free.
+type Cache struct {
+	mu      sync.RWMutex
+	max     int
+	entries map[Key]*ConnectResult
+	order   []Key // insertion ring, oldest at head
+	head    int   // index of the oldest live key in order
+	hits    atomic.Uint64
+	misses  atomic.Uint64
+}
+
+// NewCache creates a cache bounded to max entries; max <= 0 takes
+// DefaultCacheSize.
+func NewCache(max int) *Cache {
+	if max <= 0 {
+		max = DefaultCacheSize
+	}
+	return &Cache{
+		max:     max,
+		entries: make(map[Key]*ConnectResult, 64),
+	}
+}
+
+var shared = NewCache(0)
+
+// Shared returns the process-wide cache every harness threads through its
+// nodes by default. Content addressing makes cross-run sharing sound: equal
+// keys imply equal history and equal rules.
+func Shared() *Cache { return shared }
+
+// Lookup returns the memoized result for key, if present.
+func (c *Cache) Lookup(key Key) (*ConnectResult, bool) {
+	c.mu.RLock()
+	res, ok := c.entries[key]
+	c.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return res, ok
+}
+
+// Store memoizes a connect result. The caller must not mutate res (or its
+// delta) afterwards. Re-storing an existing key is a no-op: the first result
+// is as good as any later one (they are equal by purity).
+func (c *Cache) Store(key Key, res *ConnectResult) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.entries[key]; dup {
+		return
+	}
+	for len(c.entries) >= c.max && c.head < len(c.order) {
+		delete(c.entries, c.order[c.head])
+		c.head++
+	}
+	// Compact the ring once the dead prefix dominates.
+	if c.head > 0 && c.head*2 >= len(c.order) {
+		c.order = append(c.order[:0], c.order[c.head:]...)
+		c.head = 0
+	}
+	c.entries[key] = res
+	c.order = append(c.order, key)
+}
+
+// Stats reports cache effectiveness counters.
+type Stats struct {
+	Entries int
+	Hits    uint64
+	Misses  uint64
+}
+
+// HitRate returns the fraction of lookups that hit, zero when no lookups
+// happened.
+func (s Stats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() Stats {
+	c.mu.RLock()
+	entries := len(c.entries)
+	c.mu.RUnlock()
+	return Stats{Entries: entries, Hits: c.hits.Load(), Misses: c.misses.Load()}
+}

@@ -23,6 +23,7 @@ type options struct {
 	workloadCount int
 	txSize        int
 	targetBlocks  int
+	cacheOff      bool
 }
 
 func defaultOptions() options {
@@ -73,6 +74,13 @@ func WithWorkload(count, txSize int) Option {
 // the paper uses 50-100. Experiment-only.
 func WithTargetBlocks(n int) Option { return func(o *options) { o.targetBlocks = n } }
 
+// WithConnectCache toggles the shared content-addressed connect cache
+// (default on): when on, nodes with identical validation rules replay each
+// block's memoized UTXO delta instead of re-validating it. Results are
+// byte-identical either way; pass false for determinism cross-checks or to
+// measure the uncached baseline.
+func WithConnectCache(on bool) Option { return func(o *options) { o.cacheOff = !on } }
+
 // New builds an interactive cluster of n nodes from functional options —
 // the primary cluster entry point:
 //
@@ -91,14 +99,15 @@ func New(n int, opts ...Option) (*Cluster, error) {
 		opt(&o)
 	}
 	return NewCluster(ClusterConfig{
-		Protocol:    o.protocol,
-		Nodes:       n,
-		Seed:        o.seed,
-		Params:      o.params,
-		FundPerNode: o.fund,
-		AutoMine:    o.autoMine,
-		Censors:     o.censors,
-		Scenario:    o.scenario,
+		Protocol:            o.protocol,
+		Nodes:               n,
+		Seed:                o.seed,
+		Params:              o.params,
+		FundPerNode:         o.fund,
+		AutoMine:            o.autoMine,
+		Censors:             o.censors,
+		Scenario:            o.scenario,
+		DisableConnectCache: o.cacheOff,
 	})
 }
 
@@ -125,6 +134,7 @@ func NewExperiment(n int, opts ...Option) ExperimentConfig {
 	}
 	cfg.Censors = o.censors
 	cfg.Scenario = o.scenario
+	cfg.DisableConnectCache = o.cacheOff
 	return cfg
 }
 

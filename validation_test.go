@@ -1,0 +1,111 @@
+package bitcoinng
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"bitcoinng/internal/experiment"
+)
+
+// adversarialExperiment is a deliberately messy same-seed configuration:
+// censoring leaders, an equivocation attempt, a partition cycle, and a
+// latency spike, all against the Bitcoin-NG pipeline. It is the workload the
+// connect-cache determinism guarantee is checked on.
+func adversarialExperiment(t *testing.T, cacheOn bool) *ExperimentResult {
+	t.Helper()
+	params := DefaultParams()
+	params.RetargetWindow = 0
+	params.TargetBlockInterval = 30 * time.Second
+	params.MicroblockInterval = 5 * time.Second
+	params.MaxBlockSize = 20_000
+
+	cfg := NewExperiment(16,
+		WithSeed(21),
+		WithParams(params),
+		WithTargetBlocks(12),
+		WithCensors(3, 5),
+		WithConnectCache(cacheOn),
+		WithScenario(NewScenario(
+			At(40*time.Second, Equivocate(0, nil, nil)),
+			At(time.Minute, Partition([]int{0, 1, 2, 3})),
+			At(90*time.Second, Heal()),
+			At(2*time.Minute, LatencySpike(3)),
+			At(150*time.Second, LatencySpike(1)),
+		)),
+	)
+	res, err := RunExperiment(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestConnectCacheDeterminism is the acceptance check of ISSUE 2: a
+// same-seed run must produce a byte-identical experiment report whether the
+// shared connect cache is on or off — memoization is a pure optimization,
+// invisible in every measured output.
+func TestConnectCacheDeterminism(t *testing.T) {
+	render := func(res *ExperimentResult) string {
+		var b strings.Builder
+		experiment.FprintReport(&b, "determinism", res.Report)
+		return b.String()
+	}
+	cached := adversarialExperiment(t, true)
+	uncached := adversarialExperiment(t, false)
+
+	if got, want := render(cached), render(uncached); got != want {
+		t.Fatalf("cache on/off reports diverged:\n--- cache on ---\n%s\n--- cache off ---\n%s", got, want)
+	}
+	if cached.Events != uncached.Events {
+		t.Fatalf("event counts diverged: %d vs %d", cached.Events, uncached.Events)
+	}
+	if cached.NetStats != uncached.NetStats {
+		t.Fatalf("network stats diverged: %+v vs %+v", cached.NetStats, uncached.NetStats)
+	}
+	if len(cached.ScenarioErrors) != len(uncached.ScenarioErrors) {
+		t.Fatalf("scenario errors diverged: %v vs %v", cached.ScenarioErrors, uncached.ScenarioErrors)
+	}
+	// And a second cached run (now served almost entirely from the shared
+	// cache populated above) still matches.
+	again := adversarialExperiment(t, true)
+	if render(again) != render(cached) {
+		t.Fatal("re-running against a warm shared cache changed the report")
+	}
+}
+
+// TestConnectCacheIsolationAcrossParams runs two same-seed clusters whose
+// consensus parameters differ while sharing the process-wide cache: each
+// must behave exactly as it does alone (fingerprints keep their verdict
+// universes apart), and the divergent subsidy shows up in their chains.
+func TestConnectCacheIsolationAcrossParams(t *testing.T) {
+	run := func(subsidy Amount) (Hash, uint64) {
+		params := DefaultParams()
+		params.RetargetWindow = 0
+		params.TargetBlockInterval = 20 * time.Second
+		params.MicroblockInterval = 2 * time.Second
+		params.Subsidy = subsidy
+		c, err := New(8, WithSeed(5), WithParams(params), WithFunding(1000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Run(3 * time.Minute)
+		if !c.Converged() {
+			t.Fatalf("cluster (subsidy %d) did not converge", subsidy)
+		}
+		return c.Node(0).TipID(), c.Node(0).Height()
+	}
+
+	// Interleave: A, B (different rules), then A again against the now-warm
+	// cache. The third run must reproduce the first bit for bit.
+	tipA1, heightA1 := run(50 * 100_000_000)
+	tipB, _ := run(25 * 100_000_000)
+	tipA2, heightA2 := run(50 * 100_000_000)
+
+	if tipA1 != tipA2 || heightA1 != heightA2 {
+		t.Fatalf("same-rules rerun diverged: %s/%d vs %s/%d", tipA1.Short(), heightA1, tipA2.Short(), heightA2)
+	}
+	if tipA1 == tipB {
+		t.Fatal("different subsidies produced identical chains — fingerprint isolation broken")
+	}
+}
