@@ -1,7 +1,8 @@
 GO ?= go
 BENCH_DATE := $(shell date +%Y%m%d)
+BENCH_OUT ?= BENCH_$(BENCH_DATE).json
 
-.PHONY: build vet test race bench bench-json smoke
+.PHONY: build vet test race bench bench-json bench-diff smoke determinism
 
 build:
 	$(GO) build ./...
@@ -19,14 +20,30 @@ bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' .
 
 # bench-json records the Figure and substrate benchmarks as go test -json
-# events in BENCH_<date>.json — one file per day, committed when a PR claims
-# a performance change, so the perf trajectory of the repo stays auditable.
+# events in BENCH_<date>.json (override with BENCH_OUT=...) — committed when
+# a PR claims a performance change, so the perf trajectory stays auditable.
 bench-json:
-	$(GO) test -json -bench=. -benchtime=1x -run='^$$' . > BENCH_$(BENCH_DATE).json
-	@grep -c '"Action"' BENCH_$(BENCH_DATE).json >/dev/null && echo "wrote BENCH_$(BENCH_DATE).json"
+	$(GO) test -json -bench=. -benchtime=1x -run='^$$' . > $(BENCH_OUT)
+	@grep -c '"Action"' $(BENCH_OUT) >/dev/null && echo "wrote $(BENCH_OUT)"
+
+# bench-diff renders per-benchmark ns/op deltas between two bench-json
+# snapshots, flagging regressions >10%. Defaults to oldest vs newest
+# committed snapshot; override with OLD=... NEW=...
+OLD ?= $(firstword $(sort $(wildcard BENCH_*.json)))
+NEW ?= $(lastword $(sort $(wildcard BENCH_*.json)))
+bench-diff:
+	$(GO) run ./cmd/ngbench -compare $(OLD) $(NEW)
 
 # smoke is the CI scalability gate: a paper-scale (1000-node) Bitcoin-NG run
 # kept to a handful of payload blocks so it finishes in well under the job's
 # time budget.
 smoke:
 	$(GO) run ./cmd/ngbench -figure smoke -nodes 1000 -blocks 5
+
+# determinism cross-checks the parallel engine: the paper-scale smoke run's
+# stdout must be byte-identical between the sequential loop and a 4-shard run.
+determinism:
+	$(GO) run ./cmd/ngbench -figure smoke -nodes 1000 -blocks 5 -parallelism 1 > /tmp/ng-smoke-seq.txt
+	$(GO) run ./cmd/ngbench -figure smoke -nodes 1000 -blocks 5 -parallelism 4 > /tmp/ng-smoke-par.txt
+	diff -u /tmp/ng-smoke-seq.txt /tmp/ng-smoke-par.txt
+	@echo "determinism gate passed: sequential and sharded reports identical"

@@ -1,0 +1,127 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// compareBench reads two `go test -json` benchmark snapshots (the files
+// `make bench-json` writes) and prints per-benchmark ns/op deltas, flagging
+// changes beyond regressionThreshold. It keeps the perf trajectory of the
+// repo auditable: each PR claiming a performance change records a snapshot,
+// and `make bench-diff` renders the comparison.
+func compareBench(w io.Writer, oldPath, newPath string) error {
+	oldNs, err := parseBenchJSON(oldPath)
+	if err != nil {
+		return fmt.Errorf("%s: %w", oldPath, err)
+	}
+	newNs, err := parseBenchJSON(newPath)
+	if err != nil {
+		return fmt.Errorf("%s: %w", newPath, err)
+	}
+	if len(oldNs) == 0 {
+		return fmt.Errorf("%s: no benchmark results found", oldPath)
+	}
+	if len(newNs) == 0 {
+		return fmt.Errorf("%s: no benchmark results found", newPath)
+	}
+
+	names := make([]string, 0, len(oldNs))
+	for name := range oldNs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	fmt.Fprintf(w, "%-44s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	regressions := 0
+	for _, name := range names {
+		o := oldNs[name]
+		n, ok := newNs[name]
+		if !ok {
+			fmt.Fprintf(w, "%-44s %14.0f %14s %9s\n", name, o, "-", "gone")
+			continue
+		}
+		delta := (n - o) / o
+		note := ""
+		switch {
+		case delta > regressionThreshold:
+			note = "  << REGRESSION"
+			regressions++
+		case delta < -regressionThreshold:
+			note = "  improved"
+		}
+		fmt.Fprintf(w, "%-44s %14.0f %14.0f %+8.1f%%%s\n", name, o, n, 100*delta, note)
+	}
+	for name := range newNs {
+		if _, ok := oldNs[name]; !ok {
+			fmt.Fprintf(w, "%-44s %14s %14.0f %9s\n", name, "-", newNs[name], "new")
+		}
+	}
+	if regressions > 0 {
+		fmt.Fprintf(w, "\n%d benchmark(s) regressed more than %.0f%%\n",
+			regressions, 100*regressionThreshold)
+	} else {
+		fmt.Fprintf(w, "\nno regressions beyond %.0f%%\n", 100*regressionThreshold)
+	}
+	return nil
+}
+
+// regressionThreshold flags ns/op growth beyond 10%.
+const regressionThreshold = 0.10
+
+// benchLine matches a benchmark result line inside test output, e.g.
+// "BenchmarkMerkleRoot \t 1 \t 423099 ns/op \t 0.99 R2". Name variants with
+// -cpu suffixes (BenchmarkFoo-8) normalize to the bare name.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.e+]+) ns/op`)
+
+// parseBenchJSON extracts benchmark ns/op values from a `go test -json`
+// stream. A single result line can arrive split across several Output
+// events (the test runner flushes mid-line), so the events are reassembled
+// into the original output stream before matching.
+func parseBenchJSON(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	var output strings.Builder
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev struct {
+			Action string
+			Output string
+		}
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			continue // tolerate stray non-JSON lines
+		}
+		if ev.Action == "output" {
+			output.WriteString(ev.Output)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	out := make(map[string]float64)
+	for _, line := range strings.Split(output.String(), "\n") {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		out[m[1]] = ns
+	}
+	return out, nil
+}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"runtime"
 	"time"
 
 	"bitcoinng/internal/experiment"
@@ -27,15 +28,31 @@ import (
 
 func main() {
 	var (
-		figure = flag.String("figure", "all", "which figure: 6 | 7 | 8a | 8b | incentive | ablation | all, or smoke (standalone scalability run, not part of all)")
-		nodes  = flag.Int("nodes", 0, "override network size (default: laptop scale 120)")
-		blocks = flag.Int("blocks", 0, "override payload blocks per run (default 40)")
-		seed   = flag.Int64("seed", 1, "experiment seed")
+		figure      = flag.String("figure", "all", "which figure: 6 | 7 | 8a | 8b | incentive | ablation | all, or smoke (standalone scalability run, not part of all)")
+		nodes       = flag.Int("nodes", 0, "override network size (default: laptop scale 120)")
+		blocks      = flag.Int("blocks", 0, "override payload blocks per run (default 40)")
+		seed        = flag.Int64("seed", 1, "experiment seed")
+		parallelism = flag.Int("parallelism", 0, "sweep worker pool width and smoke shard count (0 = GOMAXPROCS, 1 = sequential)")
+		compareOld  = flag.String("compare", "", "compare two BENCH_*.json snapshots: -compare old.json new.json (other flags ignored)")
 	)
 	flag.Parse()
 
+	if *compareOld != "" {
+		newPath := flag.Arg(0)
+		if newPath == "" {
+			fmt.Fprintln(os.Stderr, "usage: ngbench -compare old.json new.json")
+			os.Exit(2)
+		}
+		if err := compareBench(os.Stdout, *compareOld, newPath); err != nil {
+			fmt.Fprintf(os.Stderr, "ngbench compare: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	scale := experiment.DefaultScale()
 	scale.Seed = *seed
+	scale.Parallelism = *parallelism
 	if *nodes > 0 {
 		scale.Nodes = *nodes
 	}
@@ -52,7 +69,10 @@ func main() {
 			fmt.Fprintf(os.Stderr, "ngbench %s: %v\n", name, err)
 			os.Exit(1)
 		}
-		fmt.Printf("(%s done in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+		// Timing goes to stderr: stdout stays a deterministic function of
+		// the flags and seed, so CI can diff runs byte for byte.
+		fmt.Println()
+		fmt.Fprintf(os.Stderr, "(%s done in %v)\n", name, time.Since(start).Round(time.Millisecond))
 	}
 
 	run("6", func() error { return figure6(*seed) })
@@ -92,22 +112,37 @@ func main() {
 // smoke runs a single Bitcoin-NG experiment at the requested scale and
 // prints the report plus validation-pipeline counters. CI runs it at paper
 // scale (`-figure smoke -nodes 1000 -blocks 5`) under a time budget to catch
-// scalability regressions before they land.
+// scalability regressions before they land, and diffs the stdout of a
+// sequential (-parallelism 1) against a sharded run: everything written to
+// stdout here is a deterministic function of (nodes, blocks, seed) alone.
+// Wall time, event counts, and cache counters — which legitimately vary with
+// the engine — go to stderr.
 func smoke(scale experiment.Scale) error {
 	cfg := experiment.DefaultConfig(experiment.BitcoinNG, scale.Nodes, scale.Seed)
 	cfg.TargetBlocks = scale.Blocks
+	cfg.Parallelism = scale.Parallelism
 	res, err := experiment.Run(cfg)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("smoke: %d nodes, %d payload blocks, seed %d\n", scale.Nodes, scale.Blocks, scale.Seed)
 	experiment.FprintReport(os.Stdout, "bitcoin-ng", res.Report)
+	fmt.Printf("simulated %v (%d messages, %.1f MB sent)\n",
+		res.SimTime.Round(time.Second), res.NetStats.MessagesSent, float64(res.NetStats.BytesSent)/1e6)
 	stats := validate.Shared().Stats()
-	fmt.Printf("connect cache: %d entries, %d hits, %d misses (%.1f%% hit rate)\n",
+	fmt.Fprintf(os.Stderr, "connect cache: %d entries, %d hits, %d misses (%.1f%% hit rate)\n",
 		stats.Entries, stats.Hits, stats.Misses, 100*stats.HitRate())
-	fmt.Printf("simulated %v in %v wall (%d events, %d messages, %.1f MB sent)\n",
-		res.SimTime.Round(time.Second), res.WallTime.Round(time.Millisecond),
-		res.Events, res.NetStats.MessagesSent, float64(res.NetStats.BytesSent)/1e6)
+	// Report the effective shard count (mirroring the engine's resolution
+	// of the 0 = GOMAXPROCS default and the clamp to the node count).
+	eff := cfg.Parallelism
+	if eff == 0 {
+		eff = runtime.GOMAXPROCS(0)
+	}
+	if eff > cfg.Nodes {
+		eff = cfg.Nodes
+	}
+	fmt.Fprintf(os.Stderr, "wall %v, %d events, parallelism %d\n",
+		res.WallTime.Round(time.Millisecond), res.Events, eff)
 	return nil
 }
 

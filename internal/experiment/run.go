@@ -2,11 +2,13 @@ package experiment
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"bitcoinng/internal/crypto"
 	"bitcoinng/internal/metrics"
 	"bitcoinng/internal/mining"
+	"bitcoinng/internal/node"
 	"bitcoinng/internal/protocol"
 	"bitcoinng/internal/scenario"
 	"bitcoinng/internal/sim"
@@ -72,6 +74,12 @@ type Config struct {
 	// for determinism cross-checks and micro-benchmarks. Reports are
 	// byte-identical either way.
 	DisableConnectCache bool
+	// Parallelism selects the number of event-loop shards the run executes
+	// on: nodes are partitioned across that many goroutines under the
+	// conservative windowed engine (sim.ShardedLoop). 0 takes GOMAXPROCS; 1
+	// recovers the classic single-threaded loop. Reports are byte-identical
+	// at any value for the same seed (the CI determinism gate enforces it).
+	Parallelism int
 }
 
 // DefaultConfig is a paper-faithful configuration at the given scale.
@@ -108,11 +116,68 @@ type Result struct {
 	ScenarioErrors []error
 }
 
+// engine abstracts the event substrate a run executes on: the classic
+// single-threaded loop, or the sharded windowed engine. Either way the
+// driver only observes the simulation at quiescent points (between runFor
+// slices), where recorder buffers and outboxes have been flushed.
+type engine interface {
+	// loopFor returns the loop that owns node i; envs, miners, and timers
+	// of that node schedule against it.
+	loopFor(i int) *sim.Loop
+	now() int64
+	executed() uint64
+	runFor(d time.Duration)
+	// scheduleAt registers a driver-level callback at an absolute virtual
+	// time: scenario steps, which may touch any node or global network
+	// state. It fires with all shards aligned at exactly that instant.
+	scheduleAt(at int64, fn func())
+	close()
+}
+
+// seqEngine is the classic engine: one loop, driver callbacks are ordinary
+// timers.
+type seqEngine struct{ loop *sim.Loop }
+
+func (e seqEngine) loopFor(int) *sim.Loop          { return e.loop }
+func (e seqEngine) now() int64                     { return e.loop.Now() }
+func (e seqEngine) executed() uint64               { return e.loop.Executed() }
+func (e seqEngine) runFor(d time.Duration)         { e.loop.RunFor(d) }
+func (e seqEngine) scheduleAt(at int64, fn func()) { e.loop.At(at, fn) }
+func (e seqEngine) close()                         {}
+
+// shardEngine wraps sim.ShardedLoop: cross-shard deliveries and recorder
+// buffers flush at every window barrier, and scenario steps run as global
+// events (re-deriving the lookahead afterwards, in case they rescaled
+// latencies).
+type shardEngine struct {
+	sl      *sim.ShardedLoop
+	shardOf []int
+	net     *simnet.Network
+}
+
+func (e *shardEngine) loopFor(i int) *sim.Loop { return e.sl.Shard(e.shardOf[i]) }
+func (e *shardEngine) now() int64              { return e.sl.Now() }
+func (e *shardEngine) executed() uint64        { return e.sl.Executed() }
+func (e *shardEngine) runFor(d time.Duration)  { e.sl.RunFor(d) }
+func (e *shardEngine) scheduleAt(at int64, fn func()) {
+	e.sl.ScheduleGlobal(at, func() {
+		fn()
+		e.refreshLookahead()
+	})
+}
+func (e *shardEngine) close() { e.sl.Close() }
+
+func (e *shardEngine) refreshLookahead() {
+	if la := e.net.MinCrossShardLatency(); la > 0 {
+		e.sl.SetLookahead(la)
+	}
+}
+
 // runner holds one assembled experiment. It implements scenario.Runtime, so
 // a Config's Scenario scripts partitions, churn, and attacks against it.
 type runner struct {
 	cfg       Config
-	loop      *sim.Loop
+	eng       engine
 	net       *simnet.Network
 	collector *metrics.Collector
 	workload  *Workload
@@ -156,7 +221,18 @@ func build(cfg Config) (*runner, error) {
 		cfg.MiningExponent = mining.DefaultExponent
 	}
 
-	loop := sim.NewLoop(0)
+	// Engine selection: how many event-loop shards the run executes on.
+	shards := cfg.Parallelism
+	if shards == 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > cfg.Nodes {
+		shards = cfg.Nodes
+	}
+
 	netCfg := simnet.DefaultConfig(cfg.Nodes, cfg.Seed)
 	if cfg.BandwidthBPS > 0 {
 		netCfg.BandwidthBPS = cfg.BandwidthBPS
@@ -164,7 +240,34 @@ func build(cfg Config) (*runner, error) {
 	if cfg.Latency != nil {
 		netCfg.Latency = cfg.Latency
 	}
-	network := simnet.New(loop, netCfg)
+
+	var eng engine
+	var network *simnet.Network
+	var shardOf []int
+	if shards > 1 {
+		sl := sim.NewShardedLoop(0, shards)
+		shardOf = make([]int, cfg.Nodes)
+		for i := range shardOf {
+			shardOf[i] = i * shards / cfg.Nodes
+		}
+		network = simnet.New(sl.Shard(0), netCfg)
+		network.Shard(shardLoops(sl), shardOf)
+		if la := network.MinCrossShardLatency(); la > 0 {
+			sl.SetLookahead(la)
+			sl.OnBarrier(network.FlushOutboxes)
+			eng = &shardEngine{sl: sl, shardOf: shardOf, net: network}
+		} else {
+			// Degenerate topology (zero-latency cross-shard links): the
+			// windowed engine has no lookahead to exploit — run sequential.
+			sl.Close()
+			shards = 1
+		}
+	}
+	if eng == nil {
+		loop := sim.NewLoop(0)
+		network = simnet.New(loop, netCfg)
+		eng = seqEngine{loop: loop}
+	}
 
 	count := cfg.WorkloadCount
 	if count == 0 {
@@ -176,9 +279,16 @@ func build(cfg Config) (*runner, error) {
 	}
 	workload, err := NewWorkload(cfg.Seed, count, cfg.TxSize)
 	if err != nil {
+		eng.close()
 		return nil, err
 	}
 	collector := metrics.NewCollector(workload.Genesis, 0)
+	recFor := func(i int) node.Recorder { return collector }
+	if se, ok := eng.(*shardEngine); ok {
+		sharded := metrics.NewSharded(collector, shards)
+		se.sl.OnBarrier(sharded.Flush)
+		recFor = func(i int) node.Recorder { return sharded.Shard(shardOf[i]) }
+	}
 	cache := validate.Shared()
 	if cfg.DisableConnectCache {
 		cache = nil
@@ -186,7 +296,7 @@ func build(cfg Config) (*runner, error) {
 
 	r := &runner{
 		cfg:       cfg,
-		loop:      loop,
+		eng:       eng,
 		net:       network,
 		collector: collector,
 		workload:  workload,
@@ -197,9 +307,11 @@ func build(cfg Config) (*runner, error) {
 	totalRate := 1.0 / cfg.Params.TargetBlockInterval.Seconds()
 
 	for i := 0; i < cfg.Nodes; i++ {
+		loop := eng.loopFor(i)
 		env := simnet.NewNodeEnv(loop, network, i, cfg.Seed)
 		key, err := crypto.GenerateKey(sim.NewRand(cfg.Seed, uint64(0x10000+i)))
 		if err != nil {
+			eng.close()
 			return nil, err
 		}
 		client, err := protocol.Build(env, protocol.Spec{
@@ -207,12 +319,13 @@ func build(cfg Config) (*runner, error) {
 			Params:             cfg.Params,
 			Key:                key,
 			Genesis:            workload.Genesis,
-			Recorder:           collector,
+			Recorder:           recFor(i),
 			SimulatedMining:    true,
 			CensorTransactions: censors[i],
 			ConnectCache:       cache,
 		})
 		if err != nil {
+			eng.close()
 			return nil, err
 		}
 		env.Deliver(client.HandleMessage)
@@ -225,6 +338,15 @@ func build(cfg Config) (*runner, error) {
 		r.miners = append(r.miners, m)
 	}
 	return r, nil
+}
+
+// shardLoops collects a ShardedLoop's per-shard loops.
+func shardLoops(sl *sim.ShardedLoop) []*sim.Loop {
+	loops := make([]*sim.Loop, sl.Shards())
+	for i := range loops {
+		loops[i] = sl.Shard(i)
+	}
+	return loops
 }
 
 // Size implements scenario.Runtime.
@@ -271,12 +393,13 @@ func (r *runner) Equivocate(leader int, txA, txB *types.Transaction) error {
 }
 
 func (r *runner) run() (*Result, error) {
+	defer r.eng.close()
 	startWall := time.Now()
 	var scenarioUntil int64
 	if r.cfg.Scenario != nil {
 		scenarioUntil = int64(r.cfg.Scenario.Duration())
 		r.cfg.Scenario.Schedule(
-			func(d time.Duration, fn func()) { r.loop.After(d, fn) }, r,
+			func(d time.Duration, fn func()) { r.eng.scheduleAt(int64(d), fn) }, r,
 			func(ts scenario.TimedStep, err error) {
 				r.scenErrs = append(r.scenErrs,
 					fmt.Errorf("experiment: scenario step %q at %v: %w", ts.Step.Name, ts.Offset, err))
@@ -285,7 +408,10 @@ func (r *runner) run() (*Result, error) {
 	for _, m := range r.miners {
 		m.Start()
 	}
-	// Advance in slices, checking the stop rule between them.
+	// Advance in slices, checking the stop rule between them. The slicing is
+	// part of a run's observable schedule (the run ends at a slice
+	// boundary), so both engines use identical slices: the sharded engine
+	// subdivides them into lookahead windows internally.
 	step := r.cfg.Params.TargetBlockInterval / 4
 	if r.payload == types.KindMicro && r.cfg.Params.MicroblockInterval < step {
 		step = r.cfg.Params.MicroblockInterval
@@ -294,12 +420,12 @@ func (r *runner) run() (*Result, error) {
 		step = time.Second
 	}
 	deadline := int64(r.cfg.MaxSimTime)
-	for r.loop.Now() < deadline {
-		if r.loop.Now() >= scenarioUntil &&
+	for r.eng.now() < deadline {
+		if r.eng.now() >= scenarioUntil &&
 			r.collector.CountKind(r.payload) >= r.cfg.TargetBlocks {
 			break
 		}
-		r.loop.RunFor(step)
+		r.eng.runFor(step)
 	}
 	// Stop mining and let in-flight blocks propagate.
 	for _, m := range r.miners {
@@ -309,16 +435,16 @@ func (r *runner) run() (*Result, error) {
 	if grace <= 0 {
 		grace = 30 * time.Second
 	}
-	r.loop.RunFor(grace)
+	r.eng.runFor(grace)
 
-	end := r.loop.Now()
+	end := r.eng.now()
 	opts := metrics.DefaultAnalyzeOptions(end)
 	report := r.collector.Analyze(opts)
 	return &Result{
 		Config:         r.cfg,
 		Report:         report,
 		NetStats:       r.net.Stats(),
-		Events:         r.loop.Executed(),
+		Events:         r.eng.executed(),
 		WallTime:       time.Since(startWall),
 		SimTime:        time.Duration(end),
 		ScenarioErrors: r.scenErrs,

@@ -20,6 +20,11 @@ type Scale struct {
 	Nodes  int
 	Blocks int
 	Seed   int64
+	// Parallelism bounds how many sweep points run concurrently (the Sweep
+	// worker pool); 0 takes GOMAXPROCS, 1 recovers the sequential driver.
+	// Results are identical at any value: every point is an independent,
+	// seed-deterministic execution.
+	Parallelism int
 }
 
 // DefaultScale is the laptop benchmark scale.
@@ -46,22 +51,26 @@ func Figure7(scale Scale, sizes []int) ([]Fig7Point, stats.Fit, error) {
 	if len(sizes) == 0 {
 		sizes = []int{20_000, 40_000, 60_000, 80_000, 100_000}
 	}
-	var points []Fig7Point
-	for _, size := range sizes {
+	cfgs := make([]Config, len(sizes))
+	for i, size := range sizes {
 		cfg := DefaultConfig(Bitcoin, scale.Nodes, scale.Seed)
 		cfg.TargetBlocks = scale.Blocks
 		cfg.Params.MaxBlockSize = size
 		cfg.Params.TargetBlockInterval = time.Duration(float64(size) / PayloadRate * float64(time.Second))
-		res, err := Run(cfg)
-		if err != nil {
-			return nil, stats.Fit{}, fmt.Errorf("figure7 size %d: %w", size, err)
-		}
-		points = append(points, Fig7Point{
-			BlockSize: size,
+		cfgs[i] = cfg
+	}
+	results, err := Sweep(cfgs, scale.Parallelism)
+	if err != nil {
+		return nil, stats.Fit{}, fmt.Errorf("figure7: %w", err)
+	}
+	points := make([]Fig7Point, len(sizes))
+	for i, res := range results {
+		points[i] = Fig7Point{
+			BlockSize: sizes[i],
 			P25:       res.Report.PropagationP25,
 			P50:       res.Report.PropagationP50,
 			P75:       res.Report.PropagationP75,
-		})
+		}
 	}
 	var xs, ys []float64
 	for _, p := range points {
@@ -88,7 +97,9 @@ func Figure8a(scale Scale, freqs []float64) ([]Fig8Point, error) {
 	if len(freqs) == 0 {
 		freqs = []float64{0.01, 0.02, 0.04, 0.1, 0.2, 0.4, 1.0}
 	}
-	var points []Fig8Point
+	// Both protocols at every frequency, flattened into one sweep so the
+	// pool keeps every core busy: [bitcoin f0, ng f0, bitcoin f1, ...].
+	cfgs := make([]Config, 0, 2*len(freqs))
 	for _, f := range freqs {
 		size := int(PayloadRate / f)
 		if size < 600 {
@@ -100,21 +111,21 @@ func Figure8a(scale Scale, freqs []float64) ([]Fig8Point, error) {
 		bcfg.TargetBlocks = scale.Blocks
 		bcfg.Params.MaxBlockSize = size
 		bcfg.Params.TargetBlockInterval = interval
-		bres, err := Run(bcfg)
-		if err != nil {
-			return nil, fmt.Errorf("figure8a bitcoin f=%v: %w", f, err)
-		}
 
 		ncfg := DefaultConfig(BitcoinNG, scale.Nodes, scale.Seed)
 		ncfg.TargetBlocks = scale.Blocks
 		ncfg.Params.MaxBlockSize = size
 		ncfg.Params.TargetBlockInterval = 100 * time.Second
 		ncfg.Params.MicroblockInterval = interval
-		nres, err := Run(ncfg)
-		if err != nil {
-			return nil, fmt.Errorf("figure8a ng f=%v: %w", f, err)
-		}
-		points = append(points, Fig8Point{X: f, Bitcoin: bres.Report, NG: nres.Report})
+		cfgs = append(cfgs, bcfg, ncfg)
+	}
+	results, err := Sweep(cfgs, scale.Parallelism)
+	if err != nil {
+		return nil, fmt.Errorf("figure8a: %w", err)
+	}
+	points := make([]Fig8Point, len(freqs))
+	for i, f := range freqs {
+		points[i] = Fig8Point{X: f, Bitcoin: results[2*i].Report, NG: results[2*i+1].Report}
 	}
 	return points, nil
 }
@@ -125,27 +136,27 @@ func Figure8b(scale Scale, sizes []int) ([]Fig8Point, error) {
 	if len(sizes) == 0 {
 		sizes = []int{1280, 2500, 5000, 10_000, 20_000, 40_000, 80_000}
 	}
-	var points []Fig8Point
+	cfgs := make([]Config, 0, 2*len(sizes))
 	for _, size := range sizes {
 		bcfg := DefaultConfig(Bitcoin, scale.Nodes, scale.Seed)
 		bcfg.TargetBlocks = scale.Blocks
 		bcfg.Params.MaxBlockSize = size
 		bcfg.Params.TargetBlockInterval = 10 * time.Second
-		bres, err := Run(bcfg)
-		if err != nil {
-			return nil, fmt.Errorf("figure8b bitcoin size=%d: %w", size, err)
-		}
 
 		ncfg := DefaultConfig(BitcoinNG, scale.Nodes, scale.Seed)
 		ncfg.TargetBlocks = scale.Blocks
 		ncfg.Params.MaxBlockSize = size
 		ncfg.Params.TargetBlockInterval = 100 * time.Second
 		ncfg.Params.MicroblockInterval = 10 * time.Second
-		nres, err := Run(ncfg)
-		if err != nil {
-			return nil, fmt.Errorf("figure8b ng size=%d: %w", size, err)
-		}
-		points = append(points, Fig8Point{X: float64(size), Bitcoin: bres.Report, NG: nres.Report})
+		cfgs = append(cfgs, bcfg, ncfg)
+	}
+	results, err := Sweep(cfgs, scale.Parallelism)
+	if err != nil {
+		return nil, fmt.Errorf("figure8b: %w", err)
+	}
+	points := make([]Fig8Point, len(sizes))
+	for i, size := range sizes {
+		points[i] = Fig8Point{X: float64(size), Bitcoin: results[2*i].Report, NG: results[2*i+1].Report}
 	}
 	return points, nil
 }
@@ -154,25 +165,19 @@ func Figure8b(scale Scale, sizes []int) ([]Fig8Point, error) {
 // for Bitcoin at high frequency (DESIGN.md §5); the paper's footnote 2
 // recommends random tie-breaking after [21].
 func TieBreakAblation(scale Scale) (random, firstSeen *metrics.Report, err error) {
-	mk := func(rand bool) (*metrics.Report, error) {
+	mk := func(rand bool) Config {
 		cfg := DefaultConfig(Bitcoin, scale.Nodes, scale.Seed)
 		cfg.TargetBlocks = scale.Blocks
 		cfg.Params.MaxBlockSize = 20_000
 		cfg.Params.TargetBlockInterval = 10 * time.Second
 		cfg.Params.RandomTieBreak = rand
-		res, err := Run(cfg)
-		if err != nil {
-			return nil, err
-		}
-		return res.Report, nil
+		return cfg
 	}
-	if random, err = mk(true); err != nil {
-		return nil, nil, err
+	results, err := Sweep([]Config{mk(true), mk(false)}, scale.Parallelism)
+	if err != nil {
+		return nil, nil, fmt.Errorf("tiebreak ablation: %w", err)
 	}
-	if firstSeen, err = mk(false); err != nil {
-		return nil, nil, err
-	}
-	return random, firstSeen, nil
+	return results[0].Report, results[1].Report, nil
 }
 
 // KeyBlockIntervalAblation sweeps NG's key-block interval (DESIGN.md §5):
@@ -182,18 +187,22 @@ func KeyBlockIntervalAblation(scale Scale, intervals []time.Duration) ([]Fig8Poi
 	if len(intervals) == 0 {
 		intervals = []time.Duration{25 * time.Second, 50 * time.Second, 100 * time.Second, 200 * time.Second}
 	}
-	var points []Fig8Point
-	for _, ki := range intervals {
+	cfgs := make([]Config, len(intervals))
+	for i, ki := range intervals {
 		cfg := DefaultConfig(BitcoinNG, scale.Nodes, scale.Seed)
 		cfg.TargetBlocks = scale.Blocks
 		cfg.Params.MaxBlockSize = 20_000
 		cfg.Params.TargetBlockInterval = ki
 		cfg.Params.MicroblockInterval = 10 * time.Second
-		res, err := Run(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("keyblock ablation %v: %w", ki, err)
-		}
-		points = append(points, Fig8Point{X: ki.Seconds(), NG: res.Report})
+		cfgs[i] = cfg
+	}
+	results, err := Sweep(cfgs, scale.Parallelism)
+	if err != nil {
+		return nil, fmt.Errorf("keyblock ablation: %w", err)
+	}
+	points := make([]Fig8Point, len(intervals))
+	for i, ki := range intervals {
+		points[i] = Fig8Point{X: ki.Seconds(), NG: results[i].Report}
 	}
 	return points, nil
 }

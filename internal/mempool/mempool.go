@@ -30,6 +30,12 @@ type Pool struct {
 	txs    map[crypto.Hash]*types.Transaction
 	order  []crypto.Hash                  // arrival order; selection is FIFO
 	spends map[types.OutPoint]crypto.Hash // claimed inputs -> claiming tx
+	// minSize is a lower bound on the wire size of any pooled transaction
+	// (0 = empty/unknown). Select stops scanning once its remaining budget
+	// drops below it: nothing further can fit. The bound may go stale low
+	// when the smallest transaction is removed — that only delays the early
+	// exit, never skips a fitting transaction — and compact re-tightens it.
+	minSize int
 }
 
 // New returns an empty pool.
@@ -71,6 +77,9 @@ func (p *Pool) Add(tx *types.Transaction) error {
 	for i := range tx.Inputs {
 		p.spends[tx.Inputs[i].Prev] = txid
 	}
+	if size := tx.WireSize(); p.minSize == 0 || size < p.minSize {
+		p.minSize = size
+	}
 	return nil
 }
 
@@ -78,10 +87,20 @@ func (p *Pool) Add(tx *types.Transaction) error {
 // sizes fit within maxBytes, skipping (not evicting) transactions that do
 // not fit. This is the deterministic block-filling policy every node in an
 // experiment shares.
+//
+// Two fast paths keep a busy node's per-block cost proportional to what it
+// selects rather than to pool history: the scan stops once the remaining
+// budget cannot fit even the smallest pooled transaction, and a lazy-deleted
+// tail that has come to dominate the order slice triggers compaction before
+// the scan instead of waiting for the next RemoveConfirmed.
 func (p *Pool) Select(maxBytes int) []*types.Transaction {
+	p.compact()
 	var out []*types.Transaction
 	remaining := maxBytes
 	for _, txid := range p.order {
+		if remaining < p.minSize {
+			break // nothing pooled is small enough to fit
+		}
 		tx, ok := p.txs[txid]
 		if !ok {
 			continue // lazily skip removed entries
@@ -138,16 +157,27 @@ func (p *Pool) remove(txid crypto.Hash) {
 }
 
 // compact rebuilds the order slice once enough removed entries accumulate,
-// keeping Select linear in live entries.
+// keeping Select linear in live entries, and re-tightens the minSize bound
+// (removals can leave it stale low).
 func (p *Pool) compact() {
 	if len(p.order) < 2*len(p.txs)+16 {
+		if len(p.txs) == 0 {
+			p.minSize = 0
+		}
 		return
 	}
 	live := p.order[:0]
+	min := 0
 	for _, txid := range p.order {
-		if _, ok := p.txs[txid]; ok {
-			live = append(live, txid)
+		tx, ok := p.txs[txid]
+		if !ok {
+			continue
+		}
+		live = append(live, txid)
+		if size := tx.WireSize(); min == 0 || size < min {
+			min = size
 		}
 	}
 	p.order = live
+	p.minSize = min
 }

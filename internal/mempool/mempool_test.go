@@ -177,3 +177,136 @@ func TestCompactionPreservesOrder(t *testing.T) {
 		}
 	}
 }
+
+// txB is tx for benchmarks (testing.TB).
+func txB(tb testing.TB, key *crypto.PrivateKey, prevIdx uint32, pad int) *types.Transaction {
+	tb.Helper()
+	out := &types.Transaction{
+		Kind:    types.TxRegular,
+		Inputs:  []types.TxInput{{Prev: types.OutPoint{Index: prevIdx}}},
+		Outputs: []types.TxOutput{{Value: 1, To: crypto.Address{1}}},
+		Padding: make([]byte, pad),
+	}
+	out.SignInput(0, key)
+	return out
+}
+
+// TestSelectEarlyExit: once the remaining budget is below the smallest
+// pooled transaction, Select must stop and still return the correct set.
+func TestSelectEarlyExit(t *testing.T) {
+	p := New()
+	key := testKey(t, 9)
+	var txs []*types.Transaction
+	for i := 0; i < 100; i++ {
+		x := tx(t, key, uint32(i), 50) // all equal-sized
+		txs = append(txs, x)
+		if err := p.Add(x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	one := txs[0].WireSize()
+	got := p.Select(3*one + one/2)
+	if len(got) != 3 {
+		t.Fatalf("selected %d txs, want 3", len(got))
+	}
+	for i, x := range got {
+		if x != txs[i] {
+			t.Fatalf("selection %d out of FIFO order", i)
+		}
+	}
+	// A budget below the minimum selects nothing.
+	if got := p.Select(one - 1); len(got) != 0 {
+		t.Fatalf("selected %d txs under the minimum size", len(got))
+	}
+}
+
+// TestSelectMinSizeStaysConservative: removing the smallest transaction may
+// leave the bound stale low, but never skips a fitting transaction.
+func TestSelectMinSizeStaysConservative(t *testing.T) {
+	p := New()
+	key := testKey(t, 10)
+	small := tx(t, key, 0, 0)
+	big := tx(t, key, 1, 400)
+	if err := p.Add(small); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Add(big); err != nil {
+		t.Fatal(err)
+	}
+	p.RemoveConfirmed([]*types.Transaction{small})
+	got := p.Select(big.WireSize())
+	if len(got) != 1 || got[0] != big {
+		t.Fatalf("big tx not selected after the smaller one left: %v", got)
+	}
+}
+
+// TestSelectCompactsDominatedTail: a Select over a pool whose order slice is
+// mostly lazy-deleted entries compacts it first.
+func TestSelectCompactsDominatedTail(t *testing.T) {
+	p := New()
+	key := testKey(t, 11)
+	var confirmed []*types.Transaction
+	for i := 0; i < 300; i++ {
+		x := tx(t, key, uint32(i), 10)
+		if err := p.Add(x); err != nil {
+			t.Fatal(err)
+		}
+		if i >= 4 {
+			confirmed = append(confirmed, x)
+		}
+	}
+	// Remove directly (bypassing RemoveConfirmed's own compaction trigger
+	// would be ideal, but it compacts too; recreate the dominated state by
+	// removing in one batch and then re-adding junk removals).
+	for _, x := range confirmed {
+		p.remove(x.ID())
+	}
+	if len(p.order) <= 2*len(p.txs)+16 {
+		t.Skip("tail not dominated; threshold changed")
+	}
+	got := p.Select(1 << 20)
+	if len(got) != 4 {
+		t.Fatalf("selected %d, want 4", len(got))
+	}
+	if len(p.order) > 2*len(p.txs)+16 {
+		t.Fatalf("Select left a dominated tail: %d order entries for %d live", len(p.order), len(p.txs))
+	}
+}
+
+// BenchmarkSelectSmallBudgetFullPool measures the early-exit win: a full
+// pool, a budget that fits only a few transactions. Before the early exit
+// this scanned all N entries per call.
+func BenchmarkSelectSmallBudgetFullPool(b *testing.B) {
+	p := New()
+	key := testKey(b, 12)
+	for i := 0; i < 10_000; i++ {
+		if err := p.Add(txB(b, key, uint32(i), 300)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	budget := 4 * 500 // a handful of ~460-byte transactions
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := p.Select(budget); len(got) == 0 {
+			b.Fatal("empty selection")
+		}
+	}
+}
+
+// BenchmarkSelectFullBudgetFullPool is the control: a budget that admits the
+// whole pool, where the early exit cannot trigger.
+func BenchmarkSelectFullBudgetFullPool(b *testing.B) {
+	p := New()
+	key := testKey(b, 13)
+	for i := 0; i < 10_000; i++ {
+		if err := p.Add(txB(b, key, uint32(i), 300)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := p.Select(1 << 30); len(got) != 10_000 {
+			b.Fatal("short selection")
+		}
+	}
+}

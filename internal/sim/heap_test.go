@@ -1,0 +1,174 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// checkHeap verifies the heap invariant and that every Timer's index points
+// back at its own event.
+func checkHeap(t *testing.T, l *Loop) {
+	t.Helper()
+	q := l.queue
+	for i := 1; i < len(q); i++ {
+		parent := (i - 1) / 2
+		if q.less(i, parent) {
+			t.Fatalf("heap invariant broken at %d: child (%d,%d,%d) < parent (%d,%d,%d)",
+				i, q[i].at, q[i].prio, q[i].seq, q[parent].at, q[parent].prio, q[parent].seq)
+		}
+	}
+	for i := range q {
+		if q[i].t != nil && q[i].t.index != i {
+			t.Fatalf("timer at heap slot %d has index %d", i, q[i].t.index)
+		}
+	}
+}
+
+// TestHeapPropertyRandomOps drives the hand-rolled event heap through random
+// interleavings of At, PostEvent, Timer.Stop (at random live indices), and
+// pop, checking after every operation that the heap invariant and the timer
+// back-indices hold, and that the events that actually fire do so in
+// nondecreasing (time, priority, sequence) order matching a reference model.
+func TestHeapPropertyRandomOps(t *testing.T) {
+	type ref struct {
+		at, prio int64
+		seq      uint64
+	}
+	for trial := 0; trial < 50; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial) + 1))
+		l := NewLoop(0)
+		var timers []*Timer
+		var model []ref // live events, unordered
+		var fired []ref
+		refLess := func(a, b ref) bool {
+			if a.at != b.at {
+				return a.at < b.at
+			}
+			if a.prio != b.prio {
+				return a.prio < b.prio
+			}
+			return a.seq < b.seq
+		}
+		removeRef := func(r ref) {
+			for i := range model {
+				if model[i] == r {
+					model = append(model[:i], model[i+1:]...)
+					return
+				}
+			}
+			t.Fatalf("trial %d: fired event %+v not in model", trial, r)
+		}
+		for op := 0; op < 400; op++ {
+			switch k := rng.Intn(10); {
+			case k < 4: // At with a cancellable timer
+				at := l.Now() + rng.Int63n(1000)
+				r := ref{at: at, prio: l.Now(), seq: l.seq}
+				tm := l.At(at, func() { fired = append(fired, r); removeRef(r) })
+				timers = append(timers, tm)
+				model = append(model, r)
+			case k < 7: // PostEvent (fire-and-forget)
+				at := l.Now() + rng.Int63n(1000)
+				r := ref{at: at, prio: l.Now(), seq: l.seq}
+				l.PostEvent(at, firedFn(func() { fired = append(fired, r); removeRef(r) }))
+				model = append(model, r)
+			case k < 9: // Stop a random timer (possibly already fired/stopped)
+				if len(timers) == 0 {
+					continue
+				}
+				i := rng.Intn(len(timers))
+				tm := timers[i]
+				wasLive := tm.index >= 0
+				var evRef ref
+				if wasLive {
+					evRef = ref{at: l.queue[tm.index].at, prio: l.queue[tm.index].prio, seq: l.queue[tm.index].seq}
+				}
+				if tm.Stop() != wasLive {
+					t.Fatalf("trial %d: Stop() reported %v for live=%v", trial, !wasLive, wasLive)
+				}
+				if wasLive {
+					removeRef(evRef)
+				}
+			default: // pop one event
+				if l.Pending() > 0 {
+					l.Step()
+				}
+			}
+			checkHeap(t, l)
+		}
+		// Drain the rest and verify global firing order matches the model.
+		l.Drain(0)
+		if len(model) != 0 {
+			t.Fatalf("trial %d: %d events never fired", trial, len(model))
+		}
+		for i := 1; i < len(fired); i++ {
+			if refLess(fired[i], fired[i-1]) {
+				t.Fatalf("trial %d: out-of-order firing at %d: %+v after %+v",
+					trial, i, fired[i], fired[i-1])
+			}
+		}
+		if !sort.SliceIsSorted(fired, func(i, j int) bool { return refLess(fired[i], fired[j]) }) {
+			t.Fatalf("trial %d: fired order not sorted", trial)
+		}
+	}
+}
+
+// firedFn adapts a func to Runnable for PostEvent in tests.
+type firedFn func()
+
+func (f firedFn) Run() { f() }
+
+// reposter re-posts itself from inside Run: the documented PostEvent
+// reentrancy contract.
+type reposter struct {
+	l     *Loop
+	left  int
+	fires []int64
+	step  int64
+}
+
+func (r *reposter) Run() {
+	r.fires = append(r.fires, r.l.Now())
+	r.left--
+	if r.left > 0 {
+		r.l.PostEvent(r.l.Now()+r.step, r)
+	}
+}
+
+// TestPostEventReentrant posts a Runnable that re-posts itself from inside
+// Run — both for a future instant and for the current one — during Run, Step,
+// and RunUntil.
+func TestPostEventReentrant(t *testing.T) {
+	l := NewLoop(0)
+	r := &reposter{l: l, left: 5, step: 10}
+	l.PostEvent(0, r)
+	l.RunUntil(100)
+	if len(r.fires) != 5 {
+		t.Fatalf("fired %d times, want 5", len(r.fires))
+	}
+	for i, at := range r.fires {
+		if at != int64(i*10) {
+			t.Fatalf("fire %d at %d, want %d", i, at, i*10)
+		}
+	}
+
+	// Same-instant re-posting: each re-post lands after already-queued events
+	// at the instant, and all fire within one RunUntil of that instant.
+	l2 := NewLoop(0)
+	var order []string
+	z := &reposter{l: l2, left: 3, step: 0}
+	l2.PostEvent(50, z)
+	l2.At(50, func() { order = append(order, "timer@50") })
+	l2.RunUntil(50)
+	if len(z.fires) != 3 || len(order) != 1 {
+		t.Fatalf("same-instant reentrancy: fires=%v order=%v", z.fires, order)
+	}
+	for _, at := range z.fires {
+		if at != 50 {
+			t.Fatalf("same-instant re-post fired at %d", at)
+		}
+	}
+	if l2.Pending() != 0 {
+		t.Fatalf("pending = %d after drain", l2.Pending())
+	}
+}

@@ -42,28 +42,38 @@ type Runnable interface {
 	Run()
 }
 
-// event is one scheduled callback, stored by value: the (at, seq) ordering
-// keys live inline in the heap slice, so sift comparisons touch no pointers.
-// Exactly one of fn and r is set.
+// event is one scheduled callback, stored by value: the (at, prio, seq)
+// ordering keys live inline in the heap slice, so sift comparisons touch no
+// pointers. Exactly one of fn and r is set.
 type event struct {
-	at  int64
-	seq uint64
-	fn  func()
-	r   Runnable
-	t   *Timer // cancellation handle; nil for PostEvent events
+	at   int64
+	prio int64 // virtual time the event was scheduled at (see eventQueue)
+	seq  uint64
+	fn   func()
+	r    Runnable
+	t    *Timer // cancellation handle; nil for PostEvent events
 }
 
-// eventQueue is a binary min-heap of events ordered by (time, sequence):
-// simultaneous events fire in scheduling order, which keeps runs
-// deterministic. The heap is hand-rolled rather than container/heap because
-// the standard interface boxes every pushed and popped value into an `any`,
-// which made event scheduling one of the top allocation sites of a
-// paper-scale run.
+// eventQueue is a binary min-heap of events ordered by (time, priority,
+// sequence). Priority is the virtual time the event was scheduled at: on a
+// single loop it is nondecreasing in sequence number, so the order is exactly
+// the classic (time, sequence) FIFO — simultaneous events fire in scheduling
+// order. The sharded loop relies on the extra key: a cross-shard delivery is
+// re-posted into the destination shard at a window barrier, after local
+// events that were scheduled later in virtual time, and carrying the original
+// scheduling time as prio restores the global chronological tie-break the
+// sequential engine would have used. The heap is hand-rolled rather than
+// container/heap because the standard interface boxes every pushed and popped
+// value into an `any`, which made event scheduling one of the top allocation
+// sites of a paper-scale run.
 type eventQueue []event
 
 func (q eventQueue) less(i, j int) bool {
 	if q[i].at != q[j].at {
 		return q[i].at < q[j].at
+	}
+	if q[i].prio != q[j].prio {
+		return q[i].prio < q[j].prio
 	}
 	return q[i].seq < q[j].seq
 }
@@ -145,10 +155,19 @@ func (l *Loop) At(at int64, fn func()) *Timer {
 // PostEvent schedules a Runnable with no cancellation handle and no closure
 // allocation; the same Runnable may be re-posted from inside its own Run.
 func (l *Loop) PostEvent(at int64, r Runnable) {
+	l.PostEventPrio(at, l.now, r)
+}
+
+// PostEventPrio is PostEvent with an explicit scheduling-time priority. The
+// sharded engine uses it when merging a cross-shard delivery into this loop
+// at a window barrier: prio carries the virtual time the message was sent at,
+// so same-instant arrivals keep the chronological order the sequential engine
+// would have produced. Ordinary callers should use PostEvent.
+func (l *Loop) PostEventPrio(at, prio int64, r Runnable) {
 	if at < l.now {
 		at = l.now
 	}
-	l.queue = append(l.queue, event{at: at, seq: l.seq, r: r})
+	l.queue = append(l.queue, event{at: at, prio: prio, seq: l.seq, r: r})
 	l.seq++
 	l.queue.siftUp(len(l.queue) - 1)
 }
@@ -160,7 +179,7 @@ func (l *Loop) push(at int64, fn func(), t *Timer) {
 	if t != nil {
 		t.index = len(l.queue)
 	}
-	l.queue = append(l.queue, event{at: at, seq: l.seq, fn: fn, t: t})
+	l.queue = append(l.queue, event{at: at, prio: l.now, seq: l.seq, fn: fn, t: t})
 	l.seq++
 	l.queue.siftUp(len(l.queue) - 1)
 }
@@ -198,6 +217,28 @@ func (l *Loop) remove(i int) {
 // After schedules fn d from now.
 func (l *Loop) After(d time.Duration, fn func()) *Timer {
 	return l.At(l.now+int64(d), fn)
+}
+
+// NextEventAt returns the virtual time of the earliest scheduled event; ok is
+// false when the queue is empty. The sharded driver uses it to size windows.
+func (l *Loop) NextEventAt() (at int64, ok bool) {
+	if len(l.queue) == 0 {
+		return 0, false
+	}
+	return l.queue[0].at, true
+}
+
+// AdvanceTo moves the clock forward to t without firing anything. The caller
+// must have established that no event is scheduled before t (the sharded
+// driver advances idle shards across a window this way); violating that
+// invariant panics rather than silently firing events late.
+func (l *Loop) AdvanceTo(t int64) {
+	if len(l.queue) > 0 && l.queue[0].at < t {
+		panic("sim: AdvanceTo would skip a scheduled event")
+	}
+	if l.now < t {
+		l.now = t
+	}
 }
 
 // Step fires the next event; it reports false when the queue is empty.

@@ -3,6 +3,7 @@ package simnet
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"time"
 
 	"bitcoinng/internal/sim"
@@ -71,21 +72,39 @@ type edge struct {
 	out  *link
 }
 
-// Network is the emulated overlay.
+// Network is the emulated overlay. It runs either on a single event loop
+// (the default) or sharded across the loops of a sim.ShardedLoop (see Shard):
+// per-node and per-directed-link state is then touched only by its owning
+// shard, cross-shard deliveries queue in per-shard outboxes merged at window
+// barriers, and counters are kept per shard and summed on read.
 type Network struct {
 	loop     *sim.Loop
 	cfg      Config
 	adj      [][]int  // peer ids per node (Peers view)
 	edges    [][]edge // peer ids + outbound link state per node
 	handlers []Handler
-	busyAt   []int64 // per-node receiver busy-until
-	stats    Stats
+	busyAt   []int64 // per-node receiver busy-until; owned by the node's shard
+	stats    []Stats // per shard; length 1 when unsharded
 	// group assigns each node to a partition group; messages between
 	// different groups are silently dropped. nil means fully connected.
+	// Written only while the loops are quiescent (setup or a barrier).
 	group []int
 	// latencyScale multiplies per-link propagation delay (the LatencySpike
-	// scenario step); zero or one means unscaled.
+	// scenario step); zero or one means unscaled. Same write discipline as
+	// group.
 	latencyScale float64
+
+	// Sharded mode (nil/empty when running on a single loop).
+	shardLoops []*sim.Loop
+	shardOf    []int      // node -> shard
+	outbox     [][]outMsg // per sender shard, drained by FlushOutboxes
+}
+
+// outMsg is one cross-shard delivery waiting for the next window barrier.
+type outMsg struct {
+	arrival int64 // virtual delivery time at the receiver
+	sent    int64 // virtual send time (the heap priority after injection)
+	d       *delivery
 }
 
 // New builds the topology: MinPeers uniformly random outbound links per
@@ -111,6 +130,7 @@ func New(loop *sim.Loop, cfg Config) *Network {
 		edges:    make([][]edge, cfg.Nodes),
 		handlers: make([]Handler, cfg.Nodes),
 		busyAt:   make([]int64, cfg.Nodes),
+		stats:    make([]Stats, 1),
 	}
 	const topologyStream = 0x7e7 // dedicated stream id for topology building
 	rng := sim.NewRand(cfg.Seed, topologyStream)
@@ -189,8 +209,108 @@ func (n *Network) Peers(id int) []int { return n.adj[id] }
 // Handle registers the delivery callback for node id.
 func (n *Network) Handle(id int, h Handler) { n.handlers[id] = h }
 
-// Stats returns aggregate counters.
-func (n *Network) Stats() Stats { return n.stats }
+// Stats returns aggregate counters, summed across shards. Call it only while
+// the loops are quiescent (between Run slices or after the run).
+func (n *Network) Stats() Stats {
+	var total Stats
+	for i := range n.stats {
+		s := &n.stats[i]
+		total.MessagesSent += s.MessagesSent
+		total.BytesSent += s.BytesSent
+		total.MessagesLost += s.MessagesLost
+		if s.MaxQueueDelay > total.MaxQueueDelay {
+			total.MaxQueueDelay = s.MaxQueueDelay
+		}
+	}
+	return total
+}
+
+// Shard switches the network into sharded mode: node i schedules against
+// loops[shardOf[i]], and deliveries between nodes on different shards are
+// buffered until FlushOutboxes runs at a window barrier. Call it once,
+// before any traffic, with the per-shard loops of a sim.ShardedLoop; the
+// caller must register FlushOutboxes as a barrier hook.
+func (n *Network) Shard(loops []*sim.Loop, shardOf []int) {
+	if len(shardOf) != n.cfg.Nodes {
+		panic(fmt.Sprintf("simnet: shard map for %d nodes on a %d-node network", len(shardOf), n.cfg.Nodes))
+	}
+	for _, s := range shardOf {
+		if s < 0 || s >= len(loops) {
+			panic(fmt.Sprintf("simnet: shard %d out of range (%d shards)", s, len(loops)))
+		}
+	}
+	n.shardLoops = loops
+	n.shardOf = shardOf
+	n.outbox = make([][]outMsg, len(loops))
+	n.stats = make([]Stats, len(loops))
+}
+
+// loopFor returns the event loop that owns node id.
+func (n *Network) loopFor(id int) *sim.Loop {
+	if n.shardLoops == nil {
+		return n.loop
+	}
+	return n.shardLoops[n.shardOf[id]]
+}
+
+// MinCrossShardLatency returns the smallest propagation delay of any link
+// between nodes on different shards — the sharded engine's lookahead — under
+// the current latency scale (a spike widens the safe window, a shrink
+// narrows it; a scaled minimum that truncates to zero clamps to 1ns, the
+// engine's degenerate-but-safe floor). Links within a shard don't bound the
+// window: their deliveries stay on one loop. Returns 0 when unsharded or
+// when no link crosses shards (then any window size is safe).
+func (n *Network) MinCrossShardLatency() time.Duration {
+	if n.shardOf == nil {
+		return 0
+	}
+	min := int64(0)
+	for i, es := range n.edges {
+		for _, e := range es {
+			if n.shardOf[i] == n.shardOf[e.peer] {
+				continue
+			}
+			if min == 0 || e.out.latency < min {
+				min = e.out.latency
+			}
+		}
+	}
+	if min > 0 && n.latencyScale > 0 {
+		if min = int64(float64(min) * n.latencyScale); min < 1 {
+			min = 1
+		}
+	}
+	return time.Duration(min)
+}
+
+// FlushOutboxes injects buffered cross-shard deliveries into their receiving
+// shards' loops, ordered by (arrival, send time, sender shard) — exactly the
+// (time, priority, sequence) order the sequential engine's single heap would
+// have given them. Runs at window barriers, while all shards are quiescent.
+func (n *Network) FlushOutboxes() {
+	total := 0
+	for s := range n.outbox {
+		total += len(n.outbox[s])
+	}
+	if total == 0 {
+		return
+	}
+	all := make([]outMsg, 0, total)
+	for s := range n.outbox {
+		all = append(all, n.outbox[s]...)
+		n.outbox[s] = n.outbox[s][:0]
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		if all[i].arrival != all[j].arrival {
+			return all[i].arrival < all[j].arrival
+		}
+		return all[i].sent < all[j].sent
+	})
+	for i := range all {
+		m := &all[i]
+		n.loopFor(m.d.to).PostEventPrio(m.arrival, m.sent, m.d)
+	}
+}
 
 // SetPartition splits the network: group[i] is node i's side, and messages
 // between different sides vanish (a WAN cut). Pass nil to heal. In-flight
@@ -231,22 +351,32 @@ func PartitionAssignment(nodes int, groups [][]int) ([]int, error) {
 // propagation (link latency) + receiver processing (queued behind earlier
 // arrivals). Sends between unconnected nodes panic: the overlay has no
 // routing, only direct links, like Bitcoin's gossip.
+//
+// In sharded mode Send runs on the sending node's shard (or on the driver at
+// a barrier): it touches only that shard's link state and counters, and a
+// delivery crossing shards is buffered for FlushOutboxes instead of being
+// posted directly into a loop another goroutine is draining.
 func (n *Network) Send(from, to int, payload any, size int) {
 	l := n.linkTo(from, to)
 	if l == nil {
 		panic(fmt.Sprintf("simnet: no link %d->%d", from, to))
 	}
+	shard := 0
+	if n.shardOf != nil {
+		shard = n.shardOf[from]
+	}
+	st := &n.stats[shard]
 	if n.group != nil && n.group[from] != n.group[to] {
-		n.stats.MessagesLost++
+		st.MessagesLost++
 		return
 	}
-	now := n.loop.Now()
+	now := n.loopFor(from).Now()
 	start := now
 	if l.freeAt > start {
 		start = l.freeAt
 	}
-	if q := time.Duration(start - now); q > n.stats.MaxQueueDelay {
-		n.stats.MaxQueueDelay = q
+	if q := time.Duration(start - now); q > st.MaxQueueDelay {
+		st.MaxQueueDelay = q
 	}
 	transfer := int64(float64(size*8) / n.cfg.BandwidthBPS * float64(time.Second))
 	l.freeAt = start + transfer
@@ -256,11 +386,15 @@ func (n *Network) Send(from, to int, payload any, size int) {
 	}
 	arrival := l.freeAt + latency
 
-	n.stats.MessagesSent++
-	n.stats.BytesSent += uint64(size)
+	st.MessagesSent++
+	st.BytesSent += uint64(size)
 
 	d := &delivery{n: n, from: from, to: to, payload: payload, size: size}
-	n.loop.PostEvent(arrival, d)
+	if n.shardOf != nil && n.shardOf[to] != shard {
+		n.outbox[shard] = append(n.outbox[shard], outMsg{arrival: arrival, sent: now, d: d})
+		return
+	}
+	n.loopFor(to).PostEvent(arrival, d)
 }
 
 // delivery carries one in-flight message through its two scheduling hops
@@ -278,18 +412,20 @@ type delivery struct {
 // Run implements sim.Runnable. The first hop lands at propagation end, where
 // receiver processing serializes behind earlier work (§8.2 — node capacity
 // is what ultimately caps throughput); the second hand the message to the
-// receiver once processed.
+// receiver once processed. Both hops run on the receiving node's shard, so
+// busyAt[to] has a single writing goroutine.
 func (d *delivery) Run() {
 	n := d.n
 	if !d.arrived {
 		d.arrived = true
-		procStart := n.loop.Now()
+		loop := n.loopFor(d.to)
+		procStart := loop.Now()
 		if n.busyAt[d.to] > procStart {
 			procStart = n.busyAt[d.to]
 		}
 		done := procStart + int64(n.cfg.ProcPerMsg) + int64(n.cfg.ProcPerByte)*int64(d.size)
 		n.busyAt[d.to] = done
-		n.loop.PostEvent(done, d)
+		loop.PostEvent(done, d)
 		return
 	}
 	if h := n.handlers[d.to]; h != nil {

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math/big"
+	"sync/atomic"
 
 	"bitcoinng/internal/crypto"
 	"bitcoinng/internal/wire"
@@ -67,6 +68,22 @@ var (
 )
 
 var zeroWork = new(big.Int)
+
+// wfVerdict is an atomically published well-formedness verdict. Block caches
+// are atomic because the sharded event loop lets several shard goroutines
+// validate the same shared block object concurrently: every verdict is a pure
+// function of the immutable block, so racing fills compute equal values and
+// either store wins.
+type wfVerdict struct {
+	err error
+}
+
+// microVerdict caches a microblock verdict together with the leader key it
+// was checked under.
+type microVerdict struct {
+	key crypto.PublicKey
+	err error
+}
 
 // checkTxSet validates the transaction list shared by PoW and key blocks:
 // first transaction is the coinbase, no other coinbases, all well-formed,
@@ -153,10 +170,9 @@ type PowBlock struct {
 	// both identically otherwise.
 	SimulatedPoW bool
 
-	cachedHash *crypto.Hash
-	cachedSize int
-	wfDone     bool
-	wfErr      error
+	cachedHash atomic.Pointer[crypto.Hash]
+	cachedSize atomic.Int32
+	wf         atomic.Pointer[wfVerdict]
 }
 
 // EncodeWire implements wire.Encoder.
@@ -171,19 +187,19 @@ func (b *PowBlock) DecodeWire(r *wire.Reader) {
 	b.Header.DecodeWire(r)
 	b.SimulatedPoW = r.Bool()
 	b.Txs = decodeTxs(r)
-	b.cachedHash = nil
-	b.cachedSize = 0
-	b.wfDone = false
-	b.wfErr = nil
+	b.cachedHash.Store(nil)
+	b.cachedSize.Store(0)
+	b.wf.Store(nil)
 }
 
 // Hash implements Block; the result is cached.
 func (b *PowBlock) Hash() crypto.Hash {
-	if b.cachedHash == nil {
-		h := b.Header.Hash()
-		b.cachedHash = &h
+	if p := b.cachedHash.Load(); p != nil {
+		return *p
 	}
-	return *b.cachedHash
+	h := b.Header.Hash()
+	b.cachedHash.Store(&h)
+	return h
 }
 
 // PrevHash implements Block.
@@ -203,10 +219,12 @@ func (b *PowBlock) Transactions() []*Transaction { return b.Txs }
 
 // WireSize implements Block; the result is cached.
 func (b *PowBlock) WireSize() int {
-	if b.cachedSize == 0 {
-		b.cachedSize = len(wire.Encode(b))
+	if s := b.cachedSize.Load(); s != 0 {
+		return int(s)
 	}
-	return b.cachedSize
+	s := len(wire.Encode(b))
+	b.cachedSize.Store(int32(s))
+	return s
 }
 
 // CheckWellFormed validates the block against its own header: transaction
@@ -214,16 +232,17 @@ func (b *PowBlock) WireSize() int {
 // is cached: simulated nodes share block objects, so the expensive checks
 // run once per network rather than once per node.
 func (b *PowBlock) CheckWellFormed() error {
-	if b.wfDone {
-		return b.wfErr
+	if v := b.wf.Load(); v != nil {
+		return v.err
 	}
-	b.wfDone = true
+	var err error
 	if !b.SimulatedPoW && !crypto.CheckProofOfWork(b.Hash(), b.Header.Target) {
-		b.wfErr = ErrBadPoW
-		return b.wfErr
+		err = ErrBadPoW
+	} else {
+		err = checkTxSet(b.Txs, b.Header.MerkleRoot)
 	}
-	b.wfErr = checkTxSet(b.Txs, b.Header.MerkleRoot)
-	return b.wfErr
+	b.wf.Store(&wfVerdict{err: err})
+	return err
 }
 
 // KeyBlockHeader is a Bitcoin-NG key block header (§4.1): like a Bitcoin
@@ -267,10 +286,9 @@ type KeyBlock struct {
 	Txs          []*Transaction
 	SimulatedPoW bool
 
-	cachedHash *crypto.Hash
-	cachedSize int
-	wfDone     bool
-	wfErr      error
+	cachedHash atomic.Pointer[crypto.Hash]
+	cachedSize atomic.Int32
+	wf         atomic.Pointer[wfVerdict]
 }
 
 // EncodeWire implements wire.Encoder.
@@ -285,19 +303,19 @@ func (b *KeyBlock) DecodeWire(r *wire.Reader) {
 	b.Header.DecodeWire(r)
 	b.SimulatedPoW = r.Bool()
 	b.Txs = decodeTxs(r)
-	b.cachedHash = nil
-	b.cachedSize = 0
-	b.wfDone = false
-	b.wfErr = nil
+	b.cachedHash.Store(nil)
+	b.cachedSize.Store(0)
+	b.wf.Store(nil)
 }
 
 // Hash implements Block; the result is cached.
 func (b *KeyBlock) Hash() crypto.Hash {
-	if b.cachedHash == nil {
-		h := b.Header.Hash()
-		b.cachedHash = &h
+	if p := b.cachedHash.Load(); p != nil {
+		return *p
 	}
-	return *b.cachedHash
+	h := b.Header.Hash()
+	b.cachedHash.Store(&h)
+	return h
 }
 
 // PrevHash implements Block.
@@ -317,25 +335,28 @@ func (b *KeyBlock) Transactions() []*Transaction { return b.Txs }
 
 // WireSize implements Block; the result is cached.
 func (b *KeyBlock) WireSize() int {
-	if b.cachedSize == 0 {
-		b.cachedSize = len(wire.Encode(b))
+	if s := b.cachedSize.Load(); s != 0 {
+		return int(s)
 	}
-	return b.cachedSize
+	s := len(wire.Encode(b))
+	b.cachedSize.Store(int32(s))
+	return s
 }
 
 // CheckWellFormed validates the key block against its own header. The
 // verdict is cached (see PowBlock.CheckWellFormed).
 func (b *KeyBlock) CheckWellFormed() error {
-	if b.wfDone {
-		return b.wfErr
+	if v := b.wf.Load(); v != nil {
+		return v.err
 	}
-	b.wfDone = true
+	var err error
 	if !b.SimulatedPoW && !crypto.CheckProofOfWork(b.Hash(), b.Header.Target) {
-		b.wfErr = ErrBadPoW
-		return b.wfErr
+		err = ErrBadPoW
+	} else {
+		err = checkTxSet(b.Txs, b.Header.MerkleRoot)
 	}
-	b.wfErr = checkTxSet(b.Txs, b.Header.MerkleRoot)
-	return b.wfErr
+	b.wf.Store(&wfVerdict{err: err})
+	return err
 }
 
 // MicroBlockHeader is a Bitcoin-NG microblock header (§4.2): predecessor
@@ -394,10 +415,9 @@ type MicroBlock struct {
 	Header MicroBlockHeader
 	Txs    []*Transaction
 
-	cachedHash *crypto.Hash
-	cachedSize int
-	wfKey      *crypto.PublicKey
-	wfErr      error
+	cachedHash atomic.Pointer[crypto.Hash]
+	cachedSize atomic.Int32
+	wf         atomic.Pointer[microVerdict]
 }
 
 // EncodeWire implements wire.Encoder.
@@ -410,19 +430,19 @@ func (b *MicroBlock) EncodeWire(w *wire.Writer) {
 func (b *MicroBlock) DecodeWire(r *wire.Reader) {
 	b.Header.DecodeWire(r)
 	b.Txs = decodeTxs(r)
-	b.cachedHash = nil
-	b.cachedSize = 0
-	b.wfKey = nil
-	b.wfErr = nil
+	b.cachedHash.Store(nil)
+	b.cachedSize.Store(0)
+	b.wf.Store(nil)
 }
 
 // Hash implements Block; the result is cached.
 func (b *MicroBlock) Hash() crypto.Hash {
-	if b.cachedHash == nil {
-		h := b.Header.Hash()
-		b.cachedHash = &h
+	if p := b.cachedHash.Load(); p != nil {
+		return *p
 	}
-	return *b.cachedHash
+	h := b.Header.Hash()
+	b.cachedHash.Store(&h)
+	return h
 }
 
 // PrevHash implements Block.
@@ -443,10 +463,12 @@ func (b *MicroBlock) Transactions() []*Transaction { return b.Txs }
 
 // WireSize implements Block; the result is cached.
 func (b *MicroBlock) WireSize() int {
-	if b.cachedSize == 0 {
-		b.cachedSize = len(wire.Encode(b))
+	if s := b.cachedSize.Load(); s != 0 {
+		return int(s)
 	}
-	return b.cachedSize
+	s := len(wire.Encode(b))
+	b.cachedSize.Store(int32(s))
+	return s
 }
 
 // CheckWellFormed validates entries against the header's TxRoot and checks
@@ -454,12 +476,12 @@ func (b *MicroBlock) WireSize() int {
 // on the microblock's chain, §4.2). Microblocks carry no coinbase. The
 // verdict is cached per leader key (see PowBlock.CheckWellFormed).
 func (b *MicroBlock) CheckWellFormed(leaderKey crypto.PublicKey) error {
-	if b.wfKey != nil && *b.wfKey == leaderKey {
-		return b.wfErr
+	if v := b.wf.Load(); v != nil && v.key == leaderKey {
+		return v.err
 	}
-	b.wfKey = &leaderKey
-	b.wfErr = b.checkWellFormed(leaderKey)
-	return b.wfErr
+	err := b.checkWellFormed(leaderKey)
+	b.wf.Store(&microVerdict{key: leaderKey, err: err})
+	return err
 }
 
 func (b *MicroBlock) checkWellFormed(leaderKey crypto.PublicKey) error {

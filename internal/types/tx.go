@@ -11,6 +11,7 @@ package types
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"bitcoinng/internal/crypto"
 	"bitcoinng/internal/wire"
@@ -108,19 +109,24 @@ type Transaction struct {
 	// derivation then cost once per network instead of once per node.
 	// Transactions are immutable once signed; code that mutates a
 	// transaction afterwards (tamper tests) must call Invalidate.
-	cachedID   *crypto.Hash
-	cachedSize int
-	sigOK      bool
-	inputAddrs []crypto.Address
+	//
+	// The caches are atomic because the sharded event loop validates shared
+	// objects from several shard goroutines at once: every cached value is a
+	// pure function of the (immutable) transaction, so racing fills compute
+	// the same value and either store wins.
+	cachedID   atomic.Pointer[crypto.Hash]
+	cachedSize atomic.Int32
+	sigOK      atomic.Bool
+	inputAddrs atomic.Pointer[[]crypto.Address]
 }
 
 // Invalidate drops every cached derived value. Call it after mutating a
 // transaction that has already been hashed, sized, or signature-checked.
 func (t *Transaction) Invalidate() {
-	t.cachedID = nil
-	t.cachedSize = 0
-	t.sigOK = false
-	t.inputAddrs = nil
+	t.cachedID.Store(nil)
+	t.cachedSize.Store(0)
+	t.sigOK.Store(false)
+	t.inputAddrs.Store(nil)
 }
 
 // Transaction shape limits.
@@ -205,41 +211,53 @@ func (t *Transaction) DecodeWire(r *wire.Reader) {
 // ID returns the transaction hash over its full serialization. The result
 // is cached; see Invalidate.
 func (t *Transaction) ID() crypto.Hash {
-	if t.cachedID == nil {
-		id := crypto.HashBytes(wire.Encode(t))
-		t.cachedID = &id
+	if p := t.cachedID.Load(); p != nil {
+		return *p
 	}
-	return *t.cachedID
+	id := crypto.HashBytes(wire.Encode(t))
+	t.cachedID.Store(&id)
+	return id
 }
 
 // WireSize returns the serialized size in bytes; the network model charges
 // this size when a transaction or its enclosing block crosses a link. The
 // result is cached; see Invalidate.
 func (t *Transaction) WireSize() int {
-	if t.cachedSize == 0 {
-		t.cachedSize = len(wire.Encode(t))
+	if s := t.cachedSize.Load(); s != 0 {
+		return int(s)
 	}
-	return t.cachedSize
+	s := len(wire.Encode(t))
+	t.cachedSize.Store(int32(s))
+	return s
 }
 
 // InputAddr returns the address input i spends from (the hash of its public
 // key), cached per transaction.
 func (t *Transaction) InputAddr(i int) crypto.Address {
-	if t.inputAddrs == nil {
-		t.inputAddrs = make([]crypto.Address, len(t.Inputs))
-		for j := range t.Inputs {
-			t.inputAddrs[j] = t.Inputs[j].PubKey.Addr()
-		}
+	if p := t.inputAddrs.Load(); p != nil {
+		return (*p)[i]
 	}
-	return t.inputAddrs[i]
+	addrs := make([]crypto.Address, len(t.Inputs))
+	for j := range t.Inputs {
+		addrs[j] = t.Inputs[j].PubKey.Addr()
+	}
+	t.inputAddrs.Store(&addrs)
+	return addrs[i]
 }
 
 // SigHash returns the digest inputs sign: the transaction serialized with
 // every input signature zeroed, so signatures cover everything else
-// (including all other inputs and outputs).
+// (including all other inputs and outputs). The copy is built field by field
+// rather than by struct assignment so the atomic cache fields are not copied.
 func (t *Transaction) SigHash() crypto.Hash {
-	c := *t
-	c.Inputs = make([]TxInput, len(t.Inputs))
+	c := Transaction{
+		Kind:     t.Kind,
+		Inputs:   make([]TxInput, len(t.Inputs)),
+		Outputs:  t.Outputs,
+		Height:   t.Height,
+		Evidence: t.Evidence,
+		Padding:  t.Padding,
+	}
 	copy(c.Inputs, t.Inputs)
 	for i := range c.Inputs {
 		c.Inputs[i].Sig = crypto.Signature{}
@@ -294,7 +312,7 @@ func (t *Transaction) CheckWellFormed() error {
 	if t.Kind != TxCoinbase && t.Height != 0 {
 		return fmt.Errorf("types: %s transaction carries height", t.Kind)
 	}
-	if len(t.Inputs) > 0 && !t.sigOK {
+	if len(t.Inputs) > 0 && !t.sigOK.Load() {
 		sighash := t.SigHash()
 		for i := range t.Inputs {
 			in := &t.Inputs[i]
@@ -302,7 +320,7 @@ func (t *Transaction) CheckWellFormed() error {
 				return fmt.Errorf("types: input %d signature invalid", i)
 			}
 		}
-		t.sigOK = true
+		t.sigOK.Store(true)
 	}
 	return nil
 }

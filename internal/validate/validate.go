@@ -90,30 +90,54 @@ type ConnectResult struct {
 // comfortably holding every block of a paper-scale run.
 const DefaultCacheSize = 16384
 
+// cacheSegments splits the cache by key so concurrent users — the shards of
+// a parallel run, and concurrent sweep points — lock disjoint segments
+// instead of serializing on one mutex. Block hashes are uniform, so the
+// first hash byte spreads load evenly. Power of two, for a mask.
+const cacheSegments = 16
+
 // Cache is a bounded content-addressed connect cache, safe for concurrent
-// use. Eviction is FIFO: experiment traffic connects a block on every node
+// use and segmented to stay contention-free under parallel runs. Eviction
+// is FIFO per segment: experiment traffic connects a block on every node
 // within one propagation delay of the first, so recency hardly matters and
 // FIFO keeps eviction O(1) and allocation-free.
 type Cache struct {
+	segs   [cacheSegments]cacheSegment
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+type cacheSegment struct {
 	mu      sync.RWMutex
 	max     int
 	entries map[Key]*ConnectResult
 	order   []Key // insertion ring, oldest at head
 	head    int   // index of the oldest live key in order
-	hits    atomic.Uint64
-	misses  atomic.Uint64
 }
 
 // NewCache creates a cache bounded to max entries; max <= 0 takes
-// DefaultCacheSize.
+// DefaultCacheSize. The bound is enforced per segment (max/cacheSegments
+// each, rounded up), so the cache holds at most max+cacheSegments-1 entries
+// — a memory bound, not an exact count.
 func NewCache(max int) *Cache {
 	if max <= 0 {
 		max = DefaultCacheSize
 	}
-	return &Cache{
-		max:     max,
-		entries: make(map[Key]*ConnectResult, 64),
+	c := &Cache{}
+	perSeg := (max + cacheSegments - 1) / cacheSegments
+	if perSeg < 1 {
+		perSeg = 1
 	}
+	for i := range c.segs {
+		c.segs[i].max = perSeg
+		c.segs[i].entries = make(map[Key]*ConnectResult, 8)
+	}
+	return c
+}
+
+// segment picks the shard for a key by its block hash's first byte.
+func (c *Cache) segment(key Key) *cacheSegment {
+	return &c.segs[key.Block[0]&(cacheSegments-1)]
 }
 
 var shared = NewCache(0)
@@ -125,9 +149,10 @@ func Shared() *Cache { return shared }
 
 // Lookup returns the memoized result for key, if present.
 func (c *Cache) Lookup(key Key) (*ConnectResult, bool) {
-	c.mu.RLock()
-	res, ok := c.entries[key]
-	c.mu.RUnlock()
+	s := c.segment(key)
+	s.mu.RLock()
+	res, ok := s.entries[key]
+	s.mu.RUnlock()
 	if ok {
 		c.hits.Add(1)
 	} else {
@@ -140,22 +165,23 @@ func (c *Cache) Lookup(key Key) (*ConnectResult, bool) {
 // delta) afterwards. Re-storing an existing key is a no-op: the first result
 // is as good as any later one (they are equal by purity).
 func (c *Cache) Store(key Key, res *ConnectResult) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if _, dup := c.entries[key]; dup {
+	s := c.segment(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.entries[key]; dup {
 		return
 	}
-	for len(c.entries) >= c.max && c.head < len(c.order) {
-		delete(c.entries, c.order[c.head])
-		c.head++
+	for len(s.entries) >= s.max && s.head < len(s.order) {
+		delete(s.entries, s.order[s.head])
+		s.head++
 	}
 	// Compact the ring once the dead prefix dominates.
-	if c.head > 0 && c.head*2 >= len(c.order) {
-		c.order = append(c.order[:0], c.order[c.head:]...)
-		c.head = 0
+	if s.head > 0 && s.head*2 >= len(s.order) {
+		s.order = append(s.order[:0], s.order[s.head:]...)
+		s.head = 0
 	}
-	c.entries[key] = res
-	c.order = append(c.order, key)
+	s.entries[key] = res
+	s.order = append(s.order, key)
 }
 
 // Stats reports cache effectiveness counters.
@@ -176,8 +202,12 @@ func (s Stats) HitRate() float64 {
 
 // Stats returns a snapshot of the cache counters.
 func (c *Cache) Stats() Stats {
-	c.mu.RLock()
-	entries := len(c.entries)
-	c.mu.RUnlock()
+	entries := 0
+	for i := range c.segs {
+		s := &c.segs[i]
+		s.mu.RLock()
+		entries += len(s.entries)
+		s.mu.RUnlock()
+	}
 	return Stats{Entries: entries, Hits: c.hits.Load(), Misses: c.misses.Load()}
 }

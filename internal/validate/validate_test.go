@@ -49,20 +49,50 @@ func TestCacheDuplicateStoreKeepsFirst(t *testing.T) {
 	}
 }
 
+// segKey builds a key that lands in segment seg with a distinguishing tag.
+func segKey(t *testing.T, seg byte, tag byte) Key {
+	t.Helper()
+	for b := 0; b < 1<<16; b++ {
+		k := Key{
+			Block: crypto.HashBytes([]byte{byte(b), byte(b >> 8), tag}),
+			Rules: Fingerprint(crypto.HashBytes([]byte{tag})),
+		}
+		if k.Block[0]&(cacheSegments-1) == seg {
+			return k
+		}
+	}
+	t.Fatal("could not land a key in the segment")
+	return Key{}
+}
+
 func TestCacheFIFOEviction(t *testing.T) {
-	c := NewCache(4)
-	for b := byte(0); b < 10; b++ {
-		c.Store(key(b), &ConnectResult{FeeTotal: types.Amount(b)})
+	// The bound is enforced per segment (max/cacheSegments each, rounded
+	// up), so the whole cache never exceeds max+cacheSegments-1 entries.
+	c := NewCache(cacheSegments) // one entry per segment
+	var keys []Key
+	for i := byte(0); i < 4; i++ {
+		k := segKey(t, 3, i) // all in one segment
+		keys = append(keys, k)
+		c.Store(k, &ConnectResult{FeeTotal: types.Amount(i)})
 	}
-	if st := c.Stats(); st.Entries > 4 {
-		t.Fatalf("cache grew past its bound: %d entries", st.Entries)
+	if st := c.Stats(); st.Entries > 1 {
+		t.Fatalf("segment grew past its bound: %d entries", st.Entries)
 	}
-	// The newest entries survive; the oldest were evicted.
-	if _, ok := c.Lookup(key(9)); !ok {
+	// The newest entry survives; the older ones were evicted FIFO.
+	if _, ok := c.Lookup(keys[3]); !ok {
 		t.Fatal("newest entry evicted")
 	}
-	if _, ok := c.Lookup(key(0)); ok {
+	if _, ok := c.Lookup(keys[0]); ok {
 		t.Fatal("oldest entry survived past the bound")
+	}
+
+	// Across segments the global bound holds up to segment-grid rounding.
+	big := NewCache(4)
+	for b := byte(0); b < 200; b++ {
+		big.Store(key(b), &ConnectResult{FeeTotal: types.Amount(b)})
+	}
+	if st := big.Stats(); st.Entries > 4+cacheSegments-1 {
+		t.Fatalf("cache grew past its rounded bound: %d entries", st.Entries)
 	}
 }
 

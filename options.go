@@ -24,6 +24,7 @@ type options struct {
 	txSize        int
 	targetBlocks  int
 	cacheOff      bool
+	parallelism   int
 }
 
 func defaultOptions() options {
@@ -73,6 +74,14 @@ func WithWorkload(count, txSize int) Option {
 // WithTargetBlocks stops an experiment once this many payload blocks exist;
 // the paper uses 50-100. Experiment-only.
 func WithTargetBlocks(n int) Option { return func(o *options) { o.targetBlocks = n } }
+
+// WithParallelism sets how many event-loop shards an experiment executes on
+// (sim.ShardedLoop's conservative windowed engine): 0, the default, takes
+// GOMAXPROCS; 1 recovers the classic single-threaded loop. Reports are
+// byte-identical at any value for the same seed — parallelism changes wall
+// time, never results. Experiment-only: interactive clusters stay
+// single-threaded.
+func WithParallelism(n int) Option { return func(o *options) { o.parallelism = n } }
 
 // WithConnectCache toggles the shared content-addressed connect cache
 // (default on): when on, nodes with identical validation rules replay each
@@ -135,6 +144,7 @@ func NewExperiment(n int, opts ...Option) ExperimentConfig {
 	cfg.Censors = o.censors
 	cfg.Scenario = o.scenario
 	cfg.DisableConnectCache = o.cacheOff
+	cfg.Parallelism = o.parallelism
 	return cfg
 }
 

@@ -109,3 +109,58 @@ func TestConnectCacheIsolationAcrossParams(t *testing.T) {
 		t.Fatal("different subsidies produced identical chains — fingerprint isolation broken")
 	}
 }
+
+// parallelExperiment is adversarialExperiment with an explicit engine
+// parallelism, exercising WithParallelism through the public API.
+func parallelExperiment(t *testing.T, parallelism int) *ExperimentResult {
+	t.Helper()
+	params := DefaultParams()
+	params.RetargetWindow = 0
+	params.TargetBlockInterval = 30 * time.Second
+	params.MicroblockInterval = 5 * time.Second
+	params.MaxBlockSize = 20_000
+
+	cfg := NewExperiment(16,
+		WithSeed(21),
+		WithParams(params),
+		WithTargetBlocks(12),
+		WithCensors(3, 5),
+		WithParallelism(parallelism),
+		WithScenario(NewScenario(
+			At(40*time.Second, Equivocate(0, nil, nil)),
+			At(time.Minute, Partition([]int{0, 1, 2, 3})),
+			At(90*time.Second, Heal()),
+			At(2*time.Minute, LatencySpike(3)),
+			At(150*time.Second, LatencySpike(1)),
+		)),
+	)
+	res, err := RunExperiment(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestParallelismDeterminism is the acceptance check of ISSUE 3 at the
+// public API: the same adversarial seed must produce a byte-identical
+// report on the sequential loop and on the sharded engine.
+func TestParallelismDeterminism(t *testing.T) {
+	render := func(res *ExperimentResult) string {
+		var b strings.Builder
+		experiment.FprintReport(&b, "determinism", res.Report)
+		return b.String()
+	}
+	seq := parallelExperiment(t, 1)
+	for _, par := range []int{2, 4} {
+		sharded := parallelExperiment(t, par)
+		if got, want := render(sharded), render(seq); got != want {
+			t.Fatalf("parallelism %d diverged:\n--- sequential ---\n%s\n--- sharded ---\n%s", par, want, got)
+		}
+		if sharded.Events != seq.Events {
+			t.Fatalf("parallelism %d event counts diverged: %d vs %d", par, sharded.Events, seq.Events)
+		}
+		if sharded.NetStats != seq.NetStats {
+			t.Fatalf("parallelism %d network stats diverged: %+v vs %+v", par, sharded.NetStats, seq.NetStats)
+		}
+	}
+}
