@@ -2,7 +2,7 @@ GO ?= go
 BENCH_DATE := $(shell date +%Y%m%d)
 BENCH_OUT ?= BENCH_$(BENCH_DATE).json
 
-.PHONY: build vet test race bench bench-json bench-diff smoke determinism
+.PHONY: build vet test race bench bench-json bench-diff smoke determinism examples
 
 build:
 	$(GO) build ./...
@@ -39,6 +39,16 @@ bench-diff:
 # time budget.
 smoke:
 	$(GO) run ./cmd/ngbench -figure smoke -nodes 1000 -blocks 5
+
+# examples RUNS every examples/ binary end to end (they all terminate on
+# their own, livenet included), so the documented walkthroughs cannot rot
+# while merely compiling. CI runs this as a smoke job.
+examples:
+	@set -e; for d in examples/*/; do \
+		echo "== $$d"; \
+		$(GO) run ./$$d > /dev/null; \
+	done
+	@echo "all examples ran clean"
 
 # determinism cross-checks the parallel engine: the paper-scale smoke run's
 # stdout must be byte-identical between the sequential loop and a 4-shard run.

@@ -12,6 +12,7 @@ import (
 	"bitcoinng/internal/protocol"
 	"bitcoinng/internal/sim"
 	"bitcoinng/internal/simnet"
+	"bitcoinng/internal/strategy"
 	"bitcoinng/internal/types"
 	"bitcoinng/internal/validate"
 	"bitcoinng/internal/wallet"
@@ -43,6 +44,9 @@ type ClusterConfig struct {
 	// microblocks — the §5.2 "Censorship Resistance" DoS behaviour whose
 	// influence ends with the next honest key block.
 	Censors []int
+	// Strategies assigns registered mining strategies (internal/strategy)
+	// by node index; unlisted nodes run honest.
+	Strategies map[int]string
 	// Scenario, if set, is armed at build time: each step fires at its
 	// offset from virtual time zero as Run advances the clock. Use
 	// Cluster.Play to run a scenario relative to the current time instead.
@@ -93,6 +97,10 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	if err != nil {
 		return nil, fmt.Errorf("bitcoinng: %w", err)
 	}
+	strategies, err := strategy.ForNodes(cfg.Nodes, cfg.Strategies)
+	if err != nil {
+		return nil, fmt.Errorf("bitcoinng: %w", err)
+	}
 	loop := sim.NewLoop(0)
 	network := simnet.New(loop, simnet.DefaultConfig(cfg.Nodes, cfg.Seed))
 
@@ -140,6 +148,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			SimulatedMining:    true,
 			CensorTransactions: censors[i],
 			ConnectCache:       cache,
+			Strategy:           strategies[i],
 		})
 		if err != nil {
 			return nil, err
@@ -227,9 +236,30 @@ func (c *Cluster) SetMiningRate(node int, blocksPerSec float64) error {
 	return nil
 }
 
-// ScaleLatency multiplies every link's propagation delay (the LatencySpike
-// scenario step); 1 restores the configured model.
-func (c *Cluster) ScaleLatency(factor float64) { c.net.ScaleLatency(factor) }
+// ScaleLatency sets the absolute factor every link's propagation delay is
+// scaled by (the LatencySpike scenario step): calls replace one another
+// rather than composing, and 1 restores the configured model. A factor ≤ 0
+// is an error.
+func (c *Cluster) ScaleLatency(factor float64) error {
+	if factor <= 0 {
+		return fmt.Errorf("bitcoinng: latency factor %v must be > 0", factor)
+	}
+	c.net.ScaleLatency(factor)
+	return nil
+}
+
+// AdoptStrategy switches one node's mining strategy to the registered name
+// (the scenario layer's AdoptStrategy step); "honest" restores protocol
+// behaviour and abandons anything the previous strategy was withholding.
+func (c *Cluster) AdoptStrategy(node int, name string) error {
+	if node < 0 || node >= len(c.nodes) {
+		return fmt.Errorf("bitcoinng: node %d out of range (cluster size %d)", node, len(c.nodes))
+	}
+	if err := protocol.AdoptStrategy(c.nodes[node].client, name); err != nil {
+		return fmt.Errorf("bitcoinng: node %d (%s): %w", node, c.cfg.Protocol, err)
+	}
+	return nil
+}
 
 // Equivocate is the Scenario Runtime form of EquivocateLeader, discarding
 // the microblock hashes.
@@ -346,6 +376,15 @@ func (n *ClusterNode) MicroblocksMined() uint64 {
 		return p.MicroblocksMined()
 	}
 	return 0
+}
+
+// StrategyName returns the node's active mining strategy name; "honest" for
+// protocols without strategic freedom.
+func (n *ClusterNode) StrategyName() string {
+	if s, ok := n.client.(protocol.Strategic); ok {
+		return s.StrategyName()
+	}
+	return "honest"
 }
 
 // FraudsDetected returns how many leader equivocations this node has

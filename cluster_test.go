@@ -136,3 +136,49 @@ func TestClusterDeterminism(t *testing.T) {
 		t.Error("same seed produced different cluster histories")
 	}
 }
+
+// TestGossipRefetchUnderChurnAndLoss drives the block-fetch re-request path
+// through churn: blocks flow while part of the network is partitioned off
+// (getdata round trips are lost), the partition heals, and all mining then
+// churns to zero. Every fetch must eventually resolve or give up — no
+// pending entry may outlive the run and no stale timer may keep
+// re-requesting — and the network must converge on one chain.
+func TestGossipRefetchUnderChurnAndLoss(t *testing.T) {
+	params := DefaultParams()
+	params.RetargetWindow = 0
+	params.TargetBlockInterval = 2 * time.Second
+	params.FetchTimeout = 3 * time.Second
+
+	// The Bitcoin client shares the node.Base gossip layer and, unlike
+	// Bitcoin-NG, goes fully quiescent when mining churns to zero (an NG
+	// leader keeps issuing microblocks forever), so "every fetch drains"
+	// is a meaningful end-state invariant here.
+	c, err := New(8,
+		WithSeed(11),
+		WithProtocol(Bitcoin),
+		WithParams(params),
+		WithScenario(NewScenario(
+			At(2*time.Second, Partition([]int{0, 1})),
+			At(14*time.Second, Heal()),
+			At(18*time.Second, ChurnAll(0)), // churn: all mining power leaves
+		)),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Run(45 * time.Second) // past the last step plus several retry rounds
+	if errs := c.ScenarioErrors(); len(errs) > 0 {
+		t.Fatalf("scenario errors: %v", errs)
+	}
+	if got := c.net.Stats().MessagesLost; got == 0 {
+		t.Fatal("partition lost no messages; the loss path was not exercised")
+	}
+	for i := 0; i < c.Size(); i++ {
+		if got := c.nodes[i].base.Gossip.PendingFetches(); got != 0 {
+			t.Errorf("node %d still has %d pending fetches after quiescence", i, got)
+		}
+	}
+	if !c.Converged() {
+		t.Error("network did not converge after churn and loss")
+	}
+}

@@ -28,7 +28,7 @@ import (
 
 func main() {
 	var (
-		figure      = flag.String("figure", "all", "which figure: 6 | 7 | 8a | 8b | incentive | ablation | all, or smoke (standalone scalability run, not part of all)")
+		figure      = flag.String("figure", "all", "which figure: 6 | 7 | 8a | 8b | incentive | ablation | all, or a standalone run not part of all: smoke (scalability) | greedymine | selfish (adversarial revenue sweeps)")
 		nodes       = flag.Int("nodes", 0, "override network size (default: laptop scale 120)")
 		blocks      = flag.Int("blocks", 0, "override payload blocks per run (default 40)")
 		seed        = flag.Int64("seed", 1, "experiment seed")
@@ -107,6 +107,30 @@ func main() {
 	if *figure == "smoke" {
 		run("smoke", func() error { return smoke(scale) })
 	}
+	// Adversarial revenue sweeps (internal/strategy): attacker revenue vs
+	// mining power α, honest control vs deviation, with the empirical
+	// profitability threshold. Standalone like smoke: each sweep runs 2
+	// executions per α on the Sweep pool. Stdout is a deterministic
+	// function of (nodes, blocks, seed) — the sharded engine
+	// (-parallelism > 1) must produce byte-identical tables.
+	if *figure == "greedymine" {
+		run("greedymine", func() error { return attackSweep(scale, "greedymine") })
+	}
+	if *figure == "selfish" {
+		run("selfish", func() error { return attackSweep(scale, "selfish") })
+	}
+}
+
+// attackSweep reproduces the attacker-revenue-vs-α curve for one registered
+// deviation strategy (Greedy-Mine per Hu et al. 2023; selfish mining per
+// Eyal & Sirer) and locates the swept profitability threshold.
+func attackSweep(scale experiment.Scale, strat string) error {
+	points, err := experiment.AttackRevenueSweep(scale, strat, nil)
+	if err != nil {
+		return err
+	}
+	experiment.FprintAttackSweep(os.Stdout, strat, points)
+	return nil
 }
 
 // smoke runs a single Bitcoin-NG experiment at the requested scale and

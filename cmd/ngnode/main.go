@@ -31,6 +31,7 @@ import (
 	"bitcoinng/internal/p2p"
 	"bitcoinng/internal/protocol"
 	"bitcoinng/internal/sim"
+	"bitcoinng/internal/strategy"
 	"bitcoinng/internal/types"
 	"bitcoinng/internal/validate"
 )
@@ -46,6 +47,7 @@ func main() {
 		status      = flag.Duration("status", 5*time.Second, "status print interval")
 		exponent    = flag.Uint("difficulty-exp", 0x20, "compact target exponent byte (lower = harder)")
 		datadir     = flag.String("datadir", "", "directory for block persistence (empty: in-memory only)")
+		stratName   = flag.String("strategy", "", "mining strategy ("+strings.Join(strategy.Names(), " | ")+"); empty = honest")
 	)
 	flag.Parse()
 	log.SetPrefix(fmt.Sprintf("ngnode[%d] ", *id))
@@ -68,6 +70,10 @@ func main() {
 	if err != nil {
 		log.Fatalf("key generation: %v", err)
 	}
+	strat, err := strategy.New(*stratName)
+	if err != nil {
+		log.Fatalf("strategy: %v", err)
+	}
 
 	rt := p2p.New(p2p.Config{NodeID: *id, GenesisHash: genesis.Hash(), Seed: int64(*id)})
 	defer rt.Close()
@@ -80,6 +86,7 @@ func main() {
 		// One live process usually hosts one node, but reorgs still
 		// replay cached deltas instead of re-applying blocks.
 		ConnectCache: validate.Shared(),
+		Strategy:     strat,
 	})
 	if err != nil {
 		log.Fatalf("node: %v", err)

@@ -66,12 +66,21 @@ func NextTarget(parent *Node, params types.Params) crypto.CompactTarget {
 	if nextHeight%uint64(w) != 0 {
 		return lastTarget
 	}
-	// Walk back w-1 key blocks to the window start.
+	// Walk back w-1 key blocks to the window start. Short chains (the
+	// first retarget after genesis) stop early; `expected` must count the
+	// intervals actually traversed, not assume a full window, or the first
+	// adjustment scales by an actual/expected ratio biased toward "too
+	// fast" and overshoots the clamp.
 	first := last
+	intervals := 0
 	for i := 0; i < w-1 && first.Parent != nil; i++ {
 		first = first.Parent.KeyAncestor
+		intervals++
+	}
+	if intervals == 0 {
+		return lastTarget
 	}
 	actual := float64(last.Block.Time() - first.Block.Time())
-	expected := float64(int64(w-1) * int64(params.TargetBlockInterval))
+	expected := float64(int64(intervals) * int64(params.TargetBlockInterval))
 	return crypto.Retarget(lastTarget, actual, expected)
 }

@@ -8,6 +8,7 @@ import (
 	"bitcoinng/internal/crypto"
 	"bitcoinng/internal/mining"
 	"bitcoinng/internal/node"
+	"bitcoinng/internal/strategy"
 	"bitcoinng/internal/types"
 	"bitcoinng/internal/validate"
 )
@@ -39,6 +40,12 @@ type Config struct {
 	// deltas, epoch fees) with every other node whose rules fingerprint
 	// matches; nil validates everything locally.
 	ConnectCache *validate.Cache
+	// Strategy selects the node's mining strategy — which block its key
+	// blocks extend, whether produced blocks are published or withheld,
+	// and how its coinbase splits the epoch fees. nil runs honest.
+	// Strategies bend production choices only; validation of received
+	// blocks is unaffected.
+	Strategy strategy.Strategy
 }
 
 // Node is a Bitcoin-NG protocol node. Beyond the shared Base it tracks
@@ -48,6 +55,7 @@ type Node struct {
 	*node.Base
 	cfg   Config
 	miner *mining.Miner
+	strat strategy.Strategy
 
 	microTimer node.Timer
 	// leading reports whether the microblock production loop is armed.
@@ -70,14 +78,41 @@ func New(env node.Env, cfg Config) (*Node, error) {
 	if err != nil {
 		return nil, err
 	}
+	strat := cfg.Strategy
+	if strat == nil {
+		strat = strategy.Honest{}
+	}
 	n := &Node{
 		Base:  node.NewBase(env, st, cfg.Recorder),
 		cfg:   cfg,
+		strat: strat,
 		fraud: make(map[crypto.Hash]*fraudRecord),
 	}
 	n.Base.OnTipChange = n.onTipChange
 	n.Base.ProcessFn = n.ProcessBlock
 	return n, nil
+}
+
+// stratView adapts the node to the strategy.View surface.
+type stratView struct{ n *Node }
+
+func (v stratView) NodeID() int      { return v.n.Env.NodeID() }
+func (v stratView) Now() int64       { return v.n.Env.Now() }
+func (v stratView) Tip() *chain.Node { return v.n.State.Tip() }
+func (v stratView) Leading() bool    { return v.n.IsLeader() }
+func (n *Node) view() strategy.View  { return stratView{n} }
+
+// StrategyName returns the active mining strategy's registered name.
+func (n *Node) StrategyName() string { return n.strat.Name() }
+
+// SetStrategy switches the node's mining strategy from now on; nil restores
+// honest. The previous strategy instance is dropped with its state, so any
+// blocks it was withholding are abandoned unannounced.
+func (n *Node) SetStrategy(s strategy.Strategy) {
+	if s == nil {
+		s = strategy.Honest{}
+	}
+	n.strat = s
 }
 
 // AttachMiner wires the key-block scheduler.
@@ -96,10 +131,12 @@ func (n *Node) IsLeader() bool {
 	return ok && key.Header.LeaderKey == n.cfg.Key.Public()
 }
 
-// ProcessBlock wraps Base.ProcessBlock with microblock fraud detection: a
+// ProcessBlock wraps Base.ProcessBlock with microblock fraud detection — a
 // valid microblock whose parent already has a different microblock child in
-// the same epoch proves the leader forked its own chain (§4.5). The gossip
-// layer routes through this method via Base.ProcessFn.
+// the same epoch proves the leader forked its own chain (§4.5) — and with
+// the strategy's external-block hook, through which withholding strategies
+// release private blocks as the public chain advances. The gossip layer
+// routes through this method via Base.ProcessFn.
 func (n *Node) ProcessBlock(blk types.Block, from int) *chain.AddResult {
 	res := n.Base.ProcessBlock(blk, from)
 	for _, added := range res.Added {
@@ -107,47 +144,80 @@ func (n *Node) ProcessBlock(blk types.Block, from int) *chain.AddResult {
 			n.detectFraud(added)
 		}
 	}
+	if from >= 0 {
+		for _, added := range res.Added {
+			for _, rel := range n.strat.OnExternalBlock(n.view(), added) {
+				n.Gossip.Announce(rel, -1)
+			}
+		}
+	}
 	return res
 }
 
-// MineKeyBlock assembles and submits a key block on the current tip: the
-// scheduler's onFind callback. Becoming the leader starts microblock
-// production through the tip-change hook.
+// MineKeyBlock assembles and submits a key block on the parent the node's
+// strategy selects (the tip for honest nodes): the scheduler's onFind
+// callback. The strategy also decides whether the block is announced or
+// withheld. Becoming the leader starts microblock production through the
+// tip-change hook.
 func (n *Node) MineKeyBlock() *types.KeyBlock {
 	b := n.AssembleKeyBlock()
-	n.SubmitOwnBlock(b)
+	n.submitOwn(b, n.strat.OnKeyBlockMined(n.view(), b))
 	return b
 }
 
-// AssembleKeyBlock builds (without submitting) the next key block. Its
-// coinbase implements §4.4: mint subsidy + previous epoch's fees, paying
-// this node the subsidy plus the 60% "next leader" share and the previous
-// leader its 40% placement share.
+// submitOwn routes a self-produced block through the publish or withhold
+// path and informs the strategy of the resulting tree node.
+func (n *Node) submitOwn(b types.Block, act strategy.Action) {
+	var res *chain.AddResult
+	if act == strategy.Withhold {
+		res = n.Base.SubmitOwnBlockQuiet(b)
+	} else {
+		res = n.SubmitOwnBlock(b)
+	}
+	if res != nil && res.Node != nil {
+		n.strat.OnOwnBlockAdded(n.view(), res.Node, act)
+	}
+}
+
+// AssembleKeyBlock builds (without submitting) the next key block on the
+// parent the node's strategy selects; honest nodes extend the tip.
 func (n *Node) AssembleKeyBlock() *types.KeyBlock {
-	tip := n.State.Tip()
+	parent := n.strat.KeyBlockParent(n.view())
+	if parent == nil {
+		parent = n.State.Tip()
+	}
+	return n.AssembleKeyBlockOn(parent)
+}
+
+// AssembleKeyBlockOn builds (without submitting) a key block extending
+// parent. Its coinbase implements §4.4: mint subsidy + previous epoch's
+// fees, paying this node the subsidy plus its own share and the previous
+// leader its placement share — both as directed by the strategy (honest:
+// 60%/40%).
+func (n *Node) AssembleKeyBlockOn(parent *chain.Node) *types.KeyBlock {
 	params := n.cfg.Params
-	epochFees := n.State.EpochFeesAt(tip)
-	leaderShare, nextShare := params.SplitFee(epochFees)
+	epochFees := n.State.EpochFeesAt(parent)
+	mine, prevShare := n.strat.SplitFee(params, epochFees)
 
 	outputs := []types.TxOutput{{
-		Value: params.Subsidy + nextShare,
+		Value: params.Subsidy + mine,
 		To:    n.cfg.Key.Public().Addr(),
 	}}
-	if leaderShare > 0 {
-		if prev, ok := prevLeaderAddress(tip); ok {
-			outputs = append(outputs, types.TxOutput{Value: leaderShare, To: prev})
+	if prevShare > 0 {
+		if prev, ok := prevLeaderAddress(parent); ok {
+			outputs = append(outputs, types.TxOutput{Value: prevShare, To: prev})
 		}
 	}
 	coinbase := &types.Transaction{
 		Kind:    types.TxCoinbase,
 		Outputs: outputs,
-		Height:  tip.KeyHeight + 1,
+		Height:  parent.KeyHeight + 1,
 	}
 	txs := []*types.Transaction{coinbase}
-	target := chain.NextTarget(tip, params)
+	target := chain.NextTarget(parent, params)
 	return &types.KeyBlock{
 		Header: types.KeyBlockHeader{
-			Prev:       tip.Hash(),
+			Prev:       parent.Hash(),
 			MerkleRoot: crypto.MerkleRoot(types.TxIDs(txs)),
 			TimeNanos:  n.Env.Now(),
 			Target:     target,
@@ -189,8 +259,9 @@ func (n *Node) scheduleMicroblock() {
 }
 
 // MineMicroBlock assembles, signs, and submits one microblock on the
-// current tip. It returns nil without side effects when the node does not
-// lead or the minimum interval has not elapsed.
+// current tip; the strategy decides whether it is announced or withheld. It
+// returns nil without side effects when the node does not lead or the
+// minimum interval has not elapsed.
 func (n *Node) MineMicroBlock() *types.MicroBlock {
 	if !n.IsLeader() {
 		return nil
@@ -200,7 +271,7 @@ func (n *Node) MineMicroBlock() *types.MicroBlock {
 		return nil
 	}
 	n.microMined++
-	n.SubmitOwnBlock(b)
+	n.submitOwn(b, n.strat.OnMicroBlockMined(n.view(), b))
 	return b
 }
 

@@ -25,19 +25,19 @@ const MedianTimeWindow = 11
 
 // Rule violations.
 var (
-	ErrWrongBlockKind  = errors.New("core: pow blocks are not part of bitcoin-ng")
-	ErrTimeTooNew      = errors.New("core: block timestamp too far in the future")
-	ErrTimeTooOld      = errors.New("core: key block timestamp before median time past")
-	ErrWrongTarget     = errors.New("core: key block target does not match schedule")
-	ErrSimulatedPoW    = errors.New("core: simulated proof of work not allowed live")
-	ErrNoEpoch         = errors.New("core: microblock without a key-block epoch")
-	ErrMicroTooSoon    = errors.New("core: microblock violates minimum interval")
-	ErrMicroTooBig     = errors.New("core: microblock exceeds maximum size")
-	ErrBadCoinbaseHt   = errors.New("core: coinbase height mismatch")
-	ErrBadCoinbaseAmt  = errors.New("core: coinbase exceeds subsidy plus epoch fees")
-	ErrFeeSplitShort   = errors.New("core: previous leader paid less than the fee split")
-	ErrBadEvidence   = errors.New("core: poison evidence does not prove a fork")
-	ErrPoisonTooSoon = errors.New("core: poison before the culprit's subsequent key block")
+	ErrWrongBlockKind = errors.New("core: pow blocks are not part of bitcoin-ng")
+	ErrTimeTooNew     = errors.New("core: block timestamp too far in the future")
+	ErrTimeTooOld     = errors.New("core: key block timestamp before median time past")
+	ErrWrongTarget    = errors.New("core: key block target does not match schedule")
+	ErrSimulatedPoW   = errors.New("core: simulated proof of work not allowed live")
+	ErrNoEpoch        = errors.New("core: microblock without a key-block epoch")
+	ErrMicroTooSoon   = errors.New("core: microblock violates minimum interval")
+	ErrMicroTooBig    = errors.New("core: microblock exceeds maximum size")
+	ErrBadCoinbaseHt  = errors.New("core: coinbase height mismatch")
+	ErrBadCoinbaseAmt = errors.New("core: coinbase exceeds subsidy plus epoch fees")
+	ErrFeeSplitShort  = errors.New("core: previous leader paid less than the fee split")
+	ErrBadEvidence    = errors.New("core: poison evidence does not prove a fork")
+	ErrPoisonTooSoon  = errors.New("core: poison before the culprit's subsequent key block")
 )
 
 // Rules implements chain.Protocol for Bitcoin-NG.

@@ -1,0 +1,126 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"bitcoinng/internal/scenario"
+	"bitcoinng/internal/strategy"
+)
+
+// attackScale is small enough for the unit-test budget while still settling
+// several fee splits per run.
+func attackScale(parallelism int) Scale {
+	return Scale{Nodes: 16, Blocks: 6, Seed: 5, Parallelism: parallelism}
+}
+
+// TestAttackSweepDeterministicAcrossEngines is the figure's acceptance gate
+// in miniature: the formatted greedymine table must be byte-identical
+// between the sequential engine and the sharded engine (which also runs the
+// sweep pool concurrently).
+func TestAttackSweepDeterministicAcrossEngines(t *testing.T) {
+	alphas := []float64{0.2, 0.45}
+	render := func(par int) string {
+		points, err := AttackRevenueSweep(attackScale(par), strategy.GreedyMineName, alphas)
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		var sb strings.Builder
+		FprintAttackSweep(&sb, strategy.GreedyMineName, points)
+		return sb.String()
+	}
+	seq := render(1)
+	par := render(2)
+	if seq != par {
+		t.Errorf("attack sweep diverged across engines:\n--- sequential\n%s--- sharded\n%s", seq, par)
+	}
+	if !strings.Contains(seq, "greedymine") {
+		t.Errorf("malformed sweep output:\n%s", seq)
+	}
+}
+
+// TestAttackSweepShares: revenue shares are well-formed probabilities and
+// the honest control distributes revenue at every α.
+func TestAttackSweepShares(t *testing.T) {
+	points, err := AttackRevenueSweep(attackScale(1), strategy.GreedyMineName, []float64{0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range points {
+		if p.Honest < 0 || p.Honest > 1 || p.Attack < 0 || p.Attack > 1 {
+			t.Errorf("share out of range: %+v", p)
+		}
+	}
+}
+
+func TestAttackSweepUnknownStrategy(t *testing.T) {
+	if _, err := AttackRevenueSweep(attackScale(1), "nope", nil); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+}
+
+func TestProfitabilityThreshold(t *testing.T) {
+	points := []AttackPoint{
+		{Alpha: 0.1, Honest: 0.1, Attack: 0.08},
+		{Alpha: 0.3, Honest: 0.3, Attack: 0.35},
+		{Alpha: 0.4, Honest: 0.4, Attack: 0.5},
+	}
+	if a, ok := ProfitabilityThreshold(points); !ok || a != 0.3 {
+		t.Errorf("threshold = (%v, %v), want (0.3, true)", a, ok)
+	}
+	if _, ok := ProfitabilityThreshold(points[:1]); ok {
+		t.Error("threshold found where no point is profitable")
+	}
+}
+
+// TestExperimentStrategyValidation: bad assignments fail at build time.
+func TestExperimentStrategyValidation(t *testing.T) {
+	cfg := DefaultConfig(BitcoinNG, 4, 1)
+	cfg.TargetBlocks = 1
+	cfg.Strategies = map[int]string{9: "honest"}
+	if _, err := Run(cfg); err == nil {
+		t.Error("out-of-range strategy node accepted")
+	}
+	cfg.Strategies = map[int]string{0: "nope"}
+	if _, err := Run(cfg); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+	cfg.Strategies = nil
+	cfg.MiningShares = []float64{1, 2} // wrong length
+	if _, err := Run(cfg); err == nil {
+		t.Error("mis-sized mining shares accepted")
+	}
+}
+
+// TestExperimentAdoptStrategyMidRun: the scenario step switches a node's
+// strategy inside the measured harness, on both engines.
+func TestExperimentAdoptStrategyMidRun(t *testing.T) {
+	for _, par := range []int{1, 2} {
+		cfg := DefaultConfig(BitcoinNG, 12, 3)
+		cfg.TargetBlocks = 8
+		cfg.Params.TargetBlockInterval = 30 * time.Second
+		cfg.Params.MicroblockInterval = 5 * time.Second
+		cfg.Parallelism = par
+		cfg.Scenario = scenario.New(
+			scenario.At(20*time.Second, scenario.AdoptStrategy(0, strategy.GreedyMineName)),
+		)
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		if len(res.ScenarioErrors) > 0 {
+			t.Errorf("parallelism %d scenario errors: %v", par, res.ScenarioErrors)
+		}
+
+		// Unknown strategies surface as step errors, not harness failures.
+		cfg.Scenario = scenario.New(scenario.At(20*time.Second, scenario.AdoptStrategy(0, "nope")))
+		res, err = Run(cfg)
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		if len(res.ScenarioErrors) != 1 {
+			t.Errorf("parallelism %d: scenario errors = %v, want the rejected strategy", par, res.ScenarioErrors)
+		}
+	}
+}

@@ -129,3 +129,59 @@ func TestParallelismClamped(t *testing.T) {
 		t.Fatal("clamped run produced no blocks")
 	}
 }
+
+// TestShardedOverlappingLatencySpikes pins the LatencySpike contract on the
+// sharded engine: spikes are absolute factors that replace one another, the
+// lookahead is re-derived at the barrier after every spike (2x widens it,
+// the 5x overlap widens it further, 1 restores it), and the report stays
+// byte-identical to the sequential engine's.
+func TestShardedOverlappingLatencySpikes(t *testing.T) {
+	mk := func(par int) Config {
+		cfg := DefaultConfig(BitcoinNG, 32, 13)
+		cfg.TargetBlocks = 10
+		cfg.Params.MaxBlockSize = 6000
+		cfg.Params.TargetBlockInterval = 60 * time.Second
+		cfg.Params.MicroblockInterval = 5 * time.Second
+		cfg.Parallelism = par
+		cfg.Scenario = scenario.New(
+			scenario.At(30*time.Second, scenario.LatencySpike(2)),
+			scenario.At(50*time.Second, scenario.LatencySpike(5)), // overlap: absolute 5x, not 10x
+			scenario.At(70*time.Second, scenario.LatencySpike(1)), // spike -> restore
+		)
+		return cfg
+	}
+	seq, err := Run(mk(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq.ScenarioErrors) > 0 {
+		t.Fatalf("sequential scenario errors: %v", seq.ScenarioErrors)
+	}
+	for _, par := range []int{2, 4} {
+		got, err := Run(mk(par))
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		if !reflect.DeepEqual(got.Report, seq.Report) {
+			t.Errorf("parallelism %d report diverged under overlapping spikes:\nseq: %+v\npar: %+v",
+				par, seq.Report, got.Report)
+		}
+		if got.NetStats != seq.NetStats {
+			t.Errorf("parallelism %d net stats diverged: %+v vs %+v", par, got.NetStats, seq.NetStats)
+		}
+	}
+
+	// A non-positive spike factor surfaces as a scenario step error on both
+	// engines instead of corrupting the lookahead.
+	for _, par := range []int{1, 4} {
+		cfg := mk(par)
+		cfg.Scenario = scenario.New(scenario.At(30*time.Second, scenario.LatencySpike(0)))
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", par, err)
+		}
+		if len(res.ScenarioErrors) != 1 {
+			t.Errorf("parallelism %d: scenario errors = %v, want exactly the rejected spike", par, res.ScenarioErrors)
+		}
+	}
+}

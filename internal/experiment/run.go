@@ -13,7 +13,9 @@ import (
 	"bitcoinng/internal/scenario"
 	"bitcoinng/internal/sim"
 	"bitcoinng/internal/simnet"
+	"bitcoinng/internal/strategy"
 	"bitcoinng/internal/types"
+	"bitcoinng/internal/utxo"
 	"bitcoinng/internal/validate"
 )
 
@@ -65,6 +67,15 @@ type Config struct {
 	// Censors lists node indices that, while leading, publish empty
 	// microblocks — the §5.2 "Censorship Resistance" DoS behaviour.
 	Censors []int
+	// Strategies assigns registered mining strategies (internal/strategy)
+	// by node index; unlisted nodes run honest. The adversarial sweeps set
+	// e.g. {0: "greedymine"}.
+	Strategies map[int]string
+	// MiningShares fixes each node's fraction of the network's mining
+	// power explicitly (normalized over the sum); nil draws the paper's
+	// exponential rank distribution shaped by MiningExponent. The
+	// adversarial sweeps pin the attacker's α this way.
+	MiningShares []float64
 	// Scenario, if set, is armed at run start: each step fires at its
 	// offset from virtual time zero. The run does not stop before the
 	// scenario's last step, even once TargetBlocks is reached.
@@ -114,6 +125,29 @@ type Result struct {
 	// ScenarioErrors collects failures from scheduled scenario steps, in
 	// firing order.
 	ScenarioErrors []error
+	// Revenue is each node's mining revenue at run end — the UTXO balance
+	// of its reward address in the view of the reference node (the
+	// lowest-index node running honest, so an attacker's private ledger
+	// does not inflate its own score). Node addresses receive only
+	// coinbase outputs (subsidy + fee shares, net of poison revocations),
+	// so the balance IS the revenue.
+	Revenue []types.Amount
+}
+
+// RevenueShare returns node's fraction of the total revenue distributed in
+// the run; zero when nothing was distributed.
+func (r *Result) RevenueShare(node int) float64 {
+	if r.Revenue == nil || node < 0 || node >= len(r.Revenue) {
+		return 0
+	}
+	var total types.Amount
+	for _, v := range r.Revenue {
+		total += v
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(r.Revenue[node]) / float64(total)
 }
 
 // engine abstracts the event substrate a run executes on: the classic
@@ -183,7 +217,8 @@ type runner struct {
 	workload  *Workload
 	clients   []protocol.Client
 	miners    []*mining.Miner
-	payload   types.BlockKind // which kind counts toward TargetBlocks
+	addrs     []crypto.Address // per-node reward address (revenue accounting)
+	payload   types.BlockKind  // which kind counts toward TargetBlocks
 	scenErrs  []error
 }
 
@@ -217,8 +252,16 @@ func build(cfg Config) (*runner, error) {
 	if err != nil {
 		return nil, fmt.Errorf("experiment: %w", err)
 	}
+	strategies, err := strategy.ForNodes(cfg.Nodes, cfg.Strategies)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: %w", err)
+	}
 	if cfg.MiningExponent == 0 {
 		cfg.MiningExponent = mining.DefaultExponent
+	}
+	if cfg.MiningShares != nil && len(cfg.MiningShares) != cfg.Nodes {
+		return nil, fmt.Errorf("experiment: %d mining shares for %d nodes",
+			len(cfg.MiningShares), cfg.Nodes)
 	}
 
 	// Engine selection: how many event-loop shards the run executes on.
@@ -303,7 +346,28 @@ func build(cfg Config) (*runner, error) {
 		payload:   protocol.Payload(cfg.Protocol),
 	}
 
-	shares := mining.ExponentialShares(cfg.Nodes, cfg.MiningExponent)
+	shares := cfg.MiningShares
+	if shares == nil {
+		shares = mining.ExponentialShares(cfg.Nodes, cfg.MiningExponent)
+	} else {
+		var sum float64
+		for _, s := range shares {
+			if s < 0 {
+				eng.close()
+				return nil, fmt.Errorf("experiment: negative mining share %v", s)
+			}
+			sum += s
+		}
+		if sum <= 0 {
+			eng.close()
+			return nil, fmt.Errorf("experiment: mining shares sum to zero")
+		}
+		normalized := make([]float64, len(shares))
+		for i, s := range shares {
+			normalized[i] = s / sum
+		}
+		shares = normalized
+	}
 	totalRate := 1.0 / cfg.Params.TargetBlockInterval.Seconds()
 
 	for i := 0; i < cfg.Nodes; i++ {
@@ -323,6 +387,7 @@ func build(cfg Config) (*runner, error) {
 			SimulatedMining:    true,
 			CensorTransactions: censors[i],
 			ConnectCache:       cache,
+			Strategy:           strategies[i],
 		})
 		if err != nil {
 			eng.close()
@@ -336,6 +401,7 @@ func build(cfg Config) (*runner, error) {
 		m.SetRate(shares[i] * totalRate)
 		r.clients = append(r.clients, client)
 		r.miners = append(r.miners, m)
+		r.addrs = append(r.addrs, key.Public().Addr())
 	}
 	return r, nil
 }
@@ -376,7 +442,25 @@ func (r *runner) SetMiningRate(node int, blocksPerSec float64) error {
 }
 
 // ScaleLatency implements scenario.Runtime.
-func (r *runner) ScaleLatency(factor float64) { r.net.ScaleLatency(factor) }
+func (r *runner) ScaleLatency(factor float64) error {
+	if factor <= 0 {
+		return fmt.Errorf("experiment: latency factor %v must be > 0", factor)
+	}
+	r.net.ScaleLatency(factor)
+	return nil
+}
+
+// AdoptStrategy implements scenario.Runtime: switch one node's mining
+// strategy mid-run.
+func (r *runner) AdoptStrategy(node int, name string) error {
+	if node < 0 || node >= len(r.clients) {
+		return fmt.Errorf("experiment: node %d out of range (network size %d)", node, len(r.clients))
+	}
+	if err := protocol.AdoptStrategy(r.clients[node], name); err != nil {
+		return fmt.Errorf("experiment: node %d (%s): %w", node, r.cfg.Protocol, err)
+	}
+	return nil
+}
 
 // Equivocate implements scenario.Runtime: the leader signs two conflicting
 // microblocks, one published normally, the other slipped to a neighbor.
@@ -448,5 +532,38 @@ func (r *runner) run() (*Result, error) {
 		WallTime:       time.Since(startWall),
 		SimTime:        time.Duration(end),
 		ScenarioErrors: r.scenErrs,
+		Revenue:        r.revenue(),
 	}, nil
+}
+
+// revenue reads every node's reward-address balance in the view of the
+// reference node: the lowest-index node whose LIVE strategy is honest (a
+// scenario may have adopted an attack strategy mid-run), so an attacker's
+// withheld private ledger never inflates its own score. All-adversarial runs
+// fall back to node 0. One pass over the reference UTXO set covers every
+// address — paper-scale runs have a thousand of them.
+func (r *runner) revenue() []types.Amount {
+	ref := 0
+	for i, c := range r.clients {
+		name := strategy.HonestName
+		if sc, ok := c.(protocol.Strategic); ok {
+			name = sc.StrategyName()
+		}
+		if name == strategy.HonestName {
+			ref = i
+			break
+		}
+	}
+	nodeOf := make(map[crypto.Address]int, len(r.addrs))
+	for i, addr := range r.addrs {
+		nodeOf[addr] = i
+	}
+	out := make([]types.Amount, len(r.addrs))
+	r.clients[ref].Base().State.UTXO().Range(func(_ types.OutPoint, e utxo.Entry) bool {
+		if i, ok := nodeOf[e.To]; ok && !e.Revoked {
+			out[i] += e.Value
+		}
+		return true
+	})
+	return out
 }

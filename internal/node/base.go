@@ -62,9 +62,22 @@ func (b *Base) SubmitOwnBlock(blk types.Block) *chain.AddResult {
 	return b.ProcessFn(blk, -1)
 }
 
+// SubmitOwnBlockQuiet records and processes a self-generated block WITHOUT
+// announcing it to peers — the strategy layer's withholding path. The block
+// enters the local tree (the node mines on it) and stays fetchable by hash;
+// a later Gossip.Announce releases it.
+func (b *Base) SubmitOwnBlockQuiet(blk types.Block) *chain.AddResult {
+	b.Recorder.BlockGenerated(b.Env.NodeID(), b.Env.Now(), InfoFor(blk, b.Env.NodeID()))
+	return b.processBlock(blk, -1, false)
+}
+
 // ProcessBlock validates, stores, relays, and accounts a block received from
 // peer `from` (-1 for self).
 func (b *Base) ProcessBlock(blk types.Block, from int) *chain.AddResult {
+	return b.processBlock(blk, from, true)
+}
+
+func (b *Base) processBlock(blk types.Block, from int, relay bool) *chain.AddResult {
 	now := b.Env.Now()
 	res, err := b.State.AddBlock(blk, now)
 	if err != nil {
@@ -84,10 +97,12 @@ func (b *Base) ProcessBlock(blk types.Block, from int) *chain.AddResult {
 		return res
 	}
 
-	// Relay every block that entered the tree.
+	// Relay every block that entered the tree (unless withheld).
 	for _, n := range res.Added {
 		b.Recorder.BlockAccepted(b.Env.NodeID(), now, n.Hash())
-		b.Gossip.Announce(n.Block, from)
+		if relay {
+			b.Gossip.Announce(n.Block, from)
+		}
 	}
 
 	if res.TipChanged() {

@@ -122,9 +122,24 @@ func (g *Gossip) request(pf *pendingFetch) {
 	pf.asked++
 	g.env.Send(peer, &pf.req)
 	pf.timer = g.env.After(g.fetchTimeout(), func() {
-		if _, still := g.pending[pf.hash()]; still {
-			g.request(pf)
+		pf.timer = nil
+		// The identity check (not just presence) guards against a stale
+		// timer driving a superseded fetch: acting on pf after the map
+		// entry was replaced would re-request from the old announcer list
+		// and arm a second timer for the same hash.
+		if g.pending[pf.hash()] != pf {
+			return
 		}
+		// A block can enter the chain without passing through handleBlock
+		// — injected directly by a harness (equivocation delivery) or
+		// adopted from the orphan stash — leaving its fetch entry armed.
+		// Without this check the timer keeps re-requesting a block the
+		// node already has until the announcer list runs dry.
+		if g.base.State.HasBlock(pf.hash()) {
+			delete(g.pending, pf.hash())
+			return
+		}
+		g.request(pf)
 	})
 }
 
@@ -152,6 +167,10 @@ func (g *Gossip) handleBlock(from int, m *BlockMsg) {
 	g.base.ProcessFn(m.Block, from)
 	g.knownHash, g.knownBy = BlockID{}, nil
 }
+
+// PendingFetches returns how many block fetches are outstanding
+// (diagnostics and leak tests).
+func (g *Gossip) PendingFetches() int { return len(g.pending) }
 
 // RequestBlock explicitly fetches a block from a specific peer (used to
 // chase an orphan's missing parent).

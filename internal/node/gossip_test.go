@@ -382,3 +382,76 @@ func TestMessageSizes(t *testing.T) {
 		t.Errorf("block msg size = %d, want 13+%d", bm.Size(), b.WireSize())
 	}
 }
+
+// TestFetchTimerClearedOnDirectInjection is the regression test for a fetch
+// entry outliving its block: when a block enters the chain without passing
+// through handleBlock (delivered directly by a harness, or adopted from the
+// orphan stash), the armed retry timer used to keep re-requesting a block
+// the node already had. The timer must clear the stale entry instead.
+func TestFetchTimerClearedOnDirectInjection(t *testing.T) {
+	h, genesis, key := newHarness(t, 3)
+	b1 := mineOn(t, key, genesis.Hash(), 1)
+
+	// Node 2 starts a fetch whose getdata response never arrives.
+	h.mute[0] = true
+	inv := node.Inv{Type: types.BlockMsgType(b1), Hash: b1.Hash()}
+	h.bases[2].HandleMessage(0, &node.InvMsg{Items: []node.Inv{inv}})
+	h.drain()
+	if got := h.bases[2].Gossip.PendingFetches(); got != 1 {
+		t.Fatalf("pending fetches = %d, want 1", got)
+	}
+
+	// The block arrives outside the fetch path (direct injection).
+	h.bases[2].ProcessBlock(b1, -1)
+
+	// The retry timer fires: it must drop the stale entry without sending
+	// another getdata.
+	h.envs[2].queue = nil
+	h.advance(25 * time.Second)
+	if got := h.bases[2].Gossip.PendingFetches(); got != 0 {
+		t.Errorf("pending fetches after timer = %d, want 0", got)
+	}
+	for _, qm := range h.envs[2].queue {
+		if _, ok := qm.msg.(*node.GetDataMsg); ok {
+			t.Error("stale timer re-requested a block the node already has")
+		}
+	}
+}
+
+// TestFetchGiveUpDrainsEntry: when every announcer has been tried and the
+// block never arrives, the pending entry is dropped (a later inv restarts
+// the fetch) and no timer stays armed.
+func TestFetchGiveUpDrainsEntry(t *testing.T) {
+	h, genesis, key := newHarness(t, 3)
+	b1 := mineOn(t, key, genesis.Hash(), 1)
+	// Node 1 holds the block so it can serve the restarted fetch later.
+	h.bases[1].State.AddBlock(b1, 0)
+
+	h.mute[0] = true
+	h.mute[1] = true
+	inv := node.Inv{Type: types.BlockMsgType(b1), Hash: b1.Hash()}
+	h.bases[2].HandleMessage(0, &node.InvMsg{Items: []node.Inv{inv}})
+	h.bases[2].HandleMessage(1, &node.InvMsg{Items: []node.Inv{inv}})
+	h.drain()
+
+	h.advance(25 * time.Second) // retry with announcer 1
+	h.drain()
+	h.advance(25 * time.Second) // out of sources: give up
+	h.drain()
+	if got := h.bases[2].Gossip.PendingFetches(); got != 0 {
+		t.Errorf("pending fetches after give-up = %d, want 0", got)
+	}
+	for _, e := range h.envs[2].timers {
+		if !e.stopped && e.fn != nil {
+			t.Error("armed timer left behind after give-up")
+		}
+	}
+
+	// A fresh inv restarts the fetch from scratch.
+	h.mute[1] = false
+	h.bases[2].HandleMessage(1, &node.InvMsg{Items: []node.Inv{inv}})
+	h.drain()
+	if !h.bases[2].State.HasBlock(b1.Hash()) {
+		t.Error("fetch did not restart on a fresh inv")
+	}
+}

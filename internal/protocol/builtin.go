@@ -65,6 +65,7 @@ func newBitcoinNG(env node.Env, spec Spec) (Client, error) {
 		SimulatedMining:    spec.SimulatedMining,
 		CensorTransactions: spec.CensorTransactions,
 		ConnectCache:       spec.ConnectCache,
+		Strategy:           spec.Strategy,
 	})
 	if err != nil {
 		return nil, err

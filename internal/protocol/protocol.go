@@ -17,6 +17,7 @@ import (
 
 	"bitcoinng/internal/crypto"
 	"bitcoinng/internal/node"
+	"bitcoinng/internal/strategy"
 	"bitcoinng/internal/types"
 	"bitcoinng/internal/validate"
 )
@@ -62,6 +63,13 @@ type Spec struct {
 	// connecting a block replays the first node's work. nil validates
 	// everything locally.
 	ConnectCache *validate.Cache
+	// Strategy is the node's mining strategy (internal/strategy): which
+	// block its key blocks extend, publish-vs-withhold decisions, and the
+	// coinbase fee split. nil runs honest. Strategies bend production
+	// choices only — validation of received blocks is unaffected, so the
+	// connect cache stays shareable across strategies. Protocols without
+	// strategic freedom ignore it.
+	Strategy strategy.Strategy
 }
 
 // Client is a running consensus protocol node: the surface every harness
@@ -152,4 +160,30 @@ type (
 	KeyBlockAssembler interface {
 		AssembleKeyBlock() *types.KeyBlock
 	}
+
+	// Strategic is implemented by clients whose mining strategy can be
+	// inspected and switched at runtime (the scenario layer's
+	// AdoptStrategy step). SetStrategy(nil) restores honest; switching
+	// abandons any blocks the previous strategy was withholding.
+	Strategic interface {
+		StrategyName() string
+		SetStrategy(s strategy.Strategy)
+	}
 )
+
+// AdoptStrategy switches a client's mining strategy to the registered name;
+// both harnesses route their AdoptStrategy runtime step through this so the
+// capability check and instantiation have one home. Errors are left
+// unprefixed for callers to wrap with their package name.
+func AdoptStrategy(c Client, name string) error {
+	sc, ok := c.(Strategic)
+	if !ok {
+		return fmt.Errorf("client cannot switch mining strategy")
+	}
+	s, err := strategy.New(name)
+	if err != nil {
+		return err
+	}
+	sc.SetStrategy(s)
+	return nil
+}

@@ -29,13 +29,19 @@ type Runtime interface {
 	// (blocks/sec) and starts its miner; zero pauses it (§5.2 churn). An
 	// out-of-range node is an error.
 	SetMiningRate(node int, blocksPerSec float64) error
-	// ScaleLatency multiplies every link's propagation delay; 1 restores
-	// the configured model.
-	ScaleLatency(factor float64)
+	// ScaleLatency sets the absolute factor every link's propagation delay
+	// is scaled by: calls replace one another rather than composing, and 1
+	// restores the configured model. A factor ≤ 0 is an error.
+	ScaleLatency(factor float64) error
 	// Equivocate makes the given node — which must currently lead — sign
 	// two conflicting microblocks and deliver them to disjoint parts of
 	// the network (§4.5). Nil transactions produce empty siblings.
 	Equivocate(leader int, txA, txB *types.Transaction) error
+	// AdoptStrategy switches one node's mining strategy to the registered
+	// strategy name (internal/strategy) from this step onward; withheld
+	// blocks of the previous strategy are abandoned. An out-of-range node,
+	// an unknown name, or a client without strategy support is an error.
+	AdoptStrategy(node int, name string) error
 }
 
 // Step is one scripted action against a Runtime.
@@ -165,12 +171,30 @@ func Equivocate(leader int, txA, txB *types.Transaction) Step {
 	}}
 }
 
-// LatencySpike multiplies every link's propagation delay; compose with a
-// later LatencySpike(1) to end the spike.
+// LatencySpike sets the absolute factor every link's propagation delay is
+// scaled by, relative to the configured model. Spikes replace one another
+// rather than composing — LatencySpike(2) then LatencySpike(3) is a 3x
+// spike, not 6x — and LatencySpike(1) ends the spike. A factor ≤ 0 is a
+// step error: zero latency would be indistinguishable from "unscaled" on
+// some engines and stalls the sharded engine's lookahead.
 func LatencySpike(factor float64) Step {
 	return Step{Name: "latency-spike", Do: func(rt Runtime) error {
-		rt.ScaleLatency(factor)
-		return nil
+		if factor <= 0 {
+			return fmt.Errorf("scenario: latency factor %v must be > 0", factor)
+		}
+		return rt.ScaleLatency(factor)
+	}}
+}
+
+// AdoptStrategy switches one node's mining strategy to the registered
+// strategy name (internal/strategy) from this step onward — attacks can
+// switch on (and off, via "honest") mid-run.
+func AdoptStrategy(node int, name string) Step {
+	return Step{Name: "adopt-strategy", Do: func(rt Runtime) error {
+		if err := checkNode(rt, node); err != nil {
+			return err
+		}
+		return rt.AdoptStrategy(node, name)
 	}}
 }
 

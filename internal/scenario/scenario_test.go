@@ -28,8 +28,13 @@ func (f *fakeRuntime) SetMiningRate(node int, rate float64) error {
 	f.log = append(f.log, fmt.Sprintf("rate(%d,%g)", node, rate))
 	return nil
 }
-func (f *fakeRuntime) ScaleLatency(factor float64) {
+func (f *fakeRuntime) ScaleLatency(factor float64) error {
 	f.log = append(f.log, fmt.Sprintf("latency(%g)", factor))
+	return nil
+}
+func (f *fakeRuntime) AdoptStrategy(node int, name string) error {
+	f.log = append(f.log, fmt.Sprintf("strategy(%d,%s)", node, name))
+	return nil
 }
 func (f *fakeRuntime) Equivocate(leader int, txA, txB *types.Transaction) error {
 	f.log = append(f.log, fmt.Sprintf("equivocate(%d)", leader))
@@ -163,5 +168,41 @@ func TestScenarioAddComposes(t *testing.T) {
 	}
 	if s.Duration() != 5*time.Second {
 		t.Fatalf("Duration() = %v, want 5s", s.Duration())
+	}
+}
+
+// TestLatencySpikeRejectsNonPositiveFactor: a factor ≤ 0 is a step error
+// and never reaches the runtime.
+func TestLatencySpikeRejectsNonPositiveFactor(t *testing.T) {
+	for _, bad := range []float64{0, -2} {
+		rt := &fakeRuntime{size: 2}
+		if err := LatencySpike(bad).Do(rt); err == nil {
+			t.Errorf("LatencySpike(%v) accepted", bad)
+		}
+		if len(rt.log) != 0 {
+			t.Errorf("LatencySpike(%v) reached the runtime: %v", bad, rt.log)
+		}
+	}
+	rt := &fakeRuntime{size: 2}
+	if err := LatencySpike(2.5).Do(rt); err != nil {
+		t.Fatalf("LatencySpike(2.5): %v", err)
+	}
+	if len(rt.log) != 1 || rt.log[0] != "latency(2.5)" {
+		t.Errorf("runtime log = %v", rt.log)
+	}
+}
+
+// TestAdoptStrategyStepDispatch: the step validates the node index and
+// forwards name and index to the runtime.
+func TestAdoptStrategyStepDispatch(t *testing.T) {
+	rt := &fakeRuntime{size: 3}
+	if err := AdoptStrategy(2, "greedymine").Do(rt); err != nil {
+		t.Fatal(err)
+	}
+	if len(rt.log) != 1 || rt.log[0] != "strategy(2,greedymine)" {
+		t.Errorf("runtime log = %v", rt.log)
+	}
+	if err := AdoptStrategy(3, "honest").Do(rt); err == nil {
+		t.Error("out-of-range node accepted")
 	}
 }

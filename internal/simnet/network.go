@@ -90,8 +90,8 @@ type Network struct {
 	// Written only while the loops are quiescent (setup or a barrier).
 	group []int
 	// latencyScale multiplies per-link propagation delay (the LatencySpike
-	// scenario step); zero or one means unscaled. Same write discipline as
-	// group.
+	// scenario step); 1 means unscaled. Always positive. Same write
+	// discipline as group.
 	latencyScale float64
 
 	// Sharded mode (nil/empty when running on a single loop).
@@ -124,13 +124,14 @@ func New(loop *sim.Loop, cfg Config) *Network {
 		cfg.MinPeers = cfg.Nodes - 1
 	}
 	n := &Network{
-		loop:     loop,
-		cfg:      cfg,
-		adj:      make([][]int, cfg.Nodes),
-		edges:    make([][]edge, cfg.Nodes),
-		handlers: make([]Handler, cfg.Nodes),
-		busyAt:   make([]int64, cfg.Nodes),
-		stats:    make([]Stats, 1),
+		loop:         loop,
+		cfg:          cfg,
+		adj:          make([][]int, cfg.Nodes),
+		edges:        make([][]edge, cfg.Nodes),
+		handlers:     make([]Handler, cfg.Nodes),
+		busyAt:       make([]int64, cfg.Nodes),
+		stats:        make([]Stats, 1),
+		latencyScale: 1,
 	}
 	const topologyStream = 0x7e7 // dedicated stream id for topology building
 	rng := sim.NewRand(cfg.Seed, topologyStream)
@@ -209,8 +210,11 @@ func (n *Network) Peers(id int) []int { return n.adj[id] }
 // Handle registers the delivery callback for node id.
 func (n *Network) Handle(id int, h Handler) { n.handlers[id] = h }
 
-// Stats returns aggregate counters, summed across shards. Call it only while
-// the loops are quiescent (between Run slices or after the run).
+// Stats merges the per-shard counters into one network-wide view: the
+// volume counters (MessagesSent, BytesSent, MessagesLost) are summed across
+// shards, while MaxQueueDelay — a worst-case observation, not a volume — is
+// the maximum over shards. Call it only while the loops are quiescent
+// (between Run slices or after the run).
 func (n *Network) Stats() Stats {
 	var total Stats
 	for i := range n.stats {
@@ -275,7 +279,7 @@ func (n *Network) MinCrossShardLatency() time.Duration {
 			}
 		}
 	}
-	if min > 0 && n.latencyScale > 0 {
+	if min > 0 && n.latencyScale != 1 {
 		if min = int64(float64(min) * n.latencyScale); min < 1 {
 			min = 1
 		}
@@ -323,11 +327,21 @@ func (n *Network) SetPartition(group []int) {
 	n.group = group
 }
 
-// ScaleLatency multiplies every link's propagation delay from now on;
-// messages already in flight keep the delay they were sent with, like
-// packets on the wire when a route degrades. A factor of 1 (or 0) restores
-// the configured model.
-func (n *Network) ScaleLatency(factor float64) { n.latencyScale = factor }
+// ScaleLatency sets the absolute propagation-delay factor applied to every
+// link from now on: each link's configured delay is multiplied by factor.
+// Calls replace one another rather than composing — ScaleLatency(2) followed
+// by ScaleLatency(3) is a 3x spike, not 6x — and 1 restores the configured
+// model. Messages already in flight keep the delay they were sent with, like
+// packets on the wire when a route degrades. factor must be positive: zero
+// would stall lookahead in the sharded engine and negative delays are
+// meaningless, so both panic (the scenario layer validates upstream and
+// surfaces a step error instead).
+func (n *Network) ScaleLatency(factor float64) {
+	if factor <= 0 {
+		panic(fmt.Sprintf("simnet: latency scale factor %v must be > 0", factor))
+	}
+	n.latencyScale = factor
+}
 
 // PartitionAssignment expands explicit groups of node indices into the
 // per-node assignment SetPartition takes: listed nodes get group index+1,
@@ -381,7 +395,7 @@ func (n *Network) Send(from, to int, payload any, size int) {
 	transfer := int64(float64(size*8) / n.cfg.BandwidthBPS * float64(time.Second))
 	l.freeAt = start + transfer
 	latency := l.latency
-	if n.latencyScale > 0 {
+	if n.latencyScale != 1 {
 		latency = int64(float64(latency) * n.latencyScale)
 	}
 	arrival := l.freeAt + latency

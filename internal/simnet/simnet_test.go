@@ -285,3 +285,77 @@ func TestSendWithoutLinkPanics(t *testing.T) {
 	}()
 	net.Send(a, b, "x", 1)
 }
+
+// TestStatsShardedMerge pins the per-field merge semantics of Stats(): the
+// volume counters sum across shards while MaxQueueDelay, a worst-case
+// observation, takes the maximum.
+func TestStatsShardedMerge(t *testing.T) {
+	net := New(sim.NewLoop(0), DefaultConfig(4, 1))
+	net.Shard([]*sim.Loop{sim.NewLoop(0), sim.NewLoop(0)}, []int{0, 0, 1, 1})
+	net.stats[0] = Stats{MessagesSent: 3, BytesSent: 100, MessagesLost: 1, MaxQueueDelay: 5 * time.Millisecond}
+	net.stats[1] = Stats{MessagesSent: 4, BytesSent: 200, MessagesLost: 2, MaxQueueDelay: 9 * time.Millisecond}
+	want := Stats{MessagesSent: 7, BytesSent: 300, MessagesLost: 3, MaxQueueDelay: 9 * time.Millisecond}
+	if got := net.Stats(); got != want {
+		t.Errorf("merged stats = %+v, want %+v", got, want)
+	}
+	// The maximum must win regardless of which shard holds it.
+	net.stats[0].MaxQueueDelay = 20 * time.Millisecond
+	want.MaxQueueDelay = 20 * time.Millisecond
+	if got := net.Stats(); got != want {
+		t.Errorf("merged stats = %+v, want %+v", got, want)
+	}
+}
+
+// TestScaleLatencyAbsoluteFactor pins the spike contract: factors are
+// absolute multiples of the configured model (calls replace, never
+// compose), 1 restores it, and non-positive factors panic.
+func TestScaleLatencyAbsoluteFactor(t *testing.T) {
+	loop := sim.NewLoop(0)
+	net := New(loop, Config{
+		Nodes:        2,
+		MinPeers:     1,
+		Latency:      Fixed(100 * time.Millisecond),
+		BandwidthBPS: 1e12, // negligible transfer time
+		Seed:         1,
+	})
+	var arrivals []time.Duration
+	var sent int64
+	net.Handle(1, func(from int, payload any, size int) {
+		arrivals = append(arrivals, time.Duration(loop.Now()-sent))
+	})
+	deliver := func() time.Duration {
+		sent = loop.Now()
+		net.Send(0, 1, "x", 1)
+		loop.RunFor(10 * time.Second)
+		return arrivals[len(arrivals)-1]
+	}
+
+	base := deliver()
+	if base < 100*time.Millisecond || base > 101*time.Millisecond {
+		t.Fatalf("baseline delivery %v, want ~100ms", base)
+	}
+	net.ScaleLatency(2)
+	if d := deliver(); d < 2*base || d > 2*base+time.Millisecond {
+		t.Errorf("2x spike delivery %v, want ~%v", d, 2*base)
+	}
+	// Overlapping spike: absolute 3x, NOT 2x*3 = 6x.
+	net.ScaleLatency(3)
+	if d := deliver(); d < 3*base || d > 3*base+time.Millisecond {
+		t.Errorf("overlapping 3x spike delivery %v, want ~%v (absolute, not composed)", d, 3*base)
+	}
+	net.ScaleLatency(1)
+	if d := deliver(); d != base {
+		t.Errorf("restored delivery %v, want %v", d, base)
+	}
+
+	for _, bad := range []float64{0, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("ScaleLatency(%v) did not panic", bad)
+				}
+			}()
+			net.ScaleLatency(bad)
+		}()
+	}
+}

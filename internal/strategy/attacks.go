@@ -1,0 +1,46 @@
+package strategy
+
+import (
+	"bitcoinng/internal/chain"
+	"bitcoinng/internal/types"
+)
+
+// GreedyMine is the microblock-ignoring extension attack of Greedy-Mine (Hu
+// et al., 2023): the miner's key blocks extend the current epoch's key block
+// directly, pruning every microblock the incumbent leader issued since.
+// Because microblocks carry no weight (§4.2), the greedy block ties — and
+// with the paper's random tie-breaking often beats — an honest block built
+// on the same epoch's microblock chain, while the pruned microblocks' fee
+// split is never paid: their transactions return to the pool for the
+// attacker, now leader, to re-serialize and collect the serializer share on.
+type GreedyMine struct{ Honest }
+
+// Name implements Strategy.
+func (GreedyMine) Name() string { return GreedyMineName }
+
+// KeyBlockParent implements Strategy: extend the epoch's key block, not the
+// microblock tip — unless the attacker leads the epoch itself, in which case
+// pruning would forfeit its own serializer share and the rational move is
+// the honest one.
+func (GreedyMine) KeyBlockParent(v View) *chain.Node {
+	if v.Leading() {
+		return v.Tip()
+	}
+	return v.Tip().KeyAncestor
+}
+
+// FeeThief is a leader that claims the previous leader's LeaderFeeFrac (40%)
+// share of the epoch's fees for itself. The split is consensus, not a
+// convention: honest validators reject such key blocks during connect
+// (core's ErrFeeSplitShort), so the thief's blocks never enter an honest
+// main chain and the strategy earns nothing.
+type FeeThief struct{ Honest }
+
+// Name implements Strategy.
+func (FeeThief) Name() string { return FeeThiefName }
+
+// SplitFee implements Strategy: keep everything, pay the previous leader
+// nothing.
+func (FeeThief) SplitFee(params types.Params, epochFees types.Amount) (mine, prev types.Amount) {
+	return epochFees, 0
+}

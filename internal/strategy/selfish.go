@@ -1,0 +1,157 @@
+package strategy
+
+import (
+	"bitcoinng/internal/chain"
+	"bitcoinng/internal/types"
+)
+
+// Selfish is Eyal-Sirer key-block withholding ([21], the paper's §5.1
+// adversary): mined key blocks are kept private and the attacker mines on
+// its secret chain, releasing it reactively as the honest chain advances.
+// Microblocks carry no weight (§4.2), so the state machine operates on key
+// blocks exactly as the original does on Bitcoin blocks; microblocks the
+// attacker produces while leading its private chain are withheld with it
+// and released alongside their key blocks (peers would otherwise chase the
+// parent gap as orphans and reveal the chain anyway).
+//
+// The state machine, keyed on the attacker's private lead in chain weight:
+//
+//	lead 1, honest matches  → release everything: a 1-1 race the network's
+//	                          tie-breaking (γ) decides.
+//	lead 2, honest advances → release everything: the attacker is still one
+//	                          ahead and wins outright.
+//	lead ≥ 3, honest advances → release the oldest private segment up to the
+//	                          honest height, keep the rest secret.
+//	honest overtakes        → abandon the private chain (its blocks are
+//	                          never announced; the revenue is lost).
+//
+// While a released race is unresolved the attacker keeps mining on its own
+// branch and publishes instantly on a find, converting the tie into a win.
+type Selfish struct {
+	Honest
+	// private is the withheld chain segment, oldest first: key blocks plus
+	// the microblocks between them.
+	private []*chain.Node
+	// privateTip is the node the attacker currently mines on; nil when not
+	// withholding and not racing.
+	privateTip *chain.Node
+	// publicBest is the heaviest block observed arriving from peers.
+	publicBest *chain.Node
+	// racing marks a fully released private chain tied with the honest
+	// chain, awaiting resolution.
+	racing bool
+}
+
+// NewSelfish returns a fresh attacker instance (the state machine is
+// per-node).
+func NewSelfish() *Selfish { return &Selfish{} }
+
+// Name implements Strategy.
+func (s *Selfish) Name() string { return SelfishName }
+
+// KeyBlockParent implements Strategy: mine on the private chain while one
+// exists (even mid-race), the public tip otherwise.
+func (s *Selfish) KeyBlockParent(v View) *chain.Node {
+	if s.privateTip != nil {
+		return s.privateTip
+	}
+	return v.Tip()
+}
+
+// OnKeyBlockMined implements Strategy.
+func (s *Selfish) OnKeyBlockMined(v View, b *types.KeyBlock) Action {
+	if s.racing {
+		// Mining on our own branch during a 1-1 race: publishing now makes
+		// it strictly heaviest and ends the race in our favour.
+		s.reset()
+		return Publish
+	}
+	return Withhold
+}
+
+// OnMicroBlockMined implements Strategy: microblocks on the private chain
+// stay private.
+func (s *Selfish) OnMicroBlockMined(v View, b *types.MicroBlock) Action {
+	if s.privateTip != nil && !s.racing {
+		return Withhold
+	}
+	return Publish
+}
+
+// OnOwnBlockAdded implements Strategy: withheld blocks extend the private
+// segment.
+func (s *Selfish) OnOwnBlockAdded(v View, n *chain.Node, act Action) {
+	if act != Withhold {
+		return
+	}
+	s.private = append(s.private, n)
+	s.privateTip = n
+}
+
+// OnExternalBlock implements Strategy: advance the public view and run the
+// release rules.
+func (s *Selfish) OnExternalBlock(v View, n *chain.Node) []types.Block {
+	if n.Block.Kind() == types.KindMicro {
+		return nil // no weight: the race standings are unchanged
+	}
+	if s.publicBest == nil || n.Weight.Cmp(s.publicBest.Weight) > 0 {
+		s.publicBest = n
+	}
+	if s.racing {
+		// Any new key block extends one branch past the tie and resolves
+		// the race (including honest miners extending OUR released branch).
+		s.reset()
+		return nil
+	}
+	if s.privateTip == nil {
+		return nil
+	}
+	switch s.privateTip.Weight.Cmp(s.publicBest.Weight) {
+	case -1:
+		// Honest overtook: the private chain can no longer win. Abandon it
+		// unannounced; fork choice has already moved the node's tip.
+		s.reset()
+		return nil
+	case 0:
+		// Lead was one key block and honest just matched it: release
+		// everything and race.
+		release := s.takePrivate(s.privateTip.KeyHeight)
+		s.racing = true
+		return release
+	}
+	// Still ahead. One honest key block behind means our lead was two:
+	// releasing everything wins outright. Further behind, release only the
+	// oldest segment up to the public height, keeping the rest secret. The
+	// difference is signed: under active retargeting per-block weights are
+	// unequal, so a heavier private chain can sit at a LOWER key height —
+	// that degenerate lead also takes the release-everything branch (which
+	// resets the state machine) instead of underflowing.
+	lead := int64(s.privateTip.KeyHeight) - int64(s.publicBest.KeyHeight)
+	if lead <= 1 {
+		release := s.takePrivate(s.privateTip.KeyHeight)
+		s.reset()
+		return release
+	}
+	return s.takePrivate(s.publicBest.KeyHeight)
+}
+
+// takePrivate removes and returns the private prefix of blocks whose key
+// height does not exceed upTo (microblocks ride with their epoch's key
+// block), oldest first.
+func (s *Selfish) takePrivate(upTo uint64) []types.Block {
+	var out []types.Block
+	i := 0
+	for ; i < len(s.private) && s.private[i].KeyHeight <= upTo; i++ {
+		out = append(out, s.private[i].Block)
+	}
+	s.private = s.private[i:]
+	return out
+}
+
+// reset abandons all withholding state; remaining private blocks are never
+// announced.
+func (s *Selfish) reset() {
+	s.private = nil
+	s.privateTip = nil
+	s.racing = false
+}

@@ -1,0 +1,236 @@
+// Package strategy is the pluggable mining-strategy engine: the set of
+// choices a Bitcoin-NG miner is free to make without violating consensus —
+// which block its next key block extends, whether to publish or withhold
+// blocks it produced, and how its coinbase splits the previous epoch's fees
+// — extracted behind one interface that internal/core consults instead of
+// hard-coding honest behaviour.
+//
+// The paper's §5 incentive bounds exist precisely because rational
+// deviations are possible; this package turns those deviations into
+// first-class experiment inputs. Built-in strategies:
+//
+//   - "honest": the paper's protocol-following miner.
+//   - "selfish": Eyal-Sirer key-block withholding ([21]; §5.1 "Heaviest
+//     Chain Extension" — microblocks carry no weight, so the attack
+//     operates on key blocks exactly as on Bitcoin blocks).
+//   - "greedymine": the microblock-ignoring extension attack of Greedy-Mine
+//     (Hu et al., 2023): key blocks extend the epoch's key block directly,
+//     pruning its microblocks so their fee split is never paid and the
+//     transactions return to the pool for the attacker to re-serialize.
+//   - "feethief": a leader that claims the previous leader's 40% fee share
+//     for itself; honest validators reject such key blocks (core's
+//     ErrFeeSplitShort), so the strategy documents-by-execution that the
+//     split is consensus, not a convention.
+//
+// Every hook runs on the owning node's event goroutine — strategies need no
+// locking, and their decisions are a deterministic function of the node's
+// local view, which keeps sharded-engine runs byte-identical to sequential
+// ones (DESIGN.md §7).
+package strategy
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"bitcoinng/internal/chain"
+	"bitcoinng/internal/types"
+)
+
+// Action is a strategy's verdict on a block the node just produced.
+type Action int
+
+const (
+	// Publish processes the block locally and announces it to peers: the
+	// honest path.
+	Publish Action = iota
+	// Withhold processes the block locally — the node keeps mining on it —
+	// but suppresses the announcement; the strategy releases it later (or
+	// abandons it).
+	Withhold
+)
+
+// String returns the action name.
+func (a Action) String() string {
+	switch a {
+	case Publish:
+		return "publish"
+	case Withhold:
+		return "withhold"
+	default:
+		return fmt.Sprintf("action(%d)", int(a))
+	}
+}
+
+// View is the read-only node surface strategies decide on.
+type View interface {
+	// NodeID returns the deciding node's index.
+	NodeID() int
+	// Now returns the current time in Unix nanoseconds.
+	Now() int64
+	// Tip returns the node's current main-chain tip, including any blocks
+	// the strategy has withheld (the local view is the attacker's view).
+	Tip() *chain.Node
+	// Leading reports whether the node currently leads (the tip epoch's
+	// key block is its own).
+	Leading() bool
+}
+
+// Strategy makes the mining choices consensus leaves open. All hooks run on
+// the node's event goroutine; implementations keep per-node state freely but
+// must be deterministic functions of the views and nodes they were shown.
+type Strategy interface {
+	// Name returns the registered strategy name.
+	Name() string
+
+	// KeyBlockParent picks the block the node's next key block extends.
+	// The honest choice is v.Tip(); returning nil falls back to it.
+	KeyBlockParent(v View) *chain.Node
+
+	// SplitFee divides the previous epoch's microblock fees between this
+	// node's key-block coinbase (mine) and the previous leader (prev).
+	// Honest strategies return the params split (§4.4: 40% to the
+	// serializing leader, 60% to the next); claiming more than `mine`
+	// shorts the previous leader and honest validators reject the block.
+	SplitFee(params types.Params, epochFees types.Amount) (mine, prev types.Amount)
+
+	// OnKeyBlockMined decides a freshly assembled key block's fate before
+	// it is processed.
+	OnKeyBlockMined(v View, b *types.KeyBlock) Action
+
+	// OnMicroBlockMined decides a freshly signed microblock's fate before
+	// it is processed.
+	OnMicroBlockMined(v View, b *types.MicroBlock) Action
+
+	// OnOwnBlockAdded observes the tree node of a block this node produced
+	// right after it entered the local tree, along with the action that
+	// admitted it — withholding strategies record their private chain here.
+	OnOwnBlockAdded(v View, n *chain.Node, act Action)
+
+	// OnExternalBlock observes a block from a peer entering the node's
+	// tree and returns previously withheld blocks to announce now, oldest
+	// first (a release must include the withheld microblocks between key
+	// blocks, or peers chase the gap as orphans).
+	OnExternalBlock(v View, n *chain.Node) (release []types.Block)
+}
+
+// Honest is the paper's protocol-following strategy and the zero-config
+// default. Custom strategies embed it and override the hooks they bend.
+type Honest struct{}
+
+// Name implements Strategy.
+func (Honest) Name() string { return "honest" }
+
+// KeyBlockParent implements Strategy: extend the current tip.
+func (Honest) KeyBlockParent(v View) *chain.Node { return v.Tip() }
+
+// SplitFee implements Strategy: the params split — the previous leader's
+// LeaderFeeFrac share is paid in full.
+func (Honest) SplitFee(params types.Params, epochFees types.Amount) (mine, prev types.Amount) {
+	prev, mine = params.SplitFee(epochFees)
+	return mine, prev
+}
+
+// OnKeyBlockMined implements Strategy: publish immediately.
+func (Honest) OnKeyBlockMined(View, *types.KeyBlock) Action { return Publish }
+
+// OnMicroBlockMined implements Strategy: publish immediately.
+func (Honest) OnMicroBlockMined(View, *types.MicroBlock) Action { return Publish }
+
+// OnOwnBlockAdded implements Strategy: nothing to track.
+func (Honest) OnOwnBlockAdded(View, *chain.Node, Action) {}
+
+// OnExternalBlock implements Strategy: nothing withheld, nothing to release.
+func (Honest) OnExternalBlock(View, *chain.Node) []types.Block { return nil }
+
+// Registry of strategy constructors. Strategies carry per-node state, so the
+// registry stores factories and New hands every node a fresh instance.
+var (
+	regMu    sync.RWMutex
+	registry = map[string]func() Strategy{}
+)
+
+// Built-in strategy names.
+const (
+	HonestName     = "honest"
+	SelfishName    = "selfish"
+	GreedyMineName = "greedymine"
+	FeeThiefName   = "feethief"
+)
+
+func init() {
+	MustRegister(HonestName, func() Strategy { return Honest{} })
+	MustRegister(SelfishName, func() Strategy { return NewSelfish() })
+	MustRegister(GreedyMineName, func() Strategy { return GreedyMine{} })
+	MustRegister(FeeThiefName, func() Strategy { return FeeThief{} })
+}
+
+// ErrUnknown is returned (wrapped) for unregistered strategy names.
+var ErrUnknown = fmt.Errorf("strategy: unknown strategy")
+
+// Register adds a strategy factory under name; it errors on duplicates.
+func Register(name string, factory func() Strategy) error {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		return fmt.Errorf("strategy: %q already registered", name)
+	}
+	registry[name] = factory
+	return nil
+}
+
+// MustRegister is Register for package-init use; it panics on error.
+func MustRegister(name string, factory func() Strategy) {
+	if err := Register(name, factory); err != nil {
+		panic(err)
+	}
+}
+
+// New returns a fresh instance of the named strategy. The empty name is the
+// honest default.
+func New(name string) (Strategy, error) {
+	if name == "" {
+		name = HonestName
+	}
+	regMu.RLock()
+	factory, ok := registry[name]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w %q (registered: %v)", ErrUnknown, name, Names())
+	}
+	return factory(), nil
+}
+
+// Names returns the registered strategy names, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ForNodes validates a node-index→strategy-name assignment against the
+// network size and instantiates one fresh strategy per assigned node; the
+// returned slice holds nil for unassigned (honest) nodes. Errors are left
+// unprefixed for callers to wrap with their package name.
+func ForNodes(nodes int, byNode map[int]string) ([]Strategy, error) {
+	if len(byNode) == 0 {
+		return make([]Strategy, nodes), nil
+	}
+	out := make([]Strategy, nodes)
+	for id, name := range byNode {
+		if id < 0 || id >= nodes {
+			return nil, fmt.Errorf("strategy node %d out of range (network size %d)", id, nodes)
+		}
+		s, err := New(name)
+		if err != nil {
+			return nil, err
+		}
+		out[id] = s
+	}
+	return out, nil
+}

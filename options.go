@@ -19,6 +19,7 @@ type options struct {
 	autoMine      bool
 	fund          Amount
 	censors       []int
+	strategies    map[int]string
 	scenario      *Scenario
 	workloadCount int
 	txSize        int
@@ -63,6 +64,21 @@ func WithScenario(s *Scenario) Option { return func(o *options) { o.scenario = s
 // the next honest key block. Out-of-range indices are rejected at build
 // time.
 func WithCensors(nodes ...int) Option { return func(o *options) { o.censors = nodes } }
+
+// WithStrategy assigns one node a registered mining strategy (the
+// internal/strategy engine: "honest", "selfish", "greedymine", "feethief",
+// or any custom registration) from build time onward; unassigned nodes run
+// honest. Repeat the option per adversarial node. Unknown names and
+// out-of-range indices are rejected at build time; the scenario step
+// AdoptStrategy switches strategies mid-run instead.
+func WithStrategy(node int, name string) Option {
+	return func(o *options) {
+		if o.strategies == nil {
+			o.strategies = make(map[int]string)
+		}
+		o.strategies[node] = name
+	}
+}
 
 // WithWorkload sizes the pre-loaded artificial transaction workload: count
 // transactions of txSize bytes each (§7 "No Transaction Propagation").
@@ -115,6 +131,7 @@ func New(n int, opts ...Option) (*Cluster, error) {
 		FundPerNode:         o.fund,
 		AutoMine:            o.autoMine,
 		Censors:             o.censors,
+		Strategies:          o.strategies,
 		Scenario:            o.scenario,
 		DisableConnectCache: o.cacheOff,
 	})
@@ -142,6 +159,7 @@ func NewExperiment(n int, opts ...Option) ExperimentConfig {
 		cfg.TargetBlocks = o.targetBlocks
 	}
 	cfg.Censors = o.censors
+	cfg.Strategies = o.strategies
 	cfg.Scenario = o.scenario
 	cfg.DisableConnectCache = o.cacheOff
 	cfg.Parallelism = o.parallelism

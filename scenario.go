@@ -50,9 +50,16 @@ func Equivocate(leader int, txA, txB *Transaction) ScenarioStep {
 	return scenario.Equivocate(leader, txA, txB)
 }
 
-// LatencySpike multiplies every link's propagation delay; compose with a
-// later LatencySpike(1) to end the spike.
+// LatencySpike sets the absolute factor every link's propagation delay is
+// scaled by, relative to the configured model: spikes replace one another
+// rather than composing, LatencySpike(1) ends the spike, and a factor ≤ 0
+// is a step error.
 func LatencySpike(factor float64) ScenarioStep { return scenario.LatencySpike(factor) }
+
+// AdoptStrategy switches one node's mining strategy to a registered name
+// ("honest", "selfish", "greedymine", "feethief", or a custom registration)
+// mid-run — attacks can switch on, and back off, on schedule.
+func AdoptStrategy(node int, name string) ScenarioStep { return scenario.AdoptStrategy(node, name) }
 
 // Call wraps an arbitrary action — mine a block, assert mid-run state,
 // print a phase report — as a named step.

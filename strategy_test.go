@@ -1,0 +1,266 @@
+package bitcoinng
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"bitcoinng/internal/core"
+)
+
+// strategyParams is a fast scripted-cluster configuration for the
+// mining-strategy tests: quick microblocks, no retargeting, manual mining.
+func strategyParams() Params {
+	params := DefaultParams()
+	params.RetargetWindow = 0
+	params.TargetBlockInterval = 30 * time.Second
+	params.MicroblockInterval = 2 * time.Second
+	return params
+}
+
+// TestFeeThiefRejectedNetworkWide: a leader claiming the previous leader's
+// 40% fee share produces key blocks no honest validator connects — the fee
+// split is consensus, not a convention.
+func TestFeeThiefRejectedNetworkWide(t *testing.T) {
+	c, err := New(5,
+		WithSeed(3),
+		WithParams(strategyParams()),
+		WithFunding(100_000),
+		WithAutoMine(false),
+		WithStrategy(0, "feethief"),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	thief, honest := c.Node(0), c.Node(1)
+	if got := thief.StrategyName(); got != "feethief" {
+		t.Fatalf("strategy name %q", got)
+	}
+
+	// An honest leader serializes a fee-paying transaction.
+	honest.MineBlock()
+	c.Run(time.Second)
+	if !honest.IsLeader() {
+		t.Fatal("node 1 does not lead")
+	}
+	if _, err := honest.Pay(Address{0xcc}, 50_000, 1_000); err != nil {
+		t.Fatal(err)
+	}
+	c.Run(5 * time.Second) // microblocks serialize the payment
+	heightBefore := honest.KeyHeight()
+
+	// The thief mines the next key block, stealing the epoch's whole fee
+	// pot. Its own validator rejects the block too (the strategy bends
+	// production, never validation), so the chain does not move anywhere.
+	blk := thief.MineBlock()
+	c.Run(10 * time.Second)
+	for i := 0; i < c.Size(); i++ {
+		if h := c.Node(i).KeyHeight(); h != heightBefore {
+			t.Errorf("node %d key height %d, want %d (thief block connected?)",
+				i, h, heightBefore)
+		}
+	}
+
+	// Direct verdict: replaying the thief's block into an honest validator
+	// fails with the fee-split rule.
+	_, err = honest.Chain().AddBlock(blk, int64(c.Now()))
+	if !errors.Is(err, core.ErrFeeSplitShort) {
+		t.Fatalf("honest verdict = %v, want ErrFeeSplitShort", err)
+	}
+
+	// The thief's influence ends there: an honest key block moves the
+	// chain past the stolen epoch.
+	honest.MineBlock()
+	c.Run(10 * time.Second)
+	if honest.KeyHeight() != heightBefore+1 {
+		t.Fatalf("honest recovery: key height %d, want %d", honest.KeyHeight(), heightBefore+1)
+	}
+}
+
+// TestGreedyMineIgnoresMicroblocks: the greedy miner's key block extends the
+// epoch's key block directly, pruning the incumbent leader's microblocks;
+// because microblocks carry no weight, the network still adopts it.
+func TestGreedyMineIgnoresMicroblocks(t *testing.T) {
+	c, err := New(5,
+		WithSeed(3),
+		WithParams(strategyParams()),
+		WithFunding(100_000),
+		WithAutoMine(false),
+		WithStrategy(0, "greedymine"),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	greedy, honest := c.Node(0), c.Node(1)
+
+	honest.MineBlock()
+	c.Run(time.Second)
+	const fee = 1_000
+	tx, err := honest.Pay(Address{0xcc}, 50_000, fee)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Run(6 * time.Second)
+	microTip := honest.Chain().Tip()
+	if microTip.Height <= microTip.KeyHeight {
+		t.Fatal("no microblocks to ignore")
+	}
+	keyAncestor := microTip.KeyAncestor
+
+	blk := greedy.MineBlock()
+	if blk.PrevHash() != keyAncestor.Hash() {
+		t.Fatalf("greedy parent %s, want the epoch key block %s",
+			blk.PrevHash().Short(), keyAncestor.Hash().Short())
+	}
+	c.Run(10 * time.Second)
+
+	// Every node reorgs onto the greedy block: the incumbent's microblocks
+	// are pruned, their fee split never settled, and the transactions
+	// return to the pools — where the attacker, now leader, re-serializes
+	// them into its own epoch.
+	for i := 0; i < c.Size(); i++ {
+		tip := c.Node(i).Chain().Tip()
+		if tip.KeyAncestor.Hash() != blk.Hash() {
+			t.Errorf("node %d tip epoch %s, want the greedy block %s",
+				i, tip.KeyAncestor.Hash().Short(), blk.Hash().Short())
+		}
+	}
+	var payEpoch Hash
+	for _, n := range honest.Chain().MainChain() {
+		for _, txx := range n.Block.Transactions() {
+			if txx.ID() == tx.ID() {
+				payEpoch = n.KeyAncestor.Hash()
+			}
+		}
+	}
+	if payEpoch != blk.Hash() {
+		t.Fatalf("payment serialized in epoch %s, want the attacker's %s",
+			payEpoch.Short(), blk.Hash().Short())
+	}
+
+	// The fee split of the re-serialized epoch settles to the attacker:
+	// the next honest key block pays greedy the 40% serializer share the
+	// pruned leader would otherwise have earned.
+	next := c.Node(2).MineBlock()
+	wantShare := Amount(float64(fee) * DefaultParams().LeaderFeeFrac)
+	var paid Amount
+	for _, out := range next.Transactions()[0].Outputs {
+		if out.To == greedy.Address() {
+			paid += out.Value
+		}
+	}
+	if paid != wantShare {
+		t.Errorf("attacker's serializer share %d, want %d", paid, wantShare)
+	}
+}
+
+// TestSelfishWithholdsAndReleases: the selfish miner keeps its key block
+// private until the honest chain matches it, then releases and wins the race
+// by finding the next block on its own branch.
+func TestSelfishWithholdsAndReleases(t *testing.T) {
+	c, err := New(5,
+		WithSeed(3),
+		WithParams(strategyParams()),
+		WithAutoMine(false),
+		WithStrategy(0, "selfish"),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	selfish, honest := c.Node(0), c.Node(1)
+
+	// The withheld block never reaches the network...
+	withheld := selfish.MineBlock()
+	c.Run(10 * time.Second)
+	if selfish.KeyHeight() != 1 {
+		t.Fatalf("attacker key height %d, want 1 (mining on its private block)", selfish.KeyHeight())
+	}
+	for i := 1; i < c.Size(); i++ {
+		if h := c.Node(i).KeyHeight(); h != 0 {
+			t.Fatalf("node %d saw the withheld block (key height %d)", i, h)
+		}
+	}
+
+	// ...until an honest block matches its weight: the attacker releases
+	// and the network races between the two equal branches.
+	honest.MineBlock()
+	c.Run(10 * time.Second)
+	seenWithheld := false
+	for i := 1; i < c.Size(); i++ {
+		if c.Node(i).Chain().HasBlock(withheld.Hash()) {
+			seenWithheld = true
+		}
+	}
+	if !seenWithheld {
+		t.Fatal("withheld block was not released at the race point")
+	}
+
+	// Winning find: published instantly, the whole network converges on
+	// the attacker's branch.
+	win := selfish.MineBlock()
+	c.Run(10 * time.Second)
+	for i := 0; i < c.Size(); i++ {
+		tip := c.Node(i).Chain().Tip()
+		if tip.KeyAncestor.Hash() != win.Hash() {
+			t.Errorf("node %d tip epoch %s, want the attacker's winning block %s",
+				i, tip.KeyAncestor.Hash().Short(), win.Hash().Short())
+		}
+		if c.Node(i).KeyHeight() != 2 {
+			t.Errorf("node %d key height %d, want 2", i, c.Node(i).KeyHeight())
+		}
+	}
+}
+
+// TestAdoptStrategyScenarioStep switches a node's strategy mid-run through
+// the scenario API and verifies unknown names surface as step errors.
+func TestAdoptStrategyScenarioStep(t *testing.T) {
+	c, err := New(4,
+		WithSeed(3),
+		WithParams(strategyParams()),
+		WithAutoMine(false),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Node(2).StrategyName(); got != "honest" {
+		t.Fatalf("default strategy %q", got)
+	}
+	if err := c.Play(NewScenario(
+		At(time.Second, AdoptStrategy(2, "greedymine")),
+	)); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Node(2).StrategyName(); got != "greedymine" {
+		t.Fatalf("strategy after adopt %q", got)
+	}
+	// Switching back restores honest behaviour.
+	if err := c.AdoptStrategy(2, "honest"); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Node(2).StrategyName(); got != "honest" {
+		t.Fatalf("strategy after restore %q", got)
+	}
+
+	// Unknown names and bad indices are step errors, not panics.
+	if err := c.Play(NewScenario(
+		At(time.Second, AdoptStrategy(2, "nope")),
+	)); err == nil || !strings.Contains(err.Error(), "unknown strategy") {
+		t.Errorf("unknown strategy step error = %v", err)
+	}
+	if err := c.Play(NewScenario(
+		At(time.Second, AdoptStrategy(99, "honest")),
+	)); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Errorf("out-of-range step error = %v", err)
+	}
+}
+
+// TestWithStrategyValidation rejects bad build-time assignments.
+func TestWithStrategyValidation(t *testing.T) {
+	if _, err := New(3, WithAutoMine(false), WithStrategy(0, "nope")); err == nil {
+		t.Error("unknown strategy accepted at build time")
+	}
+	if _, err := New(3, WithAutoMine(false), WithStrategy(7, "honest")); err == nil {
+		t.Error("out-of-range strategy node accepted at build time")
+	}
+}
