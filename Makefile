@@ -2,7 +2,7 @@ GO ?= go
 BENCH_DATE := $(shell date +%Y%m%d)
 BENCH_OUT ?= BENCH_$(BENCH_DATE).json
 
-.PHONY: build vet test race bench bench-json bench-diff smoke determinism examples
+.PHONY: build vet test race bench bench-json bench-diff smoke determinism examples soak fuzz cover
 
 build:
 	$(GO) build ./...
@@ -57,3 +57,39 @@ determinism:
 	$(GO) run ./cmd/ngbench -figure smoke -nodes 1000 -blocks 5 -parallelism 4 > /tmp/ng-smoke-par.txt
 	diff -u /tmp/ng-smoke-seq.txt /tmp/ng-smoke-par.txt
 	@echo "determinism gate passed: sequential and sharded reports identical"
+
+# soak is the chaos gate: SOAK_SEEDS randomized adversarial scenarios
+# (internal/chaos) run under the online invariant catalogue, every seed
+# replayed across both sim engines (-parallelism 1 vs 4) and with the
+# connect cache on vs off; any invariant violation or report divergence
+# fails. Failing seeds belong in internal/chaos/testdata/seeds.
+SOAK_SEEDS ?= 50
+soak:
+	$(GO) run ./cmd/ngbench -figure chaos -seeds $(SOAK_SEEDS)
+
+# fuzz runs a short campaign on every native fuzz target; raise FUZZTIME for
+# a real hunt. Interesting inputs land in each package's testdata/fuzz and
+# should be committed — the corpus replays under plain `go test` forever.
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test -fuzz=FuzzScenario -fuzztime=$(FUZZTIME) -run '^$$' ./internal/chaos
+	$(GO) test -fuzz=FuzzBlockWire -fuzztime=$(FUZZTIME) -run '^$$' ./internal/types
+	$(GO) test -fuzz=FuzzEnvelope -fuzztime=$(FUZZTIME) -run '^$$' ./internal/wire
+	$(GO) test -fuzz=FuzzVarInt -fuzztime=$(FUZZTIME) -run '^$$' ./internal/wire
+	$(GO) test -fuzz=FuzzNextTarget -fuzztime=$(FUZZTIME) -run '^$$' ./internal/chain
+
+# cover prints per-package statement coverage and enforces floors on the
+# consensus-critical packages: coverage there may only go up. CI publishes
+# the table in the job summary.
+COVER_FLOORS := internal/chain:78 internal/utxo:80
+cover:
+	@$(GO) test -cover ./... > /tmp/ng-cover.txt || { cat /tmp/ng-cover.txt; echo "cover: tests failed"; exit 1; }
+	@cat /tmp/ng-cover.txt
+	@set -e; for spec in $(COVER_FLOORS); do \
+		pkg=$${spec%:*}; floor=$${spec#*:}; \
+		pct=$$(awk -v pkg="bitcoinng/$$pkg" '$$2 == pkg { for (i = 1; i <= NF; i++) if ($$i ~ /%/) { gsub(/%/, "", $$i); print $$i } }' /tmp/ng-cover.txt); \
+		[ -n "$$pct" ] || { echo "cover: no coverage reported for $$pkg"; exit 1; }; \
+		awk -v p="$$pct" -v f="$$floor" 'BEGIN { exit (p + 0 >= f + 0) ? 0 : 1 }' || \
+			{ echo "cover: FLOOR BREACH $$pkg at $$pct% < $$floor%"; exit 1; }; \
+		echo "cover: floor ok $$pkg $$pct% >= $$floor%"; \
+	done

@@ -6,6 +6,7 @@ import (
 
 	"bitcoinng/internal/chain"
 	"bitcoinng/internal/crypto"
+	"bitcoinng/internal/invariant"
 	"bitcoinng/internal/metrics"
 	"bitcoinng/internal/mining"
 	"bitcoinng/internal/node"
@@ -54,6 +55,13 @@ type ClusterConfig struct {
 	// DisableConnectCache turns off the shared connect cache so every node
 	// re-validates every block locally; results are identical either way.
 	DisableConnectCache bool
+	// Invariants, when non-empty, are checked online against every node's
+	// chain state every InvariantInterval of virtual time (and on demand via
+	// CheckInvariants). Violations accumulate in InvariantViolations.
+	Invariants []invariant.Invariant
+	// InvariantInterval spaces the online checks; zero takes the key-block
+	// interval.
+	InvariantInterval time.Duration
 }
 
 // Cluster is an interactive emulated network. All methods must be called
@@ -67,6 +75,11 @@ type Cluster struct {
 	nodes     []*ClusterNode
 	genesis   *types.PowBlock
 	scenErrs  []error
+
+	// Online invariant checking (nil unless configured).
+	invEng         *invariant.Engine
+	partition      []int // current group per node; nil while whole
+	lastDisruption int64
 }
 
 // ClusterNode is one node handle.
@@ -171,7 +184,69 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	if cfg.Scenario != nil {
 		c.schedule(cfg.Scenario, nil)
 	}
+	if len(cfg.Invariants) > 0 {
+		c.invEng = invariant.NewEngine(cfg.Invariants...)
+		interval := cfg.InvariantInterval
+		if interval <= 0 {
+			interval = cfg.Params.TargetBlockInterval
+		}
+		if interval <= 0 {
+			interval = time.Second // degenerate params: never re-arm at +0
+		}
+		var tick func()
+		tick = func() {
+			c.invEng.Check(c.snapshot(false))
+			c.loop.After(interval, tick)
+		}
+		c.loop.After(interval, tick)
+	}
 	return c, nil
+}
+
+// snapshot assembles the invariant engine's view of every node.
+func (c *Cluster) snapshot(final bool) *invariant.Snapshot {
+	s := &invariant.Snapshot{
+		Now:            c.loop.Now(),
+		Final:          final,
+		Params:         c.cfg.Params,
+		Partitioned:    c.partition != nil,
+		LastDisruption: c.lastDisruption,
+		Nodes:          make([]invariant.NodeState, len(c.nodes)),
+	}
+	for i, n := range c.nodes {
+		group := 0
+		if c.partition != nil {
+			group = c.partition[i]
+		}
+		s.Nodes[i] = invariant.NodeState{
+			ID:       i,
+			Chain:    n.base.State,
+			Strategy: n.StrategyName(),
+			Group:    group,
+		}
+	}
+	return s
+}
+
+// CheckInvariants runs the configured invariant catalogue once, as a final
+// (full-history) check, and returns every violation recorded so far. It
+// returns nil when no invariants were configured.
+func (c *Cluster) CheckInvariants() []invariant.Violation {
+	if c.invEng == nil {
+		return nil
+	}
+	c.invEng.Check(c.snapshot(true))
+	return c.invEng.Violations()
+}
+
+// InvariantViolations returns every invariant violation recorded so far
+// (periodic ticks plus explicit CheckInvariants calls), deduplicated by
+// (invariant, node) in first-observation order.
+func (c *Cluster) InvariantViolations() []invariant.Violation {
+	if c.invEng == nil {
+		return nil
+	}
+	return c.invEng.Violations()
 }
 
 // Run advances virtual time by d, processing everything scheduled within it.
@@ -219,11 +294,17 @@ func (c *Cluster) Partition(groups ...[]int) error {
 		return fmt.Errorf("bitcoinng: %w", err)
 	}
 	c.net.SetPartition(assignment)
+	c.partition = assignment
+	c.lastDisruption = c.loop.Now()
 	return nil
 }
 
 // Heal removes the partition; chains reconcile as the next blocks announce.
-func (c *Cluster) Heal() { c.net.SetPartition(nil) }
+func (c *Cluster) Heal() {
+	c.net.SetPartition(nil)
+	c.partition = nil
+	c.lastDisruption = c.loop.Now()
+}
 
 // SetMiningRate adjusts one node's simulated mining power (blocks/sec) and
 // starts its miner; zero pauses it. Part of the Scenario Runtime. An
@@ -245,6 +326,7 @@ func (c *Cluster) ScaleLatency(factor float64) error {
 		return fmt.Errorf("bitcoinng: latency factor %v must be > 0", factor)
 	}
 	c.net.ScaleLatency(factor)
+	c.lastDisruption = c.loop.Now()
 	return nil
 }
 
@@ -258,6 +340,7 @@ func (c *Cluster) AdoptStrategy(node int, name string) error {
 	if err := protocol.AdoptStrategy(c.nodes[node].client, name); err != nil {
 		return fmt.Errorf("bitcoinng: node %d (%s): %w", node, c.cfg.Protocol, err)
 	}
+	c.lastDisruption = c.loop.Now()
 	return nil
 }
 

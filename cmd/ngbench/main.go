@@ -18,6 +18,7 @@ import (
 	"runtime"
 	"time"
 
+	"bitcoinng/internal/chaos"
 	"bitcoinng/internal/experiment"
 	"bitcoinng/internal/incentive"
 	"bitcoinng/internal/mining"
@@ -28,11 +29,13 @@ import (
 
 func main() {
 	var (
-		figure      = flag.String("figure", "all", "which figure: 6 | 7 | 8a | 8b | incentive | ablation | all, or a standalone run not part of all: smoke (scalability) | greedymine | selfish (adversarial revenue sweeps)")
+		figure      = flag.String("figure", "all", "which figure: 6 | 7 | 8a | 8b | incentive | ablation | all, or a standalone run not part of all: smoke (scalability) | greedymine | selfish (adversarial revenue sweeps) | chaos (randomized scenario soak)")
 		nodes       = flag.Int("nodes", 0, "override network size (default: laptop scale 120)")
 		blocks      = flag.Int("blocks", 0, "override payload blocks per run (default 40)")
 		seed        = flag.Int64("seed", 1, "experiment seed")
 		parallelism = flag.Int("parallelism", 0, "sweep worker pool width and smoke shard count (0 = GOMAXPROCS, 1 = sequential)")
+		seeds       = flag.Int("seeds", 50, "chaos soak: number of generated scenarios")
+		chaosDiff   = flag.Bool("chaos-diff", true, "chaos soak: replay every seed on the sharded engine and with the connect cache off, failing any report divergence")
 		compareOld  = flag.String("compare", "", "compare two BENCH_*.json snapshots: -compare old.json new.json (other flags ignored)")
 	)
 	flag.Parse()
@@ -119,6 +122,34 @@ func main() {
 	if *figure == "selfish" {
 		run("selfish", func() error { return attackSweep(scale, "selfish") })
 	}
+	// Chaos soak (internal/chaos): N generated adversarial scenarios under
+	// the online invariant catalogue, each optionally replayed across both
+	// sim engines and cache modes. Standalone like smoke; stdout is a
+	// deterministic function of (seeds, seed, chaos-diff) alone, so CI can
+	// diff campaigns byte for byte. A non-zero exit means a seed failed —
+	// commit it under internal/chaos/testdata/seeds before fixing.
+	if *figure == "chaos" {
+		run("chaos", func() error { return chaosSoak(*seeds, *seed, *chaosDiff, *parallelism) })
+	}
+}
+
+// chaosSoak runs the randomized-scenario campaign and fails on any
+// invariant violation, scenario error, or cross-engine divergence.
+func chaosSoak(seeds int, baseSeed int64, differential bool, parallelism int) error {
+	report, err := chaos.Soak(chaos.SoakConfig{
+		Seeds:        seeds,
+		BaseSeed:     baseSeed,
+		Parallelism:  parallelism,
+		Differential: differential,
+	})
+	if err != nil {
+		return err
+	}
+	report.Fprint(os.Stdout)
+	if fails := report.Failures(); len(fails) > 0 {
+		return fmt.Errorf("%d of %d seeds failed", len(fails), seeds)
+	}
+	return nil
 }
 
 // attackSweep reproduces the attacker-revenue-vs-α curve for one registered

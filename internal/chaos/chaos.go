@@ -1,0 +1,67 @@
+// Package chaos is the randomized-scenario fuzzing engine: it composes
+// random-but-valid adversarial programs from the scenario vocabulary
+// (partitions, heals, mining churn, leader equivocation, latency spikes,
+// strategy switches) over random topologies, mining-share distributions,
+// and attacker mixes, runs them under the full online invariant catalogue
+// (internal/invariant), and differentially replays every seed across the
+// two execution engines (sequential vs sharded) and with the connect cache
+// on vs off.
+//
+// The ROADMAP's north star demands "as many scenarios as you can imagine";
+// Niu et al. ("Incentive Analysis of Bitcoin-NG, Revisited") show the
+// interesting violations live in combinations of strategy, timing, and
+// topology that hand-written scenarios do not enumerate. This package is
+// the machine that imagines them: every generated run derives from a single
+// int64 seed through sim.NewRand, so a failure anywhere — a soak job, a
+// fuzzing campaign, a one-off report — is replayed exactly by re-running
+// the seed, and committed to testdata/seeds as a permanent regression.
+package chaos
+
+import (
+	"fmt"
+
+	"bitcoinng/internal/experiment"
+)
+
+// Generated is one fully assembled chaos run: the experiment configuration
+// (scenario, strategies, invariants, shares all armed) plus a deterministic
+// one-line description of the program for reports.
+type Generated struct {
+	// Seed reproduces the run: Generate(gen, Seed) returns an identical
+	// configuration, and the configuration's own Seed field drives the
+	// simulation.
+	Seed int64
+	// Cfg is ready for experiment.Run. Callers may adjust engine knobs
+	// (Parallelism, DisableConnectCache) — the differential checker does —
+	// but anything that changes the simulated behaviour breaks replay.
+	Cfg experiment.Config
+	// Desc summarizes the generated program (protocol, scale, adversaries,
+	// step timeline); a pure function of the seed and generator config.
+	Desc string
+}
+
+// Failure classifies why a chaos run is considered failed.
+type Failure struct {
+	Seed int64
+	// Err is the run error, first invariant violation, or scenario-step
+	// failure.
+	Err error
+}
+
+func (f Failure) Error() string { return fmt.Sprintf("seed %d: %v", f.Seed, f.Err) }
+
+// Verdict evaluates one completed run: a hard run error, any scenario-step
+// error (the generator only emits valid steps, so a step failure is a
+// harness bug), or any invariant violation fails the seed.
+func Verdict(seed int64, res *experiment.Result, err error) error {
+	if err != nil {
+		return Failure{Seed: seed, Err: err}
+	}
+	if len(res.ScenarioErrors) > 0 {
+		return Failure{Seed: seed, Err: fmt.Errorf("scenario step failed: %w", res.ScenarioErrors[0])}
+	}
+	if len(res.InvariantViolations) > 0 {
+		return Failure{Seed: seed, Err: fmt.Errorf("invariant violated: %s", res.InvariantViolations[0])}
+	}
+	return nil
+}

@@ -1,0 +1,61 @@
+package chaos
+
+import (
+	"fmt"
+
+	"bitcoinng/internal/experiment"
+)
+
+// engineVariant is one execution-engine/cache combination the differential
+// checker replays a seed under.
+type engineVariant struct {
+	name        string
+	parallelism int
+	cacheOff    bool
+}
+
+// diffVariants cross-checks the two simulation engines (the classic
+// sequential loop and the 4-shard conservative windowed engine) and the
+// connect cache (shared memoized connects vs full local re-validation).
+// The first entry is the baseline the others must match byte for byte.
+var diffVariants = []engineVariant{
+	{"parallelism=1 cache=on", 1, false},
+	{"parallelism=4 cache=on", 4, false},
+	{"parallelism=1 cache=off", 1, true},
+}
+
+// variantConfig specializes a generated run to one variant. Only engine
+// knobs change; everything behavioural stays shared (the scenario, shares,
+// and invariant instances are all read-only during a run).
+func variantConfig(gen Generated, v engineVariant) experiment.Config {
+	cfg := gen.Cfg
+	cfg.Parallelism = v.parallelism
+	cfg.DisableConnectCache = v.cacheOff
+	return cfg
+}
+
+// Differential replays a generated run under every engine/cache variant and
+// returns an error on the first digest divergence — the "same seed, same
+// report, any engine" guarantee that makes every other chaos finding
+// trustworthy (a violation that appeared on only one engine would be an
+// engine bug, not a protocol bug).
+func Differential(gen Generated) error {
+	var base string
+	for i, v := range diffVariants {
+		res, err := experiment.Run(variantConfig(gen, v))
+		if err != nil {
+			return Failure{Seed: gen.Seed, Err: fmt.Errorf("differential %s: %w", v.name, err)}
+		}
+		d := Digest(res)
+		if i == 0 {
+			base = d
+			continue
+		}
+		if d != base {
+			return Failure{Seed: gen.Seed, Err: fmt.Errorf(
+				"differential divergence between %s and %s: %s",
+				diffVariants[0].name, v.name, firstDiff(base, d))}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,67 @@
+package chaos
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+
+	"bitcoinng/internal/experiment"
+)
+
+// Digest renders everything engine-independent about a result as a
+// canonical string: the full metrics report, network totals, virtual
+// duration, per-node revenue, scenario errors, and invariant violations.
+// Two runs of the same seed must produce byte-identical digests at any
+// Parallelism and with the connect cache on or off — the differential
+// checker's failure condition is exactly a digest mismatch. Wall time and
+// executed-event counts are deliberately excluded: they legitimately vary
+// with the engine.
+func Digest(res *experiment.Result) string {
+	var b strings.Builder
+	r := res.Report
+	fmt.Fprintf(&b, "blocks=%d main=%d pow=%d mainpow=%d\n",
+		r.Blocks, r.MainChainBlocks, r.PowBlocks, r.MainPowBlocks)
+	fmt.Fprintf(&b, "consensus=%v fairness=%v mpu=%v prune=%v win=%v\n",
+		r.ConsensusDelay, r.Fairness, r.MiningPowerUtilization, r.TimeToPrune, r.TimeToWin)
+	fmt.Fprintf(&b, "txfreq=%v payload=%v forks=%v prop=%v/%v/%v\n",
+		r.TxFrequency, r.PayloadBytesPerSec, r.ForksPerPowBlock,
+		r.PropagationP25, r.PropagationP50, r.PropagationP75)
+	fmt.Fprintf(&b, "sim=%v msgs=%d bytes=%d lost=%d maxqueue=%v\n",
+		res.SimTime, res.NetStats.MessagesSent, res.NetStats.BytesSent,
+		res.NetStats.MessagesLost, res.NetStats.MaxQueueDelay)
+	fmt.Fprintf(&b, "revenue=%v\n", res.Revenue)
+	for _, e := range res.ScenarioErrors {
+		fmt.Fprintf(&b, "scenario-error: %v\n", e)
+	}
+	for _, v := range res.InvariantViolations {
+		fmt.Fprintf(&b, "violation: %s\n", v)
+	}
+	return b.String()
+}
+
+// ShortDigest is the first 8 hex characters of the digest's SHA-256 — a
+// compact fingerprint for soak tables.
+func ShortDigest(digest string) string {
+	sum := sha256.Sum256([]byte(digest))
+	return hex.EncodeToString(sum[:4])
+}
+
+// firstDiff returns the first line where two digests disagree, for error
+// reports.
+func firstDiff(a, b string) string {
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := 0; i < len(al) || i < len(bl); i++ {
+		var la, lb string
+		if i < len(al) {
+			la = al[i]
+		}
+		if i < len(bl) {
+			lb = bl[i]
+		}
+		if la != lb {
+			return fmt.Sprintf("line %d: %q vs %q", i+1, la, lb)
+		}
+	}
+	return "digests equal"
+}

@@ -1,0 +1,40 @@
+package chaos
+
+import (
+	"testing"
+
+	"bitcoinng/internal/experiment"
+)
+
+// fuzzGen keeps per-execution cost low enough for a fuzzing campaign
+// (roughly 100-200ms per input on a laptop core): small networks, few
+// payload blocks, at most two disruption phases.
+var fuzzGen = GenConfig{
+	MinNodes: 6, MaxNodes: 8,
+	MinBlocks: 4, MaxBlocks: 6,
+	MaxPhases: 2,
+}
+
+// FuzzScenario drives the whole chaos pipeline from a single fuzzed seed:
+// generate a random-but-valid scenario, run it, and fail on any run error,
+// scenario-step error, or invariant violation. The corpus under
+// testdata/fuzz/FuzzScenario replays in ordinary `go test` runs, so every
+// interesting seed the fuzzer ever finds becomes a permanent regression
+// test the moment it is committed (see also testdata/seeds for full-scale
+// replays).
+//
+//	go test -fuzz=FuzzScenario -fuzztime=60s ./internal/chaos
+func FuzzScenario(f *testing.F) {
+	for seed := int64(1); seed <= 8; seed++ {
+		f.Add(seed)
+	}
+	f.Add(int64(-1))
+	f.Add(int64(1 << 40))
+	f.Fuzz(func(t *testing.T, seed int64) {
+		gen := Generate(fuzzGen, seed)
+		res, err := experiment.Run(gen.Cfg)
+		if err := Verdict(seed, res, err); err != nil {
+			t.Fatalf("%s\nprogram: %s", err, gen.Desc)
+		}
+	})
+}

@@ -1,0 +1,232 @@
+package chaos
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"bitcoinng/internal/experiment"
+	"bitcoinng/internal/invariant"
+	"bitcoinng/internal/scenario"
+	"bitcoinng/internal/sim"
+	"bitcoinng/internal/strategy"
+)
+
+// genStream separates the generator's random stream from the simulation's
+// own streams (which also derive from the seed).
+const genStream = 0xC4A0F022
+
+// GenConfig bounds the generator. The zero value takes laptop-scale
+// defaults sized so a single run finishes in well under a second; Soak and
+// the fuzz targets rely on that.
+type GenConfig struct {
+	// MinNodes and MaxNodes bound the network size. Defaults 8 and 14.
+	MinNodes, MaxNodes int
+	// MinBlocks and MaxBlocks bound the payload-block target. Defaults 6
+	// and 12.
+	MinBlocks, MaxBlocks int
+	// MaxPhases bounds the number of disruption phases (each phase is one
+	// partition window, latency spike, churn dip, equivocation, or strategy
+	// switch). Default 4; at least one phase is always generated.
+	MaxPhases int
+	// ForkBound is the k of the no-honest-fork-beyond-k invariant.
+	// Default 6.
+	ForkBound int
+	// Bitcoin6 and Ghost6 weight the protocol draw out of 6: a run is
+	// Bitcoin with Bitcoin6/6 probability, GHOST with Ghost6/6, Bitcoin-NG
+	// otherwise. Defaults 1 and 1 (NG 4/6) — NG is the contribution under
+	// test; the baselines keep the generic machinery honest.
+	Bitcoin6, Ghost6 int
+}
+
+func (g GenConfig) withDefaults() GenConfig {
+	if g.MinNodes <= 0 {
+		g.MinNodes = 8
+	}
+	if g.MaxNodes < g.MinNodes {
+		g.MaxNodes = g.MinNodes + 6
+	}
+	if g.MinBlocks <= 0 {
+		g.MinBlocks = 6
+	}
+	if g.MaxBlocks < g.MinBlocks {
+		g.MaxBlocks = g.MinBlocks + 6
+	}
+	if g.MaxPhases <= 0 {
+		g.MaxPhases = 4
+	}
+	if g.ForkBound <= 0 {
+		g.ForkBound = 6
+	}
+	if g.Bitcoin6 == 0 && g.Ghost6 == 0 {
+		g.Bitcoin6, g.Ghost6 = 1, 1
+	}
+	return g
+}
+
+// attackNames are the adversarial strategies the generator mixes in.
+var attackNames = []string{strategy.SelfishName, strategy.GreedyMineName, strategy.FeeThiefName}
+
+// Generate composes one random-but-valid chaos run from the seed. It is a
+// pure function of (g, seed): every draw comes from one sim.NewRand stream
+// in a fixed order, so the same seed always yields the same program — the
+// property the regression-seed harness, the fuzz corpus, and the
+// differential checker all build on.
+//
+// Validity is by construction: every Partition is healed, every
+// LatencySpike restored, churn never pauses the whole network, strategy
+// steps target only protocols with strategic freedom, and the scenario ends
+// with a settle tail longer than the convergence invariant's grace so the
+// post-heal convergence claim is actually asserted before the run ends.
+func Generate(g GenConfig, seed int64) Generated {
+	g = g.withDefaults()
+	rng := sim.NewRand(seed, genStream)
+
+	nodes := g.MinNodes + rng.Intn(g.MaxNodes-g.MinNodes+1)
+	proto := experiment.BitcoinNG
+	switch d := rng.Intn(6); {
+	case d < g.Bitcoin6:
+		proto = experiment.Bitcoin
+	case d < g.Bitcoin6+g.Ghost6:
+		proto = experiment.GHOST
+	}
+	ng := proto == experiment.BitcoinNG
+
+	cfg := experiment.DefaultConfig(proto, nodes, seed)
+	interval := time.Duration(20+rng.Intn(41)) * time.Second // 20..60s key blocks
+	cfg.Params.TargetBlockInterval = interval
+	if ng {
+		cfg.Params.MicroblockInterval = time.Duration(2+rng.Intn(8)) * time.Second
+	}
+	cfg.Params.MaxBlockSize = 20_000 + rng.Intn(5)*10_000
+	cfg.Params.RandomTieBreak = rng.Intn(2) == 0
+	cfg.TargetBlocks = g.MinBlocks + rng.Intn(g.MaxBlocks-g.MinBlocks+1)
+
+	var desc strings.Builder
+	fmt.Fprintf(&desc, "%s n=%d ki=%s", proto, nodes, interval)
+	if ng {
+		fmt.Fprintf(&desc, " mb=%s", cfg.Params.MicroblockInterval)
+	}
+	fmt.Fprintf(&desc, " blk=%d", cfg.TargetBlocks)
+
+	// Mining power: half the runs draw explicit random shares, the rest use
+	// the paper's exponential rank distribution.
+	if rng.Intn(2) == 0 {
+		shares := make([]float64, nodes)
+		for i := range shares {
+			shares[i] = 0.2 + rng.Float64()
+		}
+		cfg.MiningShares = shares
+		desc.WriteString(" shares=rand")
+	}
+
+	// Adversaries and censors (Bitcoin-NG only: the strategy engine and
+	// microblock censorship are NG behaviours).
+	if ng && rng.Intn(10) < 4 {
+		adv := rng.Intn(nodes)
+		name := attackNames[rng.Intn(len(attackNames))]
+		cfg.Strategies = map[int]string{adv: name}
+		if cfg.MiningShares != nil {
+			// Give the attacker meaningful power (up to ~3x a typical node).
+			cfg.MiningShares[adv] *= 1 + 2*rng.Float64()
+		}
+		fmt.Fprintf(&desc, " adv=%d:%s", adv, name)
+	}
+	if ng && rng.Intn(10) < 2 {
+		censor := rng.Intn(nodes)
+		cfg.Censors = []int{censor}
+		fmt.Fprintf(&desc, " censor=%d", censor)
+	}
+
+	// Disruption phases: sequential windows with random gaps, every one
+	// undone by its closing step.
+	sc := scenario.New()
+	desc.WriteString(" phases=[")
+	cursor := interval / 2
+	phases := 1 + rng.Intn(g.MaxPhases)
+	for p := 0; p < phases; p++ {
+		gap := time.Duration((0.3 + 0.9*rng.Float64()) * float64(interval))
+		start := cursor + gap
+		dur := time.Duration((0.5 + 2.5*rng.Float64()) * float64(interval))
+		kinds := 3 // partition, spike, churn
+		if ng {
+			kinds = 5 // + equivocate, adopt-strategy
+		}
+		if p > 0 {
+			desc.WriteString(" ")
+		}
+		switch rng.Intn(kinds) {
+		case 0: // partition into two random groups, healed after dur
+			perm := rng.Perm(nodes)
+			cut := 1 + rng.Intn(nodes-1)
+			sc.Add(
+				scenario.At(start, scenario.Partition(perm[:cut], perm[cut:])),
+				scenario.At(start+dur, scenario.Heal()),
+			)
+			fmt.Fprintf(&desc, "part@%s+%s(%d|%d)", start, dur, cut, nodes-cut)
+			cursor = start + dur
+		case 1: // latency spike, restored after dur
+			factor := 1.5 + 4.5*rng.Float64()
+			sc.Add(
+				scenario.At(start, scenario.LatencySpike(factor)),
+				scenario.At(start+dur, scenario.LatencySpike(1)),
+			)
+			fmt.Fprintf(&desc, "spike@%s+%sx%.2f", start, dur, factor)
+			cursor = start + dur
+		case 2: // pause one node's mining, resume at a fresh random rate
+			node := rng.Intn(nodes)
+			rate := (0.5 + 1.5*rng.Float64()) / (interval.Seconds() * float64(nodes))
+			sc.Add(
+				scenario.At(start, scenario.Churn(node, 0)),
+				scenario.At(start+dur, scenario.Churn(node, rate)),
+			)
+			fmt.Fprintf(&desc, "churn@%s+%s(%d)", start, dur, node)
+			cursor = start + dur
+		case 3: // leader equivocation attempt (tolerant: non-leaders refuse)
+			node := rng.Intn(nodes)
+			sc.Add(scenario.At(start, tolerantEquivocate(node)))
+			fmt.Fprintf(&desc, "equiv@%s(%d)", start, node)
+			cursor = start
+		case 4: // switch a node to an attack strategy, back to honest later
+			node := rng.Intn(nodes)
+			name := attackNames[rng.Intn(len(attackNames))]
+			sc.Add(
+				scenario.At(start, scenario.AdoptStrategy(node, name)),
+				scenario.At(start+dur, scenario.AdoptStrategy(node, strategy.HonestName)),
+			)
+			fmt.Fprintf(&desc, "adopt@%s+%s(%d:%s)", start, dur, node, name)
+			cursor = start + dur
+		}
+	}
+	desc.WriteString("]")
+
+	// Settle tail: the convergence invariant waits 2x the fork-bound settle
+	// grace after the last disruption; keep the run alive past that so the
+	// post-heal convergence claim is asserted at least once.
+	settleGrace := 2 * interval
+	settle := cursor + 2*settleGrace + interval/2
+	sc.Add(scenario.At(settle, scenario.Call("settle", func(scenario.Runtime) error { return nil })))
+	cfg.Scenario = sc
+
+	cfg.Invariants = invariant.Defaults(invariant.Options{
+		ForkBound:        g.ForkBound,
+		ConvergenceDepth: 2,
+		SettleGrace:      settleGrace,
+	})
+	cfg.InvariantInterval = interval / 2
+
+	return Generated{Seed: seed, Cfg: cfg, Desc: desc.String()}
+}
+
+// tolerantEquivocate attempts the §4.5 split-brain attack on a node that
+// may or may not currently lead. Non-leaders refuse to equivocate; that
+// refusal is part of the fuzzed space, not a failure, so the error is
+// deliberately dropped (a Verdict therefore never blames it). Leadership at
+// the firing time is a deterministic function of the seed, so replays
+// behave identically.
+func tolerantEquivocate(node int) scenario.Step {
+	return scenario.Call("chaos-equivocate", func(rt scenario.Runtime) error {
+		_ = rt.Equivocate(node, nil, nil)
+		return nil
+	})
+}

@@ -1,0 +1,70 @@
+package chaos
+
+import (
+	"bufio"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"bitcoinng/internal/experiment"
+)
+
+// TestRegressionSeeds replays every committed regression seed at full
+// generator scale, including the engine/cache differential. The workflow:
+// any seed that ever fails a soak, a fuzzing campaign, or CI gets a file
+// under testdata/seeds (first line the decimal seed, the rest free-form
+// notes on what it caught), and from then on an ordinary `go test` replays
+// it forever — past failures become permanent tier-1 tests.
+func TestRegressionSeeds(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "seeds", "*.seed"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no regression seeds committed; testdata/seeds must hold at least the initial set")
+	}
+	for _, file := range files {
+		file := file
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			seed := readSeed(t, file)
+			gen := Generate(GenConfig{}, seed)
+			res, err := experiment.Run(gen.Cfg)
+			if err := Verdict(seed, res, err); err != nil {
+				t.Fatalf("%v\nprogram: %s", err, gen.Desc)
+			}
+			if testing.Short() {
+				return // the differential replay triples the cost
+			}
+			if err := Differential(gen); err != nil {
+				t.Fatalf("%v\nprogram: %s", err, gen.Desc)
+			}
+		})
+	}
+}
+
+// readSeed parses a seed file: first non-empty, non-comment line is the
+// decimal seed.
+func readSeed(t *testing.T, file string) int64 {
+	t.Helper()
+	f, err := os.Open(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		seed, err := strconv.ParseInt(line, 10, 64)
+		if err != nil {
+			t.Fatalf("%s: bad seed line %q: %v", file, line, err)
+		}
+		return seed
+	}
+	t.Fatalf("%s: no seed line", file)
+	return 0
+}

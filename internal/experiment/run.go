@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"bitcoinng/internal/crypto"
+	"bitcoinng/internal/invariant"
 	"bitcoinng/internal/metrics"
 	"bitcoinng/internal/mining"
 	"bitcoinng/internal/node"
@@ -91,6 +92,16 @@ type Config struct {
 	// recovers the classic single-threaded loop. Reports are byte-identical
 	// at any value for the same seed (the CI determinism gate enforces it).
 	Parallelism int
+	// Invariants, when non-empty, are checked online against every node's
+	// chain state: at every InvariantInterval of virtual time (evaluated at
+	// the runner's slice boundaries, where both engines are quiescent) and
+	// once more at run end. Violations land in Result.InvariantViolations;
+	// they do not stop the run. Checks are read-only and engine-agnostic, so
+	// results stay byte-identical at any Parallelism.
+	Invariants []invariant.Invariant
+	// InvariantInterval spaces the online checks; zero takes the key-block
+	// interval.
+	InvariantInterval time.Duration
 }
 
 // DefaultConfig is a paper-faithful configuration at the given scale.
@@ -125,6 +136,10 @@ type Result struct {
 	// ScenarioErrors collects failures from scheduled scenario steps, in
 	// firing order.
 	ScenarioErrors []error
+	// InvariantViolations collects online invariant failures (when
+	// Config.Invariants is set), deduplicated by (invariant, node) in
+	// first-observation order.
+	InvariantViolations []invariant.Violation
 	// Revenue is each node's mining revenue at run end — the UTXO balance
 	// of its reward address in the view of the reference node (the
 	// lowest-index node running honest, so an attacker's private ledger
@@ -220,6 +235,15 @@ type runner struct {
 	addrs     []crypto.Address // per-node reward address (revenue accounting)
 	payload   types.BlockKind  // which kind counts toward TargetBlocks
 	scenErrs  []error
+
+	// Online invariant checking (nil when Config.Invariants is empty).
+	invEng *invariant.Engine
+	// partition is the current group assignment (nil while the network is
+	// whole); lastDisruption timestamps the most recent partition, heal,
+	// latency rescale, or strategy switch, which gates the consistency
+	// invariants' settle grace.
+	partition      []int
+	lastDisruption int64
 }
 
 // Run executes one experiment.
@@ -425,11 +449,17 @@ func (r *runner) Partition(groups ...[]int) error {
 		return fmt.Errorf("experiment: %w", err)
 	}
 	r.net.SetPartition(assignment)
+	r.partition = assignment
+	r.lastDisruption = r.eng.now()
 	return nil
 }
 
 // Heal implements scenario.Runtime.
-func (r *runner) Heal() { r.net.SetPartition(nil) }
+func (r *runner) Heal() {
+	r.net.SetPartition(nil)
+	r.partition = nil
+	r.lastDisruption = r.eng.now()
+}
 
 // SetMiningRate implements scenario.Runtime.
 func (r *runner) SetMiningRate(node int, blocksPerSec float64) error {
@@ -447,6 +477,7 @@ func (r *runner) ScaleLatency(factor float64) error {
 		return fmt.Errorf("experiment: latency factor %v must be > 0", factor)
 	}
 	r.net.ScaleLatency(factor)
+	r.lastDisruption = r.eng.now()
 	return nil
 }
 
@@ -459,7 +490,39 @@ func (r *runner) AdoptStrategy(node int, name string) error {
 	if err := protocol.AdoptStrategy(r.clients[node], name); err != nil {
 		return fmt.Errorf("experiment: node %d (%s): %w", node, r.cfg.Protocol, err)
 	}
+	r.lastDisruption = r.eng.now()
 	return nil
+}
+
+// snapshot assembles the invariant engine's view of every node. It is only
+// called at quiescent points (slice boundaries and run end), where no event
+// is mutating chain state on any shard.
+func (r *runner) snapshot(final bool) *invariant.Snapshot {
+	s := &invariant.Snapshot{
+		Now:            r.eng.now(),
+		Final:          final,
+		Params:         r.cfg.Params,
+		Partitioned:    r.partition != nil,
+		LastDisruption: r.lastDisruption,
+		Nodes:          make([]invariant.NodeState, len(r.clients)),
+	}
+	for i, c := range r.clients {
+		group := 0
+		if r.partition != nil {
+			group = r.partition[i]
+		}
+		name := strategy.HonestName
+		if sc, ok := c.(protocol.Strategic); ok {
+			name = sc.StrategyName()
+		}
+		s.Nodes[i] = invariant.NodeState{
+			ID:       i,
+			Chain:    c.Base().State,
+			Strategy: name,
+			Group:    group,
+		}
+	}
+	return s
 }
 
 // Equivocate implements scenario.Runtime: the leader signs two conflicting
@@ -503,6 +566,20 @@ func (r *runner) run() (*Result, error) {
 	if step <= 0 {
 		step = time.Second
 	}
+	// Online invariant checks happen at slice boundaries, which both engines
+	// hit at identical virtual times, so violation timestamps (and therefore
+	// reports) stay byte-identical across engine choices.
+	if len(r.cfg.Invariants) > 0 {
+		r.invEng = invariant.NewEngine(r.cfg.Invariants...)
+	}
+	checkEvery := r.cfg.InvariantInterval
+	if checkEvery <= 0 {
+		checkEvery = r.cfg.Params.TargetBlockInterval
+	}
+	if checkEvery <= 0 {
+		checkEvery = time.Second // degenerate params; same guard as step
+	}
+	nextCheck := int64(checkEvery)
 	deadline := int64(r.cfg.MaxSimTime)
 	for r.eng.now() < deadline {
 		if r.eng.now() >= scenarioUntil &&
@@ -510,6 +587,12 @@ func (r *runner) run() (*Result, error) {
 			break
 		}
 		r.eng.runFor(step)
+		if r.invEng != nil && r.eng.now() >= nextCheck {
+			r.invEng.Check(r.snapshot(false))
+			for nextCheck <= r.eng.now() {
+				nextCheck += int64(checkEvery)
+			}
+		}
 	}
 	// Stop mining and let in-flight blocks propagate.
 	for _, m := range r.miners {
@@ -522,17 +605,23 @@ func (r *runner) run() (*Result, error) {
 	r.eng.runFor(grace)
 
 	end := r.eng.now()
+	var violations []invariant.Violation
+	if r.invEng != nil {
+		r.invEng.Check(r.snapshot(true))
+		violations = r.invEng.Violations()
+	}
 	opts := metrics.DefaultAnalyzeOptions(end)
 	report := r.collector.Analyze(opts)
 	return &Result{
-		Config:         r.cfg,
-		Report:         report,
-		NetStats:       r.net.Stats(),
-		Events:         r.eng.executed(),
-		WallTime:       time.Since(startWall),
-		SimTime:        time.Duration(end),
-		ScenarioErrors: r.scenErrs,
-		Revenue:        r.revenue(),
+		Config:              r.cfg,
+		Report:              report,
+		NetStats:            r.net.Stats(),
+		Events:              r.eng.executed(),
+		WallTime:            time.Since(startWall),
+		SimTime:             time.Duration(end),
+		ScenarioErrors:      r.scenErrs,
+		InvariantViolations: violations,
+		Revenue:             r.revenue(),
 	}, nil
 }
 

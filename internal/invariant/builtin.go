@@ -1,0 +1,350 @@
+package invariant
+
+import (
+	"fmt"
+	"time"
+
+	"bitcoinng/internal/chain"
+	"bitcoinng/internal/crypto"
+	"bitcoinng/internal/types"
+	"bitcoinng/internal/utxo"
+)
+
+// The built-in catalogue. Each invariant documents the paper claim it pins;
+// DESIGN.md §8 carries the full catalogue with context.
+
+// ValueConservation checks that every node's UTXO set holds exactly the
+// value its main chain explains: the genesis payouts, plus everything minted
+// by coinbase and poison-reward transactions, minus every transaction fee
+// destroyed on the way (fees leave the set when a transaction pays them and
+// re-enter only through later coinbases — §4.4's remuneration scheme cannot
+// create or lose value). A cache-replay or reorg-undo bug that duplicates or
+// drops entries breaks this immediately. The property is inherently global
+// (a lone extra entry anywhere breaks the sum), so unlike FeeSplit and
+// SingleLeader it cannot be scoped to a tip window: every tick pays one
+// linear UTXO scan plus one main-chain walk.
+func ValueConservation() Invariant { return valueConservation{} }
+
+type valueConservation struct{}
+
+func (valueConservation) Name() string { return "value-conservation" }
+
+func (valueConservation) Check(s *Snapshot, report func(int, string)) {
+	for i := range s.Nodes {
+		n := &s.Nodes[i]
+		st := n.Chain
+		var minted, destroyed types.Amount
+		for _, blk := range st.MainChain() {
+			for _, tx := range blk.Block.Transactions() {
+				if tx.Kind == types.TxCoinbase || tx.Kind == types.TxPoison {
+					minted += tx.OutputSum()
+				}
+			}
+			destroyed += st.FeeTotal(blk.Hash())
+		}
+		var held types.Amount
+		st.UTXO().Range(func(_ types.OutPoint, e utxo.Entry) bool {
+			held += e.Value
+			return true
+		})
+		if want := minted - destroyed; held != want {
+			report(n.ID, fmt.Sprintf(
+				"UTXO holds %d, chain explains %d (minted %d - fees %d)",
+				held, want, minted, destroyed))
+		}
+	}
+}
+
+// FeeSplit re-derives the remuneration rules on main-chain blocks: a key
+// block's coinbase mints at most the subsidy plus the previous epoch's
+// microblock fees and pays the previous leader at least the LeaderFeeFrac
+// share (the paper's 40%, §4.4, whose 37%..43% incentive window §5.1
+// derives); a Bitcoin block's coinbase mints at most subsidy plus its own
+// fees. The check recomputes epoch fees from the per-block fee records
+// instead of trusting ConnectCheck's verdict. Intermediate ticks check the
+// newest two PoW/key epochs only — violations surface near their cause
+// without re-walking the whole history every tick; the final check covers
+// the full chain.
+func FeeSplit() Invariant { return feeSplit{} }
+
+type feeSplit struct{}
+
+func (feeSplit) Name() string { return "fee-split" }
+
+func (feeSplit) Check(s *Snapshot, report func(int, string)) {
+	for i := range s.Nodes {
+		n := &s.Nodes[i]
+		st := n.Chain
+		if s.Final {
+			mc := st.MainChain()
+			for _, blk := range mc[1:] { // genesis mints the experiment float
+				checkBlockEconomics(st, blk, s.Params, n.ID, report)
+			}
+			continue
+		}
+		seenKeys := 0
+		for blk := st.Tip(); blk != nil && blk.Parent != nil && seenKeys < 2; blk = blk.Parent {
+			if blk.Block.Kind() != types.KindMicro {
+				seenKeys++
+			}
+			checkBlockEconomics(st, blk, s.Params, n.ID, report)
+		}
+	}
+}
+
+// checkBlockEconomics dispatches one block's remuneration check by kind.
+func checkBlockEconomics(st *chain.State, blk *chain.Node, params types.Params, node int, report func(int, string)) {
+	switch blk.Block.Kind() {
+	case types.KindKey:
+		checkKeyBlockEconomics(st, blk, params, node, report)
+	case types.KindPow:
+		cb, ok := coinbaseOf(blk)
+		if !ok {
+			report(node, fmt.Sprintf("block %s has no coinbase", blk.Hash().Short()))
+			return
+		}
+		if max := params.Subsidy + st.FeeTotal(blk.Hash()); cb.OutputSum() > max {
+			report(node, fmt.Sprintf("block %s coinbase mints %d > subsidy+fees %d",
+				blk.Hash().Short(), cb.OutputSum(), max))
+		}
+	}
+}
+
+func checkKeyBlockEconomics(st *chain.State, blk *chain.Node, params types.Params, node int, report func(int, string)) {
+	cb, ok := coinbaseOf(blk)
+	if !ok {
+		report(node, fmt.Sprintf("key block %s has no coinbase", blk.Hash().Short()))
+		return
+	}
+	epochFees := st.EpochFeesAt(blk.Parent)
+	if max := params.Subsidy + epochFees; cb.OutputSum() > max {
+		report(node, fmt.Sprintf("key block %s coinbase mints %d > subsidy+epoch fees %d",
+			blk.Hash().Short(), cb.OutputSum(), max))
+	}
+	leaderShare, _ := params.SplitFee(epochFees)
+	if leaderShare == 0 {
+		return
+	}
+	prev, ok := coinbaseOf(blk.Parent.KeyAncestor)
+	if !ok || len(prev.Outputs) == 0 {
+		return // no previous leader to owe (first epoch off genesis)
+	}
+	prevLeader := prev.Outputs[0].To
+	var paid types.Amount
+	for i := range cb.Outputs {
+		if cb.Outputs[i].To == prevLeader {
+			paid += cb.Outputs[i].Value
+		}
+	}
+	if paid < leaderShare {
+		report(node, fmt.Sprintf("key block %s pays previous leader %d of %d epoch-fee share (40%% of %d)",
+			blk.Hash().Short(), paid, leaderShare, epochFees))
+	}
+}
+
+// coinbaseOf returns a block's coinbase transaction (by convention the
+// first), if it has one.
+func coinbaseOf(blk *chain.Node) (*types.Transaction, bool) {
+	txs := blk.Block.Transactions()
+	if len(txs) == 0 || txs[0].Kind != types.TxCoinbase {
+		return nil, false
+	}
+	return txs[0], true
+}
+
+// SingleLeader checks that every microblock an honest node serialized was
+// signed by the leader key of its epoch's key block — §4.2's "a key block
+// contains a public key that signs subsequent microblocks"; together with
+// the fork choice this is exactly "at most one leader's serialization wins
+// per epoch". Signatures are re-verified from scratch; at intermediate
+// ticks only the tip epoch is checked (signatures are slow), the final
+// check covers the whole chain.
+func SingleLeader() Invariant { return singleLeader{} }
+
+type singleLeader struct{}
+
+func (singleLeader) Name() string { return "single-leader" }
+
+func (singleLeader) Check(s *Snapshot, report func(int, string)) {
+	for i := range s.Nodes {
+		n := &s.Nodes[i]
+		if !n.Honest() {
+			continue
+		}
+		if s.Final {
+			for _, blk := range n.Chain.MainChain() {
+				checkEpochSignature(blk, n.ID, report)
+			}
+			continue
+		}
+		// Tip epoch only: walk down from the tip until the epoch's key block.
+		for blk := n.Chain.Tip(); blk != nil && blk.Block.Kind() == types.KindMicro; blk = blk.Parent {
+			checkEpochSignature(blk, n.ID, report)
+		}
+	}
+}
+
+func checkEpochSignature(blk *chain.Node, node int, report func(int, string)) {
+	mb, ok := blk.Block.(*types.MicroBlock)
+	if !ok {
+		return
+	}
+	key, ok := blk.KeyAncestor.Block.(*types.KeyBlock)
+	if !ok {
+		report(node, fmt.Sprintf("microblock %s has no key-block epoch", blk.Hash().Short()))
+		return
+	}
+	if !mb.Header.VerifySignature(key.Header.LeaderKey) {
+		report(node, fmt.Sprintf("microblock %s not signed by epoch leader (key block %s)",
+			blk.Hash().Short(), blk.KeyAncestor.Hash().Short()))
+	}
+}
+
+// keyDivergence reports whether the main chains of a and b share a common
+// ancestor within k key blocks of the lower tip. The walk is hash-based (the
+// two states own disjoint node trees) and bounded to the k+1 most recent key
+// heights of each chain.
+func keyDivergence(a, b *chain.State, k int) bool {
+	m := a.Tip().KeyHeight
+	if h := b.Tip().KeyHeight; h < m {
+		m = h
+	}
+	if m <= uint64(k) {
+		return true // cannot diverge deeper than the chain itself
+	}
+	floor := m - uint64(k)
+	onA := make(map[crypto.Hash]bool)
+	for blk := a.Tip(); blk != nil && blk.KeyHeight >= floor; blk = blk.Parent {
+		onA[blk.Hash()] = true
+	}
+	for blk := b.Tip(); blk != nil && blk.KeyHeight >= floor; blk = blk.Parent {
+		if onA[blk.Hash()] {
+			return true
+		}
+	}
+	return false
+}
+
+// graceOr resolves a configured settle grace, defaulting to mult key-block
+// intervals.
+func graceOr(configured time.Duration, params types.Params, mult int) time.Duration {
+	if configured > 0 {
+		return configured
+	}
+	return time.Duration(mult) * params.TargetBlockInterval
+}
+
+// checkPairwise reports every pair of listed honest nodes whose key chains
+// diverge beyond k.
+func checkPairwise(nodes []*NodeState, k int, label string, report func(int, string)) {
+	for i := 0; i < len(nodes); i++ {
+		for j := i + 1; j < len(nodes); j++ {
+			if !keyDivergence(nodes[i].Chain, nodes[j].Chain, k) {
+				report(nodes[j].ID, fmt.Sprintf(
+					"%s: main chain diverges from node %d by more than %d key blocks",
+					label, nodes[i].ID, k))
+			}
+		}
+	}
+}
+
+// honestIn collects the honest nodes of the snapshot, optionally restricted
+// to one partition group (group < 0 means all).
+func honestIn(s *Snapshot, group int) []*NodeState {
+	var out []*NodeState
+	for i := range s.Nodes {
+		n := &s.Nodes[i]
+		if !n.Honest() {
+			continue
+		}
+		if group >= 0 && n.Group != group {
+			continue
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+// ForkBound is no-honest-fork-beyond-k: while the network is whole (and has
+// settled after its last disruption), any two honest nodes' main chains
+// share a common ancestor within k key blocks of the lower tip. The paper's
+// consistency argument (§3, §4.1) allows short races — simultaneous key
+// blocks, selfish releases — but never sustained divergence between
+// connected honest miners.
+func ForkBound(k int, grace time.Duration) Invariant {
+	return forkBound{k: k, grace: grace}
+}
+
+type forkBound struct {
+	k     int
+	grace time.Duration
+}
+
+func (f forkBound) Name() string { return "fork-bound" }
+
+func (f forkBound) Check(s *Snapshot, report func(int, string)) {
+	if s.Partitioned || !s.settledFor(graceOr(f.grace, s.Params, 2)) {
+		return
+	}
+	checkPairwise(honestIn(s, -1), f.k, "connected network", report)
+}
+
+// PartitionConsistency is the fork bound scoped to partition groups: while a
+// partition is in force, honest nodes that can still reach each other must
+// keep agreeing, even though the groups diverge arbitrarily far from one
+// another (§4.1's consensus holds within every connected component).
+func PartitionConsistency(k int, grace time.Duration) Invariant {
+	return partitionConsistency{k: k, grace: grace}
+}
+
+type partitionConsistency struct {
+	k     int
+	grace time.Duration
+}
+
+func (p partitionConsistency) Name() string { return "partition-consistency" }
+
+func (p partitionConsistency) Check(s *Snapshot, report func(int, string)) {
+	if !s.Partitioned || !s.settledFor(graceOr(p.grace, s.Params, 2)) {
+		return
+	}
+	groups := make(map[int][]*NodeState)
+	var order []int
+	for i := range s.Nodes {
+		n := &s.Nodes[i]
+		if !n.Honest() {
+			continue
+		}
+		if _, ok := groups[n.Group]; !ok {
+			order = append(order, n.Group)
+		}
+		groups[n.Group] = append(groups[n.Group], n)
+	}
+	for _, g := range order {
+		checkPairwise(groups[g], p.k, fmt.Sprintf("partition group %d", g), report)
+	}
+}
+
+// Convergence is the post-heal liveness-of-agreement claim: once the network
+// has been whole and undisturbed for the (longer) convergence grace, the
+// partition-era branches must have collapsed — every pair of honest nodes
+// agrees up to a small tail of depth key blocks. This is the §4.1/§7.1
+// "network converges on a single chain after partitions heal" property that
+// motivates the coinbase maturity period (§4.4).
+func Convergence(depth int, grace time.Duration) Invariant {
+	return convergence{depth: depth, grace: grace}
+}
+
+type convergence struct {
+	depth int
+	grace time.Duration
+}
+
+func (c convergence) Name() string { return "convergence" }
+
+func (c convergence) Check(s *Snapshot, report func(int, string)) {
+	if s.Partitioned || !s.settledFor(graceOr(c.grace, s.Params, 4)) {
+		return
+	}
+	checkPairwise(honestIn(s, -1), c.depth, "settled network", report)
+}

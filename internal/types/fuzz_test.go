@@ -52,6 +52,36 @@ func TestMicroBlockDecodeJunkProperty(t *testing.T) {
 	}
 }
 
+// FuzzBlockWire is the native-fuzzer form of the identity property, across
+// all three block kinds plus loose transactions from one input: whatever
+// bytes decode must re-encode to the same bytes. Backed by a committed
+// corpus; `make fuzz` runs a short campaign.
+//
+//	go test -fuzz=FuzzBlockWire -fuzztime=30s ./internal/types
+func FuzzBlockWire(f *testing.F) {
+	key := testKey(f, 3)
+	mb := &MicroBlock{Header: MicroBlockHeader{TimeNanos: 9}}
+	mb.Header.TxRoot = crypto.MerkleRoot(TxIDs(nil))
+	mb.Header.Sign(key)
+	f.Add(wire.Encode(mb))
+	f.Add(wire.Encode(GenesisBlock(GenesisSpec{Target: crypto.EasiestTarget})))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if !decodeEncodeIdentity(raw, new(PowBlock)) {
+			t.Fatal("PowBlock decode/encode not an identity")
+		}
+		if !decodeEncodeIdentity(raw, new(KeyBlock)) {
+			t.Fatal("KeyBlock decode/encode not an identity")
+		}
+		if !decodeEncodeIdentity(raw, new(MicroBlock)) {
+			t.Fatal("MicroBlock decode/encode not an identity")
+		}
+		if !decodeEncodeIdentity(raw, new(Transaction)) {
+			t.Fatal("Transaction decode/encode not an identity")
+		}
+	})
+}
+
 // TestTruncationAlwaysRejected: every strict prefix of a valid block's
 // serialization must fail to decode — no partial parse can be mistaken for
 // a shorter valid block.

@@ -39,7 +39,7 @@ const (
 // Encoding/decoding errors.
 var (
 	ErrTooLarge     = errors.New("wire: size exceeds maximum")
-	ErrNonCanonical = errors.New("wire: non-canonical compact size")
+	ErrNonCanonical = errors.New("wire: non-canonical encoding")
 	ErrTrailing     = errors.New("wire: trailing bytes after message")
 )
 
@@ -185,8 +185,17 @@ func (r *Reader) Uint8() uint8 {
 	return b[0]
 }
 
-// Bool decodes a single byte as a boolean; any nonzero value is true.
-func (r *Reader) Bool() bool { return r.Uint8() != 0 }
+// Bool decodes a single byte as a boolean. Only 0 and 1 are accepted:
+// booleans have exactly one encoding each, like every other construct here,
+// so a decoded-then-reencoded message always reproduces its original bytes
+// (FuzzBlockWire caught the previous any-nonzero reading violating that).
+func (r *Reader) Bool() bool {
+	b := r.Uint8()
+	if r.err == nil && b > 1 {
+		r.fail(fmt.Errorf("%w: boolean byte %#x", ErrNonCanonical, b))
+	}
+	return b == 1
+}
 
 // Uint16 decodes a little-endian 16-bit integer.
 func (r *Reader) Uint16() uint16 {

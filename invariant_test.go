@@ -1,0 +1,65 @@
+package bitcoinng
+
+import (
+	"testing"
+	"time"
+)
+
+// TestClusterInvariantsClean: an interactive cluster with the full invariant
+// catalogue armed — through a partition/heal cycle — stays violation-free:
+// the periodic checks tick on the event loop, the final CheckInvariants
+// covers the whole history, and the partition bookkeeping gates the
+// consistency invariants correctly.
+func TestClusterInvariantsClean(t *testing.T) {
+	params := DefaultParams()
+	params.RetargetWindow = 0
+	params.TargetBlockInterval = 20 * time.Second
+	params.MicroblockInterval = 2 * time.Second
+
+	c, err := New(8,
+		WithSeed(9),
+		WithParams(params),
+		WithFunding(100_000),
+		WithInvariants(DefaultInvariants(InvariantOptions{})...),
+		WithInvariantInterval(10*time.Second),
+		WithScenario(NewScenario(
+			At(time.Minute, Partition([]int{0, 1, 2, 3}, []int{4, 5, 6, 7})),
+			At(2*time.Minute, Heal()),
+		)),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Run(5 * time.Minute)
+	if errs := c.ScenarioErrors(); len(errs) != 0 {
+		t.Fatalf("scenario errors: %v", errs)
+	}
+	if v := c.CheckInvariants(); len(v) != 0 {
+		t.Fatalf("invariant violations on an honest cluster: %v", v)
+	}
+}
+
+// TestExperimentInvariantsClean: the measured harness threads the same
+// catalogue (WithInvariants -> experiment.Config.Invariants) and a clean
+// honest run reports no violations — on the sharded engine, proving the
+// checks run at engine-agnostic quiescent points.
+func TestExperimentInvariantsClean(t *testing.T) {
+	cfg := NewExperiment(8,
+		WithSeed(3),
+		WithTargetBlocks(6),
+		WithParallelism(2),
+		WithInvariants(DefaultInvariants(InvariantOptions{})...),
+	)
+	cfg.Params.TargetBlockInterval = 20 * time.Second
+	cfg.Params.MicroblockInterval = 2 * time.Second
+	res, err := RunExperiment(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.InvariantViolations) != 0 {
+		t.Fatalf("invariant violations on an honest run: %v", res.InvariantViolations)
+	}
+	if res.Report.Blocks == 0 {
+		t.Fatal("run produced no blocks")
+	}
+}

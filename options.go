@@ -1,7 +1,10 @@
 package bitcoinng
 
 import (
+	"time"
+
 	"bitcoinng/internal/experiment"
+	"bitcoinng/internal/invariant"
 	"bitcoinng/internal/protocol"
 )
 
@@ -26,6 +29,8 @@ type options struct {
 	targetBlocks  int
 	cacheOff      bool
 	parallelism   int
+	invariants    []invariant.Invariant
+	invInterval   time.Duration
 }
 
 func defaultOptions() options {
@@ -106,6 +111,23 @@ func WithParallelism(n int) Option { return func(o *options) { o.parallelism = n
 // measure the uncached baseline.
 func WithConnectCache(on bool) Option { return func(o *options) { o.cacheOff = !on } }
 
+// WithInvariants arms online invariant checking on both harnesses: the
+// given catalogue (see Invariant, DefaultInvariants) is evaluated against
+// every node's chain state at regular virtual-time ticks and at run end.
+// Violations accumulate (Cluster.InvariantViolations /
+// ExperimentResult.InvariantViolations) without stopping the run. Checks
+// are read-only and deterministic, so experiment reports stay
+// byte-identical with or without them, at any parallelism.
+func WithInvariants(invs ...Invariant) Option {
+	return func(o *options) { o.invariants = append(o.invariants, invs...) }
+}
+
+// WithInvariantInterval spaces the online invariant checks; the default is
+// the key-block interval.
+func WithInvariantInterval(d time.Duration) Option {
+	return func(o *options) { o.invInterval = d }
+}
+
 // New builds an interactive cluster of n nodes from functional options —
 // the primary cluster entry point:
 //
@@ -134,6 +156,8 @@ func New(n int, opts ...Option) (*Cluster, error) {
 		Strategies:          o.strategies,
 		Scenario:            o.scenario,
 		DisableConnectCache: o.cacheOff,
+		Invariants:          o.invariants,
+		InvariantInterval:   o.invInterval,
 	})
 }
 
@@ -163,7 +187,28 @@ func NewExperiment(n int, opts ...Option) ExperimentConfig {
 	cfg.Scenario = o.scenario
 	cfg.DisableConnectCache = o.cacheOff
 	cfg.Parallelism = o.parallelism
+	cfg.Invariants = o.invariants
+	cfg.InvariantInterval = o.invInterval
 	return cfg
+}
+
+// The invariant engine, re-exported so callers compose catalogues without
+// importing internal packages.
+type (
+	// Invariant is one online-checkable safety property; see
+	// DefaultInvariants for the built-in catalogue.
+	Invariant = invariant.Invariant
+	// InvariantViolation is one recorded failure.
+	InvariantViolation = invariant.Violation
+	// InvariantOptions tunes the built-in catalogue.
+	InvariantOptions = invariant.Options
+)
+
+// DefaultInvariants returns the built-in catalogue: UTXO value
+// conservation, the §4.4 fee split, single leadership per epoch, the honest
+// fork bound, intra-partition consistency, and post-heal convergence.
+func DefaultInvariants(opts InvariantOptions) []Invariant {
+	return invariant.Defaults(opts)
 }
 
 // The protocol registry, re-exported so new protocols plug into every
