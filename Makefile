@@ -2,13 +2,32 @@ GO ?= go
 BENCH_DATE := $(shell date +%Y%m%d)
 BENCH_OUT ?= BENCH_$(BENCH_DATE).json
 
-.PHONY: build vet test race bench bench-json bench-diff smoke determinism examples soak fuzz cover
+.PHONY: build vet lint test race bench bench-json bench-diff smoke determinism examples soak fuzz cover
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# lint is the static determinism/protocol-safety gate: go vet, then the
+# project's own nglint suite (walltime, globalrand, maporder, locksafe,
+# wiresym — see DESIGN.md §9), then staticcheck and govulncheck when
+# installed (CI installs both; locally they are optional extras since the
+# sandbox has no network). A finding, or an unjustified //nglint:allow,
+# fails the build.
+lint: vet
+	$(GO) run ./cmd/nglint ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		echo "== staticcheck"; staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed, skipping (CI runs it)"; \
+	fi
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		echo "== govulncheck"; govulncheck ./...; \
+	else \
+		echo "lint: govulncheck not installed, skipping (CI runs it)"; \
+	fi
 
 test: build
 	$(GO) test ./...

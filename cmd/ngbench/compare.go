@@ -59,10 +59,15 @@ func compareBench(w io.Writer, oldPath, newPath string) error {
 		}
 		fmt.Fprintf(w, "%-44s %14.0f %14.0f %+8.1f%%%s\n", name, o, n, 100*delta, note)
 	}
+	var added []string
 	for name := range newNs {
 		if _, ok := oldNs[name]; !ok {
-			fmt.Fprintf(w, "%-44s %14s %14.0f %9s\n", name, "-", newNs[name], "new")
+			added = append(added, name)
 		}
+	}
+	sort.Strings(added)
+	for _, name := range added {
+		fmt.Fprintf(w, "%-44s %14s %14.0f %9s\n", name, "-", newNs[name], "new")
 	}
 	if regressions > 0 {
 		fmt.Fprintf(w, "\n%d benchmark(s) regressed more than %.0f%%\n",

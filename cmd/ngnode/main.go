@@ -13,6 +13,7 @@
 package main
 
 import (
+	cryptorand "crypto/rand"
 	"flag"
 	"fmt"
 	"log"
@@ -30,7 +31,6 @@ import (
 	"bitcoinng/internal/node"
 	"bitcoinng/internal/p2p"
 	"bitcoinng/internal/protocol"
-	"bitcoinng/internal/sim"
 	"bitcoinng/internal/strategy"
 	"bitcoinng/internal/types"
 	"bitcoinng/internal/validate"
@@ -66,7 +66,9 @@ func main() {
 	params.MicroblockInterval = *micro
 	params.MinMicroblockInterval = 10 * time.Millisecond
 
-	key, err := crypto.GenerateKey(sim.NewRand(time.Now().UnixNano(), uint64(*id)))
+	// A live node's identity key comes from OS entropy; timestamp-seeded
+	// PRNG keys are guessable and collide when nodes start together.
+	key, err := crypto.GenerateKey(cryptorand.Reader)
 	if err != nil {
 		log.Fatalf("key generation: %v", err)
 	}
@@ -159,7 +161,7 @@ func main() {
 		go mineLoop(rt, base, assembler, stop)
 	}
 
-	ticker := time.NewTicker(*status)
+	ticker := time.NewTicker(*status) //nglint:allow walltime live-node operator status display; not part of any simulation
 	defer ticker.Stop()
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)

@@ -79,7 +79,7 @@ func main() {
 	})
 
 	// Let the leader stream microblocks over TCP for two wall-clock seconds.
-	time.Sleep(2 * time.Second)
+	time.Sleep(2 * time.Second) //nglint:allow walltime live TCP demo deliberately runs on the wall clock
 
 	fmt.Println()
 	for i := 0; i < n; i++ {

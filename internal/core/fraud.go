@@ -1,6 +1,9 @@
 package core
 
 import (
+	"bytes"
+	"sort"
+
 	"bitcoinng/internal/chain"
 	"bitcoinng/internal/crypto"
 	"bitcoinng/internal/types"
@@ -51,8 +54,19 @@ func (n *Node) eligiblePoisons(tip *chain.Node) []*types.Transaction {
 	if len(n.fraud) == 0 {
 		return nil
 	}
+	// Iterate culprits in hash order: the transactions land in this
+	// leader's next microblock, so their order is consensus-visible and
+	// must not depend on map iteration.
+	culprits := make([]crypto.Hash, 0, len(n.fraud))
+	for h := range n.fraud {
+		culprits = append(culprits, h)
+	}
+	sort.Slice(culprits, func(i, j int) bool {
+		return bytes.Compare(culprits[i][:], culprits[j][:]) < 0
+	})
 	var out []*types.Transaction
-	for culpritHash, rec := range n.fraud {
+	for _, culpritHash := range culprits {
+		rec := n.fraud[culpritHash]
 		coinbase := rec.culprit.Block.Transactions()[0]
 		coinbaseID := coinbase.ID()
 		if n.State.UTXO().Poisoned(coinbaseID) {
@@ -101,5 +115,6 @@ func (n *Node) KnownFrauds() []crypto.Hash {
 	for h := range n.fraud {
 		out = append(out, h)
 	}
+	sort.Slice(out, func(i, j int) bool { return bytes.Compare(out[i][:], out[j][:]) < 0 })
 	return out
 }

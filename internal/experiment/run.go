@@ -541,7 +541,7 @@ func (r *runner) Equivocate(leader int, txA, txB *types.Transaction) error {
 
 func (r *runner) run() (*Result, error) {
 	defer r.eng.close()
-	startWall := time.Now()
+	startWall := time.Now() //nglint:allow walltime measures real runtime for Result.WallTime (operator info); never feeds the simulation
 	var scenarioUntil int64
 	if r.cfg.Scenario != nil {
 		scenarioUntil = int64(r.cfg.Scenario.Duration())
@@ -617,7 +617,7 @@ func (r *runner) run() (*Result, error) {
 		Report:              report,
 		NetStats:            r.net.Stats(),
 		Events:              r.eng.executed(),
-		WallTime:            time.Since(startWall),
+		WallTime:            time.Since(startWall), //nglint:allow walltime measures real runtime for Result.WallTime (operator info); never feeds the simulation
 		SimTime:             time.Duration(end),
 		ScenarioErrors:      r.scenErrs,
 		InvariantViolations: violations,

@@ -1,0 +1,140 @@
+// Package astutil holds the small AST/type helpers shared by the nglint
+// analyzers.
+package astutil
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PkgFuncCall reports whether call invokes a package-level function through
+// a package selector (e.g. time.Now(), rand.Intn(n)), returning the
+// package's import path and the function name.
+func PkgFuncCall(info *types.Info, call *ast.CallExpr) (pkgPath, name string, ok bool) {
+	sel, okSel := call.Fun.(*ast.SelectorExpr)
+	if !okSel {
+		return "", "", false
+	}
+	id, okID := sel.X.(*ast.Ident)
+	if !okID {
+		return "", "", false
+	}
+	pn, okPkg := info.Uses[id].(*types.PkgName)
+	if !okPkg {
+		return "", "", false
+	}
+	return pn.Imported().Path(), sel.Sel.Name, true
+}
+
+// MethodCall reports whether call invokes a method via a selector,
+// returning the receiver expression, its static type, and the method name.
+func MethodCall(info *types.Info, call *ast.CallExpr) (recv ast.Expr, recvType types.Type, name string, ok bool) {
+	sel, okSel := call.Fun.(*ast.SelectorExpr)
+	if !okSel {
+		return nil, nil, "", false
+	}
+	s, okS := info.Selections[sel]
+	if !okS || s.Kind() != types.MethodVal {
+		return nil, nil, "", false
+	}
+	return sel.X, s.Recv(), sel.Sel.Name, true
+}
+
+// Named returns the named type underlying t, unwrapping one level of
+// pointer and any aliases, or nil.
+func Named(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// NamedIs reports whether t (possibly behind a pointer) is the named type
+// pkgPath.name.
+func NamedIs(t types.Type, pkgPath, name string) bool {
+	n := Named(t)
+	if n == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Path() == pkgPath && n.Obj().Name() == name
+}
+
+// Unwrap strips parens and value conversions (T(x), including unary &/*)
+// down to the underlying operand expression.
+func Unwrap(info *types.Info, e ast.Expr) ast.Expr {
+	for {
+		switch v := e.(type) {
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.UnaryExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.CallExpr:
+			// A conversion like uint64(x) has exactly one argument
+			// and a type as its callee.
+			if len(v.Args) == 1 {
+				if tv, ok := info.Types[v.Fun]; ok && tv.IsType() {
+					e = v.Args[0]
+					continue
+				}
+			}
+			return e
+		default:
+			return e
+		}
+	}
+}
+
+// FieldName returns the final selected field name of e after unwrapping
+// conversions ("h.Height" or "uint64(h.Height)" → "Height"), or "" when e
+// is not a selector or identifier.
+func FieldName(info *types.Info, e ast.Expr) string {
+	switch v := Unwrap(info, e).(type) {
+	case *ast.SelectorExpr:
+		return v.Sel.Name
+	case *ast.Ident:
+		if v.Name == "_" {
+			return ""
+		}
+		return v.Name
+	}
+	return ""
+}
+
+// RootIdent returns the leftmost identifier of a selector chain
+// (a.b.c → a), or nil.
+func RootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			return v
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.UnaryExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// Obj returns the object an identifier resolves to, checking uses then
+// definitions.
+func Obj(info *types.Info, id *ast.Ident) types.Object {
+	if o := info.Uses[id]; o != nil {
+		return o
+	}
+	return info.Defs[id]
+}

@@ -1,0 +1,83 @@
+// Package globalrand forbids process-global and ad-hoc randomness.
+//
+// Every random draw in this repository must flow from an injected
+// *rand.Rand created by sim.NewRand(base, stream): that is what makes a
+// whole chaos scenario replayable from one seed, keeps sweep points
+// independent of scheduling order, and lets the sharded engine hand each
+// node an uncorrelated stream. Two constructs break that contract:
+//
+//   - package-level math/rand functions (rand.Intn, rand.Float64, ...) draw
+//     from the process-global source, which is shared across goroutines and
+//     seeded once per process — results then depend on global call order;
+//   - ad-hoc rand.New(rand.NewSource(seed)) bypasses sim.DeriveSeed's
+//     stream separation (and the fast xoshiro source), so two subsystems
+//     fed the same base seed produce correlated streams.
+//
+// Passing *rand.Rand values around, and calling methods on them, is the
+// sanctioned pattern and is never flagged. Test files are exempt (they are
+// not loaded at all).
+package globalrand
+
+import (
+	"go/ast"
+
+	"bitcoinng/internal/lint/analysis"
+	"bitcoinng/internal/lint/astutil"
+)
+
+// Analyzer is the globalrand check.
+var Analyzer = &analysis.Analyzer{
+	Name: "globalrand",
+	Doc: "forbids package-level math/rand and math/rand/v2 functions and " +
+		"ad-hoc rand.New(rand.NewSource(...)); all randomness must flow " +
+		"from an injected *rand.Rand born in sim.NewRand",
+	Run: run,
+}
+
+func randPkg(path string) bool {
+	return path == "math/rand" || path == "math/rand/v2"
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkg, name, ok := astutil.PkgFuncCall(pass.Info, call)
+			if !ok || !randPkg(pkg) {
+				return true
+			}
+			switch name {
+			case "New":
+				// rand.New is the one constructor sim.NewRand itself
+				// needs (wrapping its xoshiro source). Only the ad-hoc
+				// composite that rebuilds a stdlib source inline is
+				// banned.
+				if len(call.Args) == 1 && isNewSourceCall(pass, call.Args[0]) {
+					pass.Reportf(call.Pos(),
+						"ad-hoc rand.New(rand.NewSource(...)): derive streams with sim.NewRand(base, stream) so seeds stay uncorrelated and replayable")
+					return false // don't double-report the inner NewSource
+				}
+			case "NewSource", "NewPCG", "NewChaCha8":
+				pass.Reportf(call.Pos(),
+					"%s.%s builds an ad-hoc random source: derive streams with sim.NewRand(base, stream)", pkg, name)
+			default:
+				pass.Reportf(call.Pos(),
+					"package-level %s.%s draws from the process-global source: results depend on global call order; take an injected *rand.Rand from sim.NewRand", pkg, name)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func isNewSourceCall(pass *analysis.Pass, e ast.Expr) bool {
+	inner, ok := astutil.Unwrap(pass.Info, e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	pkg, name, ok := astutil.PkgFuncCall(pass.Info, inner)
+	return ok && randPkg(pkg) && (name == "NewSource" || name == "NewPCG" || name == "NewChaCha8")
+}

@@ -1,0 +1,15 @@
+package globalrand_test
+
+import (
+	"testing"
+
+	"bitcoinng/internal/lint/globalrand"
+	"bitcoinng/internal/lint/linttest"
+)
+
+func TestFixture(t *testing.T) {
+	diags := linttest.Run(t, globalrand.Analyzer, "gr")
+	if len(diags) == 0 {
+		t.Fatal("globalrand fixture produced no diagnostics: the rule does not fire")
+	}
+}

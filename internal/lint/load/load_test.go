@@ -1,0 +1,113 @@
+package load
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// moduleRoot walks up from the working directory to the directory holding
+// go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above working directory")
+		}
+		dir = parent
+	}
+}
+
+func TestLoadModulePackage(t *testing.T) {
+	l := New("bitcoinng", moduleRoot(t))
+	pkg, err := l.Load("bitcoinng/internal/wire")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkg.Types.Name() != "wire" {
+		t.Fatalf("package name = %q, want wire", pkg.Types.Name())
+	}
+	if pkg.Types.Scope().Lookup("Writer") == nil {
+		t.Fatal("wire.Writer not found in package scope")
+	}
+	// Test files must not be loaded: the lint contract exempts them.
+	for _, fn := range pkg.Filenames {
+		if strings.HasSuffix(fn, "_test.go") {
+			t.Fatalf("test file loaded: %s", fn)
+		}
+	}
+	// Comments must be retained for //nglint:allow handling.
+	hasComments := false
+	for _, f := range pkg.Files {
+		if len(f.Comments) > 0 {
+			hasComments = true
+		}
+	}
+	if !hasComments {
+		t.Fatal("no comments retained in parsed files")
+	}
+}
+
+// TestLoadHeavyDependencies exercises the source importer against the
+// deepest stdlib closures the module actually pulls in (ed25519 reaches the
+// FIPS tree, p2p reaches net and time, the root package reaches fmt/sort).
+func TestLoadHeavyDependencies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks a large stdlib closure from source")
+	}
+	l := New("bitcoinng", moduleRoot(t))
+	for _, path := range []string{
+		"bitcoinng/internal/crypto",
+		"bitcoinng/internal/p2p",
+		"bitcoinng",
+	} {
+		pkg, err := l.Load(path)
+		if err != nil {
+			t.Fatalf("Load(%s): %v", path, err)
+		}
+		if !pkg.Types.Complete() {
+			t.Fatalf("%s: incomplete package", path)
+		}
+		if len(pkg.Files) == 0 {
+			t.Fatalf("%s: no files", path)
+		}
+		var found token.Pos
+		for _, f := range pkg.Files {
+			found = f.Pos()
+		}
+		if !found.IsValid() {
+			t.Fatalf("%s: invalid file positions", path)
+		}
+	}
+}
+
+func TestModulePackagesEnumeration(t *testing.T) {
+	l := New("bitcoinng", moduleRoot(t))
+	paths, err := l.ModulePackages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"bitcoinng", "bitcoinng/cmd/nglint", "bitcoinng/internal/sim", "bitcoinng/internal/wire"}
+	have := map[string]bool{}
+	for _, p := range paths {
+		have[p] = true
+		if strings.Contains(p, "testdata") {
+			t.Fatalf("testdata package enumerated: %s", p)
+		}
+	}
+	for _, w := range want {
+		if !have[w] {
+			t.Fatalf("ModulePackages missing %s (got %d paths)", w, len(paths))
+		}
+	}
+}

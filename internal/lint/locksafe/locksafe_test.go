@@ -1,0 +1,15 @@
+package locksafe_test
+
+import (
+	"testing"
+
+	"bitcoinng/internal/lint/linttest"
+	"bitcoinng/internal/lint/locksafe"
+)
+
+func TestFixture(t *testing.T) {
+	diags := linttest.Run(t, locksafe.Analyzer, "ls")
+	if len(diags) == 0 {
+		t.Fatal("locksafe fixture produced no diagnostics: the rule does not fire")
+	}
+}

@@ -1,0 +1,119 @@
+// Package ls is the locksafe fixture. It imports the real validate and sim
+// packages so dispatch-method detection is exercised against the actual
+// receiver types.
+package ls
+
+import (
+	"sync"
+
+	"bitcoinng/internal/sim"
+	"bitcoinng/internal/validate"
+)
+
+type S struct {
+	a sync.Mutex
+	b sync.Mutex
+	n int
+}
+
+// f establishes the order S.a -> S.b.
+func (s *S) f() {
+	s.a.Lock()
+	s.b.Lock()
+	s.n++
+	s.b.Unlock()
+	s.a.Unlock()
+}
+
+// g acquires in the opposite order, closing the cycle.
+func (s *S) g() {
+	s.b.Lock()
+	s.a.Lock() // want `lock-order cycle: S\.a -> S\.b -> S\.a`
+	s.n++
+	s.a.Unlock()
+	s.b.Unlock()
+}
+
+// rec self-deadlocks.
+func (s *S) rec() {
+	s.a.Lock()
+	s.a.Lock() // want `lock S\.a acquired while already held`
+	s.n++
+	s.a.Unlock()
+	s.a.Unlock()
+}
+
+// heldAcrossPool blocks the pool while holding S.a: a worker touching S.a
+// deadlocks the run.
+func (s *S) heldAcrossPool(p *validate.Pool) {
+	s.a.Lock()
+	defer s.a.Unlock()
+	p.Run(3, func(i int) { s.n += i }) // want `mutex S\.a held across Pool\.Run`
+}
+
+// heldAcrossLoop schedules an event while holding S.b.
+func (s *S) heldAcrossLoop(l *sim.Loop) {
+	s.b.Lock()
+	l.At(10, func() { s.n++ }) // want `mutex S\.b held across Loop\.At`
+	s.b.Unlock()
+}
+
+// okDispatch releases before dispatching.
+func (s *S) okDispatch(p *validate.Pool) {
+	s.a.Lock()
+	s.n++
+	s.a.Unlock()
+	p.Run(3, func(i int) { s.n += i })
+}
+
+// T is independent: a one-way order (T.x before T.y, never reversed) is not
+// a cycle.
+type T struct {
+	x sync.Mutex
+	y sync.RWMutex
+	n int
+}
+
+func (t *T) readThenWrite() {
+	t.x.Lock()
+	t.y.RLock()
+	t.n++
+	t.y.RUnlock()
+	t.x.Unlock()
+}
+
+func (t *T) sameOrderAgain() {
+	t.x.Lock()
+	defer t.x.Unlock()
+	t.y.Lock()
+	defer t.y.Unlock()
+	t.n++
+}
+
+// viaHelper closes a cycle interprocedurally: U.b is taken by the helper
+// while U.a is held, and elsewhere U.a is taken while U.b is held.
+type U struct {
+	a sync.Mutex
+	b sync.Mutex
+	n int
+}
+
+func (u *U) helperB() {
+	u.b.Lock()
+	u.n++
+	u.b.Unlock()
+}
+
+func (u *U) lockAThenHelper() {
+	u.a.Lock()
+	defer u.a.Unlock()
+	u.helperB()
+}
+
+func (u *U) lockBThenA() {
+	u.b.Lock()
+	u.a.Lock() // want `lock-order cycle: U\.a -> U\.b -> U\.a`
+	u.n++
+	u.a.Unlock()
+	u.b.Unlock()
+}

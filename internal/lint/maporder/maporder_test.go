@@ -1,0 +1,15 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"bitcoinng/internal/lint/linttest"
+	"bitcoinng/internal/lint/maporder"
+)
+
+func TestFixture(t *testing.T) {
+	diags := linttest.Run(t, maporder.Analyzer, "mo")
+	if len(diags) == 0 {
+		t.Fatal("maporder fixture produced no diagnostics: the rule does not fire")
+	}
+}

@@ -1,0 +1,101 @@
+// Package mo is the maporder fixture.
+package mo
+
+import (
+	"fmt"
+	"io"
+	"slices"
+	"sort"
+)
+
+func badAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append to "keys" inside range over map without a later sort`
+	}
+	return keys
+}
+
+func okSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func okSlicesSorted(m map[int]string) []int {
+	var ks []int
+	for k := range m {
+		ks = append(ks, k)
+	}
+	slices.Sort(ks)
+	return ks
+}
+
+type pair struct {
+	k string
+	v int
+}
+
+func okSortSlice(m map[string]int) []pair {
+	var ps []pair
+	for k, v := range m {
+		ps = append(ps, pair{k, v})
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].k < ps[j].k })
+	return ps
+}
+
+func badWrite(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want `fmt\.Fprintf inside range over map writes a stream`
+	}
+}
+
+type sink interface {
+	Write(p []byte) (int, error)
+}
+
+func badHash(h sink, m map[string]bool) {
+	for k := range m {
+		h.Write([]byte(k)) // want `Write on an io\.Writer inside range over map`
+	}
+}
+
+func badSend(ch chan string, m map[string]int) {
+	for k := range m {
+		ch <- k // want `send on channel inside range over map`
+	}
+}
+
+// okFold: commutative reductions don't observe order.
+func okFold(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// okLocal: the accumulator is declared inside the loop, so it never holds
+// elements from two different keys.
+func okLocal(m map[string][]int) map[string]int {
+	out := map[string]int{}
+	for k, vs := range m {
+		var doubled []int
+		for _, v := range vs {
+			doubled = append(doubled, 2*v)
+		}
+		out[k] = len(doubled)
+	}
+	return out
+}
+
+// okSliceRange: ranging a slice is always ordered.
+func okSliceRange(w io.Writer, xs []string) {
+	for _, x := range xs {
+		fmt.Fprintln(w, x)
+	}
+}

@@ -1,0 +1,24 @@
+// Package allowbad: every annotation here is defective — empty reason,
+// stale target, unknown analyzer — and the underlying violations must
+// still be reported.
+package allowbad
+
+import "time"
+
+// empty reason: the walltime finding survives AND the annotation itself is
+// a finding.
+func emptyReason() time.Time {
+	return time.Now() //nglint:allow walltime
+}
+
+// stale: nothing to suppress on the target line.
+func stale() int {
+	//nglint:allow walltime this line has no wall-clock read
+	return 42
+}
+
+// unknown analyzer name.
+func unknown() int {
+	//nglint:allow clockskew not a real analyzer
+	return 7
+}

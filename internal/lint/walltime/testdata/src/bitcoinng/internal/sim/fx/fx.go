@@ -1,0 +1,33 @@
+// Package fx is a walltime fixture analyzed under a deterministic-zone
+// import path (bitcoinng/internal/sim/fx).
+package fx
+
+import "time"
+
+func bad() {
+	_ = time.Now()               // want `time\.Now in deterministic package`
+	time.Sleep(time.Millisecond) // want `time\.Sleep in deterministic package`
+	<-time.After(time.Second)    // want `time\.After in deterministic package`
+	_ = time.Since(time.Time{})  // want `time\.Since in deterministic package`
+	t := time.NewTicker(1)       // want `time\.NewTicker in deterministic package`
+	t.Stop()
+}
+
+// ok: pure time.Duration / time.Time arithmetic never reads the clock.
+func ok(d time.Duration) time.Duration {
+	return 3 * d / time.Millisecond * time.Millisecond
+}
+
+// clock has a method named Now: method calls must not be confused with the
+// time package's functions.
+type clock struct{ now int64 }
+
+func (c clock) Now() int64 { return c.now }
+
+func okMethod(c clock) int64 { return c.Now() }
+
+// shadow: a local identifier named time is not the time package.
+func okShadow() int {
+	time := struct{ Now func() int }{Now: func() int { return 7 }}
+	return time.Now()
+}

@@ -1,0 +1,9 @@
+// Package live is a walltime fixture outside the deterministic zone: wall
+// clock reads are still findings, but phrased as needing an annotation.
+package live
+
+import "time"
+
+func uptime(start time.Time) time.Duration {
+	return time.Since(start) // want `reads the wall clock: annotate intentional live-harness sites`
+}

@@ -1,0 +1,34 @@
+// Package wire reproduces the PR-5 wire.Reader.Bool bug shape: a bool
+// decoder that accepts any nonzero byte. The companion canonicality check
+// must fire on it. (The package is genuinely named wire: the check scopes
+// itself to codec packages.)
+package wire
+
+import "errors"
+
+// ErrShort is unrelated to canonicality on purpose.
+var ErrShort = errors.New("short read")
+
+// Reader is a minimal decode cursor.
+type Reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+// Uint8 decodes one byte.
+func (r *Reader) Uint8() uint8 {
+	if r.off >= len(r.buf) {
+		r.err = ErrShort
+		return 0
+	}
+	b := r.buf[r.off]
+	r.off++
+	return b
+}
+
+// Bool is the bug: 0x02..0xff all decode as true, so re-encoding produces
+// different bytes than were received.
+func (r *Reader) Bool() bool { // want `decodes a bool without rejecting non-canonical bytes`
+	return r.Uint8() != 0
+}

@@ -1,0 +1,118 @@
+package wiresym_test
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+
+	"bitcoinng/internal/lint/analysis"
+	"bitcoinng/internal/lint/linttest"
+	"bitcoinng/internal/lint/load"
+	"bitcoinng/internal/lint/wiresym"
+)
+
+func TestFixture(t *testing.T) {
+	diags := linttest.Run(t, wiresym.Analyzer, "ws")
+	if len(diags) == 0 {
+		t.Fatal("wiresym fixture produced no diagnostics: the rule does not fire")
+	}
+}
+
+func TestCanonicalBoolFixture(t *testing.T) {
+	linttest.Run(t, wiresym.Analyzer, "wirecanon")
+}
+
+// runOnDir applies wiresym to the package in dir under the given import
+// path and returns the diagnostics.
+func runOnDir(t *testing.T, importPath, dir string) []analysis.Diagnostic {
+	t.Helper()
+	l := load.New("bitcoinng", linttest.ModuleRoot(t))
+	pkg, err := l.LoadDir(importPath, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer: wiresym.Analyzer,
+		Fset:     l.Fset(),
+		Files:    pkg.Files,
+		Pkg:      pkg.Types,
+		PkgPath:  pkg.Path,
+		Info:     pkg.Info,
+		Report:   func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if err := wiresym.Analyzer.Run(pass); err != nil {
+		t.Fatal(err)
+	}
+	return diags
+}
+
+// TestRealWirePackageClean pins the acceptance baseline: the real
+// internal/wire package passes wiresym with zero findings.
+func TestRealWirePackageClean(t *testing.T) {
+	root := linttest.ModuleRoot(t)
+	diags := runOnDir(t, "bitcoinng/internal/wire", filepath.Join(root, "internal", "wire"))
+	for _, d := range diags {
+		t.Errorf("unexpected wiresym diagnostic on internal/wire: %s", d.Message)
+	}
+}
+
+// TestRevertedBoolFixIsCaught is the acceptance-criteria check for the PR-5
+// regression class: it takes the real internal/wire sources, reverts
+// Reader.Bool to the pre-fix any-nonzero-is-true body, and asserts wiresym
+// reports it. If wire.go's Bool is ever refactored such that the rewrite
+// below no longer applies, this test fails loudly rather than silently
+// passing.
+func TestRevertedBoolFixIsCaught(t *testing.T) {
+	root := linttest.ModuleRoot(t)
+	src, err := os.ReadFile(filepath.Join(root, "internal", "wire", "wire.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	boolRe := regexp.MustCompile(`(?s)func \(r \*Reader\) Bool\(\) bool \{.*?\n\}`)
+	if !boolRe.Match(src) {
+		t.Fatal("could not locate Reader.Bool in internal/wire/wire.go; update this test's pattern")
+	}
+	reverted := boolRe.ReplaceAll(src, []byte(
+		"func (r *Reader) Bool() bool {\n\treturn r.Uint8() != 0\n}"))
+	if string(reverted) == string(src) {
+		t.Fatal("revert rewrite was a no-op")
+	}
+
+	dir := t.TempDir()
+	// Copy the rest of the package so the reverted file still type-checks
+	// in context.
+	entries, err := os.ReadDir(filepath.Join(root, "internal", "wire"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if filepath.Ext(name) != ".go" || name == "wire.go" ||
+			len(name) > 8 && name[len(name)-8:] == "_test.go" {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(root, "internal", "wire", name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, name), b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.WriteFile(filepath.Join(dir, "wire.go"), reverted, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	diags := runOnDir(t, "wire_reverted", dir)
+	found := false
+	for _, d := range diags {
+		if regexp.MustCompile(`Bool decodes a bool without rejecting non-canonical bytes`).MatchString(d.Message) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("wiresym did not catch the reverted Reader.Bool fix; diagnostics: %v", diags)
+	}
+}

@@ -392,8 +392,11 @@ func (c *Collector) timeToPrune(r *Report, onMain []bool, opts AnalyzeOptions) {
 			samples = append(samples, float64(pruneAt-t0))
 		}
 	}
+	// firstReceipt is a map: sort the collected samples so the percentile
+	// input (and any future tie-broken statistic) is iteration-order free.
+	sort.Float64s(samples)
 	if len(samples) > 0 {
-		r.TimeToPrune = time.Duration(stats.Percentile(samples, opts.Percentile))
+		r.TimeToPrune = time.Duration(stats.PercentileSorted(samples, opts.Percentile))
 	}
 }
 

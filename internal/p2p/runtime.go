@@ -11,6 +11,7 @@ import (
 
 	"bitcoinng/internal/crypto"
 	"bitcoinng/internal/node"
+	"bitcoinng/internal/sim"
 	"bitcoinng/internal/validate"
 	"bitcoinng/internal/wire"
 )
@@ -49,7 +50,7 @@ type Runtime struct {
 func New(cfg Config) *Runtime {
 	rt := &Runtime{
 		cfg:    cfg,
-		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		rng:    sim.NewRand(cfg.Seed, uint64(cfg.NodeID)),
 		events: make(chan func(), 1024),
 		quit:   make(chan struct{}),
 		peers:  make(map[int]*peer),
@@ -101,7 +102,7 @@ func (rt *Runtime) post(fn func()) {
 }
 
 // Now implements node.Env using the wall clock.
-func (rt *Runtime) Now() int64 { return time.Now().UnixNano() }
+func (rt *Runtime) Now() int64 { return time.Now().UnixNano() } //nglint:allow walltime live harness IS the wall-clock node.Env implementation; simulations use sim.Loop's virtual clock
 
 // liveTimer wraps time.Timer as a node.Timer whose callback runs on the
 // event loop.
@@ -124,6 +125,7 @@ func (lt *liveTimer) Stop() bool {
 // After implements node.Env.
 func (rt *Runtime) After(d time.Duration, fn func()) node.Timer {
 	lt := &liveTimer{}
+	//nglint:allow walltime live node.Env timers are real timers; the deterministic counterpart is sim.Loop.After
 	lt.t = time.AfterFunc(d, func() {
 		rt.post(func() {
 			lt.mu.Lock()
@@ -220,7 +222,7 @@ func (rt *Runtime) setupPeer(conn net.Conn, dialer bool) error {
 		conn.Close()
 		return err
 	}
-	deadline := time.Now().Add(10 * time.Second)
+	deadline := time.Now().Add(10 * time.Second) //nglint:allow walltime TCP handshake I/O deadline on a live socket
 	conn.SetDeadline(deadline)
 
 	ours := &versionPayload{
@@ -351,9 +353,14 @@ func (rt *Runtime) Close() {
 	if rt.listener != nil {
 		rt.listener.Close()
 	}
-	peers := make([]*peer, 0, len(rt.peers))
-	for _, p := range rt.peers {
-		peers = append(peers, p)
+	ids := make([]int, 0, len(rt.peers))
+	for id := range rt.peers {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	peers := make([]*peer, 0, len(ids))
+	for _, id := range ids {
+		peers = append(peers, rt.peers[id])
 	}
 	rt.peers = map[int]*peer{}
 	rt.mu.Unlock()

@@ -8,6 +8,7 @@ package utxo
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"bitcoinng/internal/crypto"
 	"bitcoinng/internal/types"
@@ -233,14 +234,24 @@ func (s *Set) applyPoison(tx *types.Transaction, txid crypto.Hash, ctx *BlockCon
 		// "Only one poison transaction can be placed per cheater."
 		return fmt.Errorf("%w: coinbase %s", ErrAlreadyPoisoned, culpritCB.Short())
 	}
-	var revokedValue types.Amount
+	// Collect the revocable outputs first and sort them: the delta op log
+	// is ordered (undo replays it back to front), so appending in map
+	// iteration order would make the log — and anything derived from it —
+	// differ run to run for the same (config, seed).
+	var revoke []types.OutPoint
 	for op, e := range s.entries {
 		if op.TxID == culpritCB && !e.Revoked {
-			e.Revoked = true
-			s.entries[op] = e
-			d.ops = append(d.ops, deltaOp{kind: opRevoke, op: op})
-			revokedValue += e.Value
+			revoke = append(revoke, op)
 		}
+	}
+	sort.Slice(revoke, func(i, j int) bool { return revoke[i].Index < revoke[j].Index })
+	var revokedValue types.Amount
+	for _, op := range revoke {
+		e := s.entries[op]
+		e.Revoked = true
+		s.entries[op] = e
+		d.ops = append(d.ops, deltaOp{kind: opRevoke, op: op})
+		revokedValue += e.Value
 	}
 	reward := types.Amount(float64(revokedValue) * ctx.Params.PoisonRewardFrac)
 	if tx.OutputSum() > reward {
