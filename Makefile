@@ -2,7 +2,7 @@ GO ?= go
 BENCH_DATE := $(shell date +%Y%m%d)
 BENCH_OUT ?= BENCH_$(BENCH_DATE).json
 
-.PHONY: build vet lint test race bench bench-json bench-diff smoke determinism examples soak fuzz cover
+.PHONY: build vet lint test race bench bench-json bench-diff smoke determinism throughput-smoke examples soak fuzz cover
 
 build:
 	$(GO) build ./...
@@ -76,6 +76,20 @@ determinism:
 	$(GO) run ./cmd/ngbench -figure smoke -nodes 1000 -blocks 5 -parallelism 4 > /tmp/ng-smoke-par.txt
 	diff -u /tmp/ng-smoke-seq.txt /tmp/ng-smoke-par.txt
 	@echo "determinism gate passed: sequential and sharded reports identical"
+
+# throughput-smoke is the sustained-load gate: a short offered-load sweep
+# (streaming workload, open loop) whose stdout must be byte-identical
+# between the sequential loop and a 4-shard run — the paced-pipeline
+# determinism claim, checked end to end. Durations below ~2x the key-block
+# interval mine nothing (the first NG key block lands around 100s), so the
+# smoke keeps 30m of virtual time: long enough for the bitcoin baseline to
+# visibly saturate (~3.4 tx/s) while NG tracks the offered rate.
+throughput-smoke:
+	$(GO) run ./cmd/ngbench -figure throughput -nodes 10 -rates 2,8 -duration 30m -parallelism 1 > /tmp/ng-tput-seq.txt
+	$(GO) run ./cmd/ngbench -figure throughput -nodes 10 -rates 2,8 -duration 30m -parallelism 4 > /tmp/ng-tput-par.txt
+	diff -u /tmp/ng-tput-seq.txt /tmp/ng-tput-par.txt
+	@cat /tmp/ng-tput-par.txt
+	@echo "throughput-smoke passed: sequential and sharded sweeps identical"
 
 # soak is the chaos gate: SOAK_SEEDS randomized adversarial scenarios
 # (internal/chaos) run under the online invariant catalogue, every seed

@@ -15,6 +15,8 @@ import (
 	"bitcoinng/internal/crypto"
 	"bitcoinng/internal/experiment"
 	"bitcoinng/internal/incentive"
+	"bitcoinng/internal/load"
+	"bitcoinng/internal/mempool"
 	"bitcoinng/internal/mining"
 	"bitcoinng/internal/sim"
 	"bitcoinng/internal/simnet"
@@ -298,4 +300,66 @@ func BenchmarkLatencySample(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		h.Sample(rng)
 	}
+}
+
+// BenchmarkStreamSign measures the streaming workload generator: building
+// and signing one lane-stride batch (64 transactions) on the shared
+// validate pool, the per-batch cost the paced harness pays inside a run.
+func BenchmarkStreamSign(b *testing.B) {
+	s, err := load.NewStream(load.StreamConfig{Seed: 1, Lanes: 64, MaxTxs: int64(b.N+1) * 64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.Bind(crypto.HashBytes([]byte("bench-funding")), 0)
+	b.SetBytes(64 * 476)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s.Tx(int64(i)*64) == nil {
+			b.Fatal("generation stalled")
+		}
+	}
+}
+
+// BenchmarkMempoolChurn measures the fee-indexed bounded mempool under
+// sustained churn: admissions into a full pool (evicting by fee rate) with
+// periodic block-sized confirmations, the live blaster's hot path.
+func BenchmarkMempoolChurn(b *testing.B) {
+	s, err := load.NewStream(load.StreamConfig{Seed: 2, Lanes: 64, MaxTxs: int64(b.N) + 4096})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.Bind(crypto.HashBytes([]byte("bench-funding")), 0)
+	p := mempool.New()
+	p.SetLimits(mempool.Limits{MaxTxs: 2048})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx := s.Tx(int64(i))
+		if err := p.Add(tx); err != nil && err != mempool.ErrPoolFull {
+			b.Fatal(err)
+		}
+		if i%1024 == 1023 {
+			p.RemoveConfirmed(p.Select(1 << 20))
+			s.Release(int64(i) - 2048)
+		}
+	}
+}
+
+// BenchmarkThroughputPoint measures one point of the sustained-load curve:
+// a 10-node Bitcoin-NG network under 8 tx/s open-loop streaming load for
+// ten virtual minutes, reporting measured goodput.
+func BenchmarkThroughputPoint(b *testing.B) {
+	var conf float64
+	for i := 0; i < b.N; i++ {
+		cfg := experiment.DefaultConfig(experiment.BitcoinNG, 10, int64(i+1))
+		cfg.Offered = 8
+		cfg.BandwidthBPS = 1_000_000
+		cfg.TargetBlocks = 1 << 30
+		cfg.MaxSimTime = 10 * time.Minute
+		res, err := experiment.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		conf = res.Load.ConfirmedPerSec()
+	}
+	b.ReportMetric(conf, "conf/s")
 }

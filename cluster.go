@@ -7,6 +7,8 @@ import (
 	"bitcoinng/internal/chain"
 	"bitcoinng/internal/crypto"
 	"bitcoinng/internal/invariant"
+	"bitcoinng/internal/load"
+	"bitcoinng/internal/mempool"
 	"bitcoinng/internal/metrics"
 	"bitcoinng/internal/mining"
 	"bitcoinng/internal/node"
@@ -62,6 +64,32 @@ type ClusterConfig struct {
 	// InvariantInterval spaces the online checks; zero takes the key-block
 	// interval.
 	InvariantInterval time.Duration
+	// RelayTxs enables loose-transaction relay on every node (live-network
+	// behavior): submitted transactions gossip to peers, batched per
+	// Params.TxBatchInterval. Without it only the submitted-to node pools a
+	// transaction (the paper's §7 methodology).
+	RelayTxs bool
+	// StreamLoad, when non-nil, endows genesis with a lane-chained
+	// transaction stream (internal/load) so Blast can drive sustained load
+	// against the cluster.
+	StreamLoad *StreamLoadConfig
+	// MempoolLimits bounds every node's mempool (bounded admission with
+	// fee-rate eviction); zero keeps pools unbounded.
+	MempoolLimits mempool.Limits
+	// BandwidthBPS overrides the network model's per-pair bandwidth; zero
+	// keeps the paper's 100 kbit/s.
+	BandwidthBPS float64
+}
+
+// StreamLoadConfig sizes the cluster's sustained-load stream.
+type StreamLoadConfig struct {
+	// TxSize is the uniform stream transaction size; zero takes the §7
+	// default 476 bytes.
+	TxSize int
+	// Lanes is the chain parallelism; zero takes load.DefaultLanes.
+	Lanes int
+	// MaxTxs caps the stream; zero leaves it effectively unbounded.
+	MaxTxs int64
 }
 
 // Cluster is an interactive emulated network. All methods must be called
@@ -74,6 +102,7 @@ type Cluster struct {
 	collector *metrics.Collector
 	nodes     []*ClusterNode
 	genesis   *types.PowBlock
+	stream    *load.Stream
 	scenErrs  []error
 
 	// Online invariant checking (nil unless configured).
@@ -115,7 +144,11 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		return nil, fmt.Errorf("bitcoinng: %w", err)
 	}
 	loop := sim.NewLoop(0)
-	network := simnet.New(loop, simnet.DefaultConfig(cfg.Nodes, cfg.Seed))
+	netCfg := simnet.DefaultConfig(cfg.Nodes, cfg.Seed)
+	if cfg.BandwidthBPS > 0 {
+		netCfg.BandwidthBPS = cfg.BandwidthBPS
+	}
+	network := simnet.New(loop, netCfg)
 
 	// Node keys and pre-funded genesis.
 	keys := make([]*crypto.PrivateKey, cfg.Nodes)
@@ -130,10 +163,27 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			payouts = append(payouts, types.TxOutput{Value: cfg.FundPerNode, To: k.Public().Addr()})
 		}
 	}
+	var stream *load.Stream
+	streamFirst := uint32(len(payouts))
+	if cfg.StreamLoad != nil {
+		stream, err = load.NewStream(load.StreamConfig{
+			Seed:   cfg.Seed,
+			TxSize: cfg.StreamLoad.TxSize,
+			Lanes:  cfg.StreamLoad.Lanes,
+			MaxTxs: cfg.StreamLoad.MaxTxs,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("bitcoinng: %w", err)
+		}
+		payouts = append(payouts, stream.GenesisPayouts()...)
+	}
 	genesis := types.GenesisBlock(types.GenesisSpec{
 		Target:  crypto.EasiestTarget,
 		Payouts: payouts,
 	})
+	if stream != nil {
+		stream.Bind(genesis.Txs[0].ID(), streamFirst)
+	}
 	collector := metrics.NewCollector(genesis, 0)
 
 	c := &Cluster{
@@ -142,6 +192,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		net:       network,
 		collector: collector,
 		genesis:   genesis,
+		stream:    stream,
 	}
 	shares := mining.ExponentialShares(cfg.Nodes, mining.DefaultExponent)
 	totalRate := 1.0 / cfg.Params.TargetBlockInterval.Seconds()
@@ -172,6 +223,12 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			client: client,
 			base:   client.Base(),
 			wallet: wallet.New(keys[i]),
+		}
+		cn.base.RelayTxs = cfg.RelayTxs
+		if l := cfg.MempoolLimits; l.MaxTxs > 0 || l.MaxBytes > 0 {
+			if mp, ok := cn.base.Pool.(*mempool.Pool); ok {
+				mp.SetLimits(l)
+			}
 		}
 		cn.miner = mining.NewMiner(loop, sim.NewRand(cfg.Seed, uint64(0x40000+i)),
 			func() { client.MineBlock() })
@@ -363,6 +420,112 @@ func (c *Cluster) Node(i int) *ClusterNode { return c.nodes[i] }
 // Report computes the §6 metrics for everything observed so far.
 func (c *Cluster) Report() *Report {
 	return c.collector.Analyze(metrics.DefaultAnalyzeOptions(c.loop.Now()))
+}
+
+// Stream exposes the sustained-load stream (nil unless StreamLoad was
+// configured).
+func (c *Cluster) Stream() *load.Stream { return c.stream }
+
+// BlastConfig parameterizes one Cluster.Blast run.
+type BlastConfig struct {
+	// Mode defaults to open loop when Rate > 0, closed loop otherwise.
+	Mode load.Mode
+	// Rate is the open-loop offered rate, tx/s of virtual time.
+	Rate float64
+	// Window is the closed-loop outstanding-transaction target.
+	Window int64
+	// Duration is how long to sustain the load (virtual time).
+	Duration time.Duration
+	// Grace lets the tail confirm after injection stops; zero takes 30 s.
+	Grace time.Duration
+	// Targets are the node indices transactions are submitted to; empty
+	// submits to node 0 (relay spreads them when RelayTxs is on).
+	Targets []int
+	// Slice is the injection granularity; zero takes one second of virtual
+	// time per tick.
+	Slice time.Duration
+}
+
+// Blast sustains transaction load against the cluster: each virtual-time
+// slice it submits everything the pacing discipline says is due, then lets
+// the network and miners run. It returns the offered/confirmed/latency
+// report measured on node 0's final main chain. Requires StreamLoad.
+//
+// Confirmation feedback (closed-loop pacing, release floor) refreshes every
+// few slices by walking node 0's chain, so the closed-loop window is
+// enforced at that granularity — between refreshes the driver errs on the
+// conservative side.
+func (c *Cluster) Blast(cfg BlastConfig) (*load.Report, error) {
+	if c.stream == nil {
+		return nil, fmt.Errorf("bitcoinng: Blast needs ClusterConfig.StreamLoad")
+	}
+	blaster := load.NewBlaster(c.stream, load.BlasterConfig{
+		Mode:   cfg.Mode,
+		Rate:   cfg.Rate,
+		Window: cfg.Window,
+	})
+	targets := cfg.Targets
+	if len(targets) == 0 {
+		targets = []int{0}
+	}
+	for _, t := range targets {
+		if t < 0 || t >= len(c.nodes) {
+			return nil, fmt.Errorf("bitcoinng: blast target %d out of range (cluster size %d)", t, len(c.nodes))
+		}
+	}
+	slice := cfg.Slice
+	if slice <= 0 {
+		slice = time.Second
+	}
+	grace := cfg.Grace
+	if grace <= 0 {
+		grace = 30 * time.Second
+	}
+	txSize := 476
+	if c.cfg.StreamLoad.TxSize > 0 {
+		txSize = c.cfg.StreamLoad.TxSize
+	}
+	// Reorg slack for the release floor, as in the experiment harness: keep
+	// a few blockfuls of confirmed history resubmittable.
+	slack := int64(4 * (c.cfg.Params.MaxBlockSize/txSize + 1))
+
+	submit := func(tx *types.Transaction) bool {
+		admitted := false
+		for _, t := range targets {
+			if c.nodes[t].base.SubmitTx(tx) == nil {
+				admitted = true
+			}
+		}
+		return admitted
+	}
+	start := c.loop.Now()
+	deadline := start + int64(cfg.Duration)
+	var confirmed int64
+	for tick := 0; c.loop.Now() < deadline; tick++ {
+		if tick%16 == 0 {
+			confs := load.Confirmations(c.nodes[0].base.State.Tip())
+			confirmed = int64(len(confs))
+			blaster.ReleaseBehind(confirmedPrefix(confs), slack)
+		}
+		blaster.Tick(c.loop.Now(), confirmed, submit)
+		c.loop.RunFor(slice)
+	}
+	c.loop.RunFor(grace)
+	confs := load.Confirmations(c.nodes[0].base.State.Tip())
+	return blaster.Report(time.Duration(c.loop.Now()-start), confs), nil
+}
+
+// confirmedPrefix returns the first stream index not yet confirmed, given
+// the sorted confirmation list.
+func confirmedPrefix(confs []load.Confirmation) int64 {
+	var p int64
+	for _, cf := range confs {
+		if cf.Index != p {
+			break
+		}
+		p++
+	}
+	return p
 }
 
 // Converged reports whether every node's tip lies on one chain: under

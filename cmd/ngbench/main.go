@@ -16,6 +16,8 @@ import (
 	"math"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 	"time"
 
 	"bitcoinng/internal/chaos"
@@ -29,12 +31,14 @@ import (
 
 func main() {
 	var (
-		figure      = flag.String("figure", "all", "which figure: 6 | 7 | 8a | 8b | incentive | ablation | all, or a standalone run not part of all: smoke (scalability) | greedymine | selfish (adversarial revenue sweeps) | chaos (randomized scenario soak)")
+		figure      = flag.String("figure", "all", "which figure: 6 | 7 | 8a | 8b | incentive | ablation | all, or a standalone run not part of all: smoke (scalability) | throughput (sustained-load saturation sweep) | greedymine | selfish (adversarial revenue sweeps) | chaos (randomized scenario soak)")
 		nodes       = flag.Int("nodes", 0, "override network size (default: laptop scale 120)")
 		blocks      = flag.Int("blocks", 0, "override payload blocks per run (default 40)")
 		seed        = flag.Int64("seed", 1, "experiment seed")
 		parallelism = flag.Int("parallelism", 0, "sweep worker pool width and smoke shard count (0 = GOMAXPROCS, 1 = sequential)")
 		seeds       = flag.Int("seeds", 50, "chaos soak: number of generated scenarios")
+		rates       = flag.String("rates", "", "throughput: comma-separated offered rates in tx/s (default 1,2,4,...,256)")
+		duration    = flag.Duration("duration", 0, "throughput: virtual duration per sweep point (default 15m)")
 		chaosDiff   = flag.Bool("chaos-diff", true, "chaos soak: replay every seed on the sharded engine and with the connect cache off, failing any report divergence")
 		compareOld  = flag.String("compare", "", "compare two BENCH_*.json snapshots: -compare old.json new.json (other flags ignored)")
 	)
@@ -110,6 +114,15 @@ func main() {
 	if *figure == "smoke" {
 		run("smoke", func() error { return smoke(scale) })
 	}
+	// Sustained-load saturation sweep (internal/load + streaming workload):
+	// both protocols blasted open-loop at rising offered rates; reports the
+	// confirmed-throughput curve with latency percentiles, the saturation
+	// knee, and the ceiling. Standalone like smoke: stdout is a
+	// deterministic function of (nodes, seed, rates, duration) — CI diffs a
+	// sequential against a sharded run byte for byte.
+	if *figure == "throughput" {
+		run("throughput", func() error { return throughputFigure(scale, *rates, *duration) })
+	}
 	// Adversarial revenue sweeps (internal/strategy): attacker revenue vs
 	// mining power α, honest control vs deviation, with the empirical
 	// profitability threshold. Standalone like smoke: each sweep runs 2
@@ -131,6 +144,28 @@ func main() {
 	if *figure == "chaos" {
 		run("chaos", func() error { return chaosSoak(*seeds, *seed, *chaosDiff, *parallelism) })
 	}
+}
+
+// throughputFigure runs the sustained-load sweep and prints the saturation
+// curve.
+func throughputFigure(scale experiment.Scale, rateList string, duration time.Duration) error {
+	var rates []float64
+	if rateList != "" {
+		for _, s := range strings.Split(rateList, ",") {
+			r, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+			if err != nil {
+				return fmt.Errorf("bad -rates entry %q: %w", s, err)
+			}
+			rates = append(rates, r)
+		}
+	}
+	curve, err := experiment.ThroughputSweep(scale, rates, duration)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Throughput — sustained open-loop load, bitcoin vs bitcoin-ng")
+	curve.Fprint(os.Stdout)
+	return nil
 }
 
 // chaosSoak runs the randomized-scenario campaign and fails on any

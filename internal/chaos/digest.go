@@ -31,6 +31,15 @@ func Digest(res *experiment.Result) string {
 		res.SimTime, res.NetStats.MessagesSent, res.NetStats.BytesSent,
 		res.NetStats.MessagesLost, res.NetStats.MaxQueueDelay)
 	fmt.Fprintf(&b, "revenue=%v\n", res.Revenue)
+	if res.Load != nil {
+		l := res.Load
+		fmt.Fprintf(&b, "load mode=%s offered=%d admitted=%d rejected=%d confirmed=%d p50=%v p90=%v p99=%v\n",
+			l.Mode, l.Offered, l.Admitted, l.Offered-l.Admitted, l.Confirmed, l.P50, l.P90, l.P99)
+	}
+	for _, s := range res.Backpressure {
+		fmt.Fprintf(&b, "bp %s samples=%d last=%g mean=%g max=%g\n",
+			s.Name, s.Samples, s.Last, s.Mean, s.Max)
+	}
 	for _, e := range res.ScenarioErrors {
 		fmt.Fprintf(&b, "scenario-error: %v\n", e)
 	}

@@ -215,6 +215,17 @@ func Generate(g GenConfig, seed int64) Generated {
 	})
 	cfg.InvariantInterval = interval / 2
 
+	// Sustained load: roughly a third of the runs stream an open-loop paced
+	// workload through the generator instead of pre-signing it up front, so
+	// the chaos space covers the streaming pipeline (release floor, view
+	// reinsert-on-reorg, backpressure accounting) under partitions and
+	// attacks. Drawn last so earlier draws keep their positions across
+	// generator versions and old regression seeds stay stable prefixes.
+	if rng.Intn(3) == 0 {
+		cfg.Offered = 2 + 8*rng.Float64() // 2..10 tx/s of virtual time
+		fmt.Fprintf(&desc, " offered=%.2f/s", cfg.Offered)
+	}
+
 	return Generated{Seed: seed, Cfg: cfg, Desc: desc.String()}
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"bitcoinng/internal/crypto"
 	"bitcoinng/internal/invariant"
+	"bitcoinng/internal/load"
 	"bitcoinng/internal/metrics"
 	"bitcoinng/internal/mining"
 	"bitcoinng/internal/node"
@@ -48,9 +49,23 @@ type Config struct {
 	// bytes gives Bitcoin's operational 3.5 tx/s at 1 MB per 10 minutes
 	// (§7 "No Transaction Propagation").
 	TxSize int
-	// WorkloadCount pre-loads this many transactions; zero sizes the
-	// workload automatically from TargetBlocks and MaxBlockSize.
+	// WorkloadCount caps the workload at this many transactions; zero sizes
+	// it automatically from TargetBlocks and MaxBlockSize (or leaves the
+	// stream unbounded when a pacing discipline below is active).
 	WorkloadCount int
+	// Offered, when > 0, switches the workload to open-loop pacing: every
+	// node's view offers transactions at this rate (tx/s of virtual time)
+	// instead of exposing the whole workload at once. The stream then signs
+	// batches on demand and releases confirmed slots, so offered load is
+	// unbounded by RAM.
+	Offered float64
+	// ClosedLoopWindow, when > 0 (and Offered is 0), switches the workload
+	// to closed-loop pacing: each view keeps at most this many transactions
+	// beyond its confirmed count outstanding.
+	ClosedLoopWindow int
+	// StreamLanes overrides the workload's lane count (chain parallelism of
+	// the streaming generator); zero takes load.DefaultLanes.
+	StreamLanes int
 	// TargetBlocks stops the run once this many payload blocks (Bitcoin
 	// blocks / NG microblocks) have been generated; the paper uses 50-100.
 	TargetBlocks int
@@ -140,6 +155,15 @@ type Result struct {
 	// Config.Invariants is set), deduplicated by (invariant, node) in
 	// first-observation order.
 	InvariantViolations []invariant.Violation
+	// Load summarizes offered vs confirmed throughput and confirmation
+	// latency when a pacing discipline was active (Offered or
+	// ClosedLoopWindow); nil otherwise. Like the Report it is a pure
+	// function of (config, seed).
+	Load *load.Report
+	// Backpressure samples per-stage queue depths (mempool depth, pending
+	// block fetches, signing-lookahead occupancy) at the maintenance
+	// boundaries; deterministic at any Parallelism.
+	Backpressure []metrics.BackpressureStat
 	// Revenue is each node's mining revenue at run end — the UTXO balance
 	// of its reward address in the view of the reference node (the
 	// lowest-index node running honest, so an attacker's private ledger
@@ -230,6 +254,8 @@ type runner struct {
 	net       *simnet.Network
 	collector *metrics.Collector
 	workload  *Workload
+	views     []*WorkloadView
+	bp        *metrics.Backpressure
 	clients   []protocol.Client
 	miners    []*mining.Miner
 	addrs     []crypto.Address // per-node reward address (revenue accounting)
@@ -336,15 +362,18 @@ func build(cfg Config) (*runner, error) {
 		eng = seqEngine{loop: loop}
 	}
 
-	count := cfg.WorkloadCount
-	if count == 0 {
-		// Enough to keep blocks full for the whole run plus slack.
-		count = cfg.TargetBlocks * (cfg.Params.MaxBlockSize/cfg.TxSize + 1) * 3 / 2
+	paced := cfg.Offered > 0 || cfg.ClosedLoopWindow > 0
+	maxTxs := int64(cfg.WorkloadCount)
+	if maxTxs == 0 && !paced {
+		// Classic methodology: a finite pre-sized workload, enough to keep
+		// blocks full for the whole run plus slack.
+		count := cfg.TargetBlocks * (cfg.Params.MaxBlockSize/cfg.TxSize + 1) * 3 / 2
 		if count < 64 {
 			count = 64
 		}
+		maxTxs = int64(count)
 	}
-	workload, err := NewWorkload(cfg.Seed, count, cfg.TxSize)
+	workload, err := NewStreamWorkload(cfg.Seed, cfg.TxSize, cfg.StreamLanes, maxTxs)
 	if err != nil {
 		eng.close()
 		return nil, err
@@ -367,6 +396,7 @@ func build(cfg Config) (*runner, error) {
 		net:       network,
 		collector: collector,
 		workload:  workload,
+		bp:        metrics.NewBackpressure(),
 		payload:   protocol.Payload(cfg.Protocol),
 	}
 
@@ -418,7 +448,14 @@ func build(cfg Config) (*runner, error) {
 			return nil, err
 		}
 		env.Deliver(client.HandleMessage)
-		client.Base().Pool = workload.NewView()
+		view := workload.NewView()
+		if cfg.Offered > 0 {
+			view.SetOpenLoop(cfg.Offered, loop.Now)
+		} else if cfg.ClosedLoopWindow > 0 {
+			view.SetClosedLoop(int64(cfg.ClosedLoopWindow))
+		}
+		client.Base().Pool = view
+		r.views = append(r.views, view)
 
 		m := mining.NewMiner(loop, sim.NewRand(cfg.Seed, uint64(0x20000+i)),
 			func() { client.MineBlock() })
@@ -587,8 +624,14 @@ func (r *runner) run() (*Result, error) {
 			break
 		}
 		r.eng.runFor(step)
-		if r.invEng != nil && r.eng.now() >= nextCheck {
-			r.invEng.Check(r.snapshot(false))
+		if r.eng.now() >= nextCheck {
+			// Slice boundaries are quiescent on both engines, so invariant
+			// checks and workload maintenance (release floor, backpressure
+			// sampling) observe identical state at identical virtual times.
+			if r.invEng != nil {
+				r.invEng.Check(r.snapshot(false))
+			}
+			r.maintain()
 			for nextCheck <= r.eng.now() {
 				nextCheck += int64(checkEvery)
 			}
@@ -610,6 +653,7 @@ func (r *runner) run() (*Result, error) {
 		r.invEng.Check(r.snapshot(true))
 		violations = r.invEng.Violations()
 	}
+	r.maintain()
 	opts := metrics.DefaultAnalyzeOptions(end)
 	report := r.collector.Analyze(opts)
 	return &Result{
@@ -621,8 +665,70 @@ func (r *runner) run() (*Result, error) {
 		SimTime:             time.Duration(end),
 		ScenarioErrors:      r.scenErrs,
 		InvariantViolations: violations,
+		Load:                r.loadReport(end),
+		Backpressure:        r.bp.Stats(),
 		Revenue:             r.revenue(),
 	}, nil
+}
+
+// maintain runs at quiescent slice boundaries: it samples the backpressure
+// counters and advances the stream's release floor to the slowest view's
+// confirmed prefix minus a reorg slack, freeing confirmed transactions and
+// compacting view bitmaps so long runs hold only the in-flight window.
+func (r *runner) maintain() {
+	stream := r.workload.Stream()
+	minPrefix := stream.Generated()
+	maxDepth := 0
+	for _, v := range r.views {
+		if p := v.ConfirmedPrefix(); p < minPrefix {
+			minPrefix = p
+		}
+		if d := v.Len(); d > maxDepth {
+			maxDepth = d
+		}
+	}
+	fetches, relayQueue := 0, 0
+	for _, c := range r.clients {
+		fetches += c.Base().Gossip.PendingFetches()
+		relayQueue += c.Base().Gossip.QueuedTxs()
+	}
+	r.bp.Record("mempool-depth-max", float64(maxDepth))
+	r.bp.Record("pending-fetches", float64(fetches))
+	r.bp.Record("relay-queue", float64(relayQueue))
+	r.bp.Record("lookahead-occupancy", float64(stream.Occupancy()))
+
+	if len(r.views) == 0 {
+		return
+	}
+	// Slack: enough confirmed history to survive any reorg a scenario can
+	// plausibly cause before the next maintenance boundary.
+	slack := int64(4 * (r.cfg.Params.MaxBlockSize/r.cfg.TxSize + 1))
+	if floor := minPrefix - slack; floor > 0 {
+		stream.Release(floor)
+		released := stream.Released()
+		for _, v := range r.views {
+			v.Compact(released)
+		}
+	}
+}
+
+// loadReport summarizes offered vs confirmed throughput when a pacing
+// discipline was active, from the reference node's final main chain.
+func (r *runner) loadReport(end int64) *load.Report {
+	if r.cfg.Offered <= 0 && r.cfg.ClosedLoopWindow <= 0 {
+		return nil
+	}
+	stream := r.workload.Stream()
+	confs := load.Confirmations(r.clients[r.referenceNode()].Base().State.Tip())
+	mode, offered := load.Closed, stream.Generated()
+	if r.cfg.Offered > 0 {
+		mode = load.Open
+		if due := load.OfferedAt(r.cfg.Offered, end); due > offered {
+			offered = due
+		}
+	}
+	return load.BuildReport(mode, r.cfg.Offered, int64(r.cfg.ClosedLoopWindow),
+		time.Duration(end), offered, stream.Generated(), confs)
 }
 
 // revenue reads every node's reward-address balance in the view of the
@@ -632,17 +738,7 @@ func (r *runner) run() (*Result, error) {
 // fall back to node 0. One pass over the reference UTXO set covers every
 // address — paper-scale runs have a thousand of them.
 func (r *runner) revenue() []types.Amount {
-	ref := 0
-	for i, c := range r.clients {
-		name := strategy.HonestName
-		if sc, ok := c.(protocol.Strategic); ok {
-			name = sc.StrategyName()
-		}
-		if name == strategy.HonestName {
-			ref = i
-			break
-		}
-	}
+	ref := r.referenceNode()
 	nodeOf := make(map[crypto.Address]int, len(r.addrs))
 	for i, addr := range r.addrs {
 		nodeOf[addr] = i
@@ -655,4 +751,20 @@ func (r *runner) revenue() []types.Amount {
 		return true
 	})
 	return out
+}
+
+// referenceNode picks the lowest-index node whose LIVE strategy is honest
+// (all-adversarial runs fall back to node 0): the observer whose chain the
+// revenue and load measurements read.
+func (r *runner) referenceNode() int {
+	for i, c := range r.clients {
+		name := strategy.HonestName
+		if sc, ok := c.(protocol.Strategic); ok {
+			name = sc.StrategyName()
+		}
+		if name == strategy.HonestName {
+			return i
+		}
+	}
+	return 0
 }

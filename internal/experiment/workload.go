@@ -1,150 +1,167 @@
 // Package experiment is the evaluation harness: it assembles an emulated
-// network of protocol nodes, pre-loads identical artificial transaction
-// workloads, drives simulated mining, and computes the §6 metrics —
-// reproducing the paper's 1000-node methodology (§7) at configurable scale.
-// Sweep drivers regenerate each evaluation figure (§8).
+// network of protocol nodes, drives a shared transaction workload (finite
+// and pre-signed, or streamed under a pacing discipline), drives simulated
+// mining, and computes the §6 metrics — reproducing the paper's 1000-node
+// methodology (§7) at configurable scale. Sweep drivers regenerate each
+// evaluation figure (§8).
 package experiment
 
 import (
 	"fmt"
+	"math"
 
 	"bitcoinng/internal/crypto"
-	"bitcoinng/internal/sim"
+	"bitcoinng/internal/load"
 	"bitcoinng/internal/types"
-	"bitcoinng/internal/validate"
 )
 
-// Workload is the shared artificial transaction set: identical-size,
-// independent transactions spending distinct genesis outputs, built once and
-// shared (by pointer) across every node's pool — the in-memory analogue of
-// the paper's "top up the mempools of all nodes with the same set of
-// independent transactions" (§7).
+// Workload is the shared artificial transaction source. It is backed by a
+// streaming lane-chained generator (internal/load): transactions are signed
+// in batches on demand rather than all up front, so a run's offered load is
+// no longer bounded by setup time or RAM. NewWorkload retains the classic
+// eager shape (all transactions materialized in Txs) for finite runs and
+// benchmarks; NewStreamWorkload leaves materialization to the views.
 type Workload struct {
 	Genesis *types.PowBlock
-	Txs     []*types.Transaction
-	TxSize  int
+	// Txs is the eagerly materialized transaction list of a finite
+	// NewWorkload; streaming workloads leave it nil and materialize lazily.
+	Txs    []*types.Transaction
+	TxSize int
 
-	index map[*types.Transaction]int32
+	stream *load.Stream
 }
 
-// workloadValue and workloadFee fix each transaction's economics; the fee
-// funds Bitcoin-NG's 40/60 split path.
-const (
-	workloadValue = types.Amount(10_000)
-	workloadFee   = types.Amount(100)
-)
-
 // NewWorkload builds count transactions of exactly txSize bytes each (where
-// txSize permits), spending genesis outputs owned by a workload key derived
-// from seed. The genesis block funds them and is shared by every node.
+// txSize permits), chained per lane from genesis endowments owned by a
+// workload key derived from seed. The genesis block funds them and is
+// shared by every node.
 func NewWorkload(seed int64, count, txSize int) (*Workload, error) {
-	rng := sim.NewRand(seed, 0xf00d)
-	key, err := crypto.GenerateKey(rng)
+	w, err := NewStreamWorkload(seed, txSize, 0, int64(count))
 	if err != nil {
-		return nil, fmt.Errorf("experiment: workload key: %w", err)
+		return nil, err
 	}
-	payouts := make([]types.TxOutput, count)
-	for i := range payouts {
-		payouts[i] = types.TxOutput{Value: workloadValue, To: key.Public().Addr()}
+	w.Txs = make([]*types.Transaction, count)
+	for i := range w.Txs {
+		w.Txs[i] = w.stream.Tx(int64(i))
+	}
+	return w, nil
+}
+
+// NewStreamWorkload builds a lazily materialized workload: lanes spend
+// chains (0 takes the load.DefaultLanes), maxTxs caps the stream (0 means
+// unbounded). Views sign batches on demand as the simulation runs.
+func NewStreamWorkload(seed int64, txSize, lanes int, maxTxs int64) (*Workload, error) {
+	stream, err := load.NewStream(load.StreamConfig{
+		Seed:   seed,
+		TxSize: txSize,
+		Lanes:  lanes,
+		MaxTxs: maxTxs,
+	})
+	if err != nil {
+		return nil, err
 	}
 	genesis := types.GenesisBlock(types.GenesisSpec{
 		TimeNanos: 0,
 		Target:    crypto.EasiestTarget,
-		Payouts:   payouts,
+		Payouts:   stream.GenesisPayouts(),
 	})
-	cbID := genesis.Txs[0].ID()
-
-	w := &Workload{
-		Genesis: genesis,
-		Txs:     make([]*types.Transaction, count),
-		TxSize:  txSize,
-		index:   make(map[*types.Transaction]int32, count),
-	}
-	for i := 0; i < count; i++ {
-		tx := &types.Transaction{
-			Kind:   types.TxRegular,
-			Inputs: []types.TxInput{{Prev: types.OutPoint{TxID: cbID, Index: uint32(i)}}},
-			Outputs: []types.TxOutput{{
-				Value: workloadValue - workloadFee,
-				To:    crypto.Address(crypto.HashBytes([]byte{byte(i), byte(i >> 8), byte(i >> 16)})),
-			}},
-		}
-		padTo(tx, txSize)
-		w.Txs[i] = tx
-		w.index[tx] = int32(i)
-	}
-	// Sign and prime the derived-value caches (stage-1 stateless work) on
-	// the parallel pool: transactions are independent, the barrier below
-	// makes the parallelism invisible, and the event loop then only ever
-	// sees warm caches.
-	pool := validate.SharedPool()
-	pool.Run(count, func(i int) { w.Txs[i].SignInput(0, key) })
-	pool.WarmTransactions(w.Txs)
-	return w, nil
+	stream.Bind(genesis.Txs[0].ID(), 0)
+	return &Workload{Genesis: genesis, TxSize: txSize, stream: stream}, nil
 }
 
-// padTo sets tx.Padding so the serialized size hits target exactly where
-// possible (off by at most the padding varint's growth otherwise).
-// Transactions whose base size already exceeds target are left unpadded.
-func padTo(tx *types.Transaction, target int) {
-	tx.Padding = nil
-	tx.Invalidate()
-	base := tx.WireSize() // includes the 1-byte varint of empty padding
-	want := target - base // extra bytes needed
-	if want <= 0 {
-		return
-	}
-	// n padding bytes cost n + (varintLen(n) - 1) extra. Start from the
-	// closed-form guess and correct for varint boundaries.
-	n := want
-	if want > 0xfc {
-		n = want - 2 // 3-byte varint
-		if n > 0xffff {
-			n = want - 4 // 5-byte varint
-		}
-	}
-	for n > 0 && n+varintLen(n)-1 > want {
-		n--
-	}
-	tx.Padding = make([]byte, n)
-	tx.Invalidate()
-}
-
-func varintLen(n int) int {
-	switch {
-	case n < 0xfd:
-		return 1
-	case n <= 0xffff:
-		return 3
-	case n <= 0xffffffff:
-		return 5
-	default:
-		return 9
-	}
-}
+// Stream exposes the backing generator (release floor, occupancy).
+func (w *Workload) Stream() *load.Stream { return w.stream }
 
 // NewView returns a per-node pool view over the shared workload. Views
 // implement node.TxPool with one bit of state per transaction, so a
 // 1000-node experiment holds one copy of the workload plus 1000 bitmaps.
-func (w *Workload) NewView() *WorkloadView {
-	return &WorkloadView{
-		w:         w,
-		confirmed: make([]uint64, (len(w.Txs)+63)/64),
-		live:      len(w.Txs),
-	}
+// The bitmaps are windowed: Compact drops fully confirmed low words once
+// the stream's release floor passes them.
+func (v *Workload) NewView() *WorkloadView {
+	return &WorkloadView{w: v}
 }
 
-// WorkloadView is one node's pool over the shared workload.
+// WorkloadView is one node's pool over the shared workload. By default it
+// offers the whole stream at once (the classic pre-loaded-mempool
+// methodology); SetOpenLoop and SetClosedLoop impose a pacing discipline on
+// how far into the stream Select may reach.
 type WorkloadView struct {
-	w         *Workload
+	w *Workload
+
+	// Pacing (at most one active): open loop offers index i at virtual
+	// time OfferTime(rate, i); closed loop keeps `window` transactions
+	// beyond this view's confirmed count.
+	rate   float64
+	now    func() int64
+	window int64
+
+	// confirmed is a windowed bitset: bit (i - 64*wordBase) of word i/64
+	// tracks index i. Indices below 64*wordBase were compacted away and
+	// read as confirmed.
+	wordBase  int64
 	confirmed []uint64
-	cursor    int32 // first possibly-unconfirmed index
-	live      int
+	// prefix is the first index not known confirmed (lazily advanced);
+	// count is the total ever confirmed from this view's perspective.
+	prefix int64
+	count  int64
 }
 
-func (v *WorkloadView) bit(i int32) bool { return v.confirmed[i/64]&(1<<(uint(i)%64)) != 0 }
-func (v *WorkloadView) set(i int32)      { v.confirmed[i/64] |= 1 << (uint(i) % 64) }
-func (v *WorkloadView) clear(i int32)    { v.confirmed[i/64] &^= 1 << (uint(i) % 64) }
+// SetOpenLoop makes Select offer transactions at rate tx/s of virtual time
+// (clock reads the owning loop; on the sharded engine that is the node's
+// shard-local clock, which is deterministic for the node's events).
+func (v *WorkloadView) SetOpenLoop(rate float64, clock func() int64) {
+	v.rate, v.now, v.window = rate, clock, 0
+}
+
+// SetClosedLoop makes Select keep at most window transactions beyond this
+// view's confirmed count outstanding.
+func (v *WorkloadView) SetClosedLoop(window int64) {
+	v.rate, v.now, v.window = 0, nil, window
+}
+
+func (v *WorkloadView) bit(i int64) bool {
+	wi := i/64 - v.wordBase
+	if wi < 0 {
+		return true // compacted below the floor: confirmed by definition
+	}
+	if wi >= int64(len(v.confirmed)) {
+		return false
+	}
+	return v.confirmed[wi]&(1<<(uint64(i)%64)) != 0
+}
+
+// setBit marks i confirmed, reporting whether it was newly set.
+func (v *WorkloadView) setBit(i int64) bool {
+	wi := i/64 - v.wordBase
+	if wi < 0 {
+		return false
+	}
+	for wi >= int64(len(v.confirmed)) {
+		v.confirmed = append(v.confirmed, 0)
+	}
+	mask := uint64(1) << (uint64(i) % 64)
+	if v.confirmed[wi]&mask != 0 {
+		return false
+	}
+	v.confirmed[wi] |= mask
+	return true
+}
+
+// clearBit unmarks i, reporting whether it was set. Indices below the
+// compaction floor stay confirmed: reinsertion there is best-effort lost,
+// like a real mempool shedding under pressure.
+func (v *WorkloadView) clearBit(i int64) bool {
+	wi := i/64 - v.wordBase
+	if wi < 0 || wi >= int64(len(v.confirmed)) {
+		return false
+	}
+	mask := uint64(1) << (uint64(i) % 64)
+	if v.confirmed[wi]&mask == 0 {
+		return false
+	}
+	v.confirmed[wi] &^= mask
+	return true
+}
 
 // Add implements node.TxPool; the workload is fixed, so loose additions are
 // rejected (experiments do not relay transactions, §7).
@@ -152,21 +169,41 @@ func (v *WorkloadView) Add(tx *types.Transaction) error {
 	return fmt.Errorf("experiment: workload pool is read-only")
 }
 
-// Select implements node.TxPool: unconfirmed transactions in index order up
-// to maxBytes.
-func (v *WorkloadView) Select(maxBytes int) []*types.Transaction {
-	// Advance the cursor over the confirmed prefix.
-	n := int32(len(v.w.Txs))
-	for v.cursor < n && v.bit(v.cursor) {
-		v.cursor++
+// limit returns the first index Select may NOT offer yet under the active
+// pacing discipline.
+func (v *WorkloadView) limit() int64 {
+	switch {
+	case v.rate > 0:
+		var t int64
+		if v.now != nil {
+			t = v.now()
+		}
+		return load.OfferedAt(v.rate, t)
+	case v.window > 0:
+		return v.count + v.window
 	}
+	return math.MaxInt64
+}
+
+// Select implements node.TxPool: unconfirmed transactions in index order up
+// to maxBytes, materializing stream batches on demand but never past the
+// pacing frontier — the bounded lookahead that keeps resident memory
+// proportional to the in-flight window.
+func (v *WorkloadView) Select(maxBytes int) []*types.Transaction {
+	for v.bit(v.prefix) {
+		v.prefix++
+	}
+	limit := v.limit()
 	var out []*types.Transaction
 	budget := maxBytes
-	for i := v.cursor; i < n && budget >= v.w.TxSize; i++ {
+	for i := v.prefix; i < limit && budget >= v.w.TxSize; i++ {
 		if v.bit(i) {
 			continue
 		}
-		tx := v.w.Txs[i]
+		tx := v.w.stream.Tx(i)
+		if tx == nil {
+			break // stream cap (or released slot) reached
+		}
 		size := tx.WireSize()
 		if size > budget {
 			break // identical sizes: nothing further fits either
@@ -177,13 +214,19 @@ func (v *WorkloadView) Select(maxBytes int) []*types.Transaction {
 	return out
 }
 
-// RemoveConfirmed implements node.TxPool using pointer identity: blocks in
-// the simulator carry the same transaction objects the workload created.
+// RemoveConfirmed implements node.TxPool: stream members carry their index
+// in the padding stamp, so confirmation needs no pointer-identity map.
 func (v *WorkloadView) RemoveConfirmed(txs []*types.Transaction) {
 	for _, tx := range txs {
-		if i, ok := v.w.index[tx]; ok && !v.bit(i) {
-			v.set(i)
-			v.live--
+		i, ok := load.TxIndex(tx)
+		if !ok {
+			continue
+		}
+		if v.setBit(i) {
+			v.count++
+			for v.bit(v.prefix) {
+				v.prefix++
+			}
 		}
 	}
 }
@@ -191,15 +234,60 @@ func (v *WorkloadView) RemoveConfirmed(txs []*types.Transaction) {
 // Reinsert implements node.TxPool.
 func (v *WorkloadView) Reinsert(txs []*types.Transaction) {
 	for _, tx := range txs {
-		if i, ok := v.w.index[tx]; ok && v.bit(i) {
-			v.clear(i)
-			v.live++
-			if i < v.cursor {
-				v.cursor = i
+		i, ok := load.TxIndex(tx)
+		if !ok {
+			continue
+		}
+		if v.clearBit(i) {
+			v.count--
+			if i < v.prefix {
+				v.prefix = i
 			}
 		}
 	}
 }
 
-// Len implements node.TxPool.
-func (v *WorkloadView) Len() int { return v.live }
+// Len implements node.TxPool: materialized transactions this view has not
+// confirmed. (Unmaterialized stream tail is offered load, not pool depth.)
+func (v *WorkloadView) Len() int {
+	n := v.w.stream.Generated() - v.count
+	if n < 0 {
+		n = 0
+	}
+	return int(n)
+}
+
+// ConfirmedCount returns how many stream transactions this view has seen
+// confirmed (monotone except for reorg reinserts).
+func (v *WorkloadView) ConfirmedCount() int64 { return v.count }
+
+// ConfirmedPrefix returns the first index this view does not know to be
+// confirmed — the release-floor input.
+func (v *WorkloadView) ConfirmedPrefix() int64 {
+	for v.bit(v.prefix) {
+		v.prefix++
+	}
+	return v.prefix
+}
+
+// Compact drops bitset words wholly below floor (the stream's release
+// floor, which never passes any view's confirmed prefix minus slack). Word
+// contents below the floor are all-ones by construction; dropping them
+// keeps view memory proportional to the in-flight window.
+func (v *WorkloadView) Compact(floor int64) {
+	fw := floor / 64
+	if fw <= v.wordBase {
+		return
+	}
+	drop := fw - v.wordBase
+	if drop >= int64(len(v.confirmed)) {
+		v.confirmed = v.confirmed[:0]
+	} else {
+		n := copy(v.confirmed, v.confirmed[drop:])
+		v.confirmed = v.confirmed[:n]
+	}
+	v.wordBase = fw
+	if v.prefix < fw*64 {
+		v.prefix = fw * 64
+	}
+}

@@ -46,6 +46,7 @@ var DeterministicPrefixes = []string{
 	"bitcoinng/internal/node",
 	"bitcoinng/internal/mining",
 	"bitcoinng/internal/mempool",
+	"bitcoinng/internal/load",
 	"bitcoinng/internal/experiment",
 	"bitcoinng/internal/chaos",
 	"bitcoinng/internal/invariant",

@@ -3,6 +3,7 @@ package mempool
 import (
 	"errors"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"bitcoinng/internal/crypto"
@@ -240,8 +241,8 @@ func TestSelectMinSizeStaysConservative(t *testing.T) {
 	}
 }
 
-// TestSelectCompactsDominatedTail: a Select over a pool whose order slice is
-// mostly lazy-deleted entries compacts it first.
+// TestSelectCompactsDominatedTail: a Select over a pool whose bucket order
+// slice is mostly lazy-deleted entries compacts it first.
 func TestSelectCompactsDominatedTail(t *testing.T) {
 	p := New()
 	key := testKey(t, 11)
@@ -255,21 +256,162 @@ func TestSelectCompactsDominatedTail(t *testing.T) {
 			confirmed = append(confirmed, x)
 		}
 	}
-	// Remove directly (bypassing RemoveConfirmed's own compaction trigger
-	// would be ideal, but it compacts too; recreate the dominated state by
-	// removing in one batch and then re-adding junk removals).
 	for _, x := range confirmed {
 		p.remove(x.ID())
 	}
-	if len(p.order) <= 2*len(p.txs)+16 {
+	b := p.buckets[0] // no resolver: everything rates 0
+	if len(b.order) <= 2*b.live+16 {
 		t.Skip("tail not dominated; threshold changed")
 	}
 	got := p.Select(1 << 20)
 	if len(got) != 4 {
 		t.Fatalf("selected %d, want 4", len(got))
 	}
-	if len(p.order) > 2*len(p.txs)+16 {
-		t.Fatalf("Select left a dominated tail: %d order entries for %d live", len(p.order), len(p.txs))
+	b = p.buckets[0]
+	if len(b.order) > 2*b.live+16 {
+		t.Fatalf("Select left a dominated tail: %d order entries for %d live", len(b.order), b.live)
+	}
+}
+
+// TestCompactionReleasesBackingArray: after mass removal the compacted
+// bucket must not keep the old oversized backing array (the retention bug:
+// reslicing in place left stale trailing entry pointers pinning their
+// transactions forever).
+func TestCompactionReleasesBackingArray(t *testing.T) {
+	p := New()
+	key := testKey(t, 14)
+	var all []*types.Transaction
+	for i := 0; i < 2000; i++ {
+		x := tx(t, key, uint32(i), 10)
+		all = append(all, x)
+		if err := p.Add(x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.RemoveConfirmed(all[:1990])
+	b := p.buckets[0]
+	if b.live != 10 {
+		t.Fatalf("live = %d, want 10", b.live)
+	}
+	if cap(b.order) > 4*b.live+16 {
+		t.Fatalf("compaction kept an oversized backing array: cap %d for %d live", cap(b.order), b.live)
+	}
+	for _, e := range b.order[len(b.order):cap(b.order)] {
+		if e != nil {
+			t.Fatal("stale entry pointer in the vacated tail")
+		}
+	}
+}
+
+// TestFeePrioritySelection: with a resolver wired, higher fee rates
+// serialize first, FIFO within a rate.
+func TestFeePrioritySelection(t *testing.T) {
+	p := New()
+	key := testKey(t, 15)
+	values := map[types.OutPoint]types.Amount{}
+	p.SetFeeResolver(func(op types.OutPoint) (types.Amount, bool) {
+		v, ok := values[op]
+		return v, ok
+	})
+	mk := func(idx uint32, fee types.Amount) *types.Transaction {
+		x := tx(t, key, idx, 0)
+		values[x.Inputs[0].Prev] = x.Outputs[0].Value + fee
+		return x
+	}
+	low1, high, low2 := mk(1, 10), mk(2, 10_000), mk(3, 10)
+	for _, x := range []*types.Transaction{low1, high, low2} {
+		if err := p.Add(x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := p.Select(1 << 20)
+	if len(got) != 3 || got[0].ID() != high.ID() || got[1].ID() != low1.ID() || got[2].ID() != low2.ID() {
+		t.Fatal("selection not fee-rate ordered with FIFO tie-break")
+	}
+}
+
+// TestBoundedAdmission: a full pool sheds its newest lowest-rate entry for
+// a better-paying newcomer and rejects newcomers that do not beat the
+// floor — deterministically.
+func TestBoundedAdmission(t *testing.T) {
+	p := New()
+	p.SetLimits(Limits{MaxTxs: 3})
+	key := testKey(t, 16)
+	values := map[types.OutPoint]types.Amount{}
+	p.SetFeeResolver(func(op types.OutPoint) (types.Amount, bool) {
+		v, ok := values[op]
+		return v, ok
+	})
+	mk := func(idx uint32, fee types.Amount) *types.Transaction {
+		x := tx(t, key, idx, 0)
+		values[x.Inputs[0].Prev] = x.Outputs[0].Value + fee
+		return x
+	}
+	a, b, c := mk(1, 100), mk(2, 100), mk(3, 5000)
+	for _, x := range []*types.Transaction{a, b, c} {
+		if err := p.Add(x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Same floor rate: rejected, pool unchanged.
+	if err := p.Add(mk(4, 100)); !errors.Is(err, ErrPoolFull) {
+		t.Fatalf("equal-rate newcomer err = %v, want ErrPoolFull", err)
+	}
+	// Better rate: evicts the NEWEST lowest-rate entry (b), keeps a.
+	d := mk(5, 2000)
+	if err := p.Add(d); err != nil {
+		t.Fatal(err)
+	}
+	if p.Contains(b.ID()) || !p.Contains(a.ID()) || !p.Contains(c.ID()) || !p.Contains(d.ID()) {
+		t.Fatal("eviction did not shed the newest lowest-rate entry")
+	}
+	st := p.Stats()
+	if st.Evictions != 1 || st.Rejected != 1 || st.Txs != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Eviction frees the victim's claimed inputs for future spends.
+	if err := p.Add(mk(6, 3000)); err != nil {
+		t.Fatal(err)
+	}
+	if p.Contains(a.ID()) {
+		t.Fatal("second eviction should have shed the remaining low-rate entry")
+	}
+}
+
+// TestPoolAllocSteady is the satellite soak: sustained add/confirm churn
+// far beyond the pool's standing size must not grow the heap — the
+// compaction fix's regression guard.
+func TestPoolAllocSteady(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc soak")
+	}
+	p := New()
+	key := testKey(t, 17)
+	const window = 512
+	var live []*types.Transaction
+	churn := func(rounds int) {
+		for i := 0; i < rounds; i++ {
+			x := txB(t, key, uint32(i), 10)
+			if err := p.Add(x); err != nil {
+				t.Fatal(err)
+			}
+			live = append(live, x)
+			if len(live) > window {
+				p.RemoveConfirmed(live[:64])
+				live = append(live[:0:0], live[64:]...)
+			}
+		}
+	}
+	churn(2_000) // reach steady state
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+	churn(50_000)
+	runtime.GC()
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	if after.HeapAlloc > before.HeapAlloc+8<<20 {
+		t.Fatalf("heap grew %d bytes across steady-state churn", after.HeapAlloc-before.HeapAlloc)
 	}
 }
 

@@ -1,0 +1,84 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+)
+
+// BackpressureStat is one named queue-depth series, reduced to aggregates
+// so unbounded soaks hold O(1) memory per series.
+type BackpressureStat struct {
+	Name    string
+	Samples int
+	Last    float64
+	Max     float64
+	Mean    float64
+}
+
+// Backpressure accumulates per-stage queue-depth samples (mempool depth,
+// pending block fetches, signing-lookahead occupancy, ...). Samples are
+// recorded at the harness's quiescent maintenance boundaries, so the series
+// are a pure function of (config, seed) at any engine parallelism. Series
+// order is first-record order — deterministic, never map order.
+type Backpressure struct {
+	order  []string
+	series map[string]*bpSeries
+}
+
+type bpSeries struct {
+	n         int
+	last, max float64
+	sum       float64
+}
+
+// NewBackpressure returns an empty accumulator.
+func NewBackpressure() *Backpressure {
+	return &Backpressure{series: make(map[string]*bpSeries)}
+}
+
+// Record appends one sample to the named series.
+func (b *Backpressure) Record(name string, v float64) {
+	s, ok := b.series[name]
+	if !ok {
+		s = &bpSeries{}
+		b.series[name] = s
+		b.order = append(b.order, name)
+	}
+	s.n++
+	s.last = v
+	s.sum += v
+	if v > s.max {
+		s.max = v
+	}
+}
+
+// Stats reduces every series, in first-record order.
+func (b *Backpressure) Stats() []BackpressureStat {
+	out := make([]BackpressureStat, 0, len(b.order))
+	for _, name := range b.order {
+		s := b.series[name]
+		mean := 0.0
+		if s.n > 0 {
+			mean = s.sum / float64(s.n)
+		}
+		out = append(out, BackpressureStat{
+			Name:    name,
+			Samples: s.n,
+			Last:    s.last,
+			Max:     s.max,
+			Mean:    mean,
+		})
+	}
+	return out
+}
+
+// FprintBackpressure renders the stats as a fixed-width table.
+func FprintBackpressure(w io.Writer, stats []BackpressureStat) {
+	if len(stats) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "%-22s %8s %10s %10s %10s\n", "backpressure", "samples", "last", "mean", "max")
+	for _, s := range stats {
+		fmt.Fprintf(w, "%-22s %8d %10.1f %10.1f %10.1f\n", s.Name, s.Samples, s.Last, s.Mean, s.Max)
+	}
+}

@@ -38,10 +38,19 @@ func NewBase(env Env, st *chain.State, rec Recorder) *Base {
 	if rec == nil {
 		rec = NopRecorder{}
 	}
+	pool := mempool.New()
+	// Resolve input values against the confirmed UTXO set so the pool can
+	// fee-prioritize and make bounded-admission decisions. Unresolvable
+	// inputs (unconfirmed parents outside the pool) degrade the rate to
+	// zero rather than failing admission.
+	pool.SetFeeResolver(func(op types.OutPoint) (types.Amount, bool) {
+		e, ok := st.UTXO().Lookup(op)
+		return e.Value, ok
+	})
 	b := &Base{
 		Env:      env,
 		State:    st,
-		Pool:     mempool.New(),
+		Pool:     pool,
 		Recorder: rec,
 	}
 	b.Gossip = NewGossip(env, b)
@@ -132,12 +141,7 @@ func (b *Base) handleTx(from int, tx *types.Transaction) {
 	if !b.RelayTxs {
 		return
 	}
-	for _, p := range b.Env.Peers() {
-		if p == from {
-			continue
-		}
-		b.Env.Send(p, &TxMsg{Tx: tx})
-	}
+	b.Gossip.RelayTx(tx, from)
 }
 
 // SubmitTx inserts a locally created transaction (wallet path) and relays it
@@ -150,9 +154,7 @@ func (b *Base) SubmitTx(tx *types.Transaction) error {
 		return err
 	}
 	if b.RelayTxs {
-		for _, p := range b.Env.Peers() {
-			b.Env.Send(p, &TxMsg{Tx: tx})
-		}
+		b.Gossip.RelayTx(tx, -1)
 	}
 	return nil
 }

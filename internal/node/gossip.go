@@ -52,6 +52,12 @@ type Gossip struct {
 	// handleBlock call that set them.
 	knownHash BlockID
 	knownBy   []int
+
+	// txQueue coalesces outgoing loose transactions per peer while the
+	// flush timer runs (Params.TxBatchInterval > 0). Flushes iterate
+	// env.Peers() order, never the map, so send order is deterministic.
+	txQueue map[int][]*types.Transaction
+	txFlush Timer
 }
 
 // NewGossip wires a relay for base.
@@ -91,7 +97,68 @@ func (g *Gossip) HandleMessage(from int, msg Message) {
 		g.handleBlock(from, m)
 	case *TxMsg:
 		g.base.handleTx(from, m.Tx)
+	case *TxBatchMsg:
+		for _, tx := range m.Txs {
+			g.base.handleTx(from, tx)
+		}
 	}
+}
+
+// RelayTx forwards a loose transaction to every peer except `except` (-1
+// reaches everyone). With Params.TxBatchInterval unset each transaction goes
+// out immediately in its own TxMsg; otherwise transactions coalesce per
+// peer until one shared flush timer fires.
+func (g *Gossip) RelayTx(tx *types.Transaction, except int) {
+	interval := g.base.State.Params().TxBatchInterval
+	if interval <= 0 {
+		msg := &TxMsg{Tx: tx}
+		for _, p := range g.env.Peers() {
+			if p == except {
+				continue
+			}
+			g.env.Send(p, msg)
+		}
+		return
+	}
+	if g.txQueue == nil {
+		g.txQueue = make(map[int][]*types.Transaction)
+	}
+	for _, p := range g.env.Peers() {
+		if p == except {
+			continue
+		}
+		g.txQueue[p] = append(g.txQueue[p], tx)
+	}
+	if g.txFlush == nil {
+		g.txFlush = g.env.After(interval, g.flushTxs)
+	}
+}
+
+// flushTxs drains the per-peer transaction queues, one txbatch per peer
+// with queued traffic, in env.Peers() order.
+func (g *Gossip) flushTxs() {
+	g.txFlush = nil
+	for _, p := range g.env.Peers() {
+		q := g.txQueue[p]
+		if len(q) == 0 {
+			continue
+		}
+		delete(g.txQueue, p)
+		g.env.Send(p, &TxBatchMsg{Txs: q})
+	}
+	// A peer that vanished from Peers() between queue and flush would leak
+	// its queue; drop any leftovers.
+	clear(g.txQueue)
+}
+
+// QueuedTxs returns how many transactions await a relay flush (diagnostics
+// and backpressure sampling).
+func (g *Gossip) QueuedTxs() int {
+	n := 0
+	for _, q := range g.txQueue {
+		n += len(q)
+	}
+	return n
 }
 
 func (g *Gossip) handleInv(from int, m *InvMsg) {

@@ -455,3 +455,106 @@ func TestFetchGiveUpDrainsEntry(t *testing.T) {
 		t.Error("fetch did not restart on a fresh inv")
 	}
 }
+
+// relayTx builds a well-formed loose transaction for relay tests (inputs
+// reference nonexistent outputs; the pool's fee resolver degrades them to
+// rate zero, which is fine for unbounded pools).
+func relayTx(t *testing.T, key *crypto.PrivateKey, idx uint32) *types.Transaction {
+	t.Helper()
+	tx := &types.Transaction{
+		Kind:    types.TxRegular,
+		Inputs:  []types.TxInput{{Prev: types.OutPoint{Index: idx}}},
+		Outputs: []types.TxOutput{{Value: 1, To: key.Public().Addr()}},
+	}
+	tx.SignInput(0, key)
+	return tx
+}
+
+// TestTxRelayImmediate: with TxBatchInterval unset each submitted
+// transaction goes out at once in its own TxMsg.
+func TestTxRelayImmediate(t *testing.T) {
+	h, _, key := newHarness(t, 3)
+	for _, b := range h.bases {
+		b.RelayTxs = true
+	}
+	if err := h.bases[0].SubmitTx(relayTx(t, key, 1)); err != nil {
+		t.Fatal(err)
+	}
+	var txMsgs int
+	for _, qm := range h.envs[0].queue {
+		if _, ok := qm.msg.(*node.TxMsg); ok {
+			txMsgs++
+		}
+	}
+	if txMsgs != 2 {
+		t.Fatalf("immediate relay sent %d TxMsgs, want 2 (one per peer)", txMsgs)
+	}
+	h.drain()
+	if h.bases[1].Pool.Len() != 1 || h.bases[2].Pool.Len() != 1 {
+		t.Fatal("peers did not pool the relayed transaction")
+	}
+}
+
+// TestTxRelayBatching: with TxBatchInterval set, transactions coalesce
+// until the flush timer fires, then go out as one txbatch per peer.
+func TestTxRelayBatching(t *testing.T) {
+	params := types.DefaultParams()
+	params.RandomTieBreak = false
+	params.TxBatchInterval = time.Second
+	h, _, key := newHarnessParams(t, 3, params)
+	for _, b := range h.bases {
+		b.RelayTxs = true
+	}
+	for i := uint32(1); i <= 3; i++ {
+		if err := h.bases[0].SubmitTx(relayTx(t, key, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(h.envs[0].queue) != 0 {
+		t.Fatalf("batching sent %d messages before the flush", len(h.envs[0].queue))
+	}
+	if got := h.bases[0].Gossip.QueuedTxs(); got != 6 {
+		t.Fatalf("queued = %d, want 6 (3 txs x 2 peers)", got)
+	}
+
+	h.advance(time.Second)
+	var batches int
+	for _, qm := range h.envs[0].queue {
+		b, ok := qm.msg.(*node.TxBatchMsg)
+		if !ok {
+			t.Fatalf("flush sent %T, want *node.TxBatchMsg", qm.msg)
+		}
+		if len(b.Txs) != 3 {
+			t.Fatalf("batch carries %d txs, want 3", len(b.Txs))
+		}
+		batches++
+	}
+	if batches != 2 {
+		t.Fatalf("flush sent %d batches, want 2 (one per peer)", batches)
+	}
+	if got := h.bases[0].Gossip.QueuedTxs(); got != 0 {
+		t.Fatalf("queued after flush = %d, want 0", got)
+	}
+
+	// Delivery pools all three at each peer; the peers re-queue them for
+	// their own relay (minus the sender) rather than echoing immediately.
+	h.pump()
+	if h.bases[1].Pool.Len() != 3 || h.bases[2].Pool.Len() != 3 {
+		t.Fatal("peers did not pool the batched transactions")
+	}
+	if got := h.bases[1].Gossip.QueuedTxs(); got != 3 {
+		t.Fatalf("peer re-relay queued = %d, want 3 (one peer besides the sender)", got)
+	}
+
+	// One envelope per batch beats per-tx framing.
+	batch := &node.TxBatchMsg{Txs: []*types.Transaction{
+		relayTx(t, key, 7), relayTx(t, key, 8), relayTx(t, key, 9),
+	}}
+	var singles int
+	for _, tx := range batch.Txs {
+		singles += (&node.TxMsg{Tx: tx}).Size()
+	}
+	if batch.Size() >= singles {
+		t.Fatalf("batch size %d not smaller than %d for per-tx relay", batch.Size(), singles)
+	}
+}

@@ -114,3 +114,36 @@ func (m *TxMsg) Size() int { return envelopeOverhead + m.Tx.WireSize() }
 
 // Type implements Message.
 func (m *TxMsg) Type() wire.MsgType { return wire.MsgTx }
+
+// TxBatchMsg relays several loose transactions in one envelope. Under
+// sustained load the per-transaction envelope and event overhead of TxMsg
+// dominates relay cost; batching amortizes it (enabled by
+// Params.TxBatchInterval).
+type TxBatchMsg struct {
+	Txs []*types.Transaction
+}
+
+// Size implements Message.
+func (m *TxBatchMsg) Size() int {
+	n := envelopeOverhead + compactSizeLen(len(m.Txs))
+	for _, tx := range m.Txs {
+		n += compactSizeLen(tx.WireSize()) + tx.WireSize()
+	}
+	return n
+}
+
+// Type implements Message.
+func (m *TxBatchMsg) Type() wire.MsgType { return wire.MsgTxBatch }
+
+// compactSizeLen is the encoded size of a CompactSize count.
+func compactSizeLen(n int) int {
+	switch {
+	case n < 0xfd:
+		return 1
+	case n <= 0xffff:
+		return 3
+	case n <= 0xffffffff:
+		return 5
+	}
+	return 9
+}

@@ -62,6 +62,39 @@ func decodeInvItems(payload []byte) ([]node.Inv, error) {
 	return items, nil
 }
 
+// encodeTxBatch serializes a txbatch: a CompactSize count followed by each
+// transaction as VarBytes, so a corrupt member fails cleanly at its length
+// prefix instead of desynchronizing the rest of the batch.
+func encodeTxBatch(txs []*types.Transaction) []byte {
+	w := wire.NewWriter(1 + 512*len(txs))
+	w.VarInt(uint64(len(txs)))
+	for _, tx := range txs {
+		w.VarBytes(wire.Encode(tx))
+	}
+	return w.Bytes()
+}
+
+func decodeTxBatch(payload []byte) ([]*types.Transaction, error) {
+	r := wire.NewReader(payload)
+	n := r.Length(1 << 16)
+	txs := make([]*types.Transaction, 0, n)
+	for i := 0; i < n; i++ {
+		raw := r.VarBytes(1 << 20)
+		if r.Err() != nil {
+			break
+		}
+		tx := new(types.Transaction)
+		if err := wire.Decode(raw, tx); err != nil {
+			return nil, err
+		}
+		txs = append(txs, tx)
+	}
+	if err := r.Finish(); err != nil {
+		return nil, err
+	}
+	return txs, nil
+}
+
 // encodeMessage frames a gossip message for the TCP transport.
 func encodeMessage(msg node.Message) (*wire.Envelope, error) {
 	switch m := msg.(type) {
@@ -73,6 +106,8 @@ func encodeMessage(msg node.Message) (*wire.Envelope, error) {
 		return &wire.Envelope{Type: types.BlockMsgType(m.Block), Payload: wire.Encode(m.Block)}, nil
 	case *node.TxMsg:
 		return &wire.Envelope{Type: wire.MsgTx, Payload: wire.Encode(m.Tx)}, nil
+	case *node.TxBatchMsg:
+		return &wire.Envelope{Type: wire.MsgTxBatch, Payload: encodeTxBatch(m.Txs)}, nil
 	default:
 		return nil, fmt.Errorf("p2p: cannot encode message type %T", msg)
 	}
@@ -105,6 +140,12 @@ func decodeMessage(env *wire.Envelope) (node.Message, error) {
 			return nil, err
 		}
 		return &node.TxMsg{Tx: tx}, nil
+	case wire.MsgTxBatch:
+		txs, err := decodeTxBatch(env.Payload)
+		if err != nil {
+			return nil, err
+		}
+		return &node.TxBatchMsg{Txs: txs}, nil
 	default:
 		return nil, fmt.Errorf("p2p: cannot decode message type %v", env.Type)
 	}

@@ -238,3 +238,50 @@ func TestCodecRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+func TestCodecTxBatchRoundTrip(t *testing.T) {
+	key, _ := crypto.GenerateKey(sim.NewRand(2, 1))
+	var txs []*types.Transaction
+	for i := 0; i < 5; i++ {
+		tx := &types.Transaction{
+			Kind:    types.TxRegular,
+			Inputs:  []types.TxInput{{Prev: types.OutPoint{Index: uint32(i)}}},
+			Outputs: []types.TxOutput{{Value: 1, To: crypto.Address{byte(i)}}},
+			Padding: make([]byte, i*17),
+		}
+		tx.SignInput(0, key)
+		txs = append(txs, tx)
+	}
+	in := &node.TxBatchMsg{Txs: txs}
+	env, err := encodeMessage(in)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	out, err := decodeMessage(env)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	got, ok := out.(*node.TxBatchMsg)
+	if !ok {
+		t.Fatalf("decoded %T, want *node.TxBatchMsg", out)
+	}
+	if len(got.Txs) != len(txs) {
+		t.Fatalf("round trip returned %d txs, want %d", len(got.Txs), len(txs))
+	}
+	for i := range txs {
+		if got.Txs[i].ID() != txs[i].ID() {
+			t.Errorf("tx %d round trip mismatch", i)
+		}
+	}
+
+	// The empty batch stays legal (a flush race can drain a queue).
+	env, err = encodeMessage(&node.TxBatchMsg{})
+	if err != nil {
+		t.Fatalf("encode empty: %v", err)
+	}
+	if out, err := decodeMessage(env); err != nil {
+		t.Fatalf("decode empty: %v", err)
+	} else if len(out.(*node.TxBatchMsg).Txs) != 0 {
+		t.Fatal("empty batch round trip not empty")
+	}
+}

@@ -61,6 +61,13 @@ type Params struct {
 	// silently starve while retries hammer dead peers. Zero takes the
 	// 20-second default.
 	FetchTimeout time.Duration
+
+	// TxBatchInterval is how long the gossip layer coalesces loose
+	// transactions per peer before flushing them in one txbatch message.
+	// Batching amortizes the per-message envelope and event overhead under
+	// sustained load; zero relays each transaction immediately (classic
+	// behavior). Relay tuning, not consensus.
+	TxBatchInterval time.Duration
 }
 
 // DefaultParams mirrors the paper's experimental configuration: 100-second

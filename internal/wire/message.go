@@ -25,6 +25,7 @@ const (
 	MsgTx                        // loose transaction
 	MsgPing                      // liveness probe
 	MsgPong                      // liveness response
+	MsgTxBatch                   // batched loose-transaction relay
 	msgSentinel                  // one past the last valid type
 )
 
@@ -40,6 +41,7 @@ var msgTypeNames = [...]string{
 	MsgTx:         "tx",
 	MsgPing:       "ping",
 	MsgPong:       "pong",
+	MsgTxBatch:    "txbatch",
 }
 
 // String returns the canonical lower-case message name.
