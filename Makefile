@@ -2,7 +2,7 @@ GO ?= go
 BENCH_DATE := $(shell date +%Y%m%d)
 BENCH_OUT ?= BENCH_$(BENCH_DATE).json
 
-.PHONY: build vet lint test race bench bench-json bench-diff smoke determinism throughput-smoke examples soak fuzz cover
+.PHONY: build vet lint test race bench bench-json bench-diff smoke determinism throughput-smoke examples soak faults fuzz cover
 
 build:
 	$(GO) build ./...
@@ -100,6 +100,19 @@ SOAK_SEEDS ?= 50
 soak:
 	$(GO) run ./cmd/ngbench -figure chaos -seeds $(SOAK_SEEDS)
 
+# faults runs the crash/recovery suite end to end: the sync protocol and
+# malformed-message hardening units, the simulated and live transports, the
+# experiment-harness crash/restart pins, the majority-crash differential, the
+# committed chaos regression seeds (which include leader-crash + lossy
+# programs), and the cluster-level leader-crash / process-restart / lossy
+# tests.
+faults:
+	$(GO) test -run 'TestSync|TestMalformedMessagesDropped|TestFetchGiveUpHandsOffToSync' -count=1 ./internal/node
+	$(GO) test -run 'TestLiveMalformedFrameDropsPeer|TestCodecSyncRoundTrip' -count=1 ./internal/p2p
+	$(GO) test -run 'TestRestartRecoversDurablePrefix|TestCrashedNodeIsInert' -count=1 ./internal/experiment
+	$(GO) test -run 'TestMajorityCrashConverges|TestRegressionSeeds' -count=1 ./internal/chaos
+	$(GO) test -run 'TestClusterLeaderCrashRestartResync|TestClusterStateDirProcessRestart|TestClusterLossyLinks' -count=1 .
+
 # fuzz runs a short campaign on every native fuzz target; raise FUZZTIME for
 # a real hunt. Interesting inputs land in each package's testdata/fuzz and
 # should be committed — the corpus replays under plain `go test` forever.
@@ -110,6 +123,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzEnvelope -fuzztime=$(FUZZTIME) -run '^$$' ./internal/wire
 	$(GO) test -fuzz=FuzzVarInt -fuzztime=$(FUZZTIME) -run '^$$' ./internal/wire
 	$(GO) test -fuzz=FuzzNextTarget -fuzztime=$(FUZZTIME) -run '^$$' ./internal/chain
+	$(GO) test -fuzz=FuzzBlockstoreReopen -fuzztime=$(FUZZTIME) -run '^$$' ./internal/blockstore
 
 # cover prints per-package statement coverage and enforces floors on the
 # consensus-critical packages: coverage there may only go up. CI publishes

@@ -2,8 +2,10 @@ package bitcoinng
 
 import (
 	"fmt"
+	"path/filepath"
 	"time"
 
+	"bitcoinng/internal/blockstore"
 	"bitcoinng/internal/chain"
 	"bitcoinng/internal/crypto"
 	"bitcoinng/internal/invariant"
@@ -79,6 +81,12 @@ type ClusterConfig struct {
 	// BandwidthBPS overrides the network model's per-pair bandwidth; zero
 	// keeps the paper's 100 kbit/s.
 	BandwidthBPS float64
+	// StateDir, when set, gives every node a file-backed durable block
+	// archive at StateDir/node-<i>.blocks, so Crash/Restart recover from
+	// real files (and a damaged file recovers its longest valid prefix).
+	// Unset, nodes persist to in-memory archives that survive simulated
+	// crashes only.
+	StateDir string
 }
 
 // StreamLoadConfig sizes the cluster's sustained-load stream.
@@ -105,19 +113,39 @@ type Cluster struct {
 	stream    *load.Stream
 	scenErrs  []error
 
+	// Rebuild material for Restart: the same key, censor flag, and connect
+	// cache a node was first built with.
+	keys    []*crypto.PrivateKey
+	censors map[int]bool
+	cache   *validate.Cache
+
 	// Online invariant checking (nil unless configured).
 	invEng         *invariant.Engine
 	partition      []int // current group per node; nil while whole
 	lastDisruption int64
 }
 
+// durableArchive is what a node's crash-surviving block archive must offer:
+// the write hook (node.BlockArchive), the invariant read surface, and replay
+// for restart. Both blockstore.Mem and the file-backed blockstore.Store
+// satisfy it.
+type durableArchive interface {
+	node.BlockArchive
+	invariant.DurableStore
+	Replay(func(types.Block) error) error
+}
+
 // ClusterNode is one node handle.
 type ClusterNode struct {
-	id     int
-	client protocol.Client
-	base   *node.Base
-	miner  *mining.Miner
-	wallet *wallet.Wallet
+	id          int
+	client      protocol.Client
+	base        *node.Base
+	miner       *mining.Miner
+	wallet      *wallet.Wallet
+	env         *simnet.NodeEnv
+	store       durableArchive
+	down        bool
+	lastRestart int64
 }
 
 // NewCluster builds the network, funds wallets, and (with AutoMine) arms
@@ -143,7 +171,30 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	if err != nil {
 		return nil, fmt.Errorf("bitcoinng: %w", err)
 	}
-	loop := sim.NewLoop(0)
+	// File-backed archives open before the event loop exists: a process-level
+	// restart must start the virtual clock at the latest persisted block time
+	// (a real node's wall clock keeps running across restarts), or every
+	// freshly mined block would violate median-time-past against the
+	// recovered prefix until the clock caught up.
+	var fileStores []*blockstore.Store
+	var clockStart int64
+	if cfg.StateDir != "" {
+		fileStores = make([]*blockstore.Store, cfg.Nodes)
+		for i := range fileStores {
+			store, err := blockstore.Open(filepath.Join(cfg.StateDir, fmt.Sprintf("node-%d.blocks", i)))
+			if err != nil {
+				return nil, fmt.Errorf("bitcoinng: node %d durable store: %w", i, err)
+			}
+			fileStores[i] = store
+			_ = store.Replay(func(b types.Block) error {
+				if t := b.Time(); t > clockStart {
+					clockStart = t
+				}
+				return nil
+			})
+		}
+	}
+	loop := sim.NewLoop(clockStart)
 	netCfg := simnet.DefaultConfig(cfg.Nodes, cfg.Seed)
 	if cfg.BandwidthBPS > 0 {
 		netCfg.BandwidthBPS = cfg.BandwidthBPS
@@ -193,6 +244,8 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		collector: collector,
 		genesis:   genesis,
 		stream:    stream,
+		keys:      keys,
+		censors:   censors,
 	}
 	shares := mining.ExponentialShares(cfg.Nodes, mining.DefaultExponent)
 	totalRate := 1.0 / cfg.Params.TargetBlockInterval.Seconds()
@@ -201,6 +254,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	if cfg.DisableConnectCache {
 		cache = nil
 	}
+	c.cache = cache
 	for i := 0; i < cfg.Nodes; i++ {
 		env := simnet.NewNodeEnv(loop, network, i, cfg.Seed)
 		client, err := protocol.Build(env, protocol.Spec{
@@ -223,6 +277,27 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			client: client,
 			base:   client.Base(),
 			wallet: wallet.New(keys[i]),
+			env:    env,
+		}
+		if fileStores != nil {
+			cn.store = fileStores[i]
+		} else {
+			cn.store = blockstore.NewMem()
+		}
+		cn.base.Persist = cn.store
+		// A pre-existing file-backed archive (process-level restart) replays
+		// its recovered prefix into the fresh chain state; in-memory archives
+		// start empty and this is a no-op.
+		replayed := 0
+		_ = cn.store.Replay(func(b types.Block) error {
+			_, _ = cn.base.State.AddBlock(b, loop.Now())
+			replayed++
+			return nil
+		})
+		if replayed > 0 && cn.base.OnTipChange != nil {
+			// Replay bypassed processBlock, so re-arm leadership off the
+			// recovered tip (core's hook ignores the AddResult).
+			cn.base.OnTipChange(nil)
 		}
 		cn.base.RelayTxs = cfg.RelayTxs
 		if l := cfg.MempoolLimits; l.MaxTxs > 0 || l.MaxBytes > 0 {
@@ -231,7 +306,11 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			}
 		}
 		cn.miner = mining.NewMiner(loop, sim.NewRand(cfg.Seed, uint64(0x40000+i)),
-			func() { client.MineBlock() })
+			func() {
+				if !cn.down {
+					cn.client.MineBlock()
+				}
+			})
 		if cfg.AutoMine {
 			cn.miner.SetRate(shares[i] * totalRate)
 			cn.miner.Start()
@@ -276,10 +355,13 @@ func (c *Cluster) snapshot(final bool) *invariant.Snapshot {
 			group = c.partition[i]
 		}
 		s.Nodes[i] = invariant.NodeState{
-			ID:       i,
-			Chain:    n.base.State,
-			Strategy: n.StrategyName(),
-			Group:    group,
+			ID:          i,
+			Chain:       n.base.State,
+			Strategy:    n.StrategyName(),
+			Group:       group,
+			Down:        n.down,
+			LastRestart: n.lastRestart,
+			Durable:     n.store,
 		}
 	}
 	return s
@@ -408,6 +490,120 @@ func (c *Cluster) Equivocate(leader int, txA, txB *Transaction) error {
 	return err
 }
 
+// Crash tears down one node: its miner stops, every armed timer dies with
+// the env generation bump, in-flight and future messages to or from it are
+// lost, and the client object is abandoned. Only the durable block archive
+// survives for Restart. Crashing an out-of-range or already-down node is an
+// error.
+func (c *Cluster) Crash(node int) error {
+	if node < 0 || node >= len(c.nodes) {
+		return fmt.Errorf("bitcoinng: node %d out of range (cluster size %d)", node, len(c.nodes))
+	}
+	cn := c.nodes[node]
+	if cn.down {
+		return fmt.Errorf("bitcoinng: node %d is already down", node)
+	}
+	cn.down = true
+	cn.miner.Stop()
+	cn.env.Bump()
+	c.net.SetNodeDown(node, true)
+	c.lastDisruption = c.loop.Now()
+	return nil
+}
+
+// Restart rebuilds a crashed node: a fresh client on the same env and key,
+// the durable archive replayed into its chain state, the network reattached,
+// and catch-up sync kicked for whatever it missed while down. The node
+// resumes its configured strategy (a mid-run AdoptStrategy does not survive
+// a crash). Restarting an out-of-range or running node is an error.
+func (c *Cluster) Restart(node int) error {
+	if node < 0 || node >= len(c.nodes) {
+		return fmt.Errorf("bitcoinng: node %d out of range (cluster size %d)", node, len(c.nodes))
+	}
+	cn := c.nodes[node]
+	if !cn.down {
+		return fmt.Errorf("bitcoinng: node %d is not down", node)
+	}
+	strat, err := strategy.New(c.cfg.Strategies[node])
+	if err != nil {
+		return fmt.Errorf("bitcoinng: node %d restart: %w", node, err)
+	}
+	client, err := protocol.Build(cn.env, protocol.Spec{
+		Protocol:           protocol.Protocol(c.cfg.Protocol),
+		Params:             c.cfg.Params,
+		Key:                c.keys[node],
+		Genesis:            c.genesis,
+		Recorder:           c.collector,
+		SimulatedMining:    true,
+		CensorTransactions: c.censors[node],
+		ConnectCache:       c.cache,
+		Strategy:           strat,
+	})
+	if err != nil {
+		return fmt.Errorf("bitcoinng: node %d restart: %w", node, err)
+	}
+	base := client.Base()
+	base.Persist = cn.store
+	base.RelayTxs = c.cfg.RelayTxs
+	if l := c.cfg.MempoolLimits; l.MaxTxs > 0 || l.MaxBytes > 0 {
+		if mp, ok := base.Pool.(*mempool.Pool); ok {
+			mp.SetLimits(l)
+		}
+	}
+	// Recover the durable prefix directly into the tree — no gossip, no
+	// re-persist (the archive already holds these), no metrics double-count.
+	now := c.loop.Now()
+	_ = cn.store.Replay(func(b types.Block) error {
+		_, _ = base.State.AddBlock(b, now)
+		return nil
+	})
+	// Replay bypassed processBlock, so re-arm leadership off the recovered
+	// tip (core's hook ignores the AddResult).
+	if base.OnTipChange != nil {
+		base.OnTipChange(nil)
+	}
+	cn.client = client
+	cn.base = base
+	cn.down = false
+	cn.lastRestart = now
+	cn.env.Deliver(client.HandleMessage)
+	c.net.SetNodeDown(node, false)
+	cn.miner.Start()
+	base.Sync.Start(-1)
+	c.lastDisruption = now
+	return nil
+}
+
+// SetLoss installs network-wide lossy-link fault probabilities (the Lossy
+// scenario step): each message is independently dropped, duplicated, or
+// delayed with the given probabilities, scaled per directed link by a
+// seed-deterministic susceptibility factor. All-zero restores clean links.
+func (c *Cluster) SetLoss(drop, duplicate, reorder float64) error {
+	for _, p := range []float64{drop, duplicate, reorder} {
+		if p < 0 || p > 1 {
+			return fmt.Errorf("bitcoinng: loss probability %v outside [0,1]", p)
+		}
+	}
+	c.net.SetLoss(simnet.Loss{Drop: drop, Duplicate: duplicate, Reorder: reorder})
+	c.lastDisruption = c.loop.Now()
+	return nil
+}
+
+// Leader returns the index of the first running node that considers itself
+// the current epoch leader, or -1 when none does (including protocols
+// without a leader role).
+func (c *Cluster) Leader() int {
+	for _, cn := range c.nodes {
+		if cn.down {
+			continue
+		}
+		if cn.IsLeader() {
+			return cn.id
+		}
+	}
+	return -1
+}
+
 // Now returns the current virtual time.
 func (c *Cluster) Now() time.Duration { return time.Duration(c.loop.Now()) }
 
@@ -421,6 +617,11 @@ func (c *Cluster) Node(i int) *ClusterNode { return c.nodes[i] }
 func (c *Cluster) Report() *Report {
 	return c.collector.Analyze(metrics.DefaultAnalyzeOptions(c.loop.Now()))
 }
+
+// NetStats merges the emulated network's counters — volume, partition and
+// crash losses, and the lossy-link fault totals — into one network-wide
+// view. Call it between Run slices, while the loops are quiescent.
+func (c *Cluster) NetStats() simnet.Stats { return c.net.Stats() }
 
 // Stream exposes the sustained-load stream (nil unless StreamLoad was
 // configured).
@@ -533,15 +734,25 @@ func confirmedPrefix(confs []load.Confirmation) int64 {
 // every tip is an ancestor of (or equal to) the farthest tip, not that all
 // tips are identical.
 func (c *Cluster) Converged() bool {
-	// Find the highest tip and verify the others sit on its chain.
-	best := c.nodes[0]
-	for _, n := range c.nodes[1:] {
-		if n.base.State.Tip().Height > best.base.State.Tip().Height {
+	// Find the highest tip and verify the others sit on its chain; down
+	// nodes' frozen states don't count against agreement.
+	var best *ClusterNode
+	for _, n := range c.nodes {
+		if n.down {
+			continue
+		}
+		if best == nil || n.base.State.Tip().Height > best.base.State.Tip().Height {
 			best = n
 		}
 	}
+	if best == nil {
+		return true // everything down: vacuously agreed
+	}
 	bestState := best.base.State
 	for _, n := range c.nodes {
+		if n.down {
+			continue
+		}
 		tipNode, ok := bestState.Store().Get(n.base.State.Tip().Hash())
 		if !ok || !bestState.MainChainContains(tipNode) {
 			return false
@@ -651,6 +862,9 @@ func (n *ClusterNode) FraudsDetected() int {
 func (c *Cluster) EquivocateLeader(leaderID int, txA, txB *Transaction) (Hash, Hash, error) {
 	if leaderID < 0 || leaderID >= len(c.nodes) {
 		return Hash{}, Hash{}, fmt.Errorf("bitcoinng: node %d out of range (cluster size %d)", leaderID, len(c.nodes))
+	}
+	if c.nodes[leaderID].down {
+		return Hash{}, Hash{}, fmt.Errorf("bitcoinng: node %d is down", leaderID)
 	}
 	leader := c.nodes[leaderID]
 	victim := c.nodes[protocol.EquivocationVictim(leaderID, len(c.nodes))]

@@ -32,7 +32,9 @@ const (
 	maxBlockSize        = wire.MaxMessageSize
 )
 
-// Store errors.
+// Store errors. ErrCorrupt is kept for callers that probed damage in older
+// versions; Open now recovers the longest valid prefix instead of returning
+// it.
 var (
 	ErrCorrupt  = errors.New("blockstore: corrupt record")
 	ErrNotFound = errors.New("blockstore: block not found")
@@ -76,7 +78,13 @@ func Open(path string) (*Store, error) {
 	return s, nil
 }
 
-// scan rebuilds the index and truncates torn tails.
+// scan rebuilds the index, recovering the longest valid record prefix: the
+// first sign of corruption — bad magic, absurd length, checksum mismatch,
+// undecodable payload, or a torn tail — stops the scan and everything from
+// that offset on is truncated away. Open therefore never fails on damaged
+// content, only on I/O errors; a crash or disk scribble costs the suffix, not
+// the store. (Records are append-ordered, so any prefix is a usable chain
+// history — exactly the durable-prefix contract the restart path asserts.)
 func (s *Store) scan() error {
 	info, err := s.f.Stat()
 	if err != nil {
@@ -90,13 +98,13 @@ func (s *Store) scan() error {
 			return err
 		}
 		if binary.LittleEndian.Uint32(hdr[0:4]) != recordMagic {
-			return fmt.Errorf("%w: bad magic at offset %d", ErrCorrupt, off)
+			break // corruption: recover the prefix scanned so far
 		}
 		kind := types.BlockKind(hdr[4])
 		length := binary.LittleEndian.Uint32(hdr[5:9])
 		wantCRC := binary.LittleEndian.Uint32(hdr[9:13])
 		if length > maxBlockSize {
-			return fmt.Errorf("%w: record length %d at offset %d", ErrCorrupt, length, off)
+			break // corrupt length field
 		}
 		if off+headerSize+int64(length) > total {
 			break // torn tail: truncate below
@@ -106,11 +114,11 @@ func (s *Store) scan() error {
 			return err
 		}
 		if crc32.ChecksumIEEE(payload) != wantCRC {
-			return fmt.Errorf("%w: checksum mismatch at offset %d", ErrCorrupt, off)
+			break // corrupt payload
 		}
 		b, err := decodeBlock(kind, payload)
 		if err != nil {
-			return fmt.Errorf("%w: undecodable block at offset %d: %v", ErrCorrupt, off, err)
+			break // checksum matched but content does not parse (bad kind?)
 		}
 		h := b.Hash()
 		if _, dup := s.index[h]; !dup {
@@ -121,7 +129,7 @@ func (s *Store) scan() error {
 	}
 	if off < total {
 		if err := s.f.Truncate(off); err != nil {
-			return fmt.Errorf("blockstore: truncating torn tail: %w", err)
+			return fmt.Errorf("blockstore: truncating corrupt tail: %w", err)
 		}
 	}
 	s.size = off
@@ -146,6 +154,14 @@ func decodeBlock(kind types.BlockKind, payload []byte) (types.Block, error) {
 
 // Len returns the number of stored blocks.
 func (s *Store) Len() int { return len(s.index) }
+
+// Hashes returns the stored block hashes in append order. The caller owns
+// the returned slice.
+func (s *Store) Hashes() []crypto.Hash {
+	out := make([]crypto.Hash, len(s.order))
+	copy(out, s.order)
+	return out
+}
 
 // Contains reports whether the block is stored.
 func (s *Store) Contains(h crypto.Hash) bool {

@@ -186,30 +186,64 @@ func TestTornTailTruncated(t *testing.T) {
 	}
 }
 
-func TestCorruptPayloadDetected(t *testing.T) {
+func TestCorruptPayloadRecoversPrefix(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "blocks.dat")
 	s, err := Open(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, b := range makeChain(t, 2) {
+	blocks := makeChain(t, 3)
+	for _, b := range blocks {
 		if err := s.Append(b); err != nil {
 			t.Fatal(err)
 		}
 	}
+	// Record boundaries, for corrupting the middle record below.
+	offsets := make([]int64, 0, 3)
+	var off int64
+	for _, b := range blocks {
+		offsets = append(offsets, off)
+		off += headerSize + int64(s.index[b.Hash()].length)
+	}
 	s.Close()
 
-	// Flip a payload byte in the first record.
+	// Flip a payload byte in the second record: reopen must recover exactly
+	// the first record (the longest valid prefix) and truncate the rest.
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	raw[headerSize+3] ^= 0xff
+	raw[offsets[1]+headerSize+3] ^= 0xff
 	if err := os.WriteFile(path, raw, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Open(path); !errors.Is(err, ErrCorrupt) {
-		t.Errorf("corrupt open err = %v", err)
+	s2, err := Open(path)
+	if err != nil {
+		t.Fatalf("open after corruption: %v", err)
+	}
+	defer s2.Close()
+	if s2.Len() != 1 {
+		t.Fatalf("len after corruption = %d, want 1", s2.Len())
+	}
+	if !s2.Contains(blocks[0].Hash()) {
+		t.Error("surviving prefix lost the first record")
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() != offsets[1] {
+		t.Errorf("file size after recovery = %d, want %d", info.Size(), offsets[1])
+	}
+	// The store accepts new appends after recovery, re-persisting what the
+	// corruption cost.
+	for _, b := range blocks[1:] {
+		if err := s2.Append(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s2.Len() != 3 {
+		t.Errorf("len after re-append = %d, want 3", s2.Len())
 	}
 }
 

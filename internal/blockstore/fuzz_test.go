@@ -1,0 +1,150 @@
+package blockstore
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"bitcoinng/internal/crypto"
+	"bitcoinng/internal/sim"
+	"bitcoinng/internal/types"
+)
+
+// validStoreBytes builds the raw bytes of a healthy multi-record store, the
+// seed material every fuzz mutation starts from.
+func validStoreBytes(t interface {
+	Helper()
+	Fatal(...any)
+	TempDir() string
+}) []byte {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "seed.dat")
+	s, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, err := crypto.GenerateKey(sim.NewRand(1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := crypto.ZeroHash
+	for i := 0; i < 4; i++ {
+		mb := &types.MicroBlock{
+			Header: types.MicroBlockHeader{
+				Prev:      prev,
+				TxRoot:    crypto.MerkleRoot(nil),
+				TimeNanos: int64(i),
+			},
+		}
+		mb.Header.Sign(key)
+		if err := s.Append(mb); err != nil {
+			t.Fatal(err)
+		}
+		prev = mb.Hash()
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// referencePrefix independently parses the longest valid record prefix of
+// data, returning the deduplicated block hashes in order — the oracle the
+// fuzzed Open must agree with byte for byte.
+func referencePrefix(data []byte) []crypto.Hash {
+	var out []crypto.Hash
+	seen := make(map[crypto.Hash]bool)
+	off := 0
+	for off+headerSize <= len(data) {
+		if binary.LittleEndian.Uint32(data[off:off+4]) != recordMagic {
+			break
+		}
+		kind := types.BlockKind(data[off+4])
+		length := binary.LittleEndian.Uint32(data[off+5 : off+9])
+		wantCRC := binary.LittleEndian.Uint32(data[off+9 : off+13])
+		if length > maxBlockSize || off+headerSize+int(length) > len(data) {
+			break
+		}
+		payload := data[off+headerSize : off+headerSize+int(length)]
+		if crc32.ChecksumIEEE(payload) != wantCRC {
+			break
+		}
+		b, err := decodeBlock(kind, payload)
+		if err != nil {
+			break
+		}
+		if h := b.Hash(); !seen[h] {
+			seen[h] = true
+			out = append(out, h)
+		}
+		off += headerSize + int(length)
+	}
+	return out
+}
+
+// FuzzBlockstoreReopen throws arbitrary mutations of a valid store file —
+// truncations, bit-flips, garbage — at Open. Reopening must never panic,
+// must recover exactly the longest valid record prefix, and must leave the
+// file re-appendable.
+func FuzzBlockstoreReopen(f *testing.F) {
+	raw := validStoreBytes(f)
+	f.Add(raw)
+	f.Add(raw[:len(raw)-5])             // torn tail
+	f.Add(raw[:headerSize/2])           // partial first header
+	f.Add([]byte{})                     // empty store
+	flip := append([]byte(nil), raw...) // payload bit-flip in record 2
+	flip[headerSize+int(binary.LittleEndian.Uint32(raw[5:9]))+headerSize+2] ^= 0x40
+	f.Add(flip)
+	magic := append([]byte(nil), raw...) // magic smashed mid-file
+	magic[len(raw)/2] ^= 0xff
+	f.Add(magic)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "blocks.dat")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s, err := Open(path)
+		if err != nil {
+			// Only genuine I/O failures may surface; corruption must not.
+			t.Fatalf("open rejected corrupt-but-readable input: %v", err)
+		}
+		defer s.Close()
+		want := referencePrefix(data)
+		got := s.Hashes()
+		if len(got) != len(want) {
+			t.Fatalf("recovered %d records, reference prefix has %d", len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("record %d: recovered %s, want %s", i, got[i].Short(), want[i].Short())
+			}
+		}
+		// The recovered store must accept appends (the restart path
+		// re-persists what corruption cost).
+		key, err := crypto.GenerateKey(sim.NewRand(1, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		mb := &types.MicroBlock{
+			Header: types.MicroBlockHeader{
+				Prev:      crypto.HashBytes([]byte("post-recovery")),
+				TxRoot:    crypto.MerkleRoot(nil),
+				TimeNanos: 99,
+			},
+		}
+		mb.Header.Sign(key)
+		if err := s.Append(mb); err != nil {
+			t.Fatalf("append after recovery: %v", err)
+		}
+		if !s.Contains(mb.Hash()) {
+			t.Fatal("append after recovery not indexed")
+		}
+	})
+}

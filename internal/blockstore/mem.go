@@ -1,0 +1,72 @@
+package blockstore
+
+import (
+	"fmt"
+
+	"bitcoinng/internal/crypto"
+	"bitcoinng/internal/types"
+)
+
+// Mem is the in-memory counterpart of Store: same append-order, same
+// idempotent Append, no file. It backs the durable-persistence hook on the
+// default simulation path, where "durable" means "survives the simulated
+// crash" — the harness tears down a node's entire in-memory client but keeps
+// its Mem archive, exactly as a real disk survives a process crash. Not safe
+// for concurrent use; the owning node serializes access.
+type Mem struct {
+	blocks map[crypto.Hash]types.Block
+	order  []crypto.Hash
+}
+
+// NewMem builds an empty in-memory archive.
+func NewMem() *Mem {
+	return &Mem{blocks: make(map[crypto.Hash]types.Block)}
+}
+
+// Len returns the number of stored blocks.
+func (m *Mem) Len() int { return len(m.order) }
+
+// Contains reports whether the block is stored.
+func (m *Mem) Contains(h crypto.Hash) bool {
+	_, ok := m.blocks[h]
+	return ok
+}
+
+// Append stores a block; duplicates are a no-op, mirroring Store.
+func (m *Mem) Append(b types.Block) error {
+	h := b.Hash()
+	if _, dup := m.blocks[h]; dup {
+		return nil
+	}
+	m.blocks[h] = b
+	m.order = append(m.order, h)
+	return nil
+}
+
+// Get loads a block by hash.
+func (m *Mem) Get(h crypto.Hash) (types.Block, error) {
+	b, ok := m.blocks[h]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, h.Short())
+	}
+	return b, nil
+}
+
+// Hashes returns the stored block hashes in append order. The caller owns
+// the returned slice.
+func (m *Mem) Hashes() []crypto.Hash {
+	out := make([]crypto.Hash, len(m.order))
+	copy(out, m.order)
+	return out
+}
+
+// Replay streams every stored block in append order, stopping at the first
+// callback error.
+func (m *Mem) Replay(fn func(types.Block) error) error {
+	for _, h := range m.order {
+		if err := fn(m.blocks[h]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -27,9 +27,11 @@ func Digest(res *experiment.Result) string {
 	fmt.Fprintf(&b, "txfreq=%v payload=%v forks=%v prop=%v/%v/%v\n",
 		r.TxFrequency, r.PayloadBytesPerSec, r.ForksPerPowBlock,
 		r.PropagationP25, r.PropagationP50, r.PropagationP75)
-	fmt.Fprintf(&b, "sim=%v msgs=%d bytes=%d lost=%d maxqueue=%v\n",
+	fmt.Fprintf(&b, "sim=%v msgs=%d bytes=%d lost=%d drop=%d dup=%d reorder=%d maxqueue=%v\n",
 		res.SimTime, res.NetStats.MessagesSent, res.NetStats.BytesSent,
-		res.NetStats.MessagesLost, res.NetStats.MaxQueueDelay)
+		res.NetStats.MessagesLost, res.NetStats.MessagesDropped,
+		res.NetStats.MessagesDuplicated, res.NetStats.MessagesReordered,
+		res.NetStats.MaxQueueDelay)
 	fmt.Fprintf(&b, "revenue=%v\n", res.Revenue)
 	if res.Load != nil {
 		l := res.Load

@@ -1,0 +1,100 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+
+	"bitcoinng/internal/experiment"
+	"bitcoinng/internal/invariant"
+	"bitcoinng/internal/scenario"
+)
+
+// majorityCrashConfig builds the acceptance scenario fresh for one engine
+// variant: a Bitcoin-NG network where a majority of nodes — including
+// whoever leads the current epoch, mid-epoch — crash simultaneously, stay
+// down across key-block boundaries, then restart, recover their durable
+// prefixes, and catch up over the sync protocol. Each call returns an
+// independent config (fresh scenario closures, fresh crashed-set) so the
+// differential variants cannot leak state into each other.
+func majorityCrashConfig(parallelism int, cacheOff bool) experiment.Config {
+	const nodes = 7
+	cfg := experiment.DefaultConfig(experiment.BitcoinNG, nodes, 4242)
+	cfg.Params.MaxBlockSize = 20_000
+	cfg.Params.TargetBlockInterval = 30 * time.Second
+	cfg.Params.MicroblockInterval = 5 * time.Second
+	cfg.TargetBlocks = 15
+	cfg.Parallelism = parallelism
+	cfg.DisableConnectCache = cacheOff
+	cfg.Invariants = invariant.Defaults(invariant.Options{
+		ForkBound: 6, ConvergenceDepth: 2, SettleGrace: time.Minute,
+	})
+	cfg.InvariantInterval = 15 * time.Second
+
+	var crashed []int
+	cfg.Scenario = scenario.New(
+		scenario.At(3*time.Minute, scenario.Call("crash-majority", func(rt scenario.Runtime) error {
+			// The current epoch leader goes down first — mid-epoch, with
+			// signed microblocks already durable — then enough others to
+			// make it 4 of 7.
+			leader := rt.Leader()
+			if leader < 0 {
+				leader = 0
+			}
+			crashed = append(crashed[:0], leader)
+			if err := rt.Crash(leader); err != nil {
+				return err
+			}
+			for i := 0; len(crashed) < nodes/2+1; i++ {
+				if i == leader {
+					continue
+				}
+				crashed = append(crashed, i)
+				if err := rt.Crash(i); err != nil {
+					return err
+				}
+			}
+			return nil
+		})),
+		scenario.At(5*time.Minute, scenario.Call("restart-majority", func(rt scenario.Runtime) error {
+			for _, i := range crashed {
+				if err := rt.Restart(i); err != nil {
+					return err
+				}
+			}
+			return nil
+		})),
+		scenario.At(10*time.Minute, scenario.Call("settle", func(scenario.Runtime) error { return nil })),
+	)
+	return cfg
+}
+
+// TestMajorityCrashConverges is the PR's acceptance scenario: majority
+// crash including the mid-epoch leader, zero invariant violations, and a
+// byte-identical chaos digest across both sim engines and both cache modes.
+func TestMajorityCrashConverges(t *testing.T) {
+	var base string
+	for i, v := range diffVariants {
+		if i > 0 && testing.Short() {
+			break // the differential replay triples the cost
+		}
+		res, err := experiment.Run(majorityCrashConfig(v.parallelism, v.cacheOff))
+		if err != nil {
+			t.Fatalf("%s: %v", v.name, err)
+		}
+		if len(res.ScenarioErrors) != 0 {
+			t.Fatalf("%s: scenario errors: %v", v.name, res.ScenarioErrors)
+		}
+		for _, viol := range res.InvariantViolations {
+			t.Errorf("%s: invariant violation: %s", v.name, viol)
+		}
+		d := Digest(res)
+		if i == 0 {
+			base = d
+			continue
+		}
+		if d != base {
+			t.Errorf("digest diverges between %s and %s: %s",
+				diffVariants[0].name, v.name, firstDiff(base, d))
+		}
+	}
+}

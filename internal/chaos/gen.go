@@ -37,6 +37,10 @@ type GenConfig struct {
 	// otherwise. Defaults 1 and 1 (NG 4/6) — NG is the contribution under
 	// test; the baselines keep the generic machinery honest.
 	Bitcoin6, Ghost6 int
+	// Faults6 weights the crash/restart + lossy-link fault block out of 6:
+	// a run draws fault phases with Faults6/6 probability. Default 3;
+	// negative disables faults entirely.
+	Faults6 int
 }
 
 func (g GenConfig) withDefaults() GenConfig {
@@ -60,6 +64,9 @@ func (g GenConfig) withDefaults() GenConfig {
 	}
 	if g.Bitcoin6 == 0 && g.Ghost6 == 0 {
 		g.Bitcoin6, g.Ghost6 = 1, 1
+	}
+	if g.Faults6 == 0 {
+		g.Faults6 = 3
 	}
 	return g
 }
@@ -224,6 +231,55 @@ func Generate(g GenConfig, seed int64) Generated {
 	if rng.Intn(3) == 0 {
 		cfg.Offered = 2 + 8*rng.Float64() // 2..10 tx/s of virtual time
 		fmt.Fprintf(&desc, " offered=%.2f/s", cfg.Offered)
+	}
+
+	// Fault phases: crash/restart windows and lossy-link weather. Appended
+	// after every earlier draw (same discipline as the load draw above) so
+	// old regression seeds keep their draw prefixes; closed like the
+	// disruption phases — every crashed node restarted, loss always cleared
+	// — so post-fault convergence is still the asserted end state. At least
+	// two nodes stay up through any window.
+	if g.Faults6 > 0 && rng.Intn(6) < g.Faults6 {
+		desc.WriteString(" faults=[")
+		fphases := 1 + rng.Intn(2)
+		for p := 0; p < fphases; p++ {
+			gap := time.Duration((0.3 + 0.9*rng.Float64()) * float64(interval))
+			start := cursor + gap
+			dur := time.Duration((1.0 + 2.0*rng.Float64()) * float64(interval))
+			if p > 0 {
+				desc.WriteString(" ")
+			}
+			if rng.Intn(2) == 0 { // crash a subset, restart all after dur
+				maxDown := nodes - 2
+				if maxDown > 3 {
+					maxDown = 3
+				}
+				victims := rng.Perm(nodes)[:1+rng.Intn(maxDown)]
+				for _, v := range victims {
+					sc.Add(
+						scenario.At(start, scenario.Crash(v)),
+						scenario.At(start+dur, scenario.Restart(v)),
+					)
+				}
+				fmt.Fprintf(&desc, "crash@%s+%s%v", start, dur, victims)
+			} else { // lossy-link window, cleared after dur
+				drop := 0.05 + 0.25*rng.Float64()
+				dup := 0.1 * rng.Float64()
+				reorder := 0.2 * rng.Float64()
+				sc.Add(
+					scenario.At(start, scenario.Lossy(drop, dup, reorder)),
+					scenario.At(start+dur, scenario.Lossy(0, 0, 0)),
+				)
+				fmt.Fprintf(&desc, "lossy@%s+%s(d%.2f/u%.2f/r%.2f)", start, dur, drop, dup, reorder)
+			}
+			cursor = start + dur
+		}
+		desc.WriteString("]")
+		// The faults moved the last disruption past the settle step already
+		// scheduled above; a later one keeps the run alive long enough for
+		// the convergence and resync invariants' post-fault assertion.
+		sc.Add(scenario.At(cursor+2*settleGrace+interval/2,
+			scenario.Call("settle-faults", func(scenario.Runtime) error { return nil })))
 	}
 
 	return Generated{Seed: seed, Cfg: cfg, Desc: desc.String()}

@@ -17,6 +17,9 @@ import (
 // all Hashes. It is a value type usable as a map key.
 type Hash [32]byte
 
+// HashSize is the byte length of a Hash, for wire-size accounting.
+const HashSize = len(Hash{})
+
 // ZeroHash is the all-zero hash, used as the previous-block reference of the
 // genesis block.
 var ZeroHash Hash

@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"time"
 
+	"bitcoinng/internal/blockstore"
 	"bitcoinng/internal/crypto"
 	"bitcoinng/internal/invariant"
 	"bitcoinng/internal/load"
@@ -262,6 +263,18 @@ type runner struct {
 	payload   types.BlockKind  // which kind counts toward TargetBlocks
 	scenErrs  []error
 
+	// Crash/recovery state. envs, keys, recFor, censors, and cache are the
+	// per-node assembly inputs Restart needs to rebuild a client in place;
+	// stores are the durable block archives that survive a Crash.
+	envs      []*simnet.NodeEnv
+	keys      []*crypto.PrivateKey
+	stores    []*blockstore.Mem
+	recFor    func(i int) node.Recorder
+	censors   map[int]bool
+	cache     *validate.Cache
+	down      []bool
+	restartAt []int64 // per node, virtual time of the latest Restart (0 = never)
+
 	// Online invariant checking (nil when Config.Invariants is empty).
 	invEng *invariant.Engine
 	// partition is the current group assignment (nil while the network is
@@ -398,6 +411,11 @@ func build(cfg Config) (*runner, error) {
 		workload:  workload,
 		bp:        metrics.NewBackpressure(),
 		payload:   protocol.Payload(cfg.Protocol),
+		recFor:    recFor,
+		censors:   censors,
+		cache:     cache,
+		down:      make([]bool, cfg.Nodes),
+		restartAt: make([]int64, cfg.Nodes),
 	}
 
 	shares := cfg.MiningShares
@@ -455,14 +473,28 @@ func build(cfg Config) (*runner, error) {
 			view.SetClosedLoop(int64(cfg.ClosedLoopWindow))
 		}
 		client.Base().Pool = view
+		store := blockstore.NewMem()
+		client.Base().Persist = store
 		r.views = append(r.views, view)
 
+		// The onFind closure indexes r.clients so a Restart's replacement
+		// client takes over mining without touching the miner (whose rng
+		// stream must keep drawing from where it was). Finds while the node
+		// is down are discarded — a crashed box mines nothing.
+		i := i
 		m := mining.NewMiner(loop, sim.NewRand(cfg.Seed, uint64(0x20000+i)),
-			func() { client.MineBlock() })
+			func() {
+				if !r.down[i] {
+					r.clients[i].MineBlock()
+				}
+			})
 		m.SetRate(shares[i] * totalRate)
 		r.clients = append(r.clients, client)
 		r.miners = append(r.miners, m)
 		r.addrs = append(r.addrs, key.Public().Addr())
+		r.envs = append(r.envs, env)
+		r.keys = append(r.keys, key)
+		r.stores = append(r.stores, store)
 	}
 	return r, nil
 }
@@ -531,6 +563,117 @@ func (r *runner) AdoptStrategy(node int, name string) error {
 	return nil
 }
 
+// Crash implements scenario.Runtime: tear down node i's in-memory state and
+// detach it from the network. The client object, its chain tree, mempool
+// view, pending fetches, and relay queues are abandoned wholesale; bumping
+// the env generation neuters every timer the old incarnation armed (the
+// microblock schedule, fetch backoffs, tx flushes), and the network marks
+// the node down so sends to and from it vanish. Only the durable block
+// archive survives for Restart. Runs at quiescent points only (scenario
+// steps fire via scheduleAt).
+func (r *runner) Crash(i int) error {
+	if i < 0 || i >= len(r.clients) {
+		return fmt.Errorf("experiment: node %d out of range (network size %d)", i, len(r.clients))
+	}
+	if r.down[i] {
+		return fmt.Errorf("experiment: node %d is already down", i)
+	}
+	r.down[i] = true
+	r.miners[i].Stop()
+	r.envs[i].Bump()
+	r.net.SetNodeDown(i, true)
+	r.lastDisruption = r.eng.now()
+	return nil
+}
+
+// Restart implements scenario.Runtime: rebuild node i from its durable
+// prefix and rejoin it. The replacement client is assembled exactly like the
+// original (same key, same env — so its random stream continues where it
+// left off — same recorder and censor flag, its CONFIGURED strategy rather
+// than anything adopted mid-run), the archive replays straight into its
+// chain (no gossip, no metric events: those fired in the first life), and
+// catch-up sync chases whatever the network minted while the node was down.
+func (r *runner) Restart(i int) error {
+	if i < 0 || i >= len(r.clients) {
+		return fmt.Errorf("experiment: node %d out of range (network size %d)", i, len(r.clients))
+	}
+	if !r.down[i] {
+		return fmt.Errorf("experiment: node %d is not down", i)
+	}
+	strat, err := strategy.New(r.cfg.Strategies[i])
+	if err != nil {
+		return fmt.Errorf("experiment: restart node %d: %w", i, err)
+	}
+	client, err := protocol.Build(r.envs[i], protocol.Spec{
+		Protocol:           r.cfg.Protocol,
+		Params:             r.cfg.Params,
+		Key:                r.keys[i],
+		Genesis:            r.workload.Genesis,
+		Recorder:           r.recFor(i),
+		SimulatedMining:    true,
+		CensorTransactions: r.censors[i],
+		ConnectCache:       r.cache,
+		Strategy:           strat,
+	})
+	if err != nil {
+		return fmt.Errorf("experiment: restart node %d: %w", i, err)
+	}
+	base := client.Base()
+	now := r.eng.now()
+	// Replay the durable prefix directly into the chain: append order is
+	// parent-before-child for everything this node ever accepted, so the
+	// tree reassembles without orphan churn. Blocks whose lineage was never
+	// persisted (none, by construction) would simply stash as orphans.
+	_ = r.stores[i].Replay(func(b types.Block) error {
+		_, _ = base.State.AddBlock(b, now)
+		return nil
+	})
+	base.Pool = r.views[i]
+	base.Persist = r.stores[i]
+	// Re-evaluate leadership against the recovered tip (the tip-change hook
+	// never fired during the direct replay): a restarted mid-epoch leader
+	// resumes microblock production, everyone else stays a follower.
+	if base.OnTipChange != nil {
+		base.OnTipChange(nil)
+	}
+	r.clients[i] = client
+	r.down[i] = false
+	r.restartAt[i] = now
+	r.envs[i].Deliver(client.HandleMessage)
+	r.net.SetNodeDown(i, false)
+	r.miners[i].Start()
+	base.Sync.Start(-1)
+	r.lastDisruption = now
+	return nil
+}
+
+// SetLoss implements scenario.Runtime: install (or with zeros clear) the
+// network-wide lossy-link fault model.
+func (r *runner) SetLoss(drop, duplicate, reorder float64) error {
+	for _, p := range []float64{drop, duplicate, reorder} {
+		if p < 0 || p > 1 {
+			return fmt.Errorf("experiment: loss probability %v outside [0,1]", p)
+		}
+	}
+	r.net.SetLoss(simnet.Loss{Drop: drop, Duplicate: duplicate, Reorder: reorder})
+	r.lastDisruption = r.eng.now()
+	return nil
+}
+
+// Leader implements scenario.Runtime: the first running node that considers
+// itself the current epoch leader, or -1.
+func (r *runner) Leader() int {
+	for i, c := range r.clients {
+		if r.down[i] {
+			continue
+		}
+		if l, ok := c.(protocol.Leader); ok && l.IsLeader() {
+			return i
+		}
+	}
+	return -1
+}
+
 // snapshot assembles the invariant engine's view of every node. It is only
 // called at quiescent points (slice boundaries and run end), where no event
 // is mutating chain state on any shard.
@@ -553,10 +696,13 @@ func (r *runner) snapshot(final bool) *invariant.Snapshot {
 			name = sc.StrategyName()
 		}
 		s.Nodes[i] = invariant.NodeState{
-			ID:       i,
-			Chain:    c.Base().State,
-			Strategy: name,
-			Group:    group,
+			ID:          i,
+			Chain:       c.Base().State,
+			Strategy:    name,
+			Group:       group,
+			Down:        r.down[i],
+			LastRestart: r.restartAt[i],
+			Durable:     r.stores[i],
 		}
 	}
 	return s
@@ -567,6 +713,9 @@ func (r *runner) snapshot(final bool) *invariant.Snapshot {
 func (r *runner) Equivocate(leader int, txA, txB *types.Transaction) error {
 	if leader < 0 || leader >= len(r.clients) {
 		return fmt.Errorf("experiment: node %d out of range (network size %d)", leader, len(r.clients))
+	}
+	if r.down[leader] {
+		return fmt.Errorf("experiment: node %d is down and cannot equivocate", leader)
 	}
 	victim := r.clients[protocol.EquivocationVictim(leader, len(r.clients))]
 	_, _, err := protocol.PublishEquivocation(leader, r.clients[leader], victim, txA, txB)
@@ -688,7 +837,10 @@ func (r *runner) maintain() {
 		}
 	}
 	fetches, relayQueue := 0, 0
-	for _, c := range r.clients {
+	for i, c := range r.clients {
+		if r.down[i] {
+			continue // a crashed node's abandoned client has no live queues
+		}
 		fetches += c.Base().Gossip.PendingFetches()
 		relayQueue += c.Base().Gossip.QueuedTxs()
 	}
@@ -758,6 +910,9 @@ func (r *runner) revenue() []types.Amount {
 // revenue and load measurements read.
 func (r *runner) referenceNode() int {
 	for i, c := range r.clients {
+		if r.down[i] {
+			continue // a crashed node's frozen chain is no observer
+		}
 		name := strategy.HonestName
 		if sc, ok := c.(protocol.Strategic); ok {
 			name = sc.StrategyName()

@@ -32,6 +32,9 @@ func (valueConservation) Name() string { return "value-conservation" }
 func (valueConservation) Check(s *Snapshot, report func(int, string)) {
 	for i := range s.Nodes {
 		n := &s.Nodes[i]
+		if n.Down {
+			continue
+		}
 		st := n.Chain
 		var minted, destroyed types.Amount
 		for _, blk := range st.MainChain() {
@@ -74,6 +77,9 @@ func (feeSplit) Name() string { return "fee-split" }
 func (feeSplit) Check(s *Snapshot, report func(int, string)) {
 	for i := range s.Nodes {
 		n := &s.Nodes[i]
+		if n.Down {
+			continue
+		}
 		st := n.Chain
 		if s.Final {
 			mc := st.MainChain()
@@ -168,7 +174,7 @@ func (singleLeader) Name() string { return "single-leader" }
 func (singleLeader) Check(s *Snapshot, report func(int, string)) {
 	for i := range s.Nodes {
 		n := &s.Nodes[i]
-		if !n.Honest() {
+		if !n.Honest() || n.Down {
 			continue
 		}
 		if s.Final {
@@ -248,13 +254,14 @@ func checkPairwise(nodes []*NodeState, k int, label string, report func(int, str
 	}
 }
 
-// honestIn collects the honest nodes of the snapshot, optionally restricted
-// to one partition group (group < 0 means all).
+// honestIn collects the honest, running nodes of the snapshot, optionally
+// restricted to one partition group (group < 0 means all). Down nodes are
+// never listed: their frozen pre-crash chains legitimately lag.
 func honestIn(s *Snapshot, group int) []*NodeState {
 	var out []*NodeState
 	for i := range s.Nodes {
 		n := &s.Nodes[i]
-		if !n.Honest() {
+		if !n.Honest() || n.Down {
 			continue
 		}
 		if group >= 0 && n.Group != group {
@@ -312,7 +319,7 @@ func (p partitionConsistency) Check(s *Snapshot, report func(int, string)) {
 	var order []int
 	for i := range s.Nodes {
 		n := &s.Nodes[i]
-		if !n.Honest() {
+		if !n.Honest() || n.Down {
 			continue
 		}
 		if _, ok := groups[n.Group]; !ok {
@@ -347,4 +354,95 @@ func (c convergence) Check(s *Snapshot, report func(int, string)) {
 		return
 	}
 	checkPairwise(honestIn(s, -1), c.depth, "settled network", report)
+}
+
+// DurablePrefix pins the crash/recovery contract between a node's chain tree
+// and its durable block archive, in both directions: every durably stored
+// block is present in the tree (a restarted node's chain extends exactly
+// what it had persisted — replay lost nothing), and every main-chain block
+// except genesis is durably stored (processBlock persists before it
+// announces, so an accepted block can never be lost to a crash). Checked at
+// intermediate ticks only on nodes that have restarted (where replay bugs
+// would surface); the final check covers every persisted node.
+func DurablePrefix() Invariant { return durablePrefix{} }
+
+type durablePrefix struct{}
+
+func (durablePrefix) Name() string { return "durable-prefix" }
+
+func (durablePrefix) Check(s *Snapshot, report func(int, string)) {
+	for i := range s.Nodes {
+		n := &s.Nodes[i]
+		if n.Down || n.Durable == nil {
+			continue
+		}
+		if !s.Final && n.LastRestart == 0 {
+			continue
+		}
+		missing, first := 0, crypto.Hash{}
+		for _, h := range n.Durable.Hashes() {
+			if !n.Chain.HasBlock(h) {
+				if missing == 0 {
+					first = h
+				}
+				missing++
+			}
+		}
+		if missing > 0 {
+			report(n.ID, fmt.Sprintf(
+				"%d durably stored blocks absent from chain tree (first %s)",
+				missing, first.Short()))
+		}
+		for _, blk := range n.Chain.MainChain()[1:] { // genesis is preloaded, never persisted
+			if !n.Durable.Contains(blk.Hash()) {
+				report(n.ID, fmt.Sprintf(
+					"main-chain block %s at height %d not durably stored",
+					blk.Hash().Short(), blk.Height))
+				break
+			}
+		}
+	}
+}
+
+// ResyncConvergence is the recovery counterpart of ForkBound: once a
+// restarted node has had the catch-up grace to replay its durable prefix and
+// pull the missed suffix through the sync protocol, its main chain must be
+// back within the fork bound of every other honest running node. A sync
+// protocol that stalls, loops, or serves the wrong branch parks the
+// restarted node on a stale chain and trips this within one grace period.
+func ResyncConvergence(k int, grace time.Duration) Invariant {
+	return resyncConvergence{k: k, grace: grace}
+}
+
+type resyncConvergence struct {
+	k     int
+	grace time.Duration
+}
+
+func (r resyncConvergence) Name() string { return "resync-convergence" }
+
+func (r resyncConvergence) Check(s *Snapshot, report func(int, string)) {
+	if s.Partitioned {
+		return
+	}
+	grace := graceOr(r.grace, s.Params, 4)
+	if !s.settledFor(grace) {
+		return
+	}
+	honest := honestIn(s, -1)
+	for _, n := range honest {
+		if n.LastRestart == 0 || s.Now-n.LastRestart < int64(grace) {
+			continue
+		}
+		for _, m := range honest {
+			if m.ID == n.ID {
+				continue
+			}
+			if !keyDivergence(n.Chain, m.Chain, r.k) {
+				report(n.ID, fmt.Sprintf(
+					"restarted node still diverges from node %d by more than %d key blocks after catch-up grace",
+					m.ID, r.k))
+			}
+		}
+	}
 }

@@ -24,15 +24,27 @@ import (
 	"time"
 
 	"bitcoinng/internal/chain"
+	"bitcoinng/internal/crypto"
 	"bitcoinng/internal/types"
 )
+
+// DurableStore is the read side of a node's durable block archive, as the
+// crash/recovery invariants see it. Both blockstore.Store (file-backed) and
+// blockstore.Mem (the simulation's crash-surviving archive) satisfy it.
+type DurableStore interface {
+	// Hashes returns the stored block hashes in append order.
+	Hashes() []crypto.Hash
+	// Contains reports whether the block is stored.
+	Contains(h crypto.Hash) bool
+}
 
 // NodeState is one node's view at snapshot time.
 type NodeState struct {
 	// ID is the node's index in the network.
 	ID int
 	// Chain is the node's live chain state (read-only use; snapshots are
-	// taken at quiescent points where no event is mutating it).
+	// taken at quiescent points where no event is mutating it). For a down
+	// node this is the pre-crash client's frozen state; invariants skip it.
 	Chain *chain.State
 	// Strategy is the node's active mining strategy name; consistency
 	// invariants only bind nodes running "honest" (an attacker's withheld
@@ -40,6 +52,17 @@ type NodeState struct {
 	Strategy string
 	// Group is the node's partition group (0 when the network is whole).
 	Group int
+	// Down reports the node is crashed: detached from the network with its
+	// in-memory state torn down. Every invariant skips down nodes — their
+	// frozen pre-crash state is legitimately stale.
+	Down bool
+	// LastRestart is the virtual time the node last completed a Restart (0
+	// if it never crashed); resync-convergence holds its fire for a grace
+	// period after it.
+	LastRestart int64
+	// Durable is the node's durable block archive, nil when the harness
+	// runs without persistence.
+	Durable DurableStore
 }
 
 // Honest reports whether the node mines honestly.
@@ -180,5 +203,7 @@ func Defaults(opts Options) []Invariant {
 		ForkBound(opts.ForkBound, opts.SettleGrace),
 		PartitionConsistency(opts.ForkBound, opts.SettleGrace),
 		Convergence(opts.ConvergenceDepth, 2*opts.SettleGrace),
+		DurablePrefix(),
+		ResyncConvergence(opts.ForkBound, 2*opts.SettleGrace),
 	}
 }

@@ -10,12 +10,27 @@ import (
 // Base is the protocol-independent core of a node: chain state, mempool,
 // relay, and metrics wiring. internal/bitcoin and internal/core embed it and
 // add block production.
+// BlockArchive is the durable-persistence hook: every block accepted into the
+// tree is appended before it is relayed, so a crashed node can be rebuilt
+// from its archive's prefix. blockstore.Mem backs the default sim path and
+// the file-backed blockstore.Store backs cluster/ngnode.
+type BlockArchive interface {
+	Append(types.Block) error
+}
+
 type Base struct {
 	Env      Env
 	State    *chain.State
 	Pool     TxPool
 	Gossip   *Gossip
+	Sync     *Syncer
 	Recorder Recorder
+
+	// Persist, if set, receives every block accepted into the tree (before
+	// relay). A persistence error is deliberately non-fatal to the node —
+	// consensus must not stall on a full disk — but the block is then simply
+	// not durable and a crash loses it, exactly like the operational client.
+	Persist BlockArchive
 
 	// OnTipChange, if set, runs after the main chain moves and the mempool
 	// is updated. Bitcoin-NG uses it to start or stop microblock
@@ -54,6 +69,7 @@ func NewBase(env Env, st *chain.State, rec Recorder) *Base {
 		Recorder: rec,
 	}
 	b.Gossip = NewGossip(env, b)
+	b.Sync = newSyncer(env, b)
 	b.ProcessFn = b.ProcessBlock
 	return b
 }
@@ -106,8 +122,13 @@ func (b *Base) processBlock(blk types.Block, from int, relay bool) *chain.AddRes
 		return res
 	}
 
-	// Relay every block that entered the tree (unless withheld).
+	// Persist, account, and relay every block that entered the tree (in that
+	// order: a block must be durable before the node vouches for it to
+	// peers; withheld blocks skip only the relay).
 	for _, n := range res.Added {
+		if b.Persist != nil {
+			_ = b.Persist.Append(n.Block) // non-fatal: see Persist docs
+		}
 		b.Recorder.BlockAccepted(b.Env.NodeID(), now, n.Hash())
 		if relay {
 			b.Gossip.Announce(n.Block, from)
@@ -132,6 +153,9 @@ func (b *Base) processBlock(blk types.Block, from int, relay bool) *chain.AddRes
 
 // handleTx pools and optionally relays a loose transaction.
 func (b *Base) handleTx(from int, tx *types.Transaction) {
+	if tx == nil {
+		return // malformed relay; never let a byzantine peer panic the node
+	}
 	if err := tx.CheckWellFormed(); err != nil {
 		return
 	}

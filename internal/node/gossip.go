@@ -7,11 +7,20 @@ import (
 	"bitcoinng/internal/types"
 )
 
-// defaultFetchTimeout is how long to wait for a requested block before
-// asking the next peer that announced it, when Params.FetchTimeout is unset.
+// defaultFetchTimeout is the base re-request backoff for a requested block,
+// when Params.FetchTimeout is unset.
 const defaultFetchTimeout = 20 * time.Second
 
-// fetchTimeout resolves the configured re-request timeout.
+// maxFetchAttempts bounds how many getdata requests one fetch issues before
+// giving up (a future inv restarts it, and the catch-up syncer covers nodes
+// that fell genuinely behind).
+const maxFetchAttempts = 4
+
+// fetchJitter is the proportional jitter band on each backoff interval:
+// timeouts are multiplied by a factor drawn uniformly from [1, 1+fetchJitter).
+const fetchJitter = 0.25
+
+// fetchTimeout resolves the configured base re-request timeout.
 func (g *Gossip) fetchTimeout() time.Duration {
 	if t := g.base.State.Params().FetchTimeout; t > 0 {
 		return t
@@ -19,12 +28,24 @@ func (g *Gossip) fetchTimeout() time.Duration {
 	return defaultFetchTimeout
 }
 
+// fetchBackoff is the wait before retry number attempt (0-based): capped
+// exponential growth from the base timeout, with multiplicative jitter drawn
+// from the node's injected deterministic stream so simultaneous retries
+// across the network decorrelate without breaking replay.
+func (g *Gossip) fetchBackoff(attempt int) time.Duration {
+	d := g.fetchTimeout() * (1 << attempt)
+	if cap := 8 * g.fetchTimeout(); d > cap {
+		d = cap
+	}
+	return time.Duration(float64(d) * (1 + fetchJitter*g.env.Rand().Float64()))
+}
+
 // pendingFetch tracks an outstanding getdata. The request message is built
 // once and reused across retry rounds (messages are read-only after send).
 type pendingFetch struct {
 	req        GetDataMsg
 	announcers []int // peers that announced it, in order heard
-	asked      int   // how many announcers were tried
+	attempts   int   // requests sent so far; also indexes the rotation
 	timer      Timer
 }
 
@@ -85,15 +106,30 @@ func (g *Gossip) Announce(b types.Block, except int) {
 	}
 }
 
+// maxInvItems bounds accepted inv/getdata item lists; an oversized message is
+// a protocol violation and is ignored whole rather than partially honored.
+const maxInvItems = 1024
+
 // HandleMessage dispatches one gossip message. Unknown message types are
-// ignored (forward compatibility).
+// ignored (forward compatibility), and malformed payloads — nil blocks or
+// transactions, oversized item lists — are dropped without reaching protocol
+// code, so a byzantine peer cannot panic the node.
 func (g *Gossip) HandleMessage(from int, msg Message) {
 	switch m := msg.(type) {
 	case *InvMsg:
+		if len(m.Items) > maxInvItems {
+			return
+		}
 		g.handleInv(from, m)
 	case *GetDataMsg:
+		if len(m.Items) > maxInvItems {
+			return
+		}
 		g.handleGetData(from, m)
 	case *BlockMsg:
+		if m.Block == nil {
+			return
+		}
 		g.handleBlock(from, m)
 	case *TxMsg:
 		g.base.handleTx(from, m.Tx)
@@ -101,6 +137,10 @@ func (g *Gossip) HandleMessage(from int, msg Message) {
 		for _, tx := range m.Txs {
 			g.base.handleTx(from, tx)
 		}
+	case *GetBlocksMsg:
+		g.base.Sync.handleGetBlocks(from, m)
+	case *BlockBatchMsg:
+		g.base.Sync.handleBlockBatch(from, m)
 	}
 }
 
@@ -177,18 +217,24 @@ func (g *Gossip) handleInv(from int, m *InvMsg) {
 	}
 }
 
-// request asks the next untried announcer for the block and arms the retry
-// timer.
+// request asks an announcer for the block and arms the backoff timer. The
+// first request goes to the first announcer heard; each timeout rotates to
+// the next announcer (wrapping, so a single source still gets every retry)
+// under a capped exponential backoff, until maxFetchAttempts is exhausted.
 func (g *Gossip) request(pf *pendingFetch) {
-	if pf.asked >= len(pf.announcers) {
-		// Out of sources; give up. A future inv restarts the fetch.
+	if pf.attempts >= maxFetchAttempts {
+		// Out of retries; give up the targeted fetch and fall back to
+		// catch-up sync toward the last announcer asked — if the block still
+		// matters we are likely behind by more than one fetch can bridge.
 		delete(g.pending, pf.hash())
+		g.base.Sync.Start(pf.announcers[(pf.attempts-1)%len(pf.announcers)])
 		return
 	}
-	peer := pf.announcers[pf.asked]
-	pf.asked++
+	peer := pf.announcers[pf.attempts%len(pf.announcers)]
+	backoff := g.fetchBackoff(pf.attempts)
+	pf.attempts++
 	g.env.Send(peer, &pf.req)
-	pf.timer = g.env.After(g.fetchTimeout(), func() {
+	pf.timer = g.env.After(backoff, func() {
 		pf.timer = nil
 		// The identity check (not just presence) guards against a stale
 		// timer driving a superseded fetch: acting on pf after the map

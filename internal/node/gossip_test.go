@@ -266,7 +266,9 @@ func TestFetchTimeoutConfigurable(t *testing.T) {
 	if h.bases[2].State.HasBlock(b1.Hash()) {
 		t.Fatal("fetch retried before the configured timeout")
 	}
-	h.advance(2 * time.Minute)
+	// The jittered window is [2min, 2.5min); advancing past its upper bound
+	// guarantees the retry fired.
+	h.advance(150 * time.Second)
 	h.drain()
 	if !h.bases[2].State.HasBlock(b1.Hash()) {
 		t.Error("fetch was not retried after the configured timeout")
@@ -418,13 +420,15 @@ func TestFetchTimerClearedOnDirectInjection(t *testing.T) {
 	}
 }
 
-// TestFetchGiveUpDrainsEntry: when every announcer has been tried and the
-// block never arrives, the pending entry is dropped (a later inv restarts
-// the fetch) and no timer stays armed.
-func TestFetchGiveUpDrainsEntry(t *testing.T) {
+// TestFetchGiveUpHandsOffToSync: when the capped-backoff retry schedule is
+// exhausted and the block never arrives, the pending entry is dropped and
+// catch-up sync takes over, recovering the block through the locator
+// exchange once a peer answers again.
+func TestFetchGiveUpHandsOffToSync(t *testing.T) {
 	h, genesis, key := newHarness(t, 3)
 	b1 := mineOn(t, key, genesis.Hash(), 1)
-	// Node 1 holds the block so it can serve the restarted fetch later.
+	// Both peers hold the block so whichever one sync rotates to can serve it.
+	h.bases[0].State.AddBlock(b1, 0)
 	h.bases[1].State.AddBlock(b1, 0)
 
 	h.mute[0] = true
@@ -434,25 +438,35 @@ func TestFetchGiveUpDrainsEntry(t *testing.T) {
 	h.bases[2].HandleMessage(1, &node.InvMsg{Items: []node.Inv{inv}})
 	h.drain()
 
-	h.advance(25 * time.Second) // retry with announcer 1
-	h.drain()
-	h.advance(25 * time.Second) // out of sources: give up
-	h.drain()
+	// Capped exponential backoff with ≤25% jitter off a 20 s base: each
+	// advance covers the widest possible wait for that attempt, so after the
+	// fourth the fetcher has exhausted its schedule and given up.
+	for _, d := range []time.Duration{
+		25 * time.Second, 50 * time.Second, 100 * time.Second, 200 * time.Second,
+	} {
+		h.advance(d)
+		h.drain()
+	}
 	if got := h.bases[2].Gossip.PendingFetches(); got != 0 {
 		t.Errorf("pending fetches after give-up = %d, want 0", got)
 	}
-	for _, e := range h.envs[2].timers {
-		if !e.stopped && e.fn != nil {
-			t.Error("armed timer left behind after give-up")
-		}
+	if !h.bases[2].Sync.Active() {
+		t.Fatal("give-up did not hand off to catch-up sync")
 	}
 
-	// A fresh inv restarts the fetch from scratch.
+	// Once peers answer again, the next sync retry recovers the block and the
+	// exchange terminates.
+	h.mute[0] = false
 	h.mute[1] = false
-	h.bases[2].HandleMessage(1, &node.InvMsg{Items: []node.Inv{inv}})
-	h.drain()
+	for i := 0; i < 4 && !h.bases[2].State.HasBlock(b1.Hash()); i++ {
+		h.advance(200 * time.Second)
+		h.drain()
+	}
 	if !h.bases[2].State.HasBlock(b1.Hash()) {
-		t.Error("fetch did not restart on a fresh inv")
+		t.Error("catch-up sync did not recover the block")
+	}
+	if h.bases[2].Sync.Active() {
+		t.Error("sync still active after a terminal batch")
 	}
 }
 

@@ -103,6 +103,42 @@ func (m *BlockMsg) Size() int { return envelopeOverhead + m.Block.WireSize() }
 // Type implements Message.
 func (m *BlockMsg) Type() wire.MsgType { return types.BlockMsgType(m.Block) }
 
+// GetBlocksMsg asks a peer for the main-chain blocks after the fork point: the
+// locator lists block hashes from the requester's tip back to genesis with
+// exponentially growing gaps (the operational client's getblocks shape), so
+// the responder can find the highest common block with O(log height) entries.
+type GetBlocksMsg struct {
+	Locator []BlockID
+}
+
+// Size implements Message.
+func (m *GetBlocksMsg) Size() int {
+	return envelopeOverhead + compactSizeLen(len(m.Locator)) + crypto.HashSize*len(m.Locator)
+}
+
+// Type implements Message.
+func (m *GetBlocksMsg) Type() wire.MsgType { return wire.MsgGetBlocks }
+
+// BlockBatchMsg answers GetBlocksMsg with a bounded run of main-chain blocks
+// in parent-before-child order. More signals the responder's chain continued
+// past the batch limit, telling the requester to ask again from its new tip.
+type BlockBatchMsg struct {
+	Blocks []types.Block
+	More   bool
+}
+
+// Size implements Message.
+func (m *BlockBatchMsg) Size() int {
+	n := envelopeOverhead + compactSizeLen(len(m.Blocks)) + 1
+	for _, b := range m.Blocks {
+		n += compactSizeLen(b.WireSize()) + b.WireSize()
+	}
+	return n
+}
+
+// Type implements Message.
+func (m *BlockBatchMsg) Type() wire.MsgType { return wire.MsgBlockBatch }
+
 // TxMsg relays a loose transaction (used by the live node; experiments
 // pre-load mempools instead, §7 "No Transaction Propagation").
 type TxMsg struct {

@@ -1,0 +1,165 @@
+package node_test
+
+import (
+	"testing"
+	"time"
+
+	"bitcoinng/internal/crypto"
+	"bitcoinng/internal/node"
+	"bitcoinng/internal/types"
+)
+
+// extendChain mines n blocks on top of base's current tip, adding each
+// directly to its state, and returns the blocks.
+func extendChain(t *testing.T, h *harness, owner int, key *crypto.PrivateKey, n int) []types.Block {
+	t.Helper()
+	base := h.bases[owner]
+	blocks := make([]types.Block, 0, n)
+	for i := 0; i < n; i++ {
+		tip := base.State.Tip()
+		b := mineOn(t, key, tip.Hash(), tip.Height+1)
+		if _, err := base.State.AddBlock(b, 0); err != nil {
+			t.Fatal(err)
+		}
+		blocks = append(blocks, b)
+	}
+	return blocks
+}
+
+// TestSyncCatchUp: a node far behind recovers the whole suffix through
+// repeated locator exchanges, then terminates on the empty non-More batch.
+func TestSyncCatchUp(t *testing.T) {
+	h, _, key := newHarness(t, 2)
+	// Node 0 is 80 blocks ahead — more than two 32-block batches.
+	extendChain(t, h, 0, key, 80)
+
+	h.bases[1].Sync.Start(0)
+	h.drain()
+
+	if got, want := h.bases[1].State.Height(), h.bases[0].State.Height(); got != want {
+		t.Fatalf("synced height = %d, want %d", got, want)
+	}
+	if h.bases[1].State.Tip().Hash() != h.bases[0].State.Tip().Hash() {
+		t.Error("tips diverge after sync")
+	}
+	if h.bases[1].Sync.Active() {
+		t.Error("sync still active after terminal batch")
+	}
+}
+
+// TestSyncFromFork: the locator finds the common ancestor, so a node on a
+// stale branch downloads only the winning suffix and reorgs onto it.
+func TestSyncFromFork(t *testing.T) {
+	h, _, key := newHarness(t, 2)
+	// Shared prefix of 5 blocks on both nodes.
+	shared := extendChain(t, h, 0, key, 5)
+	for _, b := range shared {
+		if _, err := h.bases[1].State.AddBlock(b, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Node 1 mines 2 blocks of its own branch; node 0's branch grows by 10
+	// and wins.
+	fork := h.bases[1].State.Tip()
+	b := mineOn(t, key, fork.Hash(), fork.Height+1)
+	b.Header.TimeNanos = 7777 // distinct hash from node 0's branch
+	if _, err := h.bases[1].State.AddBlock(b, 0); err != nil {
+		t.Fatal(err)
+	}
+	extendChain(t, h, 0, key, 10)
+
+	h.bases[1].Sync.Start(0)
+	h.drain()
+
+	if h.bases[1].State.Tip().Hash() != h.bases[0].State.Tip().Hash() {
+		t.Error("forked node did not reorg onto the synced branch")
+	}
+}
+
+// TestSyncTimeoutRotatesPeers: an unresponsive peer costs one backoff, then
+// the next peer serves the exchange.
+func TestSyncTimeoutRotatesPeers(t *testing.T) {
+	h, _, key := newHarness(t, 3)
+	extendChain(t, h, 0, key, 3)
+	// Node 1 has the same chain so either source can serve it.
+	for _, bn := range h.bases[0].State.MainChain()[1:] {
+		if _, err := h.bases[1].State.AddBlock(bn.Block, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	h.mute[0] = true
+	h.bases[2].Sync.Start(0) // preferred peer is mute
+	h.drain()
+	if h.bases[2].State.Height() != 0 {
+		t.Fatal("blocks arrived from a mute peer")
+	}
+	// First sync backoff is [20s, 25s); after it the syncer rotates.
+	h.advance(25 * time.Second)
+	h.drain()
+	if got, want := h.bases[2].State.Height(), h.bases[0].State.Height(); got != want {
+		t.Errorf("height after rotation = %d, want %d", got, want)
+	}
+	if h.bases[2].Sync.Active() {
+		t.Error("sync still active after rotation served it")
+	}
+}
+
+// TestSyncStrayBatchDoesNotAdvance: batches from peers other than the one
+// currently asked are ingested as data but must not drive the state machine
+// (a lossy network duplicating an old batch cannot double-advance the sync).
+func TestSyncStrayBatchDoesNotAdvance(t *testing.T) {
+	h, genesis, key := newHarness(t, 3)
+	b1 := mineOn(t, key, genesis.Hash(), 1)
+
+	h.mute[0] = true
+	h.bases[2].Sync.Start(0)
+	h.drain()
+	if !h.bases[2].Sync.Active() {
+		t.Fatal("sync not active")
+	}
+	// A stray batch from peer 1 (not the asked peer) with More set: the data
+	// lands, the machine stays pointed at peer 0.
+	h.bases[2].HandleMessage(1, &node.BlockBatchMsg{Blocks: []types.Block{b1}, More: true})
+	if !h.bases[2].State.HasBlock(b1.Hash()) {
+		t.Error("stray batch's block was discarded")
+	}
+	if !h.bases[2].Sync.Active() {
+		t.Error("stray batch terminated the sync")
+	}
+	// No GetBlocksMsg to peer 1 may have been triggered by the stray batch.
+	for _, qm := range h.envs[2].queue {
+		if _, ok := qm.msg.(*node.GetBlocksMsg); ok && qm.to == 1 {
+			t.Error("stray batch advanced the state machine")
+		}
+	}
+}
+
+// TestSyncServerBounds: the responder ignores empty and oversized locators
+// outright and never serves more than a batch at a time.
+func TestSyncServerBounds(t *testing.T) {
+	h, _, key := newHarness(t, 2)
+	extendChain(t, h, 0, key, 40)
+
+	h.bases[0].HandleMessage(1, &node.GetBlocksMsg{})
+	h.bases[0].HandleMessage(1, &node.GetBlocksMsg{Locator: make([]node.BlockID, 65)})
+	if len(h.envs[0].queue) != 0 {
+		t.Fatal("responder answered a malformed locator")
+	}
+
+	loc := []node.BlockID{h.bases[0].State.Store().Genesis().Hash()}
+	h.bases[0].HandleMessage(1, &node.GetBlocksMsg{Locator: loc})
+	if len(h.envs[0].queue) != 1 {
+		t.Fatalf("queued %d replies, want 1", len(h.envs[0].queue))
+	}
+	batch, ok := h.envs[0].queue[0].msg.(*node.BlockBatchMsg)
+	if !ok {
+		t.Fatalf("reply is %T, want *node.BlockBatchMsg", h.envs[0].queue[0].msg)
+	}
+	if len(batch.Blocks) != 32 {
+		t.Errorf("batch carries %d blocks, want 32", len(batch.Blocks))
+	}
+	if !batch.More {
+		t.Error("40-deep suffix served without More")
+	}
+}

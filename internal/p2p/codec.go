@@ -95,6 +95,68 @@ func decodeTxBatch(payload []byte) ([]*types.Transaction, error) {
 	return txs, nil
 }
 
+// encodeLocator serializes a getblocks locator: a CompactSize count followed
+// by the block hashes, tip-first.
+func encodeLocator(loc []node.BlockID) []byte {
+	w := wire.NewWriter(1 + 32*len(loc))
+	w.VarInt(uint64(len(loc)))
+	for _, h := range loc {
+		w.Bytes32(h)
+	}
+	return w.Bytes()
+}
+
+func decodeLocator(payload []byte) ([]node.BlockID, error) {
+	r := wire.NewReader(payload)
+	n := r.Length(1 << 16)
+	loc := make([]node.BlockID, 0, n)
+	for i := 0; i < n; i++ {
+		loc = append(loc, r.Bytes32())
+	}
+	if err := r.Finish(); err != nil {
+		return nil, err
+	}
+	return loc, nil
+}
+
+// encodeBlockBatch serializes a blockbatch: the More flag, a CompactSize
+// count, then each block as its message type plus VarBytes payload — the
+// per-member length prefix keeps one corrupt block from desynchronizing the
+// rest of the frame.
+func encodeBlockBatch(m *node.BlockBatchMsg) []byte {
+	w := wire.NewWriter(2 + 1024*len(m.Blocks))
+	w.Bool(m.More)
+	w.VarInt(uint64(len(m.Blocks)))
+	for _, b := range m.Blocks {
+		w.Uint8(uint8(types.BlockMsgType(b)))
+		w.VarBytes(wire.Encode(b))
+	}
+	return w.Bytes()
+}
+
+func decodeBlockBatch(payload []byte) (*node.BlockBatchMsg, error) {
+	r := wire.NewReader(payload)
+	more := r.Bool()
+	n := r.Length(1 << 16)
+	m := &node.BlockBatchMsg{Blocks: make([]types.Block, 0, n), More: more}
+	for i := 0; i < n; i++ {
+		t := wire.MsgType(r.Uint8())
+		raw := r.VarBytes(wire.MaxMessageSize)
+		if r.Err() != nil {
+			break
+		}
+		b, err := types.DecodeBlockMsg(t, raw)
+		if err != nil {
+			return nil, err
+		}
+		m.Blocks = append(m.Blocks, b)
+	}
+	if err := r.Finish(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
 // encodeMessage frames a gossip message for the TCP transport.
 func encodeMessage(msg node.Message) (*wire.Envelope, error) {
 	switch m := msg.(type) {
@@ -108,6 +170,10 @@ func encodeMessage(msg node.Message) (*wire.Envelope, error) {
 		return &wire.Envelope{Type: wire.MsgTx, Payload: wire.Encode(m.Tx)}, nil
 	case *node.TxBatchMsg:
 		return &wire.Envelope{Type: wire.MsgTxBatch, Payload: encodeTxBatch(m.Txs)}, nil
+	case *node.GetBlocksMsg:
+		return &wire.Envelope{Type: wire.MsgGetBlocks, Payload: encodeLocator(m.Locator)}, nil
+	case *node.BlockBatchMsg:
+		return &wire.Envelope{Type: wire.MsgBlockBatch, Payload: encodeBlockBatch(m)}, nil
 	default:
 		return nil, fmt.Errorf("p2p: cannot encode message type %T", msg)
 	}
@@ -146,6 +212,14 @@ func decodeMessage(env *wire.Envelope) (node.Message, error) {
 			return nil, err
 		}
 		return &node.TxBatchMsg{Txs: txs}, nil
+	case wire.MsgGetBlocks:
+		loc, err := decodeLocator(env.Payload)
+		if err != nil {
+			return nil, err
+		}
+		return &node.GetBlocksMsg{Locator: loc}, nil
+	case wire.MsgBlockBatch:
+		return decodeBlockBatch(env.Payload)
 	default:
 		return nil, fmt.Errorf("p2p: cannot decode message type %v", env.Type)
 	}

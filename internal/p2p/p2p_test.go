@@ -1,6 +1,8 @@
 package p2p
 
 import (
+	"encoding/binary"
+	"net"
 	"testing"
 	"time"
 
@@ -283,5 +285,150 @@ func TestCodecTxBatchRoundTrip(t *testing.T) {
 		t.Fatalf("decode empty: %v", err)
 	} else if len(out.(*node.TxBatchMsg).Txs) != 0 {
 		t.Fatal("empty batch round trip not empty")
+	}
+}
+
+func TestCodecSyncRoundTrip(t *testing.T) {
+	key, _ := crypto.GenerateKey(sim.NewRand(3, 1))
+	mb := &types.MicroBlock{
+		Header: types.MicroBlockHeader{
+			Prev:      crypto.HashBytes([]byte("q")),
+			TxRoot:    crypto.MerkleRoot(nil),
+			TimeNanos: 5,
+		},
+	}
+	mb.Header.Sign(key)
+
+	gb := &node.GetBlocksMsg{Locator: []node.BlockID{
+		crypto.HashBytes([]byte("a")),
+		crypto.HashBytes([]byte("b")),
+	}}
+	env, err := encodeMessage(gb)
+	if err != nil {
+		t.Fatalf("encode getblocks: %v", err)
+	}
+	out, err := decodeMessage(env)
+	if err != nil {
+		t.Fatalf("decode getblocks: %v", err)
+	}
+	got, ok := out.(*node.GetBlocksMsg)
+	if !ok || len(got.Locator) != 2 || got.Locator[0] != gb.Locator[0] || got.Locator[1] != gb.Locator[1] {
+		t.Errorf("getblocks round trip mismatch: %#v", out)
+	}
+
+	bb := &node.BlockBatchMsg{Blocks: []types.Block{mb}, More: true}
+	env, err = encodeMessage(bb)
+	if err != nil {
+		t.Fatalf("encode blockbatch: %v", err)
+	}
+	out, err = decodeMessage(env)
+	if err != nil {
+		t.Fatalf("decode blockbatch: %v", err)
+	}
+	gotB, ok := out.(*node.BlockBatchMsg)
+	if !ok || len(gotB.Blocks) != 1 || gotB.Blocks[0].Hash() != mb.Hash() || !gotB.More {
+		t.Errorf("blockbatch round trip mismatch: %#v", out)
+	}
+
+	// The empty terminal batch (More=false, no blocks) must survive framing —
+	// it is the sync protocol's only exit signal.
+	env, err = encodeMessage(&node.BlockBatchMsg{})
+	if err != nil {
+		t.Fatalf("encode empty batch: %v", err)
+	}
+	if out, err := decodeMessage(env); err != nil {
+		t.Fatalf("decode empty batch: %v", err)
+	} else if b := out.(*node.BlockBatchMsg); len(b.Blocks) != 0 || b.More {
+		t.Error("empty batch round trip not empty")
+	}
+}
+
+// rawHandshake dials addr and completes the version/verack exchange as a bare
+// TCP client with the given claimed node id, returning the open connection.
+func rawHandshake(t *testing.T, addr string, id uint64, genesis crypto.Hash) net.Conn {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := &versionPayload{Version: protocolVersion, NodeID: id, Genesis: genesis}
+	if _, err := (&wire.Envelope{Type: wire.MsgVersion, Payload: wire.Encode(v)}).WriteTo(conn); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wire.ReadEnvelope(conn); err != nil {
+		t.Fatalf("no version back: %v", err)
+	}
+	if _, err := (&wire.Envelope{Type: wire.MsgVerAck, Payload: []byte{}}).WriteTo(conn); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wire.ReadEnvelope(conn); err != nil {
+		t.Fatalf("no verack back: %v", err)
+	}
+	return conn
+}
+
+// TestLiveMalformedFrameDropsPeer: a handshaked peer that sends an
+// undecodable (but correctly framed) payload is disconnected, and a peer that
+// violates framing itself (oversized declared length) likewise — in both
+// cases the node survives and keeps serving well-behaved connections.
+func TestLiveMalformedFrameDropsPeer(t *testing.T) {
+	genesis := types.GenesisBlock(types.GenesisSpec{Target: crypto.EasiestTarget})
+	a, addrA := startLiveNG(t, 1, genesis)
+
+	// Phase 1: valid framing, garbage payload (a truncated CompactSize makes
+	// the inv list undecodable).
+	conn := rawHandshake(t, addrA, 50, genesis.Hash())
+	defer conn.Close()
+	if !waitFor(t, a.rt, 5*time.Second, func() bool { return len(a.rt.Peers()) == 1 }) {
+		t.Fatal("raw peer not registered")
+	}
+	if _, err := (&wire.Envelope{Type: wire.MsgInv, Payload: []byte{0xfd}}).WriteTo(conn); err != nil {
+		t.Fatal(err)
+	}
+	if !waitFor(t, a.rt, 5*time.Second, func() bool { return len(a.rt.Peers()) == 0 }) {
+		t.Fatal("malformed payload did not drop the peer")
+	}
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := wire.ReadEnvelope(conn); err == nil {
+		t.Error("connection still open after malformed payload")
+	}
+
+	// Phase 2: framing-level violation — a header declaring an oversized
+	// payload is rejected before allocation and the connection dies.
+	conn2 := rawHandshake(t, addrA, 51, genesis.Hash())
+	defer conn2.Close()
+	if !waitFor(t, a.rt, 5*time.Second, func() bool { return len(a.rt.Peers()) == 1 }) {
+		t.Fatal("second raw peer not registered")
+	}
+	hdr := make([]byte, 13)
+	binary.LittleEndian.PutUint32(hdr[0:4], wire.Magic)
+	hdr[4] = byte(wire.MsgInv)
+	binary.LittleEndian.PutUint32(hdr[5:9], uint32(wire.MaxMessageSize+1))
+	if _, err := conn2.Write(hdr); err != nil {
+		t.Fatal(err)
+	}
+	if !waitFor(t, a.rt, 5*time.Second, func() bool { return len(a.rt.Peers()) == 0 }) {
+		t.Fatal("oversized frame did not drop the peer")
+	}
+
+	// The node itself is unharmed: a well-behaved connection still completes
+	// the handshake and receives gossip.
+	conn3 := rawHandshake(t, addrA, 52, genesis.Hash())
+	defer conn3.Close()
+	if !waitFor(t, a.rt, 5*time.Second, func() bool { return len(a.rt.Peers()) == 1 }) {
+		t.Fatal("node stopped accepting peers after malformed input")
+	}
+	var kb *types.KeyBlock
+	a.rt.Do(func() { kb = a.node.MineKeyBlock() })
+	if kb == nil {
+		t.Fatal("no key block mined")
+	}
+	conn3.SetReadDeadline(time.Now().Add(5 * time.Second))
+	env, err := wire.ReadEnvelope(conn3)
+	if err != nil {
+		t.Fatalf("no gossip after recovery: %v", err)
+	}
+	if env.Type != wire.MsgInv {
+		t.Errorf("first gossip frame is %v, want inv", env.Type)
 	}
 }

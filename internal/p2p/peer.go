@@ -49,7 +49,9 @@ func (p *peer) readLoop() {
 		if err != nil {
 			return
 		}
-		p.rt.deliver(p.id, env)
+		if err := p.rt.deliver(p.id, env); err != nil {
+			return // undecodable frame: drop the peer, keep the node
+		}
 	}
 }
 

@@ -332,10 +332,16 @@ func (rt *Runtime) dropPeer(p *peer) {
 // barrier completes before the post, and the single-threaded protocol loop
 // then only sees verdict-cache hits instead of paying milliseconds of
 // signature checks per block.
-func (rt *Runtime) deliver(from int, env *wire.Envelope) {
+//
+// A frame that fails to decode is returned as an error, and the reader drops
+// the connection: a handshaked peer sending garbage is either corrupting
+// traffic or hostile, and continuing to parse its stream risks
+// desynchronized framing. The node itself stays up — malformed input must
+// never panic past this boundary.
+func (rt *Runtime) deliver(from int, env *wire.Envelope) error {
 	msg, err := decodeMessage(env)
 	if err != nil {
-		return // malformed; drop
+		return err // malformed; caller drops the peer
 	}
 	if bm, ok := msg.(*node.BlockMsg); ok {
 		validate.SharedPool().WarmBlock(bm.Block)
@@ -345,6 +351,7 @@ func (rt *Runtime) deliver(from int, env *wire.Envelope) {
 			rt.handler(from, msg)
 		}
 	})
+	return nil
 }
 
 // Close shuts the runtime down: listener, peers, event loop.

@@ -42,6 +42,25 @@ type Runtime interface {
 	// blocks of the previous strategy are abandoned. An out-of-range node,
 	// an unknown name, or a client without strategy support is an error.
 	AdoptStrategy(node int, name string) error
+	// Crash tears down one node: its in-memory state (chain tree, mempool,
+	// pending fetches, unflushed relay queues, armed timers) is discarded
+	// and it detaches from the network; only its durable block archive
+	// survives. Crashing an out-of-range or already-down node is an error.
+	Crash(node int) error
+	// Restart rebuilds a crashed node from its durable prefix and rejoins
+	// it to the network, kicking catch-up sync for whatever it missed.
+	// Restarting an out-of-range or running node is an error.
+	Restart(node int) error
+	// SetLoss installs network-wide lossy-link fault probabilities (drop,
+	// duplicate, reorder per message, each scaled by a per-link
+	// deterministic factor); all-zero restores clean links. A probability
+	// outside [0,1] is an error.
+	SetLoss(drop, duplicate, reorder float64) error
+	// Leader returns the index of the first running node that considers
+	// itself the current epoch leader (Bitcoin-NG's microblock producer),
+	// or -1 when none does — protocols without a leader role always return
+	// -1. Scripts use it to target faults at whoever leads mid-epoch.
+	Leader() int
 }
 
 // Step is one scripted action against a Runtime.
@@ -195,6 +214,44 @@ func AdoptStrategy(node int, name string) Step {
 			return err
 		}
 		return rt.AdoptStrategy(node, name)
+	}}
+}
+
+// Crash tears down one node's in-memory state and detaches it from the
+// network; only its durable block archive survives for a later Restart.
+func Crash(node int) Step {
+	return Step{Name: "crash", Do: func(rt Runtime) error {
+		if err := checkNode(rt, node); err != nil {
+			return err
+		}
+		return rt.Crash(node)
+	}}
+}
+
+// Restart rebuilds a crashed node from its durable prefix, rejoins it to the
+// network, and kicks catch-up sync for the blocks it missed while down.
+func Restart(node int) Step {
+	return Step{Name: "restart", Do: func(rt Runtime) error {
+		if err := checkNode(rt, node); err != nil {
+			return err
+		}
+		return rt.Restart(node)
+	}}
+}
+
+// Lossy installs network-wide lossy-link fault probabilities: each message
+// is independently dropped, duplicated, or delayed (reordered) with the
+// given per-message probabilities, scaled per directed link by a
+// seed-deterministic susceptibility factor. Lossy(0, 0, 0) restores clean
+// links. Probabilities outside [0,1] are a step error.
+func Lossy(drop, duplicate, reorder float64) Step {
+	return Step{Name: "lossy", Do: func(rt Runtime) error {
+		for _, p := range []float64{drop, duplicate, reorder} {
+			if p < 0 || p > 1 {
+				return fmt.Errorf("scenario: loss probability %v outside [0,1]", p)
+			}
+		}
+		return rt.SetLoss(drop, duplicate, reorder)
 	}}
 }
 

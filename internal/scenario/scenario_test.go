@@ -41,6 +41,19 @@ func (f *fakeRuntime) Equivocate(leader int, txA, txB *types.Transaction) error 
 	f.eqTxsA = txA
 	return f.eqErr
 }
+func (f *fakeRuntime) Crash(node int) error {
+	f.log = append(f.log, fmt.Sprintf("crash(%d)", node))
+	return nil
+}
+func (f *fakeRuntime) Restart(node int) error {
+	f.log = append(f.log, fmt.Sprintf("restart(%d)", node))
+	return nil
+}
+func (f *fakeRuntime) SetLoss(drop, duplicate, reorder float64) error {
+	f.log = append(f.log, fmt.Sprintf("loss(%g,%g,%g)", drop, duplicate, reorder))
+	return nil
+}
+func (f *fakeRuntime) Leader() int { return -1 }
 
 // fakeClock is a sorted-by-insertion-order scheduler.
 type fakeClock struct {

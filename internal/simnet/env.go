@@ -17,6 +17,13 @@ type NodeEnv struct {
 	Net  *Network
 	ID   int
 	Rng  *rand.Rand
+
+	// gen is the node's incarnation number. Timers armed under an older
+	// incarnation become no-ops, so a crash cancels every pending callback
+	// of the torn-down client (microblock schedule, fetch timeouts, tx
+	// flushes) without tracking them individually. Bumped by Crash, read
+	// only on the node's own shard.
+	gen uint64
 }
 
 // NewNodeEnv builds the environment for node id, deriving its random stream
@@ -33,10 +40,20 @@ func NewNodeEnv(loop *sim.Loop, net *Network, id int, seed int64) *NodeEnv {
 // Now implements node.Env.
 func (e *NodeEnv) Now() int64 { return e.Loop.Now() }
 
-// After implements node.Env.
+// After implements node.Env. The callback is bound to the node's current
+// incarnation: if the node crashes before it fires, it does nothing.
 func (e *NodeEnv) After(d time.Duration, fn func()) node.Timer {
-	return e.Loop.After(d, fn)
+	g := e.gen
+	return e.Loop.After(d, func() {
+		if e.gen == g {
+			fn()
+		}
+	})
 }
+
+// Bump advances the node's incarnation, neutering every timer armed before
+// the call. Invoked on crash, while the loops are quiescent.
+func (e *NodeEnv) Bump() { e.gen++ }
 
 // NodeID implements node.Env.
 func (e *NodeEnv) NodeID() int { return e.ID }

@@ -52,17 +52,33 @@ type Handler func(from int, payload any, size int)
 
 // link is one direction of an edge with store-and-forward queueing.
 type link struct {
-	latency int64 // nanos, fixed per edge
-	freeAt  int64 // when the sender-side pipe drains
+	latency   int64   // nanos, fixed per edge
+	freeAt    int64   // when the sender-side pipe drains
+	lossScale float64 // per-link fault susceptibility factor in [0.5, 1.5)
 }
 
 // Stats aggregates network-wide counters.
 type Stats struct {
-	MessagesSent  uint64
-	BytesSent     uint64
-	MessagesLost  uint64        // dropped by an active partition
-	MaxQueueDelay time.Duration // worst sender-side bandwidth queuing seen
+	MessagesSent       uint64
+	BytesSent          uint64
+	MessagesLost       uint64        // dropped by an active partition or a down endpoint
+	MessagesDropped    uint64        // dropped by the lossy-link fault model
+	MessagesDuplicated uint64        // delivered twice by the fault model
+	MessagesReordered  uint64        // delayed past their propagation slot by the fault model
+	MaxQueueDelay      time.Duration // worst sender-side bandwidth queuing seen
 }
+
+// Loss is the network-wide lossy-link fault model: per-message probabilities
+// of dropping, duplicating, or delaying (reordering) a send. Each directed
+// link scales these by its own seed-deterministic susceptibility factor in
+// [0.5, 1.5), so faults concentrate unevenly the way real flaky paths do.
+type Loss struct {
+	Drop      float64
+	Duplicate float64
+	Reorder   float64
+}
+
+func (l Loss) active() bool { return l.Drop > 0 || l.Duplicate > 0 || l.Reorder > 0 }
 
 // edge is one neighbor entry in a node's adjacency list, carrying the
 // direction's link state inline so the per-message lookup is a short scan
@@ -93,6 +109,17 @@ type Network struct {
 	// scenario step); 1 means unscaled. Always positive. Same write
 	// discipline as group.
 	latencyScale float64
+	// loss is the active lossy-link fault model (zero value = clean links).
+	// Same write discipline as group.
+	loss Loss
+	// down marks crashed nodes: sends from or to a down node vanish, and
+	// in-flight messages are discarded on arrival. Same write discipline as
+	// group.
+	down []bool
+	// faultRng holds one deterministic stream per sender node for fault
+	// draws. Draws happen inside the sender's event handlers, so each stream
+	// has a single consuming goroutine and a deterministic draw order.
+	faultRng []*rand.Rand
 
 	// Sharded mode (nil/empty when running on a single loop).
 	shardLoops []*sim.Loop
@@ -132,6 +159,12 @@ func New(loop *sim.Loop, cfg Config) *Network {
 		busyAt:       make([]int64, cfg.Nodes),
 		stats:        make([]Stats, 1),
 		latencyScale: 1,
+		down:         make([]bool, cfg.Nodes),
+		faultRng:     make([]*rand.Rand, cfg.Nodes),
+	}
+	const faultStream = 0x50000 // per-sender fault streams: faultStream+id
+	for i := 0; i < cfg.Nodes; i++ {
+		n.faultRng[i] = sim.NewRand(cfg.Seed, faultStream+uint64(i))
 	}
 	const topologyStream = 0x7e7 // dedicated stream id for topology building
 	rng := sim.NewRand(cfg.Seed, topologyStream)
@@ -166,10 +199,24 @@ func (n *Network) linkTo(i, j int) *link {
 
 func (n *Network) connect(i, j int, rng *rand.Rand) {
 	lat := int64(n.cfg.Latency.Sample(rng))
-	n.edges[i] = append(n.edges[i], edge{peer: j, out: &link{latency: lat}})
-	n.edges[j] = append(n.edges[j], edge{peer: i, out: &link{latency: lat}})
+	n.edges[i] = append(n.edges[i], edge{peer: j, out: &link{latency: lat, lossScale: linkLossScale(n.cfg.Seed, i, j)}})
+	n.edges[j] = append(n.edges[j], edge{peer: i, out: &link{latency: lat, lossScale: linkLossScale(n.cfg.Seed, j, i)}})
 	n.adj[i] = append(n.adj[i], j)
 	n.adj[j] = append(n.adj[j], i)
+}
+
+// linkLossScale derives the directed link's fault susceptibility in [0.5, 1.5)
+// by hashing (seed, from, to) with a splitmix64 finalizer. Hashing — rather
+// than drawing from the topology stream — keeps every pre-fault seed's
+// topology and latency assignment byte-identical to what it was before the
+// fault model existed.
+func linkLossScale(seed int64, from, to int) float64 {
+	x := uint64(seed) ^ uint64(from)<<32 ^ uint64(to)
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	x ^= x >> 31
+	return 0.5 + float64(x>>11)/float64(1<<53)
 }
 
 // ensureConnected unions stray components into one.
@@ -222,6 +269,9 @@ func (n *Network) Stats() Stats {
 		total.MessagesSent += s.MessagesSent
 		total.BytesSent += s.BytesSent
 		total.MessagesLost += s.MessagesLost
+		total.MessagesDropped += s.MessagesDropped
+		total.MessagesDuplicated += s.MessagesDuplicated
+		total.MessagesReordered += s.MessagesReordered
 		if s.MaxQueueDelay > total.MaxQueueDelay {
 			total.MaxQueueDelay = s.MaxQueueDelay
 		}
@@ -343,6 +393,27 @@ func (n *Network) ScaleLatency(factor float64) {
 	n.latencyScale = factor
 }
 
+// SetLoss installs (or, with the zero value, clears) the lossy-link fault
+// model. Like SetPartition it must run while the loops are quiescent; messages
+// already in flight are unaffected.
+func (n *Network) SetLoss(l Loss) {
+	if l.Drop < 0 || l.Duplicate < 0 || l.Reorder < 0 ||
+		l.Drop > 1 || l.Duplicate > 1 || l.Reorder > 1 {
+		panic(fmt.Sprintf("simnet: loss probabilities out of [0,1]: %+v", l))
+	}
+	n.loss = l
+}
+
+// SetNodeDown marks node id as crashed (true) or back up (false). While down,
+// sends from or to the node count as lost and in-flight messages are
+// discarded at arrival. Must run while the loops are quiescent.
+func (n *Network) SetNodeDown(id int, down bool) {
+	n.down[id] = down
+}
+
+// NodeDown reports whether id is currently marked crashed.
+func (n *Network) NodeDown(id int) bool { return n.down[id] }
+
 // PartitionAssignment expands explicit groups of node indices into the
 // per-node assignment SetPartition takes: listed nodes get group index+1,
 // everyone unlisted joins group 0. An out-of-range index is an error (left
@@ -380,9 +451,39 @@ func (n *Network) Send(from, to int, payload any, size int) {
 		shard = n.shardOf[from]
 	}
 	st := &n.stats[shard]
+	if n.down[from] || n.down[to] {
+		st.MessagesLost++
+		return
+	}
 	if n.group != nil && n.group[from] != n.group[to] {
 		st.MessagesLost++
 		return
+	}
+	// Lossy-link faults draw from the sender's dedicated stream, in a fixed
+	// order per send (drop, then duplicate, then reorder), so the draw
+	// sequence is a deterministic function of the sender's event order —
+	// identical on the sequential and sharded engines.
+	var extraDelay, dupDelay int64
+	duplicate := false
+	if n.loss.active() {
+		frng := n.faultRng[from]
+		scale := l.lossScale
+		if p := n.loss.Drop * scale; p > 0 && frng.Float64() < p {
+			st.MessagesDropped++
+			return
+		}
+		span := l.latency
+		if span < 1 {
+			span = 1
+		}
+		if p := n.loss.Duplicate * scale; p > 0 && frng.Float64() < p {
+			duplicate = true
+			dupDelay = 1 + frng.Int63n(span)
+		}
+		if p := n.loss.Reorder * scale; p > 0 && frng.Float64() < p {
+			st.MessagesReordered++
+			extraDelay = 1 + frng.Int63n(2*span)
+		}
 	}
 	now := n.loopFor(from).Now()
 	start := now
@@ -398,17 +499,28 @@ func (n *Network) Send(from, to int, payload any, size int) {
 	if n.latencyScale != 1 {
 		latency = int64(float64(latency) * n.latencyScale)
 	}
-	arrival := l.freeAt + latency
+	// Fault delays only ever add latency, so the sharded engine's lookahead
+	// (MinCrossShardLatency, a lower bound on cross-shard arrival) stays safe.
+	arrival := l.freeAt + latency + extraDelay
 
 	st.MessagesSent++
 	st.BytesSent += uint64(size)
 
-	d := &delivery{n: n, from: from, to: to, payload: payload, size: size}
-	if n.shardOf != nil && n.shardOf[to] != shard {
-		n.outbox[shard] = append(n.outbox[shard], outMsg{arrival: arrival, sent: now, d: d})
+	n.post(shard, arrival, now, &delivery{n: n, from: from, to: to, payload: payload, size: size})
+	if duplicate {
+		st.MessagesDuplicated++
+		n.post(shard, arrival+dupDelay, now, &delivery{n: n, from: from, to: to, payload: payload, size: size})
+	}
+}
+
+// post routes one delivery to the receiver's loop, buffering cross-shard
+// sends for FlushOutboxes.
+func (n *Network) post(senderShard int, arrival, sent int64, d *delivery) {
+	if n.shardOf != nil && n.shardOf[d.to] != senderShard {
+		n.outbox[senderShard] = append(n.outbox[senderShard], outMsg{arrival: arrival, sent: sent, d: d})
 		return
 	}
-	n.loopFor(to).PostEvent(arrival, d)
+	n.loopFor(d.to).PostEvent(arrival, d)
 }
 
 // delivery carries one in-flight message through its two scheduling hops
@@ -430,6 +542,17 @@ type delivery struct {
 // busyAt[to] has a single writing goroutine.
 func (d *delivery) Run() {
 	n := d.n
+	if n.down[d.to] {
+		// The receiver crashed while this message was in flight (or before
+		// it cleared receiver-side processing): it vanishes with the
+		// receiver's in-memory state.
+		shard := 0
+		if n.shardOf != nil {
+			shard = n.shardOf[d.to]
+		}
+		n.stats[shard].MessagesLost++
+		return
+	}
 	if !d.arrived {
 		d.arrived = true
 		loop := n.loopFor(d.to)

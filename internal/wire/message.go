@@ -26,6 +26,8 @@ const (
 	MsgPing                      // liveness probe
 	MsgPong                      // liveness response
 	MsgTxBatch                   // batched loose-transaction relay
+	MsgGetBlocks                 // locator-based catch-up sync request
+	MsgBlockBatch                // bounded batch of main-chain blocks (sync response)
 	msgSentinel                  // one past the last valid type
 )
 
@@ -42,6 +44,8 @@ var msgTypeNames = [...]string{
 	MsgPing:       "ping",
 	MsgPong:       "pong",
 	MsgTxBatch:    "txbatch",
+	MsgGetBlocks:  "getblocks",
+	MsgBlockBatch: "blockbatch",
 }
 
 // String returns the canonical lower-case message name.

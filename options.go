@@ -31,6 +31,7 @@ type options struct {
 	parallelism   int
 	invariants    []invariant.Invariant
 	invInterval   time.Duration
+	stateDir      string
 }
 
 func defaultOptions() options {
@@ -122,6 +123,13 @@ func WithInvariants(invs ...Invariant) Option {
 	return func(o *options) { o.invariants = append(o.invariants, invs...) }
 }
 
+// WithStateDir gives every cluster node a file-backed durable block archive
+// at dir/node-<i>.blocks: Crash/Restart recover from disk, and a second
+// cluster built over the same directory (same seed and size) resumes from
+// the persisted prefixes like a process restart. Clusters only; experiments
+// keep in-memory archives for speed.
+func WithStateDir(dir string) Option { return func(o *options) { o.stateDir = dir } }
+
 // WithInvariantInterval spaces the online invariant checks; the default is
 // the key-block interval.
 func WithInvariantInterval(d time.Duration) Option {
@@ -158,6 +166,7 @@ func New(n int, opts ...Option) (*Cluster, error) {
 		DisableConnectCache: o.cacheOff,
 		Invariants:          o.invariants,
 		InvariantInterval:   o.invInterval,
+		StateDir:            o.stateDir,
 	})
 }
 
