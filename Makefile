@@ -2,7 +2,7 @@ GO ?= go
 BENCH_DATE := $(shell date +%Y%m%d)
 BENCH_OUT ?= BENCH_$(BENCH_DATE).json
 
-.PHONY: build vet lint test race bench bench-json bench-diff smoke determinism throughput-smoke examples soak faults fuzz cover
+.PHONY: build vet lint test race race-soak race-faults bench bench-json bench-diff bench-trajectory smoke determinism throughput-smoke examples soak faults fuzz cover
 
 build:
 	$(GO) build ./...
@@ -11,13 +11,17 @@ vet:
 	$(GO) vet ./...
 
 # lint is the static determinism/protocol-safety gate: go vet, then the
-# project's own nglint suite (walltime, globalrand, maporder, locksafe,
-# wiresym — see DESIGN.md §9), then staticcheck and govulncheck when
-# installed (CI installs both; locally they are optional extras since the
-# sandbox has no network). A finding, or an unjustified //nglint:allow,
-# fails the build.
+# project's own nglint suite — the per-function analyzers (walltime,
+# globalrand, maporder, locksafe, wiresym) plus the interprocedural module
+# analyzers (detflow, parity, errflow) — see DESIGN.md §9 — then staticcheck
+# and govulncheck when installed (CI installs both; locally they are
+# optional extras since the sandbox has no network). A finding, or an
+# unjustified //nglint:allow, fails the build. NGLINT_FLAGS threads extra
+# flags through (CI passes -cache to skip the type-check when sources are
+# unchanged).
+NGLINT_FLAGS ?=
 lint: vet
-	$(GO) run ./cmd/nglint ./...
+	$(GO) run ./cmd/nglint $(NGLINT_FLAGS) ./...
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		echo "== staticcheck"; staticcheck ./...; \
 	else \
@@ -34,6 +38,26 @@ test: build
 
 race:
 	$(GO) test -race -short ./...
+
+# race-soak replays a reduced chaos soak under the race detector. The
+# differential replay (parallelism 1 vs 4, connect cache on vs off) is
+# where the sharded engine's worker goroutines actually interleave, so this
+# is the race hunt for the recovery and streaming paths that `race` (short
+# tests only) never reaches. Seed count is cut because -race costs ~10x.
+RACE_SOAK_SEEDS ?= 8
+race-soak:
+	$(GO) run -race ./cmd/ngbench -figure chaos -seeds $(RACE_SOAK_SEEDS)
+
+# race-faults re-runs the faults ladder's harness pins under -race: crash,
+# restart, resync, and lossy-link paths all spin real goroutines (live
+# transport, cluster runtime) that the plain faults gate only checks for
+# correctness, not for data races.
+race-faults:
+	$(GO) test -race -count=1 -run 'TestSync|TestMalformedMessagesDropped|TestFetchGiveUpHandsOffToSync' ./internal/node
+	$(GO) test -race -count=1 -run 'TestLiveMalformedFrameDropsPeer|TestCodecSyncRoundTrip' ./internal/p2p
+	$(GO) test -race -count=1 -run 'TestRestartRecoversDurablePrefix|TestCrashedNodeIsInert' ./internal/experiment
+	$(GO) test -race -count=1 -run 'TestMajorityCrashConverges|TestRegressionSeeds' ./internal/chaos
+	$(GO) test -race -count=1 -run 'TestClusterLeaderCrashRestartResync|TestClusterStateDirProcessRestart|TestClusterLossyLinks' .
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' .
@@ -52,6 +76,12 @@ OLD ?= $(firstword $(sort $(wildcard BENCH_*.json)))
 NEW ?= $(lastword $(sort $(wildcard BENCH_*.json)))
 bench-diff:
 	$(GO) run ./cmd/ngbench -compare $(OLD) $(NEW)
+
+# bench-trajectory renders the whole committed perf history at once: every
+# BENCH_*.json snapshot chronologically (the date-stamped names sort), one
+# column per snapshot, with the cumulative first→last delta per benchmark.
+bench-trajectory:
+	$(GO) run ./cmd/ngbench -trajectory $(sort $(wildcard BENCH_*.json))
 
 # smoke is the CI scalability gate: a paper-scale (1000-node) Bitcoin-NG run
 # kept to a handful of payload blocks so it finishes in well under the job's

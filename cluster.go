@@ -186,12 +186,14 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 				return nil, fmt.Errorf("bitcoinng: node %d durable store: %w", i, err)
 			}
 			fileStores[i] = store
-			_ = store.Replay(func(b types.Block) error {
+			if err := store.Replay(func(b types.Block) error {
 				if t := b.Time(); t > clockStart {
 					clockStart = t
 				}
 				return nil
-			})
+			}); err != nil {
+				return nil, fmt.Errorf("bitcoinng: node %d durable store scan: %w", i, err)
+			}
 		}
 	}
 	loop := sim.NewLoop(clockStart)
@@ -289,11 +291,18 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		// its recovered prefix into the fresh chain state; in-memory archives
 		// start empty and this is a no-op.
 		replayed := 0
-		_ = cn.store.Replay(func(b types.Block) error {
-			_, _ = cn.base.State.AddBlock(b, loop.Now())
+		if err := cn.store.Replay(func(b types.Block) error {
+			if _, err := cn.base.State.AddBlock(b, loop.Now()); err != nil {
+				return err
+			}
 			replayed++
 			return nil
-		})
+		}); err != nil {
+			// Every archived block was validated and persisted by this very
+			// node in parent-before-child order, so a replay failure means
+			// archive corruption or a rules change — not a recoverable skew.
+			return nil, fmt.Errorf("bitcoinng: node %d archive replay: %w", i, err)
+		}
 		if replayed > 0 && cn.base.OnTipChange != nil {
 			// Replay bypassed processBlock, so re-arm leadership off the
 			// recovered tip (core's hook ignores the AddResult).
@@ -553,10 +562,14 @@ func (c *Cluster) Restart(node int) error {
 	// Recover the durable prefix directly into the tree — no gossip, no
 	// re-persist (the archive already holds these), no metrics double-count.
 	now := c.loop.Now()
-	_ = cn.store.Replay(func(b types.Block) error {
-		_, _ = base.State.AddBlock(b, now)
-		return nil
-	})
+	if err := cn.store.Replay(func(b types.Block) error {
+		_, err := base.State.AddBlock(b, now)
+		return err
+	}); err != nil {
+		// The archive holds only blocks this node validated and persisted,
+		// parent before child, so failure here is corruption, not skew.
+		return fmt.Errorf("bitcoinng: node %d restart replay: %w", node, err)
+	}
 	// Replay bypassed processBlock, so re-arm leadership off the recovered
 	// tip (core's hook ignores the AddResult).
 	if base.OnTipChange != nil {

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// trajectoryBench aggregates every committed bench-json snapshot into one
+// chronological per-benchmark table: one column per snapshot, plus the
+// cumulative first→last delta. The date-stamped BENCH_<date>[suffix].json
+// naming makes lexical order chronological, so the caller just sorts the
+// paths. Complements -compare, which is pairwise only.
+func trajectoryBench(w io.Writer, paths []string) error {
+	if len(paths) < 2 {
+		return fmt.Errorf("need at least two snapshots, got %d", len(paths))
+	}
+	snaps := make([]map[string]float64, len(paths))
+	for i, p := range paths {
+		ns, err := parseBenchJSON(p)
+		if err != nil {
+			return fmt.Errorf("%s: %w", p, err)
+		}
+		if len(ns) == 0 {
+			return fmt.Errorf("%s: no benchmark results found", p)
+		}
+		snaps[i] = ns
+	}
+
+	// Union of benchmark names across the whole history: benchmarks appear
+	// and retire as the repo grows, and both halves of that story matter.
+	nameSet := map[string]bool{}
+	for _, s := range snaps {
+		for name := range s {
+			nameSet[name] = true
+		}
+	}
+	names := make([]string, 0, len(nameSet))
+	for name := range nameSet {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	// Header: snapshot columns keyed by the date part of the filename.
+	labels := make([]string, len(paths))
+	for i, p := range paths {
+		labels[i] = strings.TrimSuffix(strings.TrimPrefix(filepath.Base(p), "BENCH_"), ".json")
+	}
+	fmt.Fprintf(w, "%-44s", "benchmark (ns/op)")
+	for _, l := range labels {
+		fmt.Fprintf(w, " %14s", l)
+	}
+	fmt.Fprintf(w, " %12s\n", "first→last")
+
+	regressions := 0
+	for _, name := range names {
+		fmt.Fprintf(w, "%-44s", name)
+		var first, last float64
+		count := 0
+		for _, s := range snaps {
+			ns, ok := s[name]
+			if !ok {
+				fmt.Fprintf(w, " %14s", "-")
+				continue
+			}
+			fmt.Fprintf(w, " %14.0f", ns)
+			if count == 0 {
+				first = ns
+			}
+			last = ns
+			count++
+		}
+		if count < 2 {
+			// One data point has no trajectory: a benchmark that just
+			// arrived (or had already retired).
+			label := "retired"
+			if _, inLast := snaps[len(snaps)-1][name]; inLast {
+				label = "new"
+			}
+			fmt.Fprintf(w, " %12s\n", label)
+		} else {
+			delta := (last - first) / first
+			note := ""
+			if delta > regressionThreshold {
+				note = "  << REGRESSION"
+				regressions++
+			} else if delta < -regressionThreshold {
+				note = "  improved"
+			}
+			fmt.Fprintf(w, " %+11.1f%%%s\n", 100*delta, note)
+		}
+	}
+	if regressions > 0 {
+		fmt.Fprintf(w, "\n%d benchmark(s) drifted up more than %.0f%% across the trajectory\n",
+			regressions, 100*regressionThreshold)
+	} else {
+		fmt.Fprintf(w, "\nno cumulative regressions beyond %.0f%%\n", 100*regressionThreshold)
+	}
+	return nil
+}

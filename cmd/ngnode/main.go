@@ -107,7 +107,13 @@ func main() {
 		if err != nil {
 			log.Fatalf("blockstore: %v", err)
 		}
-		defer store.Close()
+		defer func() {
+			// A failed final flush loses the tail of the archive; say so
+			// instead of exiting clean.
+			if err := store.Close(); err != nil {
+				log.Printf("blockstore close: %v", err)
+			}
+		}()
 		replayed, err := blockstore.ReplayInto(store, func(b types.Block) error {
 			res, err := base.State.AddBlock(b, b.Time())
 			if err != nil {

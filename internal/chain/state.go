@@ -1,6 +1,7 @@
 package chain
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 
@@ -478,10 +479,13 @@ func (st *State) markInvalid(n *Node) {
 
 // bestValidTip linearly scans the tree for the best non-invalid tip using
 // heaviest-weight/first-seen ordering. Only the rare invalid-block recovery
-// path uses it.
+// path uses it. ReceivedAt is a caller-supplied timestamp and is not unique
+// (two blocks can arrive at the same simulated nanosecond), so the fold
+// breaks full ties on block hash: without that, the adopted tip after an
+// invalidation would depend on map iteration order.
 func (st *State) bestValidTip() *Node {
 	best := st.store.Genesis()
-	for _, n := range st.store.nodes {
+	for _, n := range st.store.nodes { //nglint:allow detflow selection fold over the strict total order (weight, height, receivedAt, hash); the result is independent of iteration order
 		if n.Invalid {
 			continue
 		}
@@ -490,12 +494,20 @@ func (st *State) bestValidTip() *Node {
 			best = n
 		case 0:
 			if n.Height > best.Height ||
-				(n.Height == best.Height && n.ReceivedAt < best.ReceivedAt) {
+				(n.Height == best.Height && n.ReceivedAt < best.ReceivedAt) ||
+				(n.Height == best.Height && n.ReceivedAt == best.ReceivedAt &&
+					bytes.Compare(hashOf(n), hashOf(best)) < 0) {
 				best = n
 			}
 		}
 	}
 	return best
+}
+
+// hashOf returns n's block hash as a slice for ordering comparisons.
+func hashOf(n *Node) []byte {
+	h := n.Block.Hash()
+	return h[:]
 }
 
 // MainChain returns the active chain from genesis to tip, inclusive.

@@ -624,10 +624,12 @@ func (r *runner) Restart(i int) error {
 	// parent-before-child for everything this node ever accepted, so the
 	// tree reassembles without orphan churn. Blocks whose lineage was never
 	// persisted (none, by construction) would simply stash as orphans.
-	_ = r.stores[i].Replay(func(b types.Block) error {
-		_, _ = base.State.AddBlock(b, now)
-		return nil
-	})
+	if err := r.stores[i].Replay(func(b types.Block) error {
+		_, err := base.State.AddBlock(b, now)
+		return err
+	}); err != nil {
+		return fmt.Errorf("experiment: restart node %d: replay: %w", i, err)
+	}
 	base.Pool = r.views[i]
 	base.Persist = r.stores[i]
 	// Re-evaluate leadership against the recovered tip (the tip-change hook
@@ -727,6 +729,7 @@ func (r *runner) Equivocate(leader int, txA, txB *types.Transaction) error {
 
 func (r *runner) run() (*Result, error) {
 	defer r.eng.close()
+	//nglint:allow detflow WallTime reaches only the operator-facing stats block of FprintRunStats, never digests or reports that are diffed across runs
 	startWall := time.Now() //nglint:allow walltime measures real runtime for Result.WallTime (operator info); never feeds the simulation
 	var scenarioUntil int64
 	if r.cfg.Scenario != nil {
@@ -806,10 +809,11 @@ func (r *runner) run() (*Result, error) {
 	opts := metrics.DefaultAnalyzeOptions(end)
 	report := r.collector.Analyze(opts)
 	return &Result{
-		Config:              r.cfg,
-		Report:              report,
-		NetStats:            r.net.Stats(),
-		Events:              r.eng.executed(),
+		Config:   r.cfg,
+		Report:   report,
+		NetStats: r.net.Stats(),
+		Events:   r.eng.executed(),
+		//nglint:allow detflow WallTime reaches only the operator-facing stats block of FprintRunStats, never digests or reports that are diffed across runs
 		WallTime:            time.Since(startWall), //nglint:allow walltime measures real runtime for Result.WallTime (operator info); never feeds the simulation
 		SimTime:             time.Duration(end),
 		ScenarioErrors:      r.scenErrs,

@@ -15,6 +15,8 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+
+	"bitcoinng/internal/lint/load"
 )
 
 // Analyzer describes one static check.
@@ -71,4 +73,39 @@ func (p *Pass) TypeOf(e ast.Expr) types.Type {
 type Diagnostic struct {
 	Pos     token.Pos
 	Message string
+}
+
+// ModuleAnalyzer describes a static check that needs the whole module at
+// once — interprocedural dataflow, cross-package parity diffing — rather
+// than one package at a time. Module analyzers run after the per-package
+// suite over the same load, so type information and positions are shared.
+type ModuleAnalyzer struct {
+	// Name identifies the analyzer in diagnostics and //nglint:allow
+	// annotations, exactly like Analyzer.Name.
+	Name string
+
+	// Doc is shown by `nglint -list`.
+	Doc string
+
+	// Run applies the analyzer to the whole module.
+	Run func(*ModulePass) error
+}
+
+// ModulePass carries every loaded module package to a ModuleAnalyzer.
+type ModulePass struct {
+	Analyzer *ModuleAnalyzer
+
+	// Fset is the load's shared file set.
+	Fset *token.FileSet
+
+	// Pkgs holds every module package, sorted by import path.
+	Pkgs []*load.Package
+
+	// Report delivers a diagnostic to the driver.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
 }

@@ -1,0 +1,96 @@
+// Package dfx exercises the detflow interprocedural taint engine. The
+// fixture path places it inside the deterministic zone.
+package dfx
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+)
+
+// --- direct source-to-sink flow ----------------------------------------
+
+func direct(w io.Writer) {
+	t := time.Now() // want `time.Now \(wall-clock\) flows to stream write`
+	fmt.Fprintf(w, "at %v\n", t)
+}
+
+// --- two-hop laundering: the taint crosses two function boundaries ------
+
+func stamp() time.Time {
+	return time.Now() // want `time.Now \(wall-clock\) flows to stream write .* at dfx/dfx.go:33`
+}
+
+func wrap() time.Time {
+	// An intermediate hop: a purely syntactic checker sees nothing here.
+	t := stamp()
+	return t
+}
+
+func launder(w io.Writer) {
+	fmt.Fprintf(w, "laundered %v\n", wrap())
+}
+
+// --- environment source, sunk through a helper --------------------------
+
+func env(w io.Writer) {
+	host := os.Getenv("HOSTNAME") // want `os.Getenv \(environment\) flows to stream write`
+	emit(w, host)
+}
+
+func emit(w io.Writer, s string) {
+	fmt.Fprintf(w, "%s\n", s)
+}
+
+// --- sorting sanitizes map-iteration order ------------------------------
+
+func sorted(w io.Writer, m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s=%d\n", k, m[k])
+	}
+}
+
+// --- storing under the range's own key is order-independent -------------
+
+func rekey(w io.Writer, m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v + 1
+	}
+	return out
+}
+
+// --- commutative folds launder order; string concatenation keeps it -----
+
+func sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func concat(w io.Writer, m map[string]int) {
+	s := ""            // the taint is reported at the range, not here
+	for k := range m { // want `range over map \(map-iteration-order\) flows to stream write`
+		s += k
+	}
+	fmt.Fprintf(w, "%s\n", s)
+}
+
+// --- unsorted map-range order escaping an exported function -------------
+
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `range over map \(map-iteration-order\) escapes through a result`
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,213 @@
+// Package errflow finds silently discarded errors on consensus-critical
+// paths, interprocedurally.
+//
+// An error born in validation, chain state, UTXO application, or durable
+// storage means the node's view of the chain may be wrong; dropping it is
+// how a fork, a corrupt archive, or an accepted-invalid block becomes
+// silent. `go vet` has no opinion on `_ =` and unused-variable checking
+// stops at the first bounce, so this analyzer computes, over the module
+// call graph, which functions can surface an error originating in a
+// consensus package (directly, or by wrapping such a callee), and flags
+// every call site that discards one:
+//
+//   - a call statement whose results are ignored entirely,
+//   - an assignment with the blank identifier in the error slot,
+//   - a `go` or `defer` of such a call (the error is unobservable even in
+//     principle).
+//
+// Interface-dispatched calls are not resolved (no static callee); the
+// analyzer is deliberately unsound in that direction rather than guessing.
+// Intentional drops — best-effort teardown, errors already reported on
+// another channel — carry a //nglint:allow errflow annotation with the
+// justification.
+package errflow
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"bitcoinng/internal/lint/analysis"
+	"bitcoinng/internal/lint/dataflow"
+)
+
+// Analyzer is the nglint entry point.
+var Analyzer = &analysis.ModuleAnalyzer{
+	Name: "errflow",
+	Doc:  "errors originating in validation/chain/utxo/storage code must not be discarded, no matter how many wrappers deep",
+	Run: func(pass *analysis.ModulePass) error {
+		prog := dataflow.NewProgram(pass.Fset, pass.Pkgs)
+		for _, d := range Run(prog, ConsensusRoots, InZone) {
+			pass.Report(d)
+		}
+		return nil
+	},
+}
+
+// ConsensusRoots are the packages whose errors are consensus-critical:
+// every error-returning function declared here seeds the propagation.
+var ConsensusRoots = map[string]bool{
+	"bitcoinng/internal/validate":   true,
+	"bitcoinng/internal/chain":      true,
+	"bitcoinng/internal/utxo":       true,
+	"bitcoinng/internal/blockstore": true,
+}
+
+// InZone reports whether discarded errors in pkgPath are worth flagging:
+// everything in the module except the lint tooling itself.
+func InZone(pkgPath string) bool {
+	return !strings.Contains(pkgPath, "/lint")
+}
+
+// Run computes error-origin summaries over the program and returns drop
+// findings sorted by position.
+func Run(prog *dataflow.Program, roots map[string]bool, inZone func(string) bool) []analysis.Diagnostic {
+	e := &engine{prog: prog, origin: map[dataflow.FuncID]dataflow.FuncID{}}
+
+	// Seed: error-returning functions declared in a consensus package.
+	for _, f := range prog.Order {
+		if roots[f.Pkg.Path] && returnsError(f.Sig) {
+			e.origin[f.ID] = f.ID
+		}
+	}
+	// Propagate to wrappers: an error-returning function that statically
+	// calls a tainted function can be forwarding its error. Fixpoint over
+	// the call graph; monotone, so it terminates.
+	for changed := true; changed; {
+		changed = false
+		for _, f := range prog.Order {
+			if _, done := e.origin[f.ID]; done || !returnsError(f.Sig) || f.Decl.Body == nil {
+				continue
+			}
+			ast.Inspect(f.Decl.Body, func(n ast.Node) bool {
+				if _, done := e.origin[f.ID]; done {
+					return false
+				}
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := prog.Callee(f.Pkg.Info, call)
+				if callee == nil {
+					return true
+				}
+				if _, tainted := e.origin[callee.ID]; tainted {
+					e.origin[f.ID] = callee.ID
+					changed = true
+					return false
+				}
+				return true
+			})
+		}
+	}
+
+	// Scan for drops.
+	for _, f := range prog.Order {
+		if !inZone(f.Pkg.Path) || f.Decl.Body == nil {
+			continue
+		}
+		e.scan(f)
+	}
+	sort.Slice(e.diags, func(i, j int) bool {
+		if e.diags[i].Pos != e.diags[j].Pos {
+			return e.diags[i].Pos < e.diags[j].Pos
+		}
+		return e.diags[i].Message < e.diags[j].Message
+	})
+	return e.diags
+}
+
+type engine struct {
+	prog *dataflow.Program
+	// origin maps a function that can return a consensus error to the
+	// callee that makes it so (itself, for the root packages).
+	origin map[dataflow.FuncID]dataflow.FuncID
+	diags  []analysis.Diagnostic
+}
+
+func returnsError(sig *types.Signature) bool {
+	res := sig.Results()
+	if res.Len() == 0 {
+		return false
+	}
+	return types.TypeString(res.At(res.Len()-1).Type(), nil) == "error"
+}
+
+// scan walks one function body for call sites that discard a tainted
+// callee's error.
+func (e *engine) scan(f *dataflow.Func) {
+	ast.Inspect(f.Decl.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := v.X.(*ast.CallExpr); ok {
+				e.checkDrop(f, call, "the call's results are ignored")
+				// The call's arguments may themselves contain drops;
+				// recurse normally.
+			}
+		case *ast.GoStmt:
+			e.checkDrop(f, v.Call, "goroutine results are unobservable")
+		case *ast.DeferStmt:
+			e.checkDrop(f, v.Call, "deferred results are unobservable")
+		case *ast.AssignStmt:
+			e.checkBlank(f, v)
+		}
+		return true
+	})
+}
+
+// checkDrop flags call if its statically resolved callee can return a
+// consensus error (which this statement form necessarily discards).
+func (e *engine) checkDrop(f *dataflow.Func, call *ast.CallExpr, how string) {
+	callee := e.prog.Callee(f.Pkg.Info, call)
+	if callee == nil {
+		return
+	}
+	org, tainted := e.origin[callee.ID]
+	if !tainted {
+		return
+	}
+	e.diags = append(e.diags, analysis.Diagnostic{
+		Pos:     call.Pos(),
+		Message: fmt.Sprintf("error from %s is silently discarded (%s)%s — a dropped validation/sync/persistence failure turns into silent state divergence", callee.ID, how, e.via(callee.ID, org)),
+	})
+}
+
+// checkBlank flags assignments that send a tainted callee's error to the
+// blank identifier.
+func (e *engine) checkBlank(f *dataflow.Func, a *ast.AssignStmt) {
+	if len(a.Rhs) != 1 {
+		return
+	}
+	call, ok := a.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	callee := e.prog.Callee(f.Pkg.Info, call)
+	if callee == nil {
+		return
+	}
+	org, tainted := e.origin[callee.ID]
+	if !tainted {
+		return
+	}
+	// The error is the callee's last result; with a single lhs the single
+	// result is the error itself.
+	slot := len(a.Lhs) - 1
+	if id, ok := a.Lhs[slot].(*ast.Ident); ok && id.Name == "_" {
+		e.diags = append(e.diags, analysis.Diagnostic{
+			Pos:     a.Pos(),
+			Message: fmt.Sprintf("error from %s is assigned to _%s — a dropped validation/sync/persistence failure turns into silent state divergence", callee.ID, e.via(callee.ID, org)),
+		})
+	}
+}
+
+// via renders the propagation step that tainted the callee, so the reader
+// sees why a wrapper three packages away is consensus-critical.
+func (e *engine) via(callee, org dataflow.FuncID) string {
+	if callee == org {
+		return ""
+	}
+	return fmt.Sprintf(" (wraps %s)", org)
+}

@@ -1,0 +1,22 @@
+package errflow_test
+
+import (
+	"testing"
+
+	"bitcoinng/internal/lint/dataflow"
+	"bitcoinng/internal/lint/errflow"
+	"bitcoinng/internal/lint/linttest"
+)
+
+// TestFixtures runs the analyzer over a synthetic consensus root plus a
+// package exercising every recognized drop form. The production Analyzer
+// hard-codes the real module's root packages, so this drives Run directly
+// with the fixture's root set.
+func TestFixtures(t *testing.T) {
+	l, pkgs := linttest.LoadFixtures(t, "errfx/consensus", "errfx/drops")
+	prog := dataflow.NewProgram(l.Fset(), pkgs)
+	diags := errflow.Run(prog,
+		map[string]bool{"errfx/consensus": true},
+		func(string) bool { return true })
+	linttest.CheckAll(t, l.Fset(), pkgs, diags)
+}

@@ -1,0 +1,35 @@
+// Package consensus is the errflow fixture's stand-in for a validation
+// root: every error-returning function here is consensus-critical.
+package consensus
+
+import "errors"
+
+// Validate rejects negative values.
+func Validate(x int) error {
+	if x < 0 {
+		return errors.New("consensus: negative")
+	}
+	return nil
+}
+
+// Store is a stand-in for a persistence layer.
+type Store struct {
+	n int
+}
+
+// Apply persists one value and reports the new count.
+func (s *Store) Apply(x int) (int, error) {
+	if x < 0 {
+		return 0, errors.New("consensus: apply negative")
+	}
+	s.n++
+	return s.n, nil
+}
+
+// Flush is a stand-in for a durability barrier.
+func (s *Store) Flush() error {
+	if s.n > 1000 {
+		return errors.New("consensus: flush overflow")
+	}
+	return nil
+}

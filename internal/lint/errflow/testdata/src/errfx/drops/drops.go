@@ -1,0 +1,43 @@
+// Package drops exercises every drop form errflow recognizes, plus the
+// interprocedural wrapper rule: wrap() is tainted only because it calls
+// into the consensus root package.
+package drops
+
+import "errfx/consensus"
+
+// wrap is one hop above the root; errflow's fixpoint taints it.
+func wrap(x int) error {
+	return consensus.Validate(x)
+}
+
+func bare() {
+	consensus.Validate(1) // want `error from errfx/consensus.Validate is silently discarded \(the call's results are ignored\)`
+}
+
+func blankWrap() {
+	_ = wrap(2) // want `error from errfx/drops.wrap is assigned to _ \(wraps errfx/consensus.Validate\)`
+}
+
+func blankSlot(s *consensus.Store) int {
+	n, _ := s.Apply(3) // want `error from errfx/consensus.\(Store\).Apply is assigned to _`
+	return n
+}
+
+func deferred(s *consensus.Store) {
+	defer s.Flush() // want `error from errfx/consensus.\(Store\).Flush is silently discarded \(deferred results are unobservable\)`
+}
+
+func spawned() {
+	go consensus.Validate(4) // want `error from errfx/consensus.Validate is silently discarded \(goroutine results are unobservable\)`
+}
+
+// handled propagates properly — no finding anywhere in here.
+func handled(s *consensus.Store, x int) error {
+	if err := consensus.Validate(x); err != nil {
+		return err
+	}
+	if _, err := s.Apply(x); err != nil {
+		return err
+	}
+	return s.Flush()
+}

@@ -85,8 +85,59 @@ func Run(t *testing.T, a *analysis.Analyzer, name string) []analysis.Diagnostic 
 	return diags
 }
 
-// Check compares diagnostics against the fixture's want comments.
+// LoadFixtures loads the named fixture packages (testdata/src/<name>,
+// relative to the calling test) in the given order with one shared loader,
+// so later fixtures can import earlier ones by their fixture path. Fixture
+// paths without the module prefix tolerate soft type errors, which sandbox
+// tests rely on to analyze deliberately broken copies of real packages.
+func LoadFixtures(t *testing.T, names ...string) (*load.Loader, []*load.Package) {
+	t.Helper()
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := load.New("bitcoinng", ModuleRoot(t))
+	var pkgs []*load.Package
+	for _, name := range names {
+		dir := filepath.Join(cwd, "testdata", "src", filepath.FromSlash(name))
+		pkg, err := l.LoadDir(name, dir)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", name, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return l, pkgs
+}
+
+// RunModule loads the named fixture packages (dependencies first), applies
+// the module analyzer to all of them at once, and compares diagnostics
+// against the union of the fixtures' want comments.
+func RunModule(t *testing.T, a *analysis.ModuleAnalyzer, names ...string) []analysis.Diagnostic {
+	t.Helper()
+	l, pkgs := LoadFixtures(t, names...)
+	var diags []analysis.Diagnostic
+	pass := &analysis.ModulePass{
+		Analyzer: a,
+		Fset:     l.Fset(),
+		Pkgs:     pkgs,
+		Report:   func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("%s: %v", a.Name, err)
+	}
+	CheckAll(t, l.Fset(), pkgs, diags)
+	return diags
+}
+
+// Check compares diagnostics against one fixture package's want comments.
 func Check(t *testing.T, fset *token.FileSet, pkg *load.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	CheckAll(t, fset, []*load.Package{pkg}, diags)
+}
+
+// CheckAll compares diagnostics against the want comments of several fixture
+// packages at once — module analyzers report across package boundaries.
+func CheckAll(t *testing.T, fset *token.FileSet, pkgs []*load.Package, diags []analysis.Diagnostic) {
 	t.Helper()
 	type key struct {
 		file string
@@ -94,25 +145,27 @@ func Check(t *testing.T, fset *token.FileSet, pkg *load.Package, diags []analysi
 	}
 	// Gather expectations.
 	wants := map[key][]*regexp.Regexp{}
-	for i, f := range pkg.Files {
-		fn := pkg.Filenames[i]
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				m := wantRe.FindStringSubmatch(c.Text)
-				if m == nil {
-					continue
-				}
-				line := fset.Position(c.Pos()).Line
-				for _, am := range argRe.FindAllStringSubmatch(m[1], -1) {
-					pat := am[1]
-					if pat == "" {
-						pat = am[2]
+	for _, pkg := range pkgs {
+		for i, f := range pkg.Files {
+			fn := pkg.Filenames[i]
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRe.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
 					}
-					re, err := regexp.Compile(pat)
-					if err != nil {
-						t.Fatalf("%s:%d: bad want pattern %q: %v", fn, line, pat, err)
+					line := fset.Position(c.Pos()).Line
+					for _, am := range argRe.FindAllStringSubmatch(m[1], -1) {
+						pat := am[1]
+						if pat == "" {
+							pat = am[2]
+						}
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want pattern %q: %v", fn, line, pat, err)
+						}
+						wants[key{fn, line}] = append(wants[key{fn, line}], re)
 					}
-					wants[key{fn, line}] = append(wants[key{fn, line}], re)
 				}
 			}
 		}

@@ -27,21 +27,35 @@ import (
 	"strings"
 
 	"bitcoinng/internal/lint/analysis"
+	"bitcoinng/internal/lint/detflow"
+	"bitcoinng/internal/lint/errflow"
 	"bitcoinng/internal/lint/globalrand"
 	"bitcoinng/internal/lint/load"
 	"bitcoinng/internal/lint/locksafe"
 	"bitcoinng/internal/lint/maporder"
+	"bitcoinng/internal/lint/parity"
 	"bitcoinng/internal/lint/walltime"
 	"bitcoinng/internal/lint/wiresym"
 )
 
-// Analyzers is the full suite, in reporting order.
+// Analyzers is the per-package suite, in reporting order.
 var Analyzers = []*analysis.Analyzer{
 	walltime.Analyzer,
 	globalrand.Analyzer,
 	maporder.Analyzer,
 	locksafe.Analyzer,
 	wiresym.Analyzer,
+}
+
+// ModuleAnalyzers is the whole-module suite: interprocedural dataflow and
+// cross-package parity checks that need every package in one pass. They run
+// after the per-package suite over the same load and share the //nglint:allow
+// convention — an allow on the reported line suppresses the finding no matter
+// which package the flow ends in.
+var ModuleAnalyzers = []*analysis.ModuleAnalyzer{
+	detflow.Analyzer,
+	parity.Analyzer,
+	errflow.Analyzer,
 }
 
 // Finding is one reportable lint result after allow filtering.
@@ -55,32 +69,110 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
 }
 
-// Run lints every package of the module rooted at moduleDir and returns the
-// findings sorted by position.
+// Run lints every package of the module rooted at moduleDir — the
+// per-package suite, then the module suite — and returns the findings
+// sorted by position.
 func Run(modulePath, moduleDir string) ([]Finding, error) {
 	l := load.New(modulePath, moduleDir)
 	paths, err := l.ModulePackages()
 	if err != nil {
 		return nil, err
 	}
-	var all []Finding
+	var pkgs []*load.Package
 	for _, p := range paths {
 		pkg, err := l.Load(p)
 		if err != nil {
 			return nil, err
 		}
-		fs, err := RunPackage(l, pkg)
-		if err != nil {
-			return nil, err
-		}
-		all = append(all, fs...)
+		pkgs = append(pkgs, pkg)
 	}
-	sortFindings(all)
-	return all, nil
+	return RunModule(l, pkgs)
 }
 
-// RunPackage applies the whole suite to one loaded package, including allow
-// filtering.
+// RunModule applies both suites to the loaded packages with allow filtering
+// across the whole set: a module analyzer's finding can land in any package,
+// so suppressions and staleness are resolved against every file at once.
+func RunModule(l *load.Loader, pkgs []*load.Package) ([]Finding, error) {
+	type rawDiag struct {
+		analyzer string
+		d        analysis.Diagnostic
+	}
+	var diags []rawDiag
+	var allows []*allow
+	for _, pkg := range pkgs {
+		for _, a := range Analyzers {
+			pass := &analysis.Pass{
+				Analyzer: a,
+				Fset:     l.Fset(),
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				PkgPath:  pkg.Path,
+				Info:     pkg.Info,
+				Report: func(d analysis.Diagnostic) {
+					diags = append(diags, rawDiag{analyzer: a.Name, d: d})
+				},
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s on %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+		allows = append(allows, collectAllows(l.Fset(), pkg)...)
+	}
+	for _, a := range ModuleAnalyzers {
+		pass := &analysis.ModulePass{
+			Analyzer: a,
+			Fset:     l.Fset(),
+			Pkgs:     pkgs,
+			Report: func(d analysis.Diagnostic) {
+				diags = append(diags, rawDiag{analyzer: a.Name, d: d})
+			},
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+	}
+
+	var out []Finding
+	for _, rd := range diags {
+		pos := l.Fset().Position(rd.d.Pos)
+		if a := matchAllow(allows, rd.analyzer, pos); a != nil {
+			a.used = true
+			if a.reason != "" {
+				continue // justified: suppressed
+			}
+			// Empty reason: the allow is invalid, keep the finding (the
+			// empty-reason error is emitted below).
+		}
+		out = append(out, Finding{Pos: pos, Analyzer: rd.analyzer, Message: rd.d.Message})
+	}
+	out = append(out, allowHygiene(allows)...)
+	sortFindings(out)
+	return out, nil
+}
+
+// allowHygiene turns defective annotations into findings: unknown analyzer
+// names, missing reasons, and allows that no longer suppress anything.
+func allowHygiene(allows []*allow) []Finding {
+	var out []Finding
+	for _, a := range allows {
+		switch {
+		case !a.known:
+			out = append(out, Finding{Pos: a.pos, Analyzer: "nglint",
+				Message: fmt.Sprintf("//nglint:allow names unknown analyzer %q", a.rule)})
+		case a.reason == "":
+			out = append(out, Finding{Pos: a.pos, Analyzer: "nglint",
+				Message: fmt.Sprintf("//nglint:allow %s without a reason: every suppression must say why the wall-clock/rand/order exception is sound", a.rule)})
+		case !a.used:
+			out = append(out, Finding{Pos: a.pos, Analyzer: "nglint",
+				Message: fmt.Sprintf("stale //nglint:allow %s: no %s finding on the annotated line — delete it so suppressions stay honest", a.rule, a.rule)})
+		}
+	}
+	return out
+}
+
+// RunPackage applies the per-package suite to one loaded package, including
+// allow filtering. Module analyzers (detflow, parity, errflow) need the
+// whole load at once and only run through Run/RunModule.
 func RunPackage(l *load.Loader, pkg *load.Package) ([]Finding, error) {
 	type rawDiag struct {
 		analyzer string
@@ -118,19 +210,7 @@ func RunPackage(l *load.Loader, pkg *load.Package) ([]Finding, error) {
 		}
 		out = append(out, Finding{Pos: pos, Analyzer: rd.analyzer, Message: rd.d.Message})
 	}
-	for _, a := range allows {
-		switch {
-		case !a.known:
-			out = append(out, Finding{Pos: a.pos, Analyzer: "nglint",
-				Message: fmt.Sprintf("//nglint:allow names unknown analyzer %q", a.rule)})
-		case a.reason == "":
-			out = append(out, Finding{Pos: a.pos, Analyzer: "nglint",
-				Message: fmt.Sprintf("//nglint:allow %s without a reason: every suppression must say why the wall-clock/rand/order exception is sound", a.rule)})
-		case !a.used:
-			out = append(out, Finding{Pos: a.pos, Analyzer: "nglint",
-				Message: fmt.Sprintf("stale //nglint:allow %s: no %s finding on the annotated line — delete it so suppressions stay honest", a.rule, a.rule)})
-		}
-	}
+	out = append(out, allowHygiene(allows)...)
 	sortFindings(out)
 	return out, nil
 }
@@ -153,6 +233,9 @@ var allowRe = regexp.MustCompile(`^//nglint:allow\s+(\S+)[ \t]*(.*)$`)
 func collectAllows(fset *token.FileSet, pkg *load.Package) []*allow {
 	known := map[string]bool{}
 	for _, a := range Analyzers {
+		known[a.Name] = true
+	}
+	for _, a := range ModuleAnalyzers {
 		known[a.Name] = true
 	}
 	var out []*allow
@@ -226,6 +309,9 @@ func sortFindings(fs []Finding) {
 func Doc() string {
 	var b strings.Builder
 	for _, a := range Analyzers {
+		fmt.Fprintf(&b, "%-11s %s\n", a.Name, a.Doc)
+	}
+	for _, a := range ModuleAnalyzers {
 		fmt.Fprintf(&b, "%-11s %s\n", a.Name, a.Doc)
 	}
 	return b.String()

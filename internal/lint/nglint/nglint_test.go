@@ -66,8 +66,9 @@ func TestDefectiveAllows(t *testing.T) {
 // TestSuiteIsComplete pins the advertised analyzer set.
 func TestSuiteIsComplete(t *testing.T) {
 	want := []string{"walltime", "globalrand", "maporder", "locksafe", "wiresym"}
+	wantModule := []string{"detflow", "parity", "errflow"}
 	if len(nglint.Analyzers) != len(want) {
-		t.Fatalf("suite has %d analyzers, want %d", len(nglint.Analyzers), len(want))
+		t.Fatalf("per-package suite has %d analyzers, want %d", len(nglint.Analyzers), len(want))
 	}
 	for i, a := range nglint.Analyzers {
 		if a.Name != want[i] {
@@ -77,8 +78,19 @@ func TestSuiteIsComplete(t *testing.T) {
 			t.Errorf("analyzer %q has no doc", a.Name)
 		}
 	}
+	if len(nglint.ModuleAnalyzers) != len(wantModule) {
+		t.Fatalf("module suite has %d analyzers, want %d", len(nglint.ModuleAnalyzers), len(wantModule))
+	}
+	for i, a := range nglint.ModuleAnalyzers {
+		if a.Name != wantModule[i] {
+			t.Errorf("module analyzer %d = %q, want %q", i, a.Name, wantModule[i])
+		}
+		if a.Doc == "" {
+			t.Errorf("module analyzer %q has no doc", a.Name)
+		}
+	}
 	doc := nglint.Doc()
-	for _, w := range want {
+	for _, w := range append(append([]string{}, want...), wantModule...) {
 		if !strings.Contains(doc, w) {
 			t.Errorf("Doc() missing %q", w)
 		}

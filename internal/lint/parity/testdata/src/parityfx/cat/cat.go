@@ -1,0 +1,18 @@
+// Package cat is the catalogue-parity fixture: exported Check
+// constructors must all appear in All().
+package cat
+
+// Check is a stand-in for invariant.Invariant.
+type Check struct{ name string }
+
+func NewHeight() Check { return Check{"height"} }
+
+func NewWeight() Check { return Check{"weight"} }
+
+// NewOrphan exists but was never wired into the default catalogue.
+func NewOrphan() Check { return Check{"orphan"} } // want `invariant constructor NewOrphan is not part of parityfx/cat.All`
+
+// All is the default catalogue.
+func All() []Check {
+	return []Check{NewHeight(), NewWeight()}
+}

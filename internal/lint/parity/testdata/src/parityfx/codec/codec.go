@@ -1,0 +1,59 @@
+// Package codec holds the fixture's message interface, its
+// implementations, and a deliberately lopsided encode/decode/dispatch
+// trio: encode lost MsgC, dispatch lost MsgB.
+package codec
+
+import "parityfx/wiremsg"
+
+// Message is the in-memory message interface.
+type Message interface {
+	Kind() wiremsg.Kind
+}
+
+type MsgA struct{}
+
+func (*MsgA) Kind() wiremsg.Kind { return wiremsg.KindA }
+
+type MsgB struct{} // want `message type MsgB has no case in parityfx/codec.dispatch .* — received messages of this type are silently dropped`
+
+func (*MsgB) Kind() wiremsg.Kind { return wiremsg.KindB }
+
+type MsgC struct{} // want `message type MsgC is not a case in parityfx/codec.encode .* — the TCP transport cannot send it while the simulator can`
+
+func (*MsgC) Kind() wiremsg.Kind { return wiremsg.KindC }
+
+// encode frames a message; the MsgC case is missing.
+func encode(m Message) []byte {
+	switch m.(type) {
+	case *MsgA:
+		return []byte{byte(wiremsg.KindA)}
+	case *MsgB:
+		return []byte{byte(wiremsg.KindB)}
+	}
+	return nil
+}
+
+// decode parses a frame; it knows every kind, including one encode does
+// not produce.
+func decode(k wiremsg.Kind) Message {
+	switch k {
+	case wiremsg.KindA:
+		return &MsgA{}
+	case wiremsg.KindB:
+		return &MsgB{}
+	case wiremsg.KindC:
+		return &MsgC{}
+	}
+	return nil
+}
+
+// dispatch routes a received message; the MsgB case is missing.
+func dispatch(m Message) int {
+	switch m.(type) {
+	case *MsgA:
+		return 1
+	case *MsgC:
+		return 3
+	}
+	return 0
+}

@@ -1,0 +1,16 @@
+// Package hooks is the hook-parity fixture: every interface method must
+// be invoked somewhere, or implementations are dead code.
+package hooks
+
+// Hook is a stand-in for strategy.Strategy.
+type Hook interface {
+	Before(step int)
+	After(step int) // want `hook hooks.Hook.After is declared but no harness ever invokes it`
+}
+
+// drive threads only Before through the harness.
+func drive(h Hook, steps int) {
+	for i := 0; i < steps; i++ {
+		h.Before(i)
+	}
+}

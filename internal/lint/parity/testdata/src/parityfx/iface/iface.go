@@ -1,0 +1,10 @@
+// Package iface declares the fixture's harness-runtime interface.
+package iface
+
+// Runner is a four-method stand-in for scenario.Runtime.
+type Runner interface {
+	Start(node int) error
+	Stop(node int) error
+	Crash(node int) error
+	Tick() int
+}

@@ -1,0 +1,29 @@
+// Package impl holds two intended Runner implementations: one complete,
+// one that silently lost a method.
+package impl
+
+import "parityfx/iface"
+
+// Good implements all four Runner methods.
+type Good struct{ now int }
+
+var _ iface.Runner = (*Good)(nil)
+
+func (g *Good) Start(node int) error { return nil }
+func (g *Good) Stop(node int) error  { return nil }
+func (g *Good) Crash(node int) error { return nil }
+func (g *Good) Tick() int            { g.now++; return g.now }
+
+// Bad covers three of the four methods — enough overlap to be an intended
+// implementation, so the missing Crash is a parity break, not noise.
+type Bad struct{ now int } // want `Bad implements 3 of 4 iface.Runner methods but is missing Crash`
+
+func (b *Bad) Start(node int) error { return nil }
+func (b *Bad) Stop(node int) error  { return nil }
+func (b *Bad) Tick() int            { b.now++; return b.now }
+
+// Unrelated shares only one method name with Runner — below the half
+// threshold, so it draws no finding.
+type Unrelated struct{}
+
+func (Unrelated) Tick() int { return 0 }

@@ -1,0 +1,16 @@
+// Package wiremsg declares the fixture's message-type constant universe.
+// Codec-asymmetry and dead-surface findings anchor at the constant
+// declarations here.
+package wiremsg
+
+// Kind tags a frame on the wire.
+type Kind uint8
+
+const (
+	// KindZero is the zero value; the contract exempts it.
+	KindZero Kind = iota
+	KindA
+	KindB
+	KindC    // want `codec asymmetry: KindC is referenced in the call closure of parityfx/codec.decode .* but not of parityfx/codec.encode .* — the transport accepts frames it can never send`
+	KindDead // want `wire message type KindDead is declared but never encoded, decoded, or dispatched outside parityfx/wiremsg`
+)

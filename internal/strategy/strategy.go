@@ -221,12 +221,20 @@ func ForNodes(nodes int, byNode map[int]string) ([]Strategy, error) {
 	if len(byNode) == 0 {
 		return make([]Strategy, nodes), nil
 	}
+	// Validate in sorted node order so that when several entries are bad,
+	// the error reported (and hence differential digests of failing runs)
+	// does not depend on map iteration order.
+	ids := make([]int, 0, len(byNode))
+	for id := range byNode {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
 	out := make([]Strategy, nodes)
-	for id, name := range byNode {
+	for _, id := range ids {
 		if id < 0 || id >= nodes {
 			return nil, fmt.Errorf("strategy node %d out of range (network size %d)", id, nodes)
 		}
-		s, err := New(name)
+		s, err := New(byNode[id])
 		if err != nil {
 			return nil, err
 		}

@@ -23,12 +23,14 @@ const (
 	MsgKeyBlock                  // Bitcoin-NG key block
 	MsgMicroBlock                // Bitcoin-NG microblock
 	MsgTx                        // loose transaction
-	MsgPing                      // liveness probe
-	MsgPong                      // liveness response
-	MsgTxBatch                   // batched loose-transaction relay
-	MsgGetBlocks                 // locator-based catch-up sync request
-	MsgBlockBatch                // bounded batch of main-chain blocks (sync response)
-	msgSentinel                  // one past the last valid type
+	//nglint:allow parity reserved wire-format slot: the identifiers are part of the numbered frame layout, but no transport implements liveness probes yet
+	MsgPing // liveness probe
+	//nglint:allow parity reserved wire-format slot: the identifiers are part of the numbered frame layout, but no transport implements liveness probes yet
+	MsgPong       // liveness response
+	MsgTxBatch    // batched loose-transaction relay
+	MsgGetBlocks  // locator-based catch-up sync request
+	MsgBlockBatch // bounded batch of main-chain blocks (sync response)
+	msgSentinel   // one past the last valid type
 )
 
 var msgTypeNames = [...]string{
