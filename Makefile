@@ -2,7 +2,7 @@ GO ?= go
 BENCH_DATE := $(shell date +%Y%m%d)
 BENCH_OUT ?= BENCH_$(BENCH_DATE).json
 
-.PHONY: build vet lint test race race-soak race-faults bench bench-json bench-diff bench-trajectory smoke determinism throughput-smoke examples soak faults fuzz cover
+.PHONY: build vet lint test race race-soak race-faults bench bench-json bench-diff bench-trajectory smoke determinism throughput-smoke examples soak faults fuzz cover stores
 
 build:
 	$(GO) build ./...
@@ -142,6 +142,20 @@ faults:
 	$(GO) test -run 'TestRestartRecoversDurablePrefix|TestCrashedNodeIsInert' -count=1 ./internal/experiment
 	$(GO) test -run 'TestMajorityCrashConverges|TestRegressionSeeds' -count=1 ./internal/chaos
 	$(GO) test -run 'TestClusterLeaderCrashRestartResync|TestClusterStateDirProcessRestart|TestClusterLossyLinks' -count=1 .
+
+# stores is the storage-engine gate (DESIGN.md §12): the pluggable-backend
+# unit suites (paged table, FileUTXO journal/checkpoint handshake, chain
+# index, blockstore sync-policy + failure-injection durability), the
+# durability/aliasing bugfix pins (Clone mutation isolation, reopened-index
+# tie-break equivalence), the committed chaos regression seeds — each
+# replayed under the mem vs file backend differential — and the beyond-RAM
+# bounded-memory soak over file backends.
+stores:
+	$(GO) test -count=1 ./internal/store ./internal/blockstore
+	$(GO) test -count=1 -run 'TestCloneMutationIsolation|TestSetCloneIsolationPagedBackend' ./internal/utxo ./internal/store
+	$(GO) test -count=1 -run 'TestClusterRestartPreservesTieBreakInputs|TestClusterStateDirProcessRestart' .
+	$(GO) test -count=1 -run 'TestRegressionSeeds' ./internal/chaos
+	$(GO) test -count=1 -run 'TestBeyondRAMRunBounded' -timeout 20m ./internal/experiment
 
 # fuzz runs a short campaign on every native fuzz target; raise FUZZTIME for
 # a real hunt. Interesting inputs land in each package's testdata/fuzz and

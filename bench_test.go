@@ -21,6 +21,7 @@ import (
 	"bitcoinng/internal/sim"
 	"bitcoinng/internal/simnet"
 	"bitcoinng/internal/stats"
+	"bitcoinng/internal/store"
 	"bitcoinng/internal/types"
 	"bitcoinng/internal/utxo"
 	"bitcoinng/internal/wire"
@@ -252,7 +253,7 @@ func BenchmarkUTXOApplyBlock(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		set.UndoBlock(undo)
+		set.UndoBlock(undo, utxo.BlockRef{})
 	}
 }
 
@@ -362,4 +363,81 @@ func BenchmarkThroughputPoint(b *testing.B) {
 		conf = res.Load.ConfirmedPerSec()
 	}
 	b.ReportMetric(conf, "conf/s")
+}
+
+// BenchmarkStoreBackendRun replays the same small Bitcoin-NG streaming run
+// over each storage backend — the in-memory fast path vs the file-backed
+// journal/paged-table engine — so the perf trajectory records what the
+// beyond-RAM mode costs end to end (fsyncs, journal appends, page churn).
+func BenchmarkStoreBackendRun(b *testing.B) {
+	for _, backend := range []struct{ name, url string }{
+		{"mem", ""},
+		{"file", "file:"},
+	} {
+		b.Run(backend.name, func(b *testing.B) {
+			var confirmed int64
+			for i := 0; i < b.N; i++ {
+				cfg := experiment.DefaultConfig(experiment.BitcoinNG, 8, 1)
+				cfg.Offered = 50
+				cfg.Params.MicroblockInterval = 2 * time.Second
+				cfg.TargetBlocks = 1 << 30
+				cfg.MaxSimTime = 5 * time.Minute
+				cfg.StoreURL = backend.url
+				res, err := experiment.Run(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				confirmed = res.Load.Admitted
+			}
+			b.ReportMetric(float64(confirmed), "admitted-txs")
+		})
+	}
+}
+
+// BenchmarkUTXOStoreApply measures the raw ledger-store write path per
+// backend: one coinbase block applied per iteration (journal append + paged
+// writes on the file side, map stores on the mem side), with a Sync every
+// 64 blocks to exercise the checkpoint cycle at a realistic cadence.
+func BenchmarkUTXOStoreApply(b *testing.B) {
+	run := func(b *testing.B, locator string) {
+		factory, err := store.NewFactory(locator)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer factory.Close()
+		u, err := factory.NewUTXO("bench")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer u.Close()
+		key, err := crypto.GenerateKey(sim.NewRand(1, 99))
+		if err != nil {
+			b.Fatal(err)
+		}
+		params := types.DefaultParams()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			outs := make([]types.TxOutput, 8)
+			for j := range outs {
+				outs[j] = types.TxOutput{Value: types.Amount(1000 + i), To: key.Public().Addr()}
+			}
+			// The varying output value makes every coinbase ID unique.
+			cb := &types.Transaction{Kind: types.TxCoinbase, Outputs: outs}
+			ref := utxo.BlockRef{Block: crypto.HashBytes([]byte{byte(i), byte(i >> 8), byte(i >> 16), byte(i >> 24)}), Parent: crypto.ZeroHash}
+			ctx := utxo.BlockContext{Height: uint64(i), Params: params, Ref: ref}
+			if _, _, err := u.ApplyBlock([]*types.Transaction{cb}, ctx); err != nil {
+				b.Fatal(err)
+			}
+			if i%64 == 63 {
+				if err := u.Sync(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.StopTimer()
+		st := u.Stats()
+		b.ReportMetric(float64(st.JournalRecords)/float64(b.N), "journal-recs/op")
+	}
+	b.Run("mem", func(b *testing.B) { run(b, "") })
+	b.Run("file", func(b *testing.B) { run(b, "file:"+b.TempDir()) })
 }

@@ -2,10 +2,8 @@ package bitcoinng
 
 import (
 	"fmt"
-	"path/filepath"
 	"time"
 
-	"bitcoinng/internal/blockstore"
 	"bitcoinng/internal/chain"
 	"bitcoinng/internal/crypto"
 	"bitcoinng/internal/invariant"
@@ -17,6 +15,7 @@ import (
 	"bitcoinng/internal/protocol"
 	"bitcoinng/internal/sim"
 	"bitcoinng/internal/simnet"
+	"bitcoinng/internal/store"
 	"bitcoinng/internal/strategy"
 	"bitcoinng/internal/types"
 	"bitcoinng/internal/validate"
@@ -82,11 +81,17 @@ type ClusterConfig struct {
 	// keeps the paper's 100 kbit/s.
 	BandwidthBPS float64
 	// StateDir, when set, gives every node a file-backed durable block
-	// archive at StateDir/node-<i>.blocks, so Crash/Restart recover from
-	// real files (and a damaged file recovers its longest valid prefix).
-	// Unset, nodes persist to in-memory archives that survive simulated
-	// crashes only.
+	// archive at StateDir/node-<i>.blocks (with its arrival-time sidecar at
+	// node-<i>.times), so Crash/Restart recover from real files (and a
+	// damaged file recovers its longest valid prefix). Unset, nodes persist
+	// to in-memory archives that survive simulated crashes only. Shorthand
+	// for StoreURL "file:<StateDir>"; StoreURL wins when both are set.
 	StateDir string
+	// StoreURL selects every node's storage backend — chain index AND UTXO
+	// ledger — via the internal/store locator syntax: "" or "mem:" for the
+	// RAM-bound fast path, "file:<dir>" for file backends rooted at dir,
+	// "file:" for a throwaway temporary root removed by Close.
+	StoreURL string
 }
 
 // StreamLoadConfig sizes the cluster's sustained-load stream.
@@ -119,23 +124,22 @@ type Cluster struct {
 	censors map[int]bool
 	cache   *validate.Cache
 
+	// Storage: the factory that built every node's backends, and the
+	// per-node UTXO stores (the chain indexes live on the node handles).
+	factory *store.Factory
+	utxos   []store.UTXO
+
 	// Online invariant checking (nil unless configured).
 	invEng         *invariant.Engine
 	partition      []int // current group per node; nil while whole
 	lastDisruption int64
 }
 
-// durableArchive is what a node's crash-surviving block archive must offer:
-// the write hook (node.BlockArchive), the invariant read surface, and replay
-// for restart. Both blockstore.Mem and the file-backed blockstore.Store
-// satisfy it.
-type durableArchive interface {
-	node.BlockArchive
-	invariant.DurableStore
-	Replay(func(types.Block) error) error
-}
-
-// ClusterNode is one node handle.
+// ClusterNode is one node handle. Its store is the crash-surviving chain
+// index: the write hook (node.BlockArchive), the invariant read surface
+// (invariant.DurableStore), body reloads for compacted chains, and
+// arrival-time-faithful replay for restart — store.MemIndex or the
+// file-backed store.FileIndex, per the cluster's locator.
 type ClusterNode struct {
 	id          int
 	client      protocol.Client
@@ -143,7 +147,7 @@ type ClusterNode struct {
 	miner       *mining.Miner
 	wallet      *wallet.Wallet
 	env         *simnet.NodeEnv
-	store       durableArchive
+	store       store.ChainIndex
 	down        bool
 	lastRestart int64
 }
@@ -171,29 +175,50 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	if err != nil {
 		return nil, fmt.Errorf("bitcoinng: %w", err)
 	}
-	// File-backed archives open before the event loop exists: a process-level
-	// restart must start the virtual clock at the latest persisted block time
-	// (a real node's wall clock keeps running across restarts), or every
-	// freshly mined block would violate median-time-past against the
-	// recovered prefix until the clock caught up.
-	var fileStores []*blockstore.Store
+	locator := cfg.StoreURL
+	if locator == "" && cfg.StateDir != "" {
+		locator = "file:" + cfg.StateDir
+	}
+	factory, err := store.NewFactory(locator)
+	if err != nil {
+		return nil, fmt.Errorf("bitcoinng: %w", err)
+	}
+	// Chain indexes open before the event loop exists: a process-level
+	// restart must start the virtual clock at the latest persisted timestamp
+	// — block time or local arrival time, whichever is later (a real node's
+	// wall clock keeps running across restarts) — or every freshly mined
+	// block would violate median-time-past against the recovered prefix
+	// until the clock caught up.
+	indexes := make([]store.ChainIndex, 0, cfg.Nodes)
+	utxos := make([]store.UTXO, 0, cfg.Nodes)
+	abandon := func() { // failed build: release whatever opened, best-effort
+		for _, ix := range indexes {
+			_ = ix.Close()
+		}
+		for _, u := range utxos {
+			_ = u.Close()
+		}
+		_ = factory.Close()
+	}
 	var clockStart int64
-	if cfg.StateDir != "" {
-		fileStores = make([]*blockstore.Store, cfg.Nodes)
-		for i := range fileStores {
-			store, err := blockstore.Open(filepath.Join(cfg.StateDir, fmt.Sprintf("node-%d.blocks", i)))
-			if err != nil {
-				return nil, fmt.Errorf("bitcoinng: node %d durable store: %w", i, err)
+	for i := 0; i < cfg.Nodes; i++ {
+		index, err := factory.NewChainIndex(clusterStoreName(i))
+		if err != nil {
+			abandon()
+			return nil, fmt.Errorf("bitcoinng: node %d durable store: %w", i, err)
+		}
+		indexes = append(indexes, index)
+		if err := index.Replay(func(b types.Block, receivedAt int64) error {
+			if t := b.Time(); t > clockStart {
+				clockStart = t
 			}
-			fileStores[i] = store
-			if err := store.Replay(func(b types.Block) error {
-				if t := b.Time(); t > clockStart {
-					clockStart = t
-				}
-				return nil
-			}); err != nil {
-				return nil, fmt.Errorf("bitcoinng: node %d durable store scan: %w", i, err)
+			if receivedAt > clockStart {
+				clockStart = receivedAt
 			}
+			return nil
+		}); err != nil {
+			abandon()
+			return nil, fmt.Errorf("bitcoinng: node %d durable store scan: %w", i, err)
 		}
 	}
 	loop := sim.NewLoop(clockStart)
@@ -209,6 +234,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	for i := range keys {
 		k, err := crypto.GenerateKey(sim.NewRand(cfg.Seed, uint64(0x30000+i)))
 		if err != nil {
+			abandon()
 			return nil, err
 		}
 		keys[i] = k
@@ -226,6 +252,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			MaxTxs: cfg.StreamLoad.MaxTxs,
 		})
 		if err != nil {
+			abandon()
 			return nil, fmt.Errorf("bitcoinng: %w", err)
 		}
 		payouts = append(payouts, stream.GenesisPayouts()...)
@@ -248,6 +275,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		stream:    stream,
 		keys:      keys,
 		censors:   censors,
+		factory:   factory,
 	}
 	shares := mining.ExponentialShares(cfg.Nodes, mining.DefaultExponent)
 	totalRate := 1.0 / cfg.Params.TargetBlockInterval.Seconds()
@@ -259,6 +287,21 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	c.cache = cache
 	for i := 0; i < cfg.Nodes; i++ {
 		env := simnet.NewNodeEnv(loop, network, i, cfg.Seed)
+		// The ledger store starts from scratch on every build: the chain
+		// index is the durable truth, and the replay below re-derives UTXO
+		// state from it (a possibly-torn ledger journal left by a hard crash
+		// is never trusted). Reset must precede Build, because chain.New
+		// applies genesis into the store.
+		ustore, err := factory.NewUTXO(clusterStoreName(i))
+		if err != nil {
+			abandon()
+			return nil, fmt.Errorf("bitcoinng: node %d ledger store: %w", i, err)
+		}
+		utxos = append(utxos, ustore)
+		if err := ustore.Reset(); err != nil {
+			abandon()
+			return nil, fmt.Errorf("bitcoinng: node %d ledger store reset: %w", i, err)
+		}
 		client, err := protocol.Build(env, protocol.Spec{
 			Protocol:           protocol.Protocol(cfg.Protocol),
 			Params:             cfg.Params,
@@ -269,8 +312,10 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			CensorTransactions: censors[i],
 			ConnectCache:       cache,
 			Strategy:           strategies[i],
+			UTXO:               ustore,
 		})
 		if err != nil {
+			abandon()
 			return nil, err
 		}
 		env.Deliver(client.HandleMessage)
@@ -280,19 +325,20 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			base:   client.Base(),
 			wallet: wallet.New(keys[i]),
 			env:    env,
-		}
-		if fileStores != nil {
-			cn.store = fileStores[i]
-		} else {
-			cn.store = blockstore.NewMem()
+			store:  indexes[i],
 		}
 		cn.base.Persist = cn.store
+		// The chain index doubles as the body archive Compact evicts
+		// against: every accepted block lands there via Persist first.
+		cn.base.State.Store().AttachBodySource(cn.store)
 		// A pre-existing file-backed archive (process-level restart) replays
-		// its recovered prefix into the fresh chain state; in-memory archives
-		// start empty and this is a no-op.
+		// its recovered prefix into the fresh chain state — each block under
+		// its original arrival time, so the first-seen tie-break resolves as
+		// it did in the first life; in-memory archives start empty and this
+		// is a no-op.
 		replayed := 0
-		if err := cn.store.Replay(func(b types.Block) error {
-			if _, err := cn.base.State.AddBlock(b, loop.Now()); err != nil {
+		if err := cn.store.Replay(func(b types.Block, receivedAt int64) error {
+			if _, err := cn.base.State.AddBlock(b, receivedAt); err != nil {
 				return err
 			}
 			replayed++
@@ -301,6 +347,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 			// Every archived block was validated and persisted by this very
 			// node in parent-before-child order, so a replay failure means
 			// archive corruption or a rules change — not a recoverable skew.
+			abandon()
 			return nil, fmt.Errorf("bitcoinng: node %d archive replay: %w", i, err)
 		}
 		if replayed > 0 && cn.base.OnTipChange != nil {
@@ -326,6 +373,7 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		}
 		c.nodes = append(c.nodes, cn)
 	}
+	c.utxos = utxos
 	if cfg.Scenario != nil {
 		c.schedule(cfg.Scenario, nil)
 	}
@@ -346,6 +394,33 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		c.loop.After(interval, tick)
 	}
 	return c, nil
+}
+
+// clusterStoreName labels a node's stores inside the factory root; the chain
+// index's block file lands at <root>/node-<i>.blocks, preserving the
+// pre-factory StateDir layout on disk.
+func clusterStoreName(i int) string { return fmt.Sprintf("node-%d", i) }
+
+// Close releases every node's storage backends, syncing file-backed state so
+// a later cluster over the same directory resumes from it, and removes an
+// ephemeral "file:" root. The cluster is unusable afterwards. Clusters on
+// in-memory stores (the default) need not call it.
+func (c *Cluster) Close() error {
+	var first error
+	keep := func(err error) {
+		if err != nil && first == nil {
+			first = err
+		}
+	}
+	for _, n := range c.nodes {
+		keep(n.store.Close())
+	}
+	for _, u := range c.utxos {
+		keep(u.Sync())
+		keep(u.Close())
+	}
+	keep(c.factory.Close())
+	return first
 }
 
 // snapshot assembles the invariant engine's view of every node.
@@ -537,6 +612,13 @@ func (c *Cluster) Restart(node int) error {
 	if err != nil {
 		return fmt.Errorf("bitcoinng: node %d restart: %w", node, err)
 	}
+	// The ledger store is rebuilt from the chain index: the replay below
+	// re-applies every persisted block, so the store must start empty (a
+	// possibly-torn ledger journal across the crash is never trusted; the
+	// chain index IS the durable truth).
+	if err := c.utxos[node].Reset(); err != nil {
+		return fmt.Errorf("bitcoinng: node %d restart: reset ledger store: %w", node, err)
+	}
 	client, err := protocol.Build(cn.env, protocol.Spec{
 		Protocol:           protocol.Protocol(c.cfg.Protocol),
 		Params:             c.cfg.Params,
@@ -547,12 +629,14 @@ func (c *Cluster) Restart(node int) error {
 		CensorTransactions: c.censors[node],
 		ConnectCache:       c.cache,
 		Strategy:           strat,
+		UTXO:               c.utxos[node],
 	})
 	if err != nil {
 		return fmt.Errorf("bitcoinng: node %d restart: %w", node, err)
 	}
 	base := client.Base()
 	base.Persist = cn.store
+	base.State.Store().AttachBodySource(cn.store)
 	base.RelayTxs = c.cfg.RelayTxs
 	if l := c.cfg.MempoolLimits; l.MaxTxs > 0 || l.MaxBytes > 0 {
 		if mp, ok := base.Pool.(*mempool.Pool); ok {
@@ -561,9 +645,11 @@ func (c *Cluster) Restart(node int) error {
 	}
 	// Recover the durable prefix directly into the tree — no gossip, no
 	// re-persist (the archive already holds these), no metrics double-count.
+	// Each block replays under its original arrival time, so the first-seen
+	// tie-break resolves exactly as it did before the crash.
 	now := c.loop.Now()
-	if err := cn.store.Replay(func(b types.Block) error {
-		_, err := base.State.AddBlock(b, now)
+	if err := cn.store.Replay(func(b types.Block, receivedAt int64) error {
+		_, err := base.State.AddBlock(b, receivedAt)
 		return err
 	}); err != nil {
 		// The archive holds only blocks this node validated and persisted,

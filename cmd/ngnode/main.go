@@ -19,18 +19,17 @@ import (
 	"log"
 	"os"
 	"os/signal"
-	"path/filepath"
 	"strings"
 	"sync/atomic"
 	"syscall"
 	"time"
 
-	"bitcoinng/internal/blockstore"
 	"bitcoinng/internal/chain"
 	"bitcoinng/internal/crypto"
 	"bitcoinng/internal/node"
 	"bitcoinng/internal/p2p"
 	"bitcoinng/internal/protocol"
+	"bitcoinng/internal/store"
 	"bitcoinng/internal/strategy"
 	"bitcoinng/internal/types"
 	"bitcoinng/internal/validate"
@@ -46,7 +45,8 @@ func main() {
 		micro       = flag.Duration("micro-interval", 2*time.Second, "microblock interval while leading")
 		status      = flag.Duration("status", 5*time.Second, "status print interval")
 		exponent    = flag.Uint("difficulty-exp", 0x20, "compact target exponent byte (lower = harder)")
-		datadir     = flag.String("datadir", "", "directory for block persistence (empty: in-memory only)")
+		datadir     = flag.String("datadir", "", "directory for block persistence (empty: in-memory only); shorthand for -store file:<dir>")
+		storeURL    = flag.String("store", "", "storage locator for chain index and UTXO ledger (mem: | file:<dir>); overrides -datadir")
 		stratName   = flag.String("strategy", "", "mining strategy ("+strings.Join(strategy.Names(), " | ")+"); empty = honest")
 	)
 	flag.Parse()
@@ -80,7 +80,19 @@ func main() {
 	rt := p2p.New(p2p.Config{NodeID: *id, GenesisHash: genesis.Hash(), Seed: int64(*id)})
 	defer rt.Close()
 
-	client, err := protocol.Build(rt, protocol.Spec{
+	// Storage backends come from one locator — the same factory the simulator
+	// harnesses use — with -datadir kept as the file-backend shorthand.
+	locator := *storeURL
+	if locator == "" && *datadir != "" {
+		locator = "file:" + *datadir
+	}
+	factory, err := store.NewFactory(locator)
+	if err != nil {
+		log.Fatalf("store: %v", err)
+	}
+	defer factory.Close()
+
+	var spec = protocol.Spec{
 		Protocol: protocol.BitcoinNG,
 		Params:   params,
 		Key:      key,
@@ -89,55 +101,68 @@ func main() {
 		// replay cached deltas instead of re-applying blocks.
 		ConnectCache: validate.Shared(),
 		Strategy:     strat,
-	})
+	}
+	var index store.ChainIndex
+	if !factory.InMemory() {
+		// The ledger store rebuilds from the chain index on every boot (the
+		// replay below re-applies each block), so it must start empty —
+		// chain.New applies genesis into it.
+		ustore, err := factory.NewUTXO("node")
+		if err != nil {
+			log.Fatalf("store: %v", err)
+		}
+		if err := ustore.Reset(); err != nil {
+			log.Fatalf("store reset: %v", err)
+		}
+		defer func() {
+			if err := ustore.Close(); err != nil {
+				log.Printf("utxo store close: %v", err)
+			}
+		}()
+		spec.UTXO = ustore
+		index, err = factory.NewChainIndex("node")
+		if err != nil {
+			log.Fatalf("chain index: %v", err)
+		}
+		defer func() {
+			// A failed final flush loses the tail of the archive; say so
+			// instead of exiting clean.
+			if err := index.Close(); err != nil {
+				log.Printf("chain index close: %v", err)
+			}
+		}()
+	}
+
+	client, err := protocol.Build(rt, spec)
 	if err != nil {
 		log.Fatalf("node: %v", err)
 	}
 	base := client.Base()
 	rt.SetHandler(client.HandleMessage)
 
-	// Optional persistence: replay stored blocks into the chain, then keep
-	// appending everything the chain accepts.
-	var store *blockstore.Store
-	if *datadir != "" {
-		if err := os.MkdirAll(*datadir, 0o755); err != nil {
-			log.Fatalf("datadir: %v", err)
-		}
-		store, err = blockstore.Open(filepath.Join(*datadir, "blocks.dat"))
-		if err != nil {
-			log.Fatalf("blockstore: %v", err)
-		}
-		defer func() {
-			// A failed final flush loses the tail of the archive; say so
-			// instead of exiting clean.
-			if err := store.Close(); err != nil {
-				log.Printf("blockstore close: %v", err)
-			}
-		}()
-		replayed, err := blockstore.ReplayInto(store, func(b types.Block) error {
-			res, err := base.State.AddBlock(b, b.Time())
+	// Persistence: replay stored blocks into the chain — each under its
+	// recorded arrival time, so the first-seen tie-break resolves as it did
+	// before the restart — then keep appending everything the chain accepts
+	// (base.Persist covers gossip and self-mined paths alike).
+	if index != nil {
+		replayed := 0
+		err := index.Replay(func(b types.Block, receivedAt int64) error {
+			res, err := base.State.AddBlock(b, receivedAt)
 			if err != nil {
 				return err
 			}
 			if res.Status == chain.StatusOrphan || res.Status == chain.StatusInvalid {
 				return fmt.Errorf("not connectable")
 			}
+			replayed++
 			return nil
 		})
 		if err != nil {
 			log.Fatalf("replay: %v", err)
 		}
-		log.Printf("replayed %d blocks from %s (height %d)", replayed, store.Path(), base.State.Height())
-		prevProcess := base.ProcessFn
-		base.ProcessFn = func(b types.Block, from int) *chain.AddResult {
-			res := prevProcess(b, from)
-			for _, added := range res.Added {
-				if err := store.Append(added.Block); err != nil {
-					log.Printf("blockstore append: %v", err)
-				}
-			}
-			return res
-		}
+		log.Printf("replayed %d blocks (height %d)", replayed, base.State.Height())
+		base.Persist = index
+		base.State.Store().AttachBodySource(index)
 	}
 
 	addr, err := rt.Listen(*listen)

@@ -137,3 +137,53 @@ func TestClusterLossyLinks(t *testing.T) {
 		t.Error("lossy window dropped nothing")
 	}
 }
+
+// TestClusterRestartPreservesTieBreakInputs pins the arrival-time replay
+// semantics: a cluster rebuilt over the same state directory must see every
+// recovered block under its original local arrival time, because the
+// first-seen tie-break consumes ReceivedAt — a replay that stamped "now"
+// instead could flip fork choice on the recovered prefix relative to the
+// first life.
+func TestClusterRestartPreservesTieBreakInputs(t *testing.T) {
+	dir := t.TempDir()
+	c1, err := New(4, WithSeed(21), WithParams(faultParams()), WithFunding(1000),
+		WithStateDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1.Run(2 * time.Minute)
+	st1 := c1.Node(0).Chain()
+	main1 := st1.MainChain()
+	if len(main1) < 2 {
+		t.Fatal("first cluster mined nothing")
+	}
+	want := make(map[Hash]int64, len(main1))
+	for _, n := range main1[1:] { // genesis never rides the archive
+		want[n.Hash()] = n.ReceivedAt
+	}
+	if err := c1.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	c2, err := New(4, WithSeed(21), WithParams(faultParams()), WithFunding(1000),
+		WithStateDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	st2 := c2.Node(0).Chain()
+	if got, wantTip := st2.Tip().Hash(), st1.Tip().Hash(); got != wantTip {
+		t.Fatalf("rebuilt tip %s, want %s", got.Short(), wantTip.Short())
+	}
+	for _, n := range st2.MainChain()[1:] {
+		at, ok := want[n.Hash()]
+		if !ok {
+			t.Errorf("rebuilt chain holds %s, absent from the first life", n.Hash().Short())
+			continue
+		}
+		if n.ReceivedAt != at {
+			t.Errorf("block %s replayed with ReceivedAt %d, want original %d",
+				n.Hash().Short(), n.ReceivedAt, at)
+		}
+	}
+}

@@ -123,7 +123,7 @@ func TestClusterConvergence(t *testing.T) {
 	// Workload transactions made it into blocks.
 	confirmed := 0
 	for _, n := range c.nodes[0].State.MainChain() {
-		for _, tx := range n.Block.Transactions() {
+		for _, tx := range n.Block().Transactions() {
 			if tx.Kind == types.TxRegular {
 				confirmed++
 			}
@@ -352,7 +352,7 @@ func TestMedianTimePastAndNextTarget(t *testing.T) {
 	}
 	tip := n.State.Tip()
 	mtp := chain.MedianTimePast(tip, 11)
-	if mtp <= 0 || mtp > tip.Block.Time() {
+	if mtp <= 0 || mtp > tip.Block().Time() {
 		t.Errorf("median time past %d out of range", mtp)
 	}
 	// NextTarget stays finite and positive through a retarget boundary.

@@ -183,7 +183,7 @@ func TestClusterConvergesWithSharedCache(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, n := range c.nodes[0].State.MainChain()[1:] {
-		if _, err := fresh.AddBlock(n.Block, n.Block.Time()+1); err != nil {
+		if _, err := fresh.AddBlock(n.Block(), n.Block().Time()+1); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -38,6 +38,9 @@ type Config struct {
 	// deltas, fees) with every other node whose rules fingerprint matches;
 	// nil validates everything locally.
 	ConnectCache *validate.Cache
+	// UTXO, when set, swaps the ledger storage backend (internal/store);
+	// nil keeps the in-memory set.
+	UTXO chain.UTXOStore
 }
 
 // Node is a Bitcoin protocol node.
@@ -58,7 +61,7 @@ func New(env node.Env, cfg Config) (*Node, error) {
 		choice = &chain.HeaviestChain{RandomTieBreak: cfg.Params.RandomTieBreak, Rand: env.Rand()}
 	}
 	st, err := chain.New(cfg.Genesis, cfg.Params, Rules{AllowSimulatedPoW: cfg.SimulatedMining}, choice,
-		chain.WithConnectCache(cfg.ConnectCache))
+		chain.WithConnectCache(cfg.ConnectCache), chain.WithUTXOStore(cfg.UTXO))
 	if err != nil {
 		return nil, err
 	}

@@ -86,7 +86,7 @@ func (r Rules) ConnectCheck(st *chain.State, n *chain.Node, fees []types.Amount)
 	for _, f := range fees {
 		total += f
 	}
-	coinbase := n.Block.Transactions()[0]
+	coinbase := n.Block().Transactions()[0]
 	if coinbase.Height != n.KeyHeight {
 		return fmt.Errorf("%w: got %d want %d", ErrBadCoinbaseHt, coinbase.Height, n.KeyHeight)
 	}

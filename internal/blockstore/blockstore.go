@@ -41,6 +41,20 @@ var (
 	ErrClosed   = errors.New("blockstore: closed")
 )
 
+// SyncPolicy says when Append makes records durable.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs before Append acknowledges — the default. A block
+	// the store accepted is on stable storage; a crash can only lose blocks
+	// the caller was never told were safe.
+	SyncAlways SyncPolicy = iota
+	// SyncManual defers durability to explicit Sync calls. Batch harnesses
+	// that sync at quiescent boundaries (and tolerate losing the tail back
+	// to the last Sync) opt in; Durable reports the acknowledged watermark.
+	SyncManual
+)
+
 // Store is an append-only block file with an in-memory offset index. It is
 // not safe for concurrent use; the owning node serializes access.
 type Store struct {
@@ -50,6 +64,18 @@ type Store struct {
 	index  map[crypto.Hash]recordRef
 	order  []crypto.Hash // append order, for replay
 	closed bool
+
+	policy SyncPolicy
+	// durable is the byte offset up to which records are known to be on
+	// stable storage (fsync acknowledged).
+	durable int64
+	// syncFn stands in for f.Sync so failure-injection tests can make
+	// durability fail without a real bad disk.
+	syncFn func() error
+	// err is sticky: after a failed sync the durable watermark is unknown
+	// territory, so every later mutation and sync reports the original
+	// failure instead of pretending the store recovered.
+	err error
 }
 
 type recordRef struct {
@@ -71,12 +97,34 @@ func Open(path string) (*Store, error) {
 		path:  path,
 		index: make(map[crypto.Hash]recordRef),
 	}
+	s.syncFn = s.f.Sync
 	if err := s.scan(); err != nil {
 		f.Close()
 		return nil, err
 	}
+	// Whatever survived the scan was read back from the file, so it is the
+	// durable prefix by construction.
+	s.durable = s.size
 	return s, nil
 }
+
+// SetSyncPolicy selects when appends become durable; see SyncPolicy.
+func (s *Store) SetSyncPolicy(p SyncPolicy) { s.policy = p }
+
+// SetSyncHook replaces the fsync primitive, letting tests inject durability
+// failures. A nil hook restores the real fsync.
+func (s *Store) SetSyncHook(hook func() error) {
+	if hook == nil {
+		s.syncFn = s.f.Sync
+		return
+	}
+	s.syncFn = hook
+}
+
+// Durable returns the byte offset of the acknowledged-durable prefix. Under
+// SyncAlways it tracks the file size; under SyncManual it advances only at
+// Sync, and a crash may lose everything past it.
+func (s *Store) Durable() int64 { return s.durable }
 
 // scan rebuilds the index, recovering the longest valid record prefix: the
 // first sign of corruption — bad magic, absurd length, checksum mismatch,
@@ -170,10 +218,17 @@ func (s *Store) Contains(h crypto.Hash) bool {
 }
 
 // Append persists a block. Appending an already-stored block is a no-op, so
-// callers can feed every accepted block without tracking.
+// callers can feed every accepted block without tracking. Under SyncAlways
+// (the default) the record is fsynced before Append returns: an
+// acknowledged block is durable, full stop. A failed sync unwinds the
+// record — the file is truncated back so the on-disk prefix stays exactly
+// the acknowledged set — and poisons the store (see Store.err).
 func (s *Store) Append(b types.Block) error {
 	if s.closed {
 		return ErrClosed
+	}
+	if s.err != nil {
+		return s.err
 	}
 	h := b.Hash()
 	if _, dup := s.index[h]; dup {
@@ -191,9 +246,21 @@ func (s *Store) Append(b types.Block) error {
 	if _, err := s.f.WriteAt(payload, s.size+headerSize); err != nil {
 		return fmt.Errorf("blockstore: append payload: %w", err)
 	}
+	newSize := s.size + headerSize + int64(len(payload))
+	if s.policy == SyncAlways {
+		if err := s.syncFn(); err != nil {
+			// The record may or may not have reached the platter; cut it
+			// off so disk and index agree on the durable prefix, then
+			// refuse further work.
+			_ = s.f.Truncate(s.size)
+			s.err = fmt.Errorf("blockstore: append sync: %w", err)
+			return s.err
+		}
+		s.durable = newSize
+	}
 	s.index[h] = recordRef{offset: s.size, kind: b.Kind(), length: uint32(len(payload))}
 	s.order = append(s.order, h)
-	s.size += headerSize + int64(len(payload))
+	s.size = newSize
 	return nil
 }
 
@@ -232,23 +299,38 @@ func (s *Store) Replay(fn func(types.Block) error) error {
 	return nil
 }
 
-// Sync flushes appended records to stable storage.
+// Sync flushes appended records to stable storage and advances the durable
+// watermark. A failure is sticky: the watermark's true position is unknown,
+// so the store refuses further mutations until reopened.
 func (s *Store) Sync() error {
 	if s.closed {
 		return ErrClosed
 	}
-	return s.f.Sync()
+	if s.err != nil {
+		return s.err
+	}
+	if err := s.syncFn(); err != nil {
+		s.err = fmt.Errorf("blockstore: sync: %w", err)
+		return s.err
+	}
+	s.durable = s.size
+	return nil
 }
 
-// Close syncs and closes the file.
+// Close syncs and closes the file, reporting a sticky failure if one is
+// pending — callers that ignored an Append error still hear about it here.
 func (s *Store) Close() error {
 	if s.closed {
 		return nil
 	}
 	s.closed = true
-	if err := s.f.Sync(); err != nil {
+	if s.err != nil {
 		s.f.Close()
-		return err
+		return s.err
+	}
+	if err := s.syncFn(); err != nil {
+		s.f.Close()
+		return fmt.Errorf("blockstore: close sync: %w", err)
 	}
 	return s.f.Close()
 }

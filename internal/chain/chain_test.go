@@ -23,7 +23,7 @@ func (openProtocol) CheckBlock(st *State, parent *Node, b types.Block, now int64
 	case *types.KeyBlock:
 		return blk.CheckWellFormed()
 	case *types.MicroBlock:
-		key, ok := parent.KeyAncestor.Block.(*types.KeyBlock)
+		key, ok := parent.KeyAncestor.Block().(*types.KeyBlock)
 		if !ok {
 			return errors.New("microblock without key-block epoch")
 		}

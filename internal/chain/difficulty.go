@@ -40,7 +40,7 @@ func MedianTimePast(n *Node, window int) int64 {
 	times := make([]int64, 0, window)
 	k := n.KeyAncestor
 	for k != nil && len(times) < window {
-		times = append(times, k.Block.Time())
+		times = append(times, k.Time())
 		if k.Parent == nil {
 			break
 		}
@@ -57,7 +57,7 @@ func MedianTimePast(n *Node, window int) int64 {
 // mining power variation).
 func NextTarget(parent *Node, params types.Params) crypto.CompactTarget {
 	last := parent.KeyAncestor
-	lastTarget := BlockTarget(last.Block)
+	lastTarget := last.Target()
 	w := params.RetargetWindow
 	if w <= 1 {
 		return lastTarget
@@ -80,7 +80,7 @@ func NextTarget(parent *Node, params types.Params) crypto.CompactTarget {
 	if intervals == 0 {
 		return lastTarget
 	}
-	actual := float64(last.Block.Time() - first.Block.Time())
+	actual := float64(last.Time() - first.Time())
 	expected := float64(int64(intervals) * int64(params.TargetBlockInterval))
 	return crypto.Retarget(lastTarget, actual, expected)
 }

@@ -12,17 +12,15 @@ import (
 // the window walk only touches Parent, KeyAncestor, KeyHeight, and the block
 // timestamp/target, so no chain state is needed.
 func syntheticKeyNode(parent *Node, keyHeight uint64, at time.Duration, target crypto.CompactTarget) *Node {
-	n := &Node{
-		Block: &types.KeyBlock{
-			Header: types.KeyBlockHeader{
-				TimeNanos: int64(at),
-				Target:    target,
-			},
-			SimulatedPoW: true,
+	n := DetachedNode(&types.KeyBlock{
+		Header: types.KeyBlockHeader{
+			TimeNanos: int64(at),
+			Target:    target,
 		},
-		Parent:    parent,
-		KeyHeight: keyHeight,
-	}
+		SimulatedPoW: true,
+	})
+	n.Parent = parent
+	n.KeyHeight = keyHeight
 	n.KeyAncestor = n
 	return n
 }

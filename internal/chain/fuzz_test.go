@@ -37,7 +37,7 @@ func FuzzNextTarget(f *testing.F) {
 			tweak := binary.LittleEndian.Uint16(raw[off+8 : off+10])
 			target := crypto.EasiestTarget - crypto.CompactTarget(tweak)
 
-			prevTarget := BlockTarget(parent.KeyAncestor.Block)
+			prevTarget := BlockTarget(parent.KeyAncestor.Block())
 			blk := &types.KeyBlock{
 				Header: types.KeyBlockHeader{
 					Prev:      parent.Hash(),

@@ -141,7 +141,7 @@ func TestWeightMonotoneAlongChain(t *testing.T) {
 		height++
 		parent := parents[rng.Intn(len(parents))]
 		var blk types.Block
-		if rng.Intn(3) == 0 && parent.KeyAncestor.Block.Kind() == types.KindKey {
+		if rng.Intn(3) == 0 && parent.KeyAncestor.Block().Kind() == types.KindKey {
 			mb := &types.MicroBlock{
 				Header: types.MicroBlockHeader{
 					Prev:      parent.Hash(),
@@ -188,7 +188,7 @@ func TestWeightMonotoneAlongChain(t *testing.T) {
 		if n.Weight.Cmp(p.Weight) < 0 {
 			t.Fatalf("weight decreased at %s", n.Hash().Short())
 		}
-		if n.Block.Kind() == types.KindMicro {
+		if n.Block().Kind() == types.KindMicro {
 			if n.Weight.Cmp(p.Weight) != 0 {
 				t.Fatalf("microblock changed weight at %s", n.Hash().Short())
 			}
@@ -199,7 +199,7 @@ func TestWeightMonotoneAlongChain(t *testing.T) {
 			t.Fatalf("key block did not increment key height at %s", n.Hash().Short())
 		}
 		// Subtree weight at least own work.
-		if n.SubtreeWeight.Cmp(n.Block.Work()) < 0 {
+		if n.SubtreeWeight.Cmp(n.Block().Work()) < 0 {
 			t.Fatalf("subtree weight below own work at %s", n.Hash().Short())
 		}
 	}

@@ -108,6 +108,29 @@ var (
 	ErrKnownInvalid  = errors.New("chain: block previously marked invalid")
 )
 
+// UTXOStore is the ledger-state surface the chain machinery drives. It is
+// exactly the contract extracted from *utxo.Set; internal/store adds a
+// file-backed implementation (journaling paged table) so the ledger can
+// exceed process RAM. Implementations must behave identically — the chaos
+// differential byte-compares whole-run reports across backends.
+type UTXOStore interface {
+	// Read surface (wallets, invariants, fee resolvers).
+	Lookup(op types.OutPoint) (utxo.Entry, bool)
+	Len() int
+	Range(fn func(op types.OutPoint, e utxo.Entry) bool)
+	BalanceOf(addr crypto.Address) types.Amount
+	Poisoned(coinbaseID crypto.Hash) bool
+	// Mutation surface (connect/disconnect machinery). RedoBlock and
+	// UndoBlock carry the block reference so journaling backends can label
+	// op-log records.
+	ApplyBlock(txs []*types.Transaction, ctx utxo.BlockContext) (*utxo.Delta, []types.Amount, error)
+	RedoBlock(d *utxo.Delta, at utxo.BlockRef)
+	UndoBlock(d *utxo.Delta, at utxo.BlockRef)
+	// Stats exposes backend counters for the harness's quiescent-boundary
+	// store metrics.
+	Stats() utxo.Stats
+}
+
 // State is a node's view of the blockchain: the block tree, the active
 // (main) chain, and the UTXO set at its tip. It is not safe for concurrent
 // use; each protocol node drives one from its event loop.
@@ -117,7 +140,7 @@ type State struct {
 	protocol Protocol
 	choice   ForkChoice
 
-	utxoSet *utxo.Set
+	utxoSet UTXOStore
 	tip     *Node
 
 	// cache, when set, memoizes connect outcomes process-wide under fp so
@@ -138,6 +161,17 @@ type Option func(*State)
 // disables caching (every connect recomputes locally).
 func WithConnectCache(c *validate.Cache) Option {
 	return func(st *State) { st.cache = c }
+}
+
+// WithUTXOStore swaps the ledger storage backend; nil keeps the default
+// in-memory set. The store must be empty (or freshly Reset) — New applies
+// the genesis coinbase into it.
+func WithUTXOStore(u UTXOStore) Option {
+	return func(st *State) {
+		if u != nil {
+			st.utxoSet = u
+		}
+	}
 }
 
 // New creates a State rooted at the genesis block. The genesis coinbase is
@@ -171,15 +205,16 @@ func New(genesis types.Block, params types.Params, protocol Protocol, choice For
 	// blocks carry hundreds of pre-funded outputs, and every node of a run
 	// applies the same ones.
 	key := validate.Key{Block: genesis.Hash(), Rules: st.fp}
+	gref := utxo.BlockRef{Block: genesis.Hash()}
 	if res, ok := st.lookupConnect(key); ok {
 		if res.Err != nil {
 			return nil, fmt.Errorf("chain: applying genesis: %w", res.Err)
 		}
-		st.utxoSet.RedoBlock(res.Delta)
+		st.utxoSet.RedoBlock(res.Delta, gref)
 		st.tip.undo = res.Delta
 		return st, nil
 	}
-	u, _, err := st.utxoSet.ApplyBlock(genesis.Transactions(), utxo.BlockContext{Height: 0, Params: params})
+	u, _, err := st.utxoSet.ApplyBlock(genesis.Transactions(), utxo.BlockContext{Height: 0, Params: params, Ref: gref})
 	if err != nil {
 		st.storeConnect(key, &validate.ConnectResult{Err: err})
 		return nil, fmt.Errorf("chain: applying genesis: %w", err)
@@ -222,8 +257,34 @@ func (st *State) Store() *Store { return st.store }
 // Tip returns the current main-chain tip.
 func (st *State) Tip() *Node { return st.tip }
 
-// UTXO returns the UTXO set at the current tip (read-only use).
-func (st *State) UTXO() *utxo.Set { return st.utxoSet }
+// UTXO returns the UTXO store at the current tip (read-only use).
+func (st *State) UTXO() UTXOStore { return st.utxoSet }
+
+// Compact bounds the tree's resident size for long runs: it evicts archived
+// block bodies (when a body source is attached; see Store.AttachBodySource)
+// and drops the undo deltas of main-chain blocks buried at least keepDepth
+// below the tip. Compacted blocks can no longer be disconnected — a reorg
+// deeper than keepDepth panics — so callers pick keepDepth well above any
+// reorganization their scenario can produce. Returns (bodies evicted, undo
+// records dropped).
+func (st *State) Compact(keepDepth uint64) (int, int) {
+	bodies := st.store.EvictBodies(st.tip, keepDepth)
+	n := st.tip
+	for i := uint64(0); i < keepDepth && n != nil; i++ {
+		n = n.Parent
+	}
+	undos := 0
+	for ; n != nil && n.Parent != nil; n = n.Parent {
+		if n.undo == nil {
+			// Compaction nils a contiguous suffix of the main chain, so
+			// the first already-nil undo means everything below is done.
+			break
+		}
+		n.undo = nil
+		undos++
+	}
+	return bodies, undos
+}
 
 // FeeTotal returns the total fees collected by a block when it was
 // connected; zero if it never connected.
@@ -418,7 +479,7 @@ func (st *State) connectBlock(n *Node) error {
 		return res.Err
 	}
 	if hit {
-		st.utxoSet.RedoBlock(res.Delta)
+		st.utxoSet.RedoBlock(res.Delta, utxo.BlockRef{Block: h, Parent: key.Parent})
 	}
 	n.undo = res.Delta
 	n.feeTotal = res.FeeTotal
@@ -434,22 +495,24 @@ func (st *State) computeConnect(n *Node) *validate.ConnectResult {
 	fail := func(err error) *validate.ConnectResult {
 		return &validate.ConnectResult{Err: fmt.Errorf("block %s: %w", n.Hash().Short(), err)}
 	}
-	targets, err := st.protocol.PoisonTargets(st, n.Parent, n.Block)
+	targets, err := st.protocol.PoisonTargets(st, n.Parent, n.Block())
 	if err != nil {
 		return fail(err)
 	}
+	ref := utxo.BlockRef{Block: n.Hash(), Parent: n.Parent.Hash()}
 	ctx := utxo.BlockContext{
 		Height:        n.KeyHeight,
 		Params:        st.params,
 		PoisonTargets: targets,
+		Ref:           ref,
 	}
-	txs := n.Block.Transactions()
+	txs := n.Block().Transactions()
 	u, fees, err := st.utxoSet.ApplyBlock(txs, ctx)
 	if err != nil {
 		return fail(err)
 	}
 	if err := st.protocol.ConnectCheck(st, n, fees); err != nil {
-		st.utxoSet.UndoBlock(u)
+		st.utxoSet.UndoBlock(u, ref)
 		return fail(err)
 	}
 	var total types.Amount
@@ -461,9 +524,9 @@ func (st *State) computeConnect(n *Node) *validate.ConnectResult {
 
 func (st *State) disconnectBlock(n *Node) {
 	if n.undo == nil {
-		panic("chain: disconnecting block without undo record")
+		panic("chain: disconnecting block without undo record (reorg deeper than the compaction horizon?)")
 	}
-	st.utxoSet.UndoBlock(n.undo)
+	st.utxoSet.UndoBlock(n.undo, utxo.BlockRef{Block: n.Hash(), Parent: n.Parent.Hash()})
 	n.undo = nil
 	st.tip = n.Parent
 }
@@ -506,7 +569,7 @@ func (st *State) bestValidTip() *Node {
 
 // hashOf returns n's block hash as a slice for ordering comparisons.
 func hashOf(n *Node) []byte {
-	h := n.Block.Hash()
+	h := n.Hash()
 	return h[:]
 }
 

@@ -11,6 +11,7 @@
 package chain
 
 import (
+	"fmt"
 	"math/big"
 
 	"bitcoinng/internal/crypto"
@@ -19,8 +20,24 @@ import (
 )
 
 // Node is a block in the tree together with its chain-cumulative metadata.
+// The block body is accessed through Block(): everything fork choice,
+// difficulty, and coinbase validation read per-node (hash, kind, time,
+// target, weight, fees) is cached in fixed-size fields, so the body itself
+// can be evicted once archived in a durable body store and transparently
+// reloaded on demand — the tree's resident size then no longer grows with
+// transaction volume.
 type Node struct {
-	Block  types.Block
+	// block is the body; nil when evicted (Block() reloads it from the
+	// owning store's body archive).
+	block types.Block
+	store *Store
+
+	// Cached header-derived fields, valid for the node's whole lifetime.
+	hash   crypto.Hash
+	kind   types.BlockKind
+	time   int64
+	target crypto.CompactTarget
+
 	Parent *Node // nil for genesis
 
 	// Height counts all blocks from genesis, microblocks included.
@@ -61,8 +78,51 @@ type Node struct {
 	feeTotal types.Amount
 }
 
+// newNode builds a node with its header-derived caches populated.
+func newNode(s *Store, b types.Block) *Node {
+	return &Node{
+		block:  b,
+		store:  s,
+		hash:   b.Hash(),
+		kind:   b.Kind(),
+		time:   b.Time(),
+		target: BlockTarget(b),
+	}
+}
+
+// DetachedNode builds a tree-less node around a block, with the cached
+// header fields populated. Strategy and difficulty tests use it to assemble
+// synthetic chains; production nodes are always created through NewStore or
+// Insert. Callers fill Parent/KeyAncestor/heights themselves.
+func DetachedNode(b types.Block) *Node { return newNode(nil, b) }
+
+// Block returns the block body, reloading it from the attached body store
+// if it was evicted. A reload failure panics: bodies are only evicted after
+// the archive acknowledged them, so a miss means the durable store was
+// externally truncated and the tree can no longer be served.
+func (n *Node) Block() types.Block {
+	if n.block == nil {
+		b, err := n.store.bodies.Get(n.hash)
+		if err != nil {
+			panic(fmt.Sprintf("chain: reloading evicted body %s: %v", n.hash.Short(), err))
+		}
+		n.block = b
+	}
+	return n.block
+}
+
 // Hash returns the block hash.
-func (n *Node) Hash() crypto.Hash { return n.Block.Hash() }
+func (n *Node) Hash() crypto.Hash { return n.hash }
+
+// Kind returns the block kind without touching the body.
+func (n *Node) Kind() types.BlockKind { return n.kind }
+
+// Time returns the block's header timestamp without touching the body.
+func (n *Node) Time() int64 { return n.time }
+
+// Target returns the difficulty target the block committed to (zero for
+// microblocks) without touching the body.
+func (n *Node) Target() crypto.CompactTarget { return n.target }
 
 // Children returns the node's children; callers must not mutate the slice.
 func (n *Node) Children() []*Node { return n.children }
@@ -89,6 +149,14 @@ func (n *Node) AncestorAtHeight(h uint64) *Node {
 	return n
 }
 
+// BodySource serves archived block bodies back to the tree so resident
+// bodies can be evicted. The file-backed chain index (internal/store) and
+// the in-memory archive both satisfy it.
+type BodySource interface {
+	Contains(h crypto.Hash) bool
+	Get(h crypto.Hash) (types.Block, error)
+}
+
 // Store is the block tree. It indexes every valid block ever seen, main
 // chain or not ("Branches and blocks outside the main chain are called
 // pruned", §3 — pruned blocks stay in the tree so late reorganizations can
@@ -96,6 +164,9 @@ func (n *Node) AncestorAtHeight(h uint64) *Node {
 type Store struct {
 	genesis *Node
 	nodes   map[crypto.Hash]*Node
+	// bodies, when attached, allows EvictBodies to drop archived block
+	// bodies from the tree; Node.Block reloads through it on demand.
+	bodies BodySource
 	// trackSubtree enables SubtreeWeight maintenance, which costs an
 	// O(chain-length) big.Int walk per inserted PoW block. Maintenance is
 	// on unless the fork choice declares it unneeded (chain.SubtreeWeighted
@@ -106,23 +177,49 @@ type Store struct {
 
 // NewStore creates a tree rooted at the genesis block.
 func NewStore(genesis types.Block) *Store {
-	g := &Node{
-		Block:         genesis,
-		Height:        0,
-		KeyHeight:     0,
-		Weight:        new(big.Int).Set(genesis.Work()),
-		SubtreeWeight: new(big.Int).Set(genesis.Work()),
-	}
+	s := &Store{nodes: make(map[crypto.Hash]*Node)}
+	g := newNode(s, genesis)
+	g.Weight = new(big.Int).Set(genesis.Work())
+	g.SubtreeWeight = new(big.Int).Set(genesis.Work())
 	g.KeyAncestor = g
-	s := &Store{
-		genesis: g,
-		nodes:   map[crypto.Hash]*Node{genesis.Hash(): g},
-	}
+	s.genesis = g
+	s.nodes[g.hash] = g
 	return s
 }
 
 // Genesis returns the root node.
 func (s *Store) Genesis() *Node { return s.genesis }
+
+// AttachBodySource wires a durable body archive, enabling EvictBodies.
+func (s *Store) AttachBodySource(bs BodySource) { s.bodies = bs }
+
+// EvictBodies drops the resident bodies of nodes at least keepDepth below
+// tip whose bodies the attached archive holds, returning how many were
+// dropped. The genesis body is never evicted (it predates the archive: only
+// accepted blocks pass through the persistence hook). Eviction is
+// semantically invisible — Node.Block reloads on demand — so it is safe to
+// call at any quiescent point; without an attached body source it is a
+// no-op.
+func (s *Store) EvictBodies(tip *Node, keepDepth uint64) int {
+	if s.bodies == nil || tip.Height < keepDepth {
+		return 0
+	}
+	horizon := tip.Height - keepDepth
+	evicted := 0
+	// Map-iteration order is immaterial here: every qualifying body is
+	// dropped, and Block() reloads transparently.
+	for _, n := range s.nodes {
+		if n.block == nil || n.Parent == nil || n.Height > horizon {
+			continue
+		}
+		if !s.bodies.Contains(n.hash) {
+			continue
+		}
+		n.block = nil
+		evicted++
+	}
+	return evicted
+}
 
 // EnableSubtreeWeights turns on cumulative subtree-weight maintenance. It
 // must be called before any Insert (chain.New does, when the fork choice
@@ -155,13 +252,11 @@ func (s *Store) Insert(b types.Block, receivedAt int64) *Node {
 		panic("chain: Insert called with duplicate block")
 	}
 	work := b.Work()
-	n := &Node{
-		Block:      b,
-		Parent:     parent,
-		Height:     parent.Height + 1,
-		KeyHeight:  parent.KeyHeight,
-		ReceivedAt: receivedAt,
-	}
+	n := newNode(s, b)
+	n.Parent = parent
+	n.Height = parent.Height + 1
+	n.KeyHeight = parent.KeyHeight
+	n.ReceivedAt = receivedAt
 	if work.Sign() == 0 {
 		// Zero-work blocks (microblocks) share the parent's cumulative
 		// weight; Weight values are read-only after creation.
@@ -177,14 +272,14 @@ func (s *Store) Insert(b types.Block, receivedAt int64) *Node {
 		// (possibly shared) work value is safe.
 		n.SubtreeWeight = work
 	}
-	if b.Kind() == types.KindMicro {
+	if n.kind == types.KindMicro {
 		n.KeyAncestor = parent.KeyAncestor
 	} else {
 		n.KeyHeight++
 		n.KeyAncestor = n
 	}
 	parent.children = append(parent.children, n)
-	s.nodes[b.Hash()] = n
+	s.nodes[n.hash] = n
 	// Propagate subtree weight to ancestors for GHOST.
 	if s.trackSubtree && work.Sign() > 0 {
 		for a := parent; a != nil; a = a.Parent {
@@ -232,7 +327,7 @@ func PathBetween(ancestor, tip *Node) []*Node {
 // split in the next key block's coinbase.
 func EpochFees(from *Node) types.Amount {
 	var total types.Amount
-	for n := from; n != nil && n.Block.Kind() == types.KindMicro; n = n.Parent {
+	for n := from; n != nil && n.Kind() == types.KindMicro; n = n.Parent {
 		total += n.feeTotal
 	}
 	return total

@@ -58,7 +58,7 @@ func TestCensoringLeaderInfluenceEnds(t *testing.T) {
 	confirmed := func(n *Node) int {
 		count := 0
 		for _, c := range n.State.MainChain() {
-			for _, tx := range c.Block.Transactions() {
+			for _, tx := range c.Block().Transactions() {
 				if tx.Kind == types.TxRegular {
 					count++
 				}

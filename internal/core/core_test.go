@@ -114,7 +114,7 @@ func TestLeaderProducesMicroblocks(t *testing.T) {
 	// Transactions got serialized.
 	confirmed := 0
 	for _, n := range c.nodes[0].State.MainChain() {
-		for _, tx := range n.Block.Transactions() {
+		for _, tx := range n.Block().Transactions() {
 			if tx.Kind == types.TxRegular {
 				confirmed++
 			}
@@ -182,7 +182,7 @@ func TestFigure2ForkOnLeaderSwitch(t *testing.T) {
 		}
 	}
 	// The winning chain runs through b's key block.
-	if a.State.Tip().KeyAncestor.Block.(*types.KeyBlock).Header.LeaderKey != c.keys[1].Public() {
+	if a.State.Tip().KeyAncestor.Block().(*types.KeyBlock).Header.LeaderKey != c.keys[1].Public() {
 		t.Error("main chain does not end in b's epoch")
 	}
 }
@@ -264,7 +264,7 @@ func TestMicroblockRateLimit(t *testing.T) {
 		Header: types.MicroBlockHeader{
 			Prev:      tip.Hash(),
 			TxRoot:    crypto.MerkleRoot(nil),
-			TimeNanos: tip.Block.Time() + int64(500*time.Millisecond),
+			TimeNanos: tip.Block().Time() + int64(500*time.Millisecond),
 		},
 	}
 	mb.Header.Sign(c.keys[0])
@@ -473,7 +473,7 @@ func TestPoisonBogusEvidenceRejected(t *testing.T) {
 	_ = tipMicro
 	var conflict *chain.Node
 	for _, n := range a.State.MainChain() {
-		if n.Block.Kind() == types.KindMicro {
+		if n.Block().Kind() == types.KindMicro {
 			conflict = n
 			break
 		}
@@ -482,7 +482,7 @@ func TestPoisonBogusEvidenceRejected(t *testing.T) {
 		t.Fatal("no microblock on chain")
 	}
 	forged := types.MicroBlockHeader{
-		Prev:      conflict.Block.PrevHash(),
+		Prev:      conflict.Block().PrevHash(),
 		TxRoot:    crypto.HashBytes([]byte("x")),
 		TimeNanos: 1,
 	}

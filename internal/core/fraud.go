@@ -27,14 +27,14 @@ type fraudRecord struct {
 func (n *Node) detectFraud(added *chain.Node) {
 	parent := added.Parent
 	culprit := added.KeyAncestor
-	if culprit.Block.Kind() != types.KindKey {
+	if culprit.Block().Kind() != types.KindKey {
 		return
 	}
 	if _, seen := n.fraud[culprit.Hash()]; seen {
 		return // one poison per cheater (§4.5)
 	}
 	for _, sib := range parent.Children() {
-		if sib == added || sib.Block.Kind() != types.KindMicro {
+		if sib == added || sib.Block().Kind() != types.KindMicro {
 			continue
 		}
 		if sib.KeyAncestor != culprit {
@@ -67,7 +67,7 @@ func (n *Node) eligiblePoisons(tip *chain.Node) []*types.Transaction {
 	var out []*types.Transaction
 	for _, culpritHash := range culprits {
 		rec := n.fraud[culpritHash]
-		coinbase := rec.culprit.Block.Transactions()[0]
+		coinbase := rec.culprit.Block().Transactions()[0]
 		coinbaseID := coinbase.ID()
 		if n.State.UTXO().Poisoned(coinbaseID) {
 			delete(n.fraud, culpritHash) // someone else placed it
@@ -94,7 +94,7 @@ func (n *Node) eligiblePoisons(tip *chain.Node) []*types.Transaction {
 			}
 		}
 		reward := types.Amount(float64(revocable) * n.cfg.Params.PoisonRewardFrac)
-		prunedMicro := pruned.Block.(*types.MicroBlock)
+		prunedMicro := pruned.Block().(*types.MicroBlock)
 		out = append(out, &types.Transaction{
 			Kind:    types.TxPoison,
 			Outputs: []types.TxOutput{{Value: reward, To: n.cfg.Key.Public().Addr()}},

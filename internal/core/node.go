@@ -40,6 +40,9 @@ type Config struct {
 	// deltas, epoch fees) with every other node whose rules fingerprint
 	// matches; nil validates everything locally.
 	ConnectCache *validate.Cache
+	// UTXO, when set, swaps the ledger storage backend (internal/store);
+	// nil keeps the in-memory set.
+	UTXO chain.UTXOStore
 	// Strategy selects the node's mining strategy — which block its key
 	// blocks extend, whether produced blocks are published or withheld,
 	// and how its coinbase splits the epoch fees. nil runs honest.
@@ -74,7 +77,7 @@ func New(env node.Env, cfg Config) (*Node, error) {
 	}
 	st, err := chain.New(cfg.Genesis, cfg.Params, Rules{AllowSimulatedPoW: cfg.SimulatedMining},
 		&chain.HeaviestChain{RandomTieBreak: cfg.Params.RandomTieBreak, Rand: env.Rand()},
-		chain.WithConnectCache(cfg.ConnectCache))
+		chain.WithConnectCache(cfg.ConnectCache), chain.WithUTXOStore(cfg.UTXO))
 	if err != nil {
 		return nil, err
 	}
@@ -127,7 +130,7 @@ func (n *Node) MicroblocksMined() uint64 { return n.microMined }
 // IsLeader reports whether this node currently leads (the main chain's
 // latest key block carries its public key).
 func (n *Node) IsLeader() bool {
-	key, ok := n.State.Tip().KeyAncestor.Block.(*types.KeyBlock)
+	key, ok := n.State.Tip().KeyAncestor.Block().(*types.KeyBlock)
 	return ok && key.Header.LeaderKey == n.cfg.Key.Public()
 }
 
@@ -140,7 +143,7 @@ func (n *Node) IsLeader() bool {
 func (n *Node) ProcessBlock(blk types.Block, from int) *chain.AddResult {
 	res := n.Base.ProcessBlock(blk, from)
 	for _, added := range res.Added {
-		if added.Block.Kind() == types.KindMicro {
+		if added.Block().Kind() == types.KindMicro {
 			n.detectFraud(added)
 		}
 	}
@@ -282,7 +285,7 @@ func (n *Node) AssembleMicroBlock() *types.MicroBlock {
 	tip := n.State.Tip()
 	params := n.cfg.Params
 	now := n.Env.Now()
-	if now-tip.Block.Time() < int64(params.MinMicroblockInterval) {
+	if now-tip.Block().Time() < int64(params.MinMicroblockInterval) {
 		return nil // respect the §4.2 rate cap
 	}
 	var txs []*types.Transaction

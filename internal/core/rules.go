@@ -92,7 +92,7 @@ func (r Rules) checkMicroBlock(st *chain.State, parent *chain.Node, b *types.Mic
 	// The signing key is the public key in the epoch's key block (§4.2).
 	// The genesis PoW block has no leader key, so no microblock may extend
 	// it before the first key block.
-	key, ok := parent.KeyAncestor.Block.(*types.KeyBlock)
+	key, ok := parent.KeyAncestor.Block().(*types.KeyBlock)
 	if !ok {
 		return ErrNoEpoch
 	}
@@ -109,7 +109,7 @@ func (r Rules) checkMicroBlock(st *chain.State, parent *chain.Node, b *types.Mic
 	if b.Header.TimeNanos > now+int64(MaxFutureSkew) {
 		return ErrTimeTooNew
 	}
-	if gap := b.Header.TimeNanos - parent.Block.Time(); gap < int64(st.Params().MinMicroblockInterval) {
+	if gap := b.Header.TimeNanos - parent.Block().Time(); gap < int64(st.Params().MinMicroblockInterval) {
 		return fmt.Errorf("%w: gap %v < %v", ErrMicroTooSoon,
 			time.Duration(gap), st.Params().MinMicroblockInterval)
 	}
@@ -121,11 +121,11 @@ func (r Rules) checkMicroBlock(st *chain.State, parent *chain.Node, b *types.Mic
 // the previous epoch's microblock fees, of which the previous leader must
 // receive at least the LeaderFeeFrac share (40%).
 func (r Rules) ConnectCheck(st *chain.State, n *chain.Node, fees []types.Amount) error {
-	if n.Block.Kind() != types.KindKey {
+	if n.Block().Kind() != types.KindKey {
 		return nil // microblock fees are recorded by the chain layer
 	}
 	params := st.Params()
-	coinbase := n.Block.Transactions()[0]
+	coinbase := n.Block().Transactions()[0]
 	if coinbase.Height != n.KeyHeight {
 		return fmt.Errorf("%w: got %d want %d", ErrBadCoinbaseHt, coinbase.Height, n.KeyHeight)
 	}
@@ -155,7 +155,7 @@ func (r Rules) ConnectCheck(st *chain.State, n *chain.Node, fees []types.Amount)
 // first coinbase output of the previous key block.
 func prevLeaderAddress(parent *chain.Node) (crypto.Address, bool) {
 	prev := parent.KeyAncestor
-	cb := prev.Block.Transactions()[0]
+	cb := prev.Block().Transactions()[0]
 	if len(cb.Outputs) == 0 {
 		return crypto.Address{}, false
 	}
@@ -184,18 +184,18 @@ func (r Rules) PoisonTargets(st *chain.State, parent *chain.Node, b types.Block)
 		// shares the error object across nodes).
 		culprit, okC := st.Store().Get(ev.Culprit)
 		conflict, okF := st.Store().Get(ev.Conflict)
-		if !okC || culprit.Block.Kind() != types.KindKey ||
-			!okF || conflict.Block.Kind() != types.KindMicro ||
+		if !okC || culprit.Block().Kind() != types.KindKey ||
+			!okF || conflict.Block().Kind() != types.KindMicro ||
 			conflict.KeyAncestor != culprit || !conflict.IsAncestorOf(parent) {
 			return nil, fmt.Errorf("%w: conflict not in the culprit's epoch on this chain", ErrBadEvidence)
 		}
 		// The pruned half must be a *different* microblock with the same
 		// predecessor, signed by the culprit's leader key: two signed
 		// successors of one block is the fork proof.
-		if ev.Pruned.Prev != conflict.Block.PrevHash() || ev.Pruned.Hash() == conflict.Hash() {
+		if ev.Pruned.Prev != conflict.Block().PrevHash() || ev.Pruned.Hash() == conflict.Hash() {
 			return nil, fmt.Errorf("%w: headers do not conflict", ErrBadEvidence)
 		}
-		leaderKey := culprit.Block.(*types.KeyBlock).Header.LeaderKey
+		leaderKey := culprit.Block().(*types.KeyBlock).Header.LeaderKey
 		if !ev.Pruned.VerifySignature(leaderKey) {
 			return nil, fmt.Errorf("%w: pruned header not signed by culprit", ErrBadEvidence)
 		}
@@ -207,7 +207,7 @@ func (r Rules) PoisonTargets(st *chain.State, parent *chain.Node, b types.Block)
 		if targets == nil {
 			targets = make(map[crypto.Hash]crypto.Hash)
 		}
-		targets[tx.ID()] = culprit.Block.Transactions()[0].ID()
+		targets[tx.ID()] = culprit.Block().Transactions()[0].ID()
 	}
 	return targets, nil
 }

@@ -35,7 +35,7 @@ func TestRestartRecoversDurablePrefix(t *testing.T) {
 		scenario.At(2*time.Minute, scenario.Crash(1)),
 		scenario.At(4*time.Minute, scenario.Call("restart-and-check", func(rt scenario.Runtime) error {
 			r := rt.(*runner)
-			durable := r.stores[1].Hashes()
+			durable := r.indexes[1].Hashes()
 			durableAtRestart = len(durable)
 			if err := rt.Restart(1); err != nil {
 				return err
@@ -69,7 +69,7 @@ func TestRestartRecoversDurablePrefix(t *testing.T) {
 				b1.Sync.Active())
 			persistedAfter = true
 			for _, n := range b1.State.MainChain()[1:] {
-				if !r.stores[1].Contains(n.Hash()) {
+				if !r.indexes[1].Contains(n.Hash()) {
 					persistedAfter = false
 				}
 			}

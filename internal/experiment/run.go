@@ -5,7 +5,6 @@ import (
 	"runtime"
 	"time"
 
-	"bitcoinng/internal/blockstore"
 	"bitcoinng/internal/crypto"
 	"bitcoinng/internal/invariant"
 	"bitcoinng/internal/load"
@@ -16,6 +15,7 @@ import (
 	"bitcoinng/internal/scenario"
 	"bitcoinng/internal/sim"
 	"bitcoinng/internal/simnet"
+	"bitcoinng/internal/store"
 	"bitcoinng/internal/strategy"
 	"bitcoinng/internal/types"
 	"bitcoinng/internal/utxo"
@@ -118,6 +118,20 @@ type Config struct {
 	// InvariantInterval spaces the online checks; zero takes the key-block
 	// interval.
 	InvariantInterval time.Duration
+	// StoreURL selects every node's storage backend via the internal/store
+	// locator syntax: "" or "mem:" for the RAM-bound fast path, "file:<dir>"
+	// for file backends rooted at dir, "file:" for a throwaway temporary
+	// root removed at run end. Reports are byte-identical across backends
+	// for the same (config, seed) — the chaos differential enforces it.
+	StoreURL string
+	// CompactDepth, when > 0, bounds resident chain state for long runs: at
+	// every maintenance boundary each node evicts archived block bodies and
+	// drops undo records buried at least this deep below its tip (bodies
+	// reload transparently from the chain index). A reorg deeper than
+	// CompactDepth panics, so pick it well above anything the scenario can
+	// cause. With a file StoreURL this is the beyond-RAM mode: resident
+	// state stays bounded while the chain grows on disk.
+	CompactDepth uint64
 }
 
 // DefaultConfig is a paper-faithful configuration at the given scale.
@@ -165,6 +179,14 @@ type Result struct {
 	// block fetches, signing-lookahead occupancy) at the maintenance
 	// boundaries; deterministic at any Parallelism.
 	Backpressure []metrics.BackpressureStat
+	// StoreStats samples the fleet-aggregated storage counters (logical
+	// entry ops, page-cache hits/misses, page and journal traffic,
+	// checkpoints) at the same maintenance boundaries. Unlike Backpressure
+	// it rides OUTSIDE the determinism digest: the counters are identical
+	// across Parallelism but legitimately differ with the connect cache on
+	// vs off (a cache hit replays a delta instead of re-validating, a
+	// different backend op sequence), while the Report does not.
+	StoreStats []metrics.BackpressureStat
 	// Revenue is each node's mining revenue at run end — the UTXO balance
 	// of its reward address in the view of the reference node (the
 	// lowest-index node running honest, so an attacker's private ledger
@@ -265,10 +287,14 @@ type runner struct {
 
 	// Crash/recovery state. envs, keys, recFor, censors, and cache are the
 	// per-node assembly inputs Restart needs to rebuild a client in place;
-	// stores are the durable block archives that survive a Crash.
+	// indexes are the durable chain archives that survive a Crash, and
+	// utxos the matching ledger stores (Reset and replayed on Restart).
 	envs      []*simnet.NodeEnv
 	keys      []*crypto.PrivateKey
-	stores    []*blockstore.Mem
+	factory   *store.Factory
+	utxos     []store.UTXO
+	indexes   []store.ChainIndex
+	storeBP   *metrics.Backpressure
 	recFor    func(i int) node.Recorder
 	censors   map[int]bool
 	cache     *validate.Cache
@@ -403,6 +429,12 @@ func build(cfg Config) (*runner, error) {
 		cache = nil
 	}
 
+	factory, err := store.NewFactory(cfg.StoreURL)
+	if err != nil {
+		eng.close()
+		return nil, fmt.Errorf("experiment: %w", err)
+	}
+
 	r := &runner{
 		cfg:       cfg,
 		eng:       eng,
@@ -410,7 +442,9 @@ func build(cfg Config) (*runner, error) {
 		collector: collector,
 		workload:  workload,
 		bp:        metrics.NewBackpressure(),
+		storeBP:   metrics.NewBackpressure(),
 		payload:   protocol.Payload(cfg.Protocol),
+		factory:   factory,
 		recFor:    recFor,
 		censors:   censors,
 		cache:     cache,
@@ -425,12 +459,14 @@ func build(cfg Config) (*runner, error) {
 		var sum float64
 		for _, s := range shares {
 			if s < 0 {
+				r.closeStores()
 				eng.close()
 				return nil, fmt.Errorf("experiment: negative mining share %v", s)
 			}
 			sum += s
 		}
 		if sum <= 0 {
+			r.closeStores()
 			eng.close()
 			return nil, fmt.Errorf("experiment: mining shares sum to zero")
 		}
@@ -447,9 +483,25 @@ func build(cfg Config) (*runner, error) {
 		env := simnet.NewNodeEnv(loop, network, i, cfg.Seed)
 		key, err := crypto.GenerateKey(sim.NewRand(cfg.Seed, uint64(0x10000+i)))
 		if err != nil {
+			r.closeStores()
 			eng.close()
 			return nil, err
 		}
+		ustore, err := factory.NewUTXO(storeName(i))
+		if err != nil {
+			r.closeStores()
+			eng.close()
+			return nil, fmt.Errorf("experiment: node %d: %w", i, err)
+		}
+		index, err := factory.NewChainIndex(storeName(i))
+		if err != nil {
+			ustore.Close()
+			r.closeStores()
+			eng.close()
+			return nil, fmt.Errorf("experiment: node %d: %w", i, err)
+		}
+		r.utxos = append(r.utxos, ustore)
+		r.indexes = append(r.indexes, index)
 		client, err := protocol.Build(env, protocol.Spec{
 			Protocol:           cfg.Protocol,
 			Params:             cfg.Params,
@@ -460,8 +512,10 @@ func build(cfg Config) (*runner, error) {
 			CensorTransactions: censors[i],
 			ConnectCache:       cache,
 			Strategy:           strategies[i],
+			UTXO:               ustore,
 		})
 		if err != nil {
+			r.closeStores()
 			eng.close()
 			return nil, err
 		}
@@ -473,8 +527,10 @@ func build(cfg Config) (*runner, error) {
 			view.SetClosedLoop(int64(cfg.ClosedLoopWindow))
 		}
 		client.Base().Pool = view
-		store := blockstore.NewMem()
-		client.Base().Persist = store
+		client.Base().Persist = index
+		// The chain index doubles as the body archive Compact evicts
+		// against: every accepted block lands there via Persist first.
+		client.Base().State.Store().AttachBodySource(index)
 		r.views = append(r.views, view)
 
 		// The onFind closure indexes r.clients so a Restart's replacement
@@ -494,9 +550,24 @@ func build(cfg Config) (*runner, error) {
 		r.addrs = append(r.addrs, key.Public().Addr())
 		r.envs = append(r.envs, env)
 		r.keys = append(r.keys, key)
-		r.stores = append(r.stores, store)
 	}
 	return r, nil
+}
+
+// storeName labels a node's stores inside the factory root.
+func storeName(i int) string { return fmt.Sprintf("n%04d", i) }
+
+// closeStores releases every per-node store and the factory (removing an
+// ephemeral file root). Errors are swallowed: it runs at teardown, after
+// every measurement has been taken.
+func (r *runner) closeStores() {
+	for _, u := range r.utxos {
+		_ = u.Close() // teardown: results are already extracted
+	}
+	for _, ix := range r.indexes {
+		_ = ix.Close() // teardown: results are already extracted
+	}
+	_ = r.factory.Close() // teardown: removes the ephemeral root, best-effort
 }
 
 // shardLoops collects a ShardedLoop's per-shard loops.
@@ -604,6 +675,13 @@ func (r *runner) Restart(i int) error {
 	if err != nil {
 		return fmt.Errorf("experiment: restart node %d: %w", i, err)
 	}
+	// The ledger store is rebuilt from the chain index: the replay below
+	// re-applies every persisted block, so the store must start empty. (The
+	// harness does not trust a possibly-torn UTXO state across a crash; the
+	// chain index IS the durable truth.)
+	if err := r.utxos[i].Reset(); err != nil {
+		return fmt.Errorf("experiment: restart node %d: reset store: %w", i, err)
+	}
 	client, err := protocol.Build(r.envs[i], protocol.Spec{
 		Protocol:           r.cfg.Protocol,
 		Params:             r.cfg.Params,
@@ -614,6 +692,7 @@ func (r *runner) Restart(i int) error {
 		CensorTransactions: r.censors[i],
 		ConnectCache:       r.cache,
 		Strategy:           strat,
+		UTXO:               r.utxos[i],
 	})
 	if err != nil {
 		return fmt.Errorf("experiment: restart node %d: %w", i, err)
@@ -623,15 +702,18 @@ func (r *runner) Restart(i int) error {
 	// Replay the durable prefix directly into the chain: append order is
 	// parent-before-child for everything this node ever accepted, so the
 	// tree reassembles without orphan churn. Blocks whose lineage was never
-	// persisted (none, by construction) would simply stash as orphans.
-	if err := r.stores[i].Replay(func(b types.Block) error {
-		_, err := base.State.AddBlock(b, now)
+	// persisted (none, by construction) would simply stash as orphans. Each
+	// block carries its original arrival time, so the first-seen tie-break
+	// resolves exactly as it did in the first life.
+	if err := r.indexes[i].Replay(func(b types.Block, receivedAt int64) error {
+		_, err := base.State.AddBlock(b, receivedAt)
 		return err
 	}); err != nil {
 		return fmt.Errorf("experiment: restart node %d: replay: %w", i, err)
 	}
 	base.Pool = r.views[i]
-	base.Persist = r.stores[i]
+	base.Persist = r.indexes[i]
+	base.State.Store().AttachBodySource(r.indexes[i])
 	// Re-evaluate leadership against the recovered tip (the tip-change hook
 	// never fired during the direct replay): a restarted mid-epoch leader
 	// resumes microblock production, everyone else stays a follower.
@@ -704,7 +786,7 @@ func (r *runner) snapshot(final bool) *invariant.Snapshot {
 			Group:       group,
 			Down:        r.down[i],
 			LastRestart: r.restartAt[i],
-			Durable:     r.stores[i],
+			Durable:     r.indexes[i],
 		}
 	}
 	return s
@@ -808,7 +890,7 @@ func (r *runner) run() (*Result, error) {
 	r.maintain()
 	opts := metrics.DefaultAnalyzeOptions(end)
 	report := r.collector.Analyze(opts)
-	return &Result{
+	res := &Result{
 		Config:   r.cfg,
 		Report:   report,
 		NetStats: r.net.Stats(),
@@ -820,8 +902,13 @@ func (r *runner) run() (*Result, error) {
 		InvariantViolations: violations,
 		Load:                r.loadReport(end),
 		Backpressure:        r.bp.Stats(),
+		StoreStats:          r.storeBP.Stats(),
 		Revenue:             r.revenue(),
-	}, nil
+	}
+	// Teardown only after every measurement (revenue ranges over the UTXO
+	// stores) has been extracted.
+	r.closeStores()
+	return res, nil
 }
 
 // maintain runs at quiescent slice boundaries: it samples the backpressure
@@ -852,6 +939,7 @@ func (r *runner) maintain() {
 	r.bp.Record("pending-fetches", float64(fetches))
 	r.bp.Record("relay-queue", float64(relayQueue))
 	r.bp.Record("lookahead-occupancy", float64(stream.Occupancy()))
+	r.maintainStores()
 
 	if len(r.views) == 0 {
 		return
@@ -864,6 +952,52 @@ func (r *runner) maintain() {
 		released := stream.Released()
 		for _, v := range r.views {
 			v.Compact(released)
+		}
+	}
+}
+
+// maintainStores runs inside maintain, at the same quiescent boundaries: it
+// samples the fleet-aggregated storage counters into the store backpressure
+// series, flushes file-backed stores (which is also what paces their
+// checkpoint cycle), and — when CompactDepth is set — evicts each live node's
+// deep chain history so resident state stays bounded on long runs.
+func (r *runner) maintainStores() {
+	var agg utxo.Stats
+	for _, u := range r.utxos {
+		agg.Add(u.Stats())
+	}
+	r.storeBP.Record("store-gets", float64(agg.Gets))
+	r.storeBP.Record("store-puts", float64(agg.Puts))
+	r.storeBP.Record("store-deletes", float64(agg.Deletes))
+	r.storeBP.Record("store-cache-hits", float64(agg.CacheHits))
+	r.storeBP.Record("store-cache-misses", float64(agg.CacheMisses))
+	r.storeBP.Record("store-page-reads", float64(agg.PageReads))
+	r.storeBP.Record("store-page-writes", float64(agg.PageWrites))
+	r.storeBP.Record("store-journal-records", float64(agg.JournalRecords))
+	r.storeBP.Record("store-journal-bytes", float64(agg.JournalBytes))
+	r.storeBP.Record("store-checkpoints", float64(agg.Checkpoints))
+
+	if !r.factory.InMemory() {
+		// A down node's stores are left alone: its UTXO journal tail is the
+		// torn state the next Restart deliberately resets.
+		for i := range r.utxos {
+			if r.down[i] {
+				continue
+			}
+			if err := r.utxos[i].Sync(); err != nil {
+				panic(fmt.Sprintf("experiment: node %d: store sync: %v", i, err))
+			}
+			if err := r.indexes[i].Sync(); err != nil {
+				panic(fmt.Sprintf("experiment: node %d: index sync: %v", i, err))
+			}
+		}
+	}
+	if r.cfg.CompactDepth > 0 {
+		for i, c := range r.clients {
+			if r.down[i] {
+				continue
+			}
+			c.Base().State.Compact(r.cfg.CompactDepth)
 		}
 	}
 }

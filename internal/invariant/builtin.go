@@ -38,7 +38,7 @@ func (valueConservation) Check(s *Snapshot, report func(int, string)) {
 		st := n.Chain
 		var minted, destroyed types.Amount
 		for _, blk := range st.MainChain() {
-			for _, tx := range blk.Block.Transactions() {
+			for _, tx := range blk.Block().Transactions() {
 				if tx.Kind == types.TxCoinbase || tx.Kind == types.TxPoison {
 					minted += tx.OutputSum()
 				}
@@ -90,7 +90,7 @@ func (feeSplit) Check(s *Snapshot, report func(int, string)) {
 		}
 		seenKeys := 0
 		for blk := st.Tip(); blk != nil && blk.Parent != nil && seenKeys < 2; blk = blk.Parent {
-			if blk.Block.Kind() != types.KindMicro {
+			if blk.Block().Kind() != types.KindMicro {
 				seenKeys++
 			}
 			checkBlockEconomics(st, blk, s.Params, n.ID, report)
@@ -100,7 +100,7 @@ func (feeSplit) Check(s *Snapshot, report func(int, string)) {
 
 // checkBlockEconomics dispatches one block's remuneration check by kind.
 func checkBlockEconomics(st *chain.State, blk *chain.Node, params types.Params, node int, report func(int, string)) {
-	switch blk.Block.Kind() {
+	switch blk.Block().Kind() {
 	case types.KindKey:
 		checkKeyBlockEconomics(st, blk, params, node, report)
 	case types.KindPow:
@@ -151,7 +151,7 @@ func checkKeyBlockEconomics(st *chain.State, blk *chain.Node, params types.Param
 // coinbaseOf returns a block's coinbase transaction (by convention the
 // first), if it has one.
 func coinbaseOf(blk *chain.Node) (*types.Transaction, bool) {
-	txs := blk.Block.Transactions()
+	txs := blk.Block().Transactions()
 	if len(txs) == 0 || txs[0].Kind != types.TxCoinbase {
 		return nil, false
 	}
@@ -184,18 +184,18 @@ func (singleLeader) Check(s *Snapshot, report func(int, string)) {
 			continue
 		}
 		// Tip epoch only: walk down from the tip until the epoch's key block.
-		for blk := n.Chain.Tip(); blk != nil && blk.Block.Kind() == types.KindMicro; blk = blk.Parent {
+		for blk := n.Chain.Tip(); blk != nil && blk.Block().Kind() == types.KindMicro; blk = blk.Parent {
 			checkEpochSignature(blk, n.ID, report)
 		}
 	}
 }
 
 func checkEpochSignature(blk *chain.Node, node int, report func(int, string)) {
-	mb, ok := blk.Block.(*types.MicroBlock)
+	mb, ok := blk.Block().(*types.MicroBlock)
 	if !ok {
 		return
 	}
-	key, ok := blk.KeyAncestor.Block.(*types.KeyBlock)
+	key, ok := blk.KeyAncestor.Block().(*types.KeyBlock)
 	if !ok {
 		report(node, fmt.Sprintf("microblock %s has no key-block epoch", blk.Hash().Short()))
 		return

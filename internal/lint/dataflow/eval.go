@@ -209,6 +209,39 @@ func (st *fnState) call(call *ast.CallExpr) ([]value, bool) {
 		}
 	}
 
+	// Resolve the callee up front: an order-unspecified iterator callback
+	// must be seeded before its func-literal body is walked, which happens
+	// inline during argument evaluation below.
+	callee := st.e.Prog.Callee(info, call)
+	if callee == nil && st.e.Cfg.UnorderedCallback != nil {
+		if what, ok := st.e.Cfg.UnorderedCallback(st.f, call); ok {
+			t := Taint{
+				Kind: KindMapOrder,
+				Pos:  call.Pos(),
+				What: what,
+				Pkg:  st.f.Pkg.Path,
+			}
+			tv := value{}
+			tv.at("").taints[t] = true
+			for _, a := range call.Args {
+				lit, isLit := a.(*ast.FuncLit)
+				if !isLit || lit.Type.Params == nil {
+					continue
+				}
+				for _, fld := range lit.Type.Params.List {
+					for _, name := range fld.Names {
+						if name.Name == "_" {
+							continue
+						}
+						if obj := objOf(info, name); obj != nil {
+							g(st.mergeObj(obj, "", tv, call.Pos(), false))
+						}
+					}
+				}
+			}
+		}
+	}
+
 	// Evaluate arguments once (receiver first for method calls).
 	var argvals []value
 	recvOffset := 0
@@ -297,7 +330,7 @@ func (st *fnState) call(call *ast.CallExpr) ([]value, bool) {
 	}
 
 	// Module callee with a summary: compose it.
-	if callee := st.e.Prog.Callee(info, call); callee != nil {
+	if callee != nil {
 		res, b := st.compose(callee, argvals, call, recvOffset)
 		return res, grew || b
 	}

@@ -262,6 +262,14 @@ type Config struct {
 	// Sanitizer classifies a call as order-restoring (sort.*), returning
 	// the index of the argument it sorts.
 	Sanitizer func(f *Func, call *ast.CallExpr) (arg int, ok bool)
+	// UnorderedCallback classifies an unresolved call (interface dispatch,
+	// function value) as invoking its func-typed arguments once per element
+	// of an order-unspecified collection — Range-style iterators. The
+	// engine then seeds KindMapOrder into the parameters of func-literal
+	// arguments, exactly as a map range taints its loop variables. Only
+	// consulted for callees without a summary: resolved module callees are
+	// modelled precisely and need no callback approximation.
+	UnorderedCallback func(f *Func, call *ast.CallExpr) (what string, ok bool)
 	// InZone gates sink collection: only sinks whose own site is in-zone
 	// are recorded. Taint sources are tracked everywhere.
 	InZone func(pkgPath string) bool

@@ -146,12 +146,28 @@ func escapes(prog *dataflow.Program, eng *dataflow.Engine, inZone func(string) b
 // Config builds the engine configuration for the given zone predicate.
 func Config(inZone func(string) bool) dataflow.Config {
 	return dataflow.Config{
-		SourceCall:    sourceCall,
-		SinkCall:      sinkCall,
-		SinkComposite: sinkComposite,
-		Sanitizer:     sanitizer,
-		InZone:        inZone,
+		SourceCall:        sourceCall,
+		SinkCall:          sinkCall,
+		SinkComposite:     sinkComposite,
+		Sanitizer:         sanitizer,
+		UnorderedCallback: unorderedCallback,
+		InZone:            inZone,
 	}
+}
+
+// unorderedCallback classifies Range-style iterator methods whose callee the
+// engine could not resolve (interface dispatch: utxo.Backend.Range,
+// chain.UTXOStore.Range, sync.Map.Range). Their contract specifies no
+// visiting order, so the callback parameters carry map-order taint exactly
+// like map-range loop variables. Resolved concrete Range methods are
+// excluded upstream: the engine models those bodies precisely, and the map
+// range inside them seeds the taint itself.
+func unorderedCallback(f *dataflow.Func, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Range" {
+		return "", false
+	}
+	return "Range over unordered store", true
 }
 
 // randConstructors are the math/rand entry points that take an explicit

@@ -54,6 +54,11 @@ var DeterministicPrefixes = []string{
 	"bitcoinng/internal/utxo",
 	"bitcoinng/internal/types",
 	"bitcoinng/internal/wire",
+	// Storage sits under the simulated nodes: a wall-clock read here (e.g.
+	// stamping arrival times at Append instead of persisting the caller's)
+	// would leak real time into replayed consensus state.
+	"bitcoinng/internal/store",
+	"bitcoinng/internal/blockstore",
 }
 
 // Deterministic reports whether pkgPath falls in the deterministic zone.

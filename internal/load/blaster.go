@@ -160,8 +160,8 @@ type Confirmation struct {
 func Confirmations(tip *chain.Node) []Confirmation {
 	var out []Confirmation
 	for n := tip; n != nil; n = n.Parent {
-		t := n.Block.Time()
-		for _, tx := range n.Block.Transactions() {
+		t := n.Block().Time()
+		for _, tx := range n.Block().Transactions() {
 			if idx, ok := TxIndex(tx); ok {
 				out = append(out, Confirmation{Index: idx, Time: t})
 			}

@@ -11,11 +11,13 @@ import (
 // relay, and metrics wiring. internal/bitcoin and internal/core embed it and
 // add block production.
 // BlockArchive is the durable-persistence hook: every block accepted into the
-// tree is appended before it is relayed, so a crashed node can be rebuilt
-// from its archive's prefix. blockstore.Mem backs the default sim path and
-// the file-backed blockstore.Store backs cluster/ngnode.
+// tree is appended — with its local arrival time, which the first-seen
+// tie-break consumes on replay — before it is relayed, so a crashed node can
+// be rebuilt from its archive's prefix with the same tie-break inputs. The
+// chain-index backends in internal/store implement it (in-memory for the
+// default sim path, file-backed for cluster/ngnode).
 type BlockArchive interface {
-	Append(types.Block) error
+	Append(b types.Block, receivedAt int64) error
 }
 
 type Base struct {
@@ -127,20 +129,20 @@ func (b *Base) processBlock(blk types.Block, from int, relay bool) *chain.AddRes
 	// peers; withheld blocks skip only the relay).
 	for _, n := range res.Added {
 		if b.Persist != nil {
-			_ = b.Persist.Append(n.Block) // non-fatal: see Persist docs
+			_ = b.Persist.Append(n.Block(), n.ReceivedAt) // non-fatal: see Persist docs
 		}
 		b.Recorder.BlockAccepted(b.Env.NodeID(), now, n.Hash())
 		if relay {
-			b.Gossip.Announce(n.Block, from)
+			b.Gossip.Announce(n.Block(), from)
 		}
 	}
 
 	if res.TipChanged() {
 		for _, n := range res.Disconnected {
-			b.Pool.Reinsert(n.Block.Transactions())
+			b.Pool.Reinsert(n.Block().Transactions())
 		}
 		for _, n := range res.Connected {
-			b.Pool.RemoveConfirmed(n.Block.Transactions())
+			b.Pool.RemoveConfirmed(n.Block().Transactions())
 		}
 		b.Recorder.TipChanged(b.Env.NodeID(), now, b.State.Tip().Hash(),
 			ids(res.Connected), ids(res.Disconnected))

@@ -262,7 +262,7 @@ func (g *Gossip) handleGetData(from int, m *GetDataMsg) {
 		if !ok {
 			continue // we never announce what we don't have; stale request
 		}
-		g.env.Send(from, &BlockMsg{Block: n.Block})
+		g.env.Send(from, &BlockMsg{Block: n.Block()})
 	}
 }
 

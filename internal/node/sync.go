@@ -151,7 +151,7 @@ func (s *Syncer) handleGetBlocks(from int, m *GetBlocksMsg) {
 	}
 	batch := &BlockBatchMsg{Blocks: make([]types.Block, 0, end-start), More: more}
 	for _, n := range mc[start:end] {
-		batch.Blocks = append(batch.Blocks, n.Block)
+		batch.Blocks = append(batch.Blocks, n.Block())
 	}
 	s.env.Send(from, batch)
 }

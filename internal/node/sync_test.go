@@ -83,7 +83,7 @@ func TestSyncTimeoutRotatesPeers(t *testing.T) {
 	extendChain(t, h, 0, key, 3)
 	// Node 1 has the same chain so either source can serve it.
 	for _, bn := range h.bases[0].State.MainChain()[1:] {
-		if _, err := h.bases[1].State.AddBlock(bn.Block, 0); err != nil {
+		if _, err := h.bases[1].State.AddBlock(bn.Block(), 0); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -15,6 +15,7 @@ package protocol
 import (
 	"fmt"
 
+	"bitcoinng/internal/chain"
 	"bitcoinng/internal/crypto"
 	"bitcoinng/internal/node"
 	"bitcoinng/internal/strategy"
@@ -70,6 +71,10 @@ type Spec struct {
 	// connect cache stays shareable across strategies. Protocols without
 	// strategic freedom ignore it.
 	Strategy strategy.Strategy
+	// UTXO, when set, is the node's ledger storage backend (internal/store
+	// builds them from a locator); it must be empty or freshly Reset, since
+	// the chain applies genesis into it. nil keeps the in-memory set.
+	UTXO chain.UTXOStore
 }
 
 // Client is a running consensus protocol node: the surface every harness

@@ -1,0 +1,147 @@
+// Package store is the pluggable persistence layer under a node: ledger
+// (UTXO) storage and the chain index (block bodies + arrival times), each
+// with an in-memory and a file-backed implementation selected through one
+// URL-style locator. The file backends keep the working set on disk behind a
+// bounded page cache, so total chain state can exceed process RAM; the
+// in-memory backends are the original RAM-bound fast path.
+//
+// Both implementations of each interface must behave identically at the
+// consensus surface — the chaos differential replays whole experiments
+// across backends and byte-compares the reports — and the parity linter
+// holds their method sets structurally in sync.
+package store
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"bitcoinng/internal/crypto"
+	"bitcoinng/internal/types"
+	"bitcoinng/internal/utxo"
+)
+
+// UTXO is the full lifecycle surface of a pluggable ledger store: the
+// chain.UTXOStore contract (stated structurally here to keep this package
+// below the chain layer) plus the lifecycle the harnesses drive. *utxo.Set
+// satisfies it in memory; FileUTXO is the beyond-RAM implementation.
+type UTXO interface {
+	Lookup(op types.OutPoint) (utxo.Entry, bool)
+	Len() int
+	Range(fn func(op types.OutPoint, e utxo.Entry) bool)
+	BalanceOf(addr crypto.Address) types.Amount
+	Poisoned(coinbaseID crypto.Hash) bool
+	ApplyBlock(txs []*types.Transaction, ctx utxo.BlockContext) (*utxo.Delta, []types.Amount, error)
+	RedoBlock(d *utxo.Delta, at utxo.BlockRef)
+	UndoBlock(d *utxo.Delta, at utxo.BlockRef)
+	Stats() utxo.Stats
+
+	// Reset drops all state; the restart path resets before replaying the
+	// durable chain prefix so a half-synced store never double-applies.
+	Reset() error
+	// Sync flushes buffered state to stable storage (and lets file backends
+	// take periodic checkpoints); call it at quiescent boundaries.
+	Sync() error
+	// Close releases resources; the store is unusable afterwards.
+	Close() error
+}
+
+// ChainIndex is a node's durable chain archive: every accepted block in
+// append order together with its local arrival time. The arrival time is
+// part of consensus-visible state — the first-seen tie-break reads it — so a
+// reopened index must replay the same (block, receivedAt) pairs the first
+// life recorded, or the rebuilt node would break ties differently than it
+// did before the restart.
+type ChainIndex interface {
+	// Append persists a block with its arrival time. Appending an
+	// already-stored block is a no-op that keeps the original time (the
+	// first-seen rule is exactly about the FIRST arrival).
+	Append(b types.Block, receivedAt int64) error
+	// Get loads a block by hash.
+	Get(h crypto.Hash) (types.Block, error)
+	// Contains reports whether the block is stored.
+	Contains(h crypto.Hash) bool
+	// Len returns the number of stored blocks.
+	Len() int
+	// Hashes returns the stored block hashes in append order.
+	Hashes() []crypto.Hash
+	// ReceivedAt returns the recorded arrival time for a stored block.
+	ReceivedAt(h crypto.Hash) (int64, bool)
+	// Replay streams every stored block in append order with its recorded
+	// arrival time. Iteration stops at the first callback error.
+	Replay(fn func(b types.Block, receivedAt int64) error) error
+	// Sync flushes appended records to stable storage.
+	Sync() error
+	// Close releases resources.
+	Close() error
+}
+
+// Factory builds per-node stores from one URL-style locator:
+//
+//	mem:             in-memory backends (the default)
+//	file:<dir>       file backends rooted at <dir>
+//	file:            file backends in a fresh temporary directory that
+//	                 Close removes — the chaos differential's throwaway mode
+//
+// Every store a factory hands out is independent; Close closes the factory's
+// bookkeeping only (per-store Close is the owner's job), plus the temporary
+// root when the factory created one.
+type Factory struct {
+	dir       string // empty for mem:
+	ephemeral bool   // dir was created by NewFactory and is removed on Close
+}
+
+// NewFactory parses the locator. An empty string means "mem:".
+func NewFactory(url string) (*Factory, error) {
+	switch {
+	case url == "" || url == "mem:" || url == "mem":
+		return &Factory{}, nil
+	case strings.HasPrefix(url, "file:"):
+		dir := strings.TrimPrefix(url, "file:")
+		if dir == "" {
+			tmp, err := os.MkdirTemp("", "ngstore-")
+			if err != nil {
+				return nil, fmt.Errorf("store: temp root: %w", err)
+			}
+			return &Factory{dir: tmp, ephemeral: true}, nil
+		}
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("store: root %s: %w", dir, err)
+		}
+		return &Factory{dir: dir}, nil
+	default:
+		return nil, fmt.Errorf("store: unknown locator %q (want mem: or file:<dir>)", url)
+	}
+}
+
+// InMemory reports whether the factory hands out RAM-bound stores.
+func (f *Factory) InMemory() bool { return f.dir == "" }
+
+// Dir returns the file root ("" for mem:).
+func (f *Factory) Dir() string { return f.dir }
+
+// NewUTXO builds the named ledger store.
+func (f *Factory) NewUTXO(name string) (UTXO, error) {
+	if f.dir == "" {
+		return utxo.New(), nil
+	}
+	return OpenFileUTXO(f.dir, name, 0)
+}
+
+// NewChainIndex builds the named chain index.
+func (f *Factory) NewChainIndex(name string) (ChainIndex, error) {
+	if f.dir == "" {
+		return NewMemIndex(), nil
+	}
+	return OpenFileIndex(f.dir, name)
+}
+
+// Close removes the temporary root when the factory created one.
+func (f *Factory) Close() error {
+	if f.ephemeral && f.dir != "" {
+		dir := f.dir
+		f.dir = ""
+		return os.RemoveAll(dir)
+	}
+	return nil
+}

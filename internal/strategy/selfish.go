@@ -91,7 +91,7 @@ func (s *Selfish) OnOwnBlockAdded(v View, n *chain.Node, act Action) {
 // OnExternalBlock implements Strategy: advance the public view and run the
 // release rules.
 func (s *Selfish) OnExternalBlock(v View, n *chain.Node) []types.Block {
-	if n.Block.Kind() == types.KindMicro {
+	if n.Block().Kind() == types.KindMicro {
 		return nil // no weight: the race standings are unchanged
 	}
 	if s.publicBest == nil || n.Weight.Cmp(s.publicBest.Weight) > 0 {
@@ -142,7 +142,7 @@ func (s *Selfish) takePrivate(upTo uint64) []types.Block {
 	var out []types.Block
 	i := 0
 	for ; i < len(s.private) && s.private[i].KeyHeight <= upTo; i++ {
-		out = append(out, s.private[i].Block)
+		out = append(out, s.private[i].Block())
 	}
 	s.private = s.private[i:]
 	return out

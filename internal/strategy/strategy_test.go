@@ -22,27 +22,24 @@ func (v fakeView) Leading() bool    { return v.leading }
 // keyNode builds a synthetic key-block tree node: strategies only read
 // Parent, KeyAncestor, KeyHeight, Weight, and the block kind.
 func keyNode(parent *chain.Node, keyHeight uint64, weight int64) *chain.Node {
-	n := &chain.Node{
-		Block: &types.KeyBlock{
-			Header:       types.KeyBlockHeader{TimeNanos: int64(keyHeight)*1e9 + weight},
-			SimulatedPoW: true,
-		},
-		Parent:    parent,
-		KeyHeight: keyHeight,
-		Weight:    big.NewInt(weight),
-	}
+	n := chain.DetachedNode(&types.KeyBlock{
+		Header:       types.KeyBlockHeader{TimeNanos: int64(keyHeight)*1e9 + weight},
+		SimulatedPoW: true,
+	})
+	n.Parent = parent
+	n.KeyHeight = keyHeight
+	n.Weight = big.NewInt(weight)
 	n.KeyAncestor = n
 	return n
 }
 
 func microNode(parent *chain.Node) *chain.Node {
-	return &chain.Node{
-		Block:       &types.MicroBlock{Header: types.MicroBlockHeader{TimeNanos: int64(parent.KeyHeight) * 7}},
-		Parent:      parent,
-		KeyHeight:   parent.KeyHeight,
-		Weight:      parent.Weight,
-		KeyAncestor: parent.KeyAncestor,
-	}
+	n := chain.DetachedNode(&types.MicroBlock{Header: types.MicroBlockHeader{TimeNanos: int64(parent.KeyHeight) * 7}})
+	n.Parent = parent
+	n.KeyHeight = parent.KeyHeight
+	n.Weight = parent.Weight
+	n.KeyAncestor = parent.KeyAncestor
+	return n
 }
 
 func TestRegistry(t *testing.T) {
@@ -133,7 +130,7 @@ func TestSelfishWithholdAndRace(t *testing.T) {
 
 	// Found a key block: withhold, mine on it.
 	a1 := keyNode(pub, 1, 1)
-	if act := s.OnKeyBlockMined(v, a1.Block.(*types.KeyBlock)); act != Withhold {
+	if act := s.OnKeyBlockMined(v, a1.Block().(*types.KeyBlock)); act != Withhold {
 		t.Fatalf("first find action = %v, want withhold", act)
 	}
 	s.OnOwnBlockAdded(v, a1, Withhold)
@@ -143,7 +140,7 @@ func TestSelfishWithholdAndRace(t *testing.T) {
 
 	// Private microblocks stay private and extend the segment.
 	m1 := microNode(a1)
-	if act := s.OnMicroBlockMined(v, m1.Block.(*types.MicroBlock)); act != Withhold {
+	if act := s.OnMicroBlockMined(v, m1.Block().(*types.MicroBlock)); act != Withhold {
 		t.Fatalf("private microblock action = %v, want withhold", act)
 	}
 	s.OnOwnBlockAdded(v, m1, Withhold)
@@ -156,7 +153,7 @@ func TestSelfishWithholdAndRace(t *testing.T) {
 	// Honest matches our weight: release everything, race.
 	h1 := keyNode(pub, 1, 1)
 	rel := s.OnExternalBlock(v, h1)
-	if len(rel) != 2 || rel[0] != a1.Block || rel[1] != m1.Block {
+	if len(rel) != 2 || rel[0] != a1.Block() || rel[1] != m1.Block() {
 		t.Fatalf("race release = %v, want [a1, m1]", rel)
 	}
 	if !s.racing {
@@ -169,7 +166,7 @@ func TestSelfishWithholdAndRace(t *testing.T) {
 
 	// Winning the race by mining: publish instantly, state resets.
 	a2 := keyNode(m1, 2, 2)
-	if act := s.OnKeyBlockMined(v, a2.Block.(*types.KeyBlock)); act != Publish {
+	if act := s.OnKeyBlockMined(v, a2.Block().(*types.KeyBlock)); act != Publish {
 		t.Fatalf("race-winning find action = %v, want publish", act)
 	}
 	if s.racing || s.privateTip != nil || len(s.private) != 0 {
@@ -185,12 +182,12 @@ func TestSelfishLeadTwoWinsOutright(t *testing.T) {
 	a1 := keyNode(pub, 1, 1)
 	a2 := keyNode(a1, 2, 2)
 	for _, n := range []*chain.Node{a1, a2} {
-		s.OnKeyBlockMined(v, n.Block.(*types.KeyBlock))
+		s.OnKeyBlockMined(v, n.Block().(*types.KeyBlock))
 		s.OnOwnBlockAdded(v, n, Withhold)
 	}
 	// Honest reaches weight 1: we are one ahead after releasing all.
 	rel := s.OnExternalBlock(v, keyNode(pub, 1, 1))
-	if len(rel) != 2 || rel[0] != a1.Block || rel[1] != a2.Block {
+	if len(rel) != 2 || rel[0] != a1.Block() || rel[1] != a2.Block() {
 		t.Fatalf("lead-2 release = %v, want the full private chain", rel)
 	}
 	if s.privateTip != nil || s.racing {
@@ -214,7 +211,7 @@ func TestSelfishLongLeadReleasesIncrementally(t *testing.T) {
 	// Honest reaches key height 1 (lead 2): release just the first private
 	// epoch, keep the rest secret.
 	rel := s.OnExternalBlock(v, keyNode(pub, 1, 1))
-	if len(rel) != 2 || rel[0] != a1.Block || rel[1] != m1.Block {
+	if len(rel) != 2 || rel[0] != a1.Block() || rel[1] != m1.Block() {
 		t.Fatalf("incremental release = %v, want [a1, m1]", rel)
 	}
 	if s.privateTip != a3 || len(s.private) != 2 {
@@ -222,7 +219,7 @@ func TestSelfishLongLeadReleasesIncrementally(t *testing.T) {
 	}
 	// Honest reaches weight 2 (lead 1): release the rest and win outright.
 	rel = s.OnExternalBlock(v, keyNode(pub, 2, 2))
-	if len(rel) != 2 || rel[0] != a2.Block || rel[1] != a3.Block {
+	if len(rel) != 2 || rel[0] != a2.Block() || rel[1] != a3.Block() {
 		t.Fatalf("final release = %v, want [a2, a3]", rel)
 	}
 	if s.privateTip != nil {
@@ -268,7 +265,7 @@ func TestSelfishUnequalWeightsLead(t *testing.T) {
 	// a lower height.
 	h3 := keyNode(keyNode(keyNode(pub, 1, 2), 2, 3), 3, 4)
 	rel := s.OnExternalBlock(v, h3)
-	if len(rel) != 1 || rel[0] != heavy.Block {
+	if len(rel) != 1 || rel[0] != heavy.Block() {
 		t.Fatalf("release = %v, want the full private chain", rel)
 	}
 	if s.privateTip != nil || len(s.private) != 0 || s.racing {

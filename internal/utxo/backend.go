@@ -1,0 +1,174 @@
+package utxo
+
+import (
+	"bitcoinng/internal/crypto"
+	"bitcoinng/internal/types"
+)
+
+// Backend is the storage engine under a Set: a mutable map from outpoint to
+// entry plus the poisoned-coinbase side set. The Set owns all validation and
+// delta bookkeeping; a backend only stores. Implementations need not be safe
+// for concurrent use — the owning Set serializes access.
+//
+// The in-memory backend lives here; internal/store adds a file-backed paged
+// table so the set can exceed process RAM. Both must behave identically for
+// every method below (the chaos differential replays whole experiments across
+// backends and byte-compares the reports).
+type Backend interface {
+	// Get returns the entry for op, if present.
+	Get(op types.OutPoint) (Entry, bool)
+	// Put inserts or overwrites the entry for op.
+	Put(op types.OutPoint, e Entry)
+	// Delete removes the entry for op; deleting a missing entry is a no-op.
+	Delete(op types.OutPoint)
+	// Len returns the number of stored entries.
+	Len() int
+	// Range iterates entries in backend-specific (but run-deterministic)
+	// order until fn returns false. Callers must not mutate during iteration.
+	Range(fn func(op types.OutPoint, e Entry) bool)
+	// Poisoned reports whether the coinbase txid is in the poisoned set.
+	Poisoned(id crypto.Hash) bool
+	// SetPoisoned adds (on) or removes (!on) a coinbase txid from the
+	// poisoned set.
+	SetPoisoned(id crypto.Hash, on bool)
+	// Snapshot returns an isolated copy: mutations on either side must not
+	// be visible on the other (staged branch validation depends on it).
+	Snapshot() Backend
+	// Reset drops all entries and poison marks, returning the backend to
+	// its empty state (restart-replay begins here).
+	Reset() error
+	// Sync flushes buffered mutations to stable storage (no-op in memory).
+	Sync() error
+	// Close releases resources; the backend is unusable afterwards.
+	Close() error
+	// Stats returns cumulative operation counters.
+	Stats() Stats
+}
+
+// Stats counts backend operations. All fields are cumulative since
+// construction (Reset does not zero them); samplers subtract snapshots.
+// Counters are deterministic functions of the operation sequence — no
+// timings — so they can be surfaced in metrics without perturbing the
+// engine-differential digests.
+type Stats struct {
+	// Logical entry operations.
+	Gets, Puts, Deletes uint64
+	// Page-cache hits/misses (file backends; zero in memory).
+	CacheHits, CacheMisses uint64
+	// Pages transferred to/from disk.
+	PageReads, PageWrites uint64
+	// Journal appends (file backends).
+	JournalRecords, JournalBytes uint64
+	// Checkpoints written (file backends).
+	Checkpoints uint64
+}
+
+// Add accumulates other into s, for aggregating per-node stats fleet-wide.
+func (s *Stats) Add(o Stats) {
+	s.Gets += o.Gets
+	s.Puts += o.Puts
+	s.Deletes += o.Deletes
+	s.CacheHits += o.CacheHits
+	s.CacheMisses += o.CacheMisses
+	s.PageReads += o.PageReads
+	s.PageWrites += o.PageWrites
+	s.JournalRecords += o.JournalRecords
+	s.JournalBytes += o.JournalBytes
+	s.Checkpoints += o.Checkpoints
+}
+
+// Sub returns s - o, for turning cumulative counters into per-interval
+// deltas at the harness's quiescent sampling boundaries.
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{
+		Gets:           s.Gets - o.Gets,
+		Puts:           s.Puts - o.Puts,
+		Deletes:        s.Deletes - o.Deletes,
+		CacheHits:      s.CacheHits - o.CacheHits,
+		CacheMisses:    s.CacheMisses - o.CacheMisses,
+		PageReads:      s.PageReads - o.PageReads,
+		PageWrites:     s.PageWrites - o.PageWrites,
+		JournalRecords: s.JournalRecords - o.JournalRecords,
+		JournalBytes:   s.JournalBytes - o.JournalBytes,
+		Checkpoints:    s.Checkpoints - o.Checkpoints,
+	}
+}
+
+// memBackend is the original map-based storage: fastest, RAM-bound.
+type memBackend struct {
+	entries  map[types.OutPoint]Entry
+	poisoned map[crypto.Hash]bool
+	stats    Stats
+}
+
+// NewMemBackend returns an empty in-memory backend.
+func NewMemBackend() Backend {
+	return &memBackend{
+		entries:  make(map[types.OutPoint]Entry),
+		poisoned: make(map[crypto.Hash]bool),
+	}
+}
+
+func (m *memBackend) Get(op types.OutPoint) (Entry, bool) {
+	m.stats.Gets++
+	e, ok := m.entries[op]
+	return e, ok
+}
+
+func (m *memBackend) Put(op types.OutPoint, e Entry) {
+	m.stats.Puts++
+	m.entries[op] = e
+}
+
+func (m *memBackend) Delete(op types.OutPoint) {
+	m.stats.Deletes++
+	delete(m.entries, op)
+}
+
+func (m *memBackend) Len() int { return len(m.entries) }
+
+func (m *memBackend) Range(fn func(op types.OutPoint, e Entry) bool) {
+	for op, e := range m.entries {
+		if !fn(op, e) {
+			return
+		}
+	}
+}
+
+func (m *memBackend) Poisoned(id crypto.Hash) bool { return m.poisoned[id] }
+
+func (m *memBackend) SetPoisoned(id crypto.Hash, on bool) {
+	if on {
+		m.poisoned[id] = true
+	} else {
+		delete(m.poisoned, id)
+	}
+}
+
+// Snapshot deep-copies both maps. The poisoned set is copied too — sharing
+// it would let a staged branch's poison transaction leak into the active
+// state (and vice versa), silently rejecting valid poisons after a reorg.
+func (m *memBackend) Snapshot() Backend {
+	c := &memBackend{
+		entries:  make(map[types.OutPoint]Entry, len(m.entries)),
+		poisoned: make(map[crypto.Hash]bool, len(m.poisoned)),
+	}
+	for op, e := range m.entries {
+		c.entries[op] = e
+	}
+	for id := range m.poisoned {
+		c.poisoned[id] = true
+	}
+	return c
+}
+
+func (m *memBackend) Reset() error {
+	m.entries = make(map[types.OutPoint]Entry)
+	m.poisoned = make(map[crypto.Hash]bool)
+	return nil
+}
+
+func (m *memBackend) Sync() error  { return nil }
+func (m *memBackend) Close() error { return nil }
+
+func (m *memBackend) Stats() Stats { return m.stats }

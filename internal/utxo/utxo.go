@@ -3,6 +3,11 @@
 // atomic block application, undo records for chain reorganizations, coinbase
 // maturity, and Bitcoin-NG poison revocation of fraudulent leader revenue
 // (§4.5).
+//
+// Storage is pluggable: the Set holds all validation and delta bookkeeping
+// and delegates raw entry storage to a Backend (in-memory here, file-backed
+// paged table in internal/store), so chain state can exceed process RAM
+// without the consensus logic knowing.
 package utxo
 
 import (
@@ -42,6 +47,13 @@ var (
 	ErrDuplicateOutput = errors.New("utxo: output already exists")
 )
 
+// BlockRef identifies the block a delta belongs to, so journaling backends
+// can label op-log records. The in-memory path ignores it.
+type BlockRef struct {
+	Block  crypto.Hash
+	Parent crypto.Hash
+}
+
 // BlockContext carries the contextual information ApplyBlock needs.
 type BlockContext struct {
 	// Height is the key-height of the block being applied (microblocks use
@@ -54,69 +66,68 @@ type BlockContext struct {
 	// the mapping from the evidence (culprit key block → its coinbase)
 	// after verifying the fraud proof.
 	PoisonTargets map[crypto.Hash]crypto.Hash
+	// Ref identifies the block being applied (zero for contexts built by
+	// tests that never journal). File-backed stores record it in the op
+	// log; the in-memory set ignores it.
+	Ref BlockRef
 }
 
 // Set is the UTXO set. It is not safe for concurrent use; each protocol node
 // owns one (or a small number, for staging branch validation).
 type Set struct {
-	entries  map[types.OutPoint]Entry
-	poisoned map[crypto.Hash]bool // coinbase txids already revoked
+	be Backend
 }
 
-// New returns an empty set.
-func New() *Set {
-	return &Set{
-		entries:  make(map[types.OutPoint]Entry),
-		poisoned: make(map[crypto.Hash]bool),
-	}
-}
+// New returns an empty set over the in-memory backend.
+func New() *Set { return NewWith(NewMemBackend()) }
+
+// NewWith returns a set over the given storage backend.
+func NewWith(be Backend) *Set { return &Set{be: be} }
 
 // Len returns the number of unspent entries.
-func (s *Set) Len() int { return len(s.entries) }
+func (s *Set) Len() int { return s.be.Len() }
 
 // Lookup returns the entry for op, if present.
-func (s *Set) Lookup(op types.OutPoint) (Entry, bool) {
-	e, ok := s.entries[op]
-	return e, ok
-}
+func (s *Set) Lookup(op types.OutPoint) (Entry, bool) { return s.be.Get(op) }
 
 // Range iterates the unspent entries in unspecified order until fn returns
-// false. Callers must not mutate the set during iteration.
-func (s *Set) Range(fn func(op types.OutPoint, e Entry) bool) {
-	for op, e := range s.entries {
-		if !fn(op, e) {
-			return
-		}
-	}
-}
+// false. Callers must not mutate the set during iteration. Consumers that
+// need an order (wallets, reports) must sort — the order differs between
+// backends even within one run.
+func (s *Set) Range(fn func(op types.OutPoint, e Entry) bool) { s.be.Range(fn) }
 
 // BalanceOf sums the spendable (non-revoked) value paid to addr. It is a
 // linear scan intended for wallets and tests, not consensus.
 func (s *Set) BalanceOf(addr crypto.Address) types.Amount {
 	var sum types.Amount
-	for _, e := range s.entries {
+	s.be.Range(func(_ types.OutPoint, e Entry) bool {
 		if e.To == addr && !e.Revoked {
 			sum += e.Value
 		}
-	}
+		return true
+	})
 	return sum
 }
 
-// Clone returns a deep copy, used to stage validation of a candidate branch
-// without touching the active state.
-func (s *Set) Clone() *Set {
-	c := &Set{
-		entries:  make(map[types.OutPoint]Entry, len(s.entries)),
-		poisoned: make(map[crypto.Hash]bool, len(s.poisoned)),
-	}
-	for op, e := range s.entries {
-		c.entries[op] = e
-	}
-	for id := range s.poisoned {
-		c.poisoned[id] = true
-	}
-	return c
-}
+// Clone returns an isolated snapshot, used to stage validation of a
+// candidate branch without touching the active state. Mutations on the
+// clone never reach the original and vice versa; how that isolation is
+// achieved (deep copy, copy-on-write overlay) is the backend's business.
+func (s *Set) Clone() *Set { return &Set{be: s.be.Snapshot()} }
+
+// Reset drops all entries and poison marks, returning the set to its empty
+// state. The restart path resets before replaying the durable chain prefix
+// so a half-synced store can never double-apply.
+func (s *Set) Reset() error { return s.be.Reset() }
+
+// Sync flushes buffered state to stable storage (no-op in memory).
+func (s *Set) Sync() error { return s.be.Sync() }
+
+// Close releases backend resources; the set is unusable afterwards.
+func (s *Set) Close() error { return s.be.Close() }
+
+// Stats returns the backend's cumulative operation counters.
+func (s *Set) Stats() Stats { return s.be.Stats() }
 
 // Delta op kinds.
 const (
@@ -153,7 +164,7 @@ func (d *Delta) Ops() int { return len(d.ops) }
 // given context and returns the entry.
 func (s *Set) checkSpend(tx *types.Transaction, i int, ctx *BlockContext) (Entry, error) {
 	in := &tx.Inputs[i]
-	e, ok := s.entries[in.Prev]
+	e, ok := s.be.Get(in.Prev)
 	if !ok {
 		return Entry{}, fmt.Errorf("%w: %v", ErrMissingInput, in.Prev)
 	}
@@ -192,7 +203,7 @@ func (s *Set) applyTx(tx *types.Transaction, ctx *BlockContext, d *Delta) (fee t
 			}
 			inSum += e.Value
 			d.ops = append(d.ops, deltaOp{kind: opSpend, op: tx.Inputs[i].Prev, entry: e})
-			delete(s.entries, tx.Inputs[i].Prev)
+			s.be.Delete(tx.Inputs[i].Prev)
 		}
 		outSum := tx.OutputSum()
 		if outSum > inSum {
@@ -206,7 +217,7 @@ func (s *Set) applyTx(tx *types.Transaction, ctx *BlockContext, d *Delta) (fee t
 	isCoinbase := tx.Kind == types.TxCoinbase && ctx.Height > 0
 	for i := range tx.Outputs {
 		op := types.OutPoint{TxID: txid, Index: uint32(i)}
-		if _, exists := s.entries[op]; exists {
+		if _, exists := s.be.Get(op); exists {
 			return 0, fmt.Errorf("%w: %v", ErrDuplicateOutput, op)
 		}
 		e := Entry{
@@ -215,7 +226,7 @@ func (s *Set) applyTx(tx *types.Transaction, ctx *BlockContext, d *Delta) (fee t
 			Coinbase: isCoinbase,
 			Height:   ctx.Height,
 		}
-		s.entries[op] = e
+		s.be.Put(op, e)
 		d.ops = append(d.ops, deltaOp{kind: opCreate, op: op, entry: e})
 	}
 	return fee, nil
@@ -230,26 +241,29 @@ func (s *Set) applyPoison(tx *types.Transaction, txid crypto.Hash, ctx *BlockCon
 	if !ok {
 		return fmt.Errorf("%w: poison %s", ErrUnknownCulprit, txid.Short())
 	}
-	if s.poisoned[culpritCB] {
+	if s.be.Poisoned(culpritCB) {
 		// "Only one poison transaction can be placed per cheater."
 		return fmt.Errorf("%w: coinbase %s", ErrAlreadyPoisoned, culpritCB.Short())
 	}
 	// Collect the revocable outputs first and sort them: the delta op log
-	// is ordered (undo replays it back to front), so appending in map
+	// is ordered (undo replays it back to front), so appending in backend
 	// iteration order would make the log — and anything derived from it —
-	// differ run to run for the same (config, seed).
+	// differ run to run for the same (config, seed). A coinbase has a
+	// handful of outputs, so the full-set scan is acceptable even on the
+	// paged file backend (poison transactions are rare by construction).
 	var revoke []types.OutPoint
-	for op, e := range s.entries {
+	s.be.Range(func(op types.OutPoint, e Entry) bool {
 		if op.TxID == culpritCB && !e.Revoked {
 			revoke = append(revoke, op)
 		}
-	}
+		return true
+	})
 	sort.Slice(revoke, func(i, j int) bool { return revoke[i].Index < revoke[j].Index })
 	var revokedValue types.Amount
 	for _, op := range revoke {
-		e := s.entries[op]
+		e, _ := s.be.Get(op)
 		e.Revoked = true
-		s.entries[op] = e
+		s.be.Put(op, e)
 		d.ops = append(d.ops, deltaOp{kind: opRevoke, op: op})
 		revokedValue += e.Value
 	}
@@ -257,7 +271,7 @@ func (s *Set) applyPoison(tx *types.Transaction, txid crypto.Hash, ctx *BlockCon
 	if tx.OutputSum() > reward {
 		return fmt.Errorf("%w: %d > %d", ErrExcessReward, tx.OutputSum(), reward)
 	}
-	s.poisoned[culpritCB] = true
+	s.be.SetPoisoned(culpritCB, true)
 	d.ops = append(d.ops, deltaOp{kind: opPoison, op: types.OutPoint{TxID: culpritCB}})
 	return nil
 }
@@ -274,7 +288,7 @@ func (s *Set) ApplyBlock(txs []*types.Transaction, ctx BlockContext) (*Delta, []
 	for i, tx := range txs {
 		fee, err := s.applyTx(tx, &ctx, d)
 		if err != nil {
-			s.UndoBlock(d)
+			s.UndoBlock(d, ctx.Ref)
 			return nil, nil, fmt.Errorf("block tx %d: %w", i, err)
 		}
 		fees[i] = fee
@@ -287,52 +301,54 @@ func (s *Set) ApplyBlock(txs []*types.Transaction, ctx BlockContext) (*Delta, []
 // delta was recorded against — the connect cache guarantees this by content
 // addressing (equal block hash implies equal history below it). A missing
 // spend target means that guarantee was broken and panics: serving a
-// corrupted ledger is worse than crashing.
-func (s *Set) RedoBlock(d *Delta) {
+// corrupted ledger is worse than crashing. `at` names the block the delta
+// came from, for journaling backends.
+func (s *Set) RedoBlock(d *Delta, at BlockRef) {
 	for i := range d.ops {
 		op := &d.ops[i]
 		switch op.kind {
 		case opCreate:
-			s.entries[op.op] = op.entry
+			s.be.Put(op.op, op.entry)
 		case opSpend:
-			if _, ok := s.entries[op.op]; !ok {
+			if _, ok := s.be.Get(op.op); !ok {
 				panic(fmt.Sprintf("utxo: redo spends missing entry %v", op.op))
 			}
-			delete(s.entries, op.op)
+			s.be.Delete(op.op)
 		case opRevoke:
-			e, ok := s.entries[op.op]
+			e, ok := s.be.Get(op.op)
 			if !ok {
 				panic(fmt.Sprintf("utxo: redo revokes missing entry %v", op.op))
 			}
 			e.Revoked = true
-			s.entries[op.op] = e
+			s.be.Put(op.op, e)
 		case opPoison:
-			s.poisoned[op.op.TxID] = true
+			s.be.SetPoisoned(op.op.TxID, true)
 		}
 	}
 }
 
 // UndoBlock reverses a block application. Deltas must be undone in reverse
-// order of the blocks they came from.
-func (s *Set) UndoBlock(d *Delta) {
+// order of the blocks they came from. `at` names the block being undone,
+// for journaling backends.
+func (s *Set) UndoBlock(d *Delta, at BlockRef) {
 	for i := len(d.ops) - 1; i >= 0; i-- {
 		op := &d.ops[i]
 		switch op.kind {
 		case opCreate:
-			delete(s.entries, op.op)
+			s.be.Delete(op.op)
 		case opSpend:
-			s.entries[op.op] = op.entry
+			s.be.Put(op.op, op.entry)
 		case opRevoke:
-			if e, ok := s.entries[op.op]; ok {
+			if e, ok := s.be.Get(op.op); ok {
 				e.Revoked = false
-				s.entries[op.op] = e
+				s.be.Put(op.op, e)
 			}
 		case opPoison:
-			delete(s.poisoned, op.op.TxID)
+			s.be.SetPoisoned(op.op.TxID, false)
 		}
 	}
 }
 
 // Poisoned reports whether the coinbase txid has been revoked by a poison
 // transaction.
-func (s *Set) Poisoned(coinbaseID crypto.Hash) bool { return s.poisoned[coinbaseID] }
+func (s *Set) Poisoned(coinbaseID crypto.Hash) bool { return s.be.Poisoned(coinbaseID) }

@@ -191,7 +191,7 @@ func TestUndoRestoresExactState(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s.UndoBlock(undo)
+	s.UndoBlock(undo, BlockRef{})
 
 	if s.Len() != snapshot.Len() {
 		t.Fatalf("len after undo = %d, want %d", s.Len(), snapshot.Len())
@@ -239,7 +239,7 @@ func TestApplyUndoIdentityProperty(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		s.UndoBlock(undo)
+		s.UndoBlock(undo, BlockRef{})
 		if s.Len() != snapshot.Len() {
 			return false
 		}
@@ -305,7 +305,7 @@ func TestPoisonRevocation(t *testing.T) {
 	}
 
 	// Undo restores spendability.
-	s.UndoBlock(undo)
+	s.UndoBlock(undo, BlockRef{})
 	if e, _ := s.Lookup(op); e.Revoked {
 		t.Error("undo did not clear revocation")
 	}
@@ -400,5 +400,88 @@ func TestCloneIsolation(t *testing.T) {
 	}
 	if _, ok := s.Lookup(ops[0]); !ok {
 		t.Error("mutating clone affected original")
+	}
+}
+
+// TestCloneMutationIsolation pins the Set.Clone contract in both directions
+// and for both kinds of state a snapshot can alias: the entry table and the
+// poison-mark set. A branch staged on a clone must never bleed into the
+// active state, and the active state must never bleed into an outstanding
+// clone — either leak silently corrupts reorg validation.
+func TestCloneMutationIsolation(t *testing.T) {
+	owner := testKey(t, 20)
+	params := types.DefaultParams()
+	s := New()
+	cb := &types.Transaction{
+		Kind: types.TxCoinbase,
+		Outputs: []types.TxOutput{
+			{Value: 1000, To: owner.Public().Addr()},
+			{Value: 500, To: owner.Public().Addr()},
+		},
+		Height: 1,
+	}
+	if _, _, err := s.ApplyBlock([]*types.Transaction{cb}, BlockContext{Height: 1, Params: params}); err != nil {
+		t.Fatal(err)
+	}
+
+	clone := s.Clone()
+	op0 := types.OutPoint{TxID: cb.ID(), Index: 0}
+	op1 := types.OutPoint{TxID: cb.ID(), Index: 1}
+	far := BlockContext{Height: 500, Params: params}
+
+	// Clone → original: spending op0 on the clone must leave the original's
+	// entry untouched.
+	if _, _, err := clone.ApplyBlock([]*types.Transaction{spendTx(owner, op0, 1000, crypto.Address{9}, 0)}, far); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := clone.Lookup(op0); ok {
+		t.Fatal("clone still holds its spent output")
+	}
+	if _, ok := s.Lookup(op0); !ok {
+		t.Error("spend staged on the clone reached the original")
+	}
+
+	// Original → clone: spending op1 on the original must leave the clone's
+	// entry untouched.
+	if _, _, err := s.ApplyBlock([]*types.Transaction{spendTx(owner, op1, 500, crypto.Address{9}, 0)}, far); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := clone.Lookup(op1); !ok {
+		t.Error("spend on the original reached the clone")
+	}
+
+	// Poison marks: a poison staged on the clone must not make the active
+	// state reject the real poison later (ErrAlreadyPoisoned), and poisoning
+	// the active state must not mark the clone.
+	mkPoison := func(n byte) *types.Transaction {
+		return &types.Transaction{
+			Kind:     types.TxPoison,
+			Outputs:  []types.TxOutput{{Value: 25, To: owner.Public().Addr()}},
+			Evidence: &types.PoisonEvidence{Culprit: crypto.Hash{n}},
+		}
+	}
+	p1 := mkPoison(1)
+	if _, _, err := clone.ApplyBlock([]*types.Transaction{p1}, BlockContext{
+		Height: 501, Params: params,
+		PoisonTargets: map[crypto.Hash]crypto.Hash{p1.ID(): cb.ID()},
+	}); err != nil {
+		t.Fatalf("poison on clone: %v", err)
+	}
+	if !clone.Poisoned(cb.ID()) {
+		t.Fatal("clone not poisoned after applying poison")
+	}
+	if s.Poisoned(cb.ID()) {
+		t.Error("poison staged on the clone marked the original")
+	}
+	p2 := mkPoison(2)
+	if _, _, err := s.ApplyBlock([]*types.Transaction{p2}, BlockContext{
+		Height: 502, Params: params,
+		PoisonTargets: map[crypto.Hash]crypto.Hash{p2.ID(): cb.ID()},
+	}); err != nil {
+		t.Fatalf("poison on original after staged clone poison: %v", err)
+	}
+	clone2 := s.Clone()
+	if !clone2.Poisoned(cb.ID()) {
+		t.Error("fresh clone lost the original's poison mark")
 	}
 }

@@ -101,7 +101,7 @@ func applyViaBlock(t *testing.T, st *chain.State, tx *types.Transaction) types.A
 		Header: types.PowHeader{
 			Prev:       st.Tip().Hash(),
 			MerkleRoot: crypto.MerkleRoot(types.TxIDs(txs)),
-			TimeNanos:  st.Tip().Block.Time() + 1,
+			TimeNanos:  st.Tip().Block().Time() + 1,
 			Target:     crypto.EasiestTarget,
 		},
 		Txs:          txs,

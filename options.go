@@ -32,6 +32,8 @@ type options struct {
 	invariants    []invariant.Invariant
 	invInterval   time.Duration
 	stateDir      string
+	storeURL      string
+	compactDepth  uint64
 }
 
 func defaultOptions() options {
@@ -124,11 +126,27 @@ func WithInvariants(invs ...Invariant) Option {
 }
 
 // WithStateDir gives every cluster node a file-backed durable block archive
-// at dir/node-<i>.blocks: Crash/Restart recover from disk, and a second
-// cluster built over the same directory (same seed and size) resumes from
-// the persisted prefixes like a process restart. Clusters only; experiments
-// keep in-memory archives for speed.
+// at dir/node-<i>.blocks (plus its arrival-time sidecar): Crash/Restart
+// recover from disk, and a second cluster built over the same directory
+// (same seed and size) resumes from the persisted prefixes like a process
+// restart. Shorthand for WithStore("file:"+dir); WithStore wins when both
+// are given. Clusters only; experiments take WithStore.
 func WithStateDir(dir string) Option { return func(o *options) { o.stateDir = dir } }
+
+// WithStore selects every node's storage backend — chain index and UTXO
+// ledger — by locator: "" or "mem:" for the RAM-bound fast path (default),
+// "file:<dir>" for file backends rooted at dir, "file:" for a throwaway
+// temporary root. Experiment reports are byte-identical across backends for
+// the same (config, seed); only Result.StoreStats differs. Both harnesses.
+func WithStore(locator string) Option { return func(o *options) { o.storeURL = locator } }
+
+// WithCompactDepth bounds resident chain state on long experiment runs: at
+// every maintenance boundary each node evicts archived block bodies and undo
+// records buried at least depth below its tip (bodies reload transparently
+// from the chain index). Pick it well above any reorg the run can produce.
+// Combined with a file-backed WithStore this is the beyond-RAM mode.
+// Experiment-only.
+func WithCompactDepth(depth uint64) Option { return func(o *options) { o.compactDepth = depth } }
 
 // WithInvariantInterval spaces the online invariant checks; the default is
 // the key-block interval.
@@ -167,6 +185,7 @@ func New(n int, opts ...Option) (*Cluster, error) {
 		Invariants:          o.invariants,
 		InvariantInterval:   o.invInterval,
 		StateDir:            o.stateDir,
+		StoreURL:            o.storeURL,
 	})
 }
 
@@ -198,6 +217,8 @@ func NewExperiment(n int, opts ...Option) ExperimentConfig {
 	cfg.Parallelism = o.parallelism
 	cfg.Invariants = o.invariants
 	cfg.InvariantInterval = o.invInterval
+	cfg.StoreURL = o.storeURL
+	cfg.CompactDepth = o.compactDepth
 	return cfg
 }
 

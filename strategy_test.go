@@ -128,7 +128,7 @@ func TestGreedyMineIgnoresMicroblocks(t *testing.T) {
 	}
 	var payEpoch Hash
 	for _, n := range honest.Chain().MainChain() {
-		for _, txx := range n.Block.Transactions() {
+		for _, txx := range n.Block().Transactions() {
 			if txx.ID() == tx.ID() {
 				payEpoch = n.KeyAncestor.Hash()
 			}
